@@ -1,0 +1,67 @@
+#include "bench/adaptive_figure.hh"
+
+#include <algorithm>
+
+namespace wlcache {
+namespace bench {
+
+namespace {
+
+nvp::RunResult
+runWl(const std::string &app, energy::TraceKind power,
+      cache::ReplPolicy cache_repl, bool adaptive, unsigned maxline)
+{
+    nvp::ExperimentSpec s;
+    s.workload = app;
+    s.power = power;
+    s.design = nvp::DesignKind::WL;
+    s.tweak = [cache_repl, adaptive, maxline](nvp::SystemConfig &cfg) {
+        cfg.dcache.repl = cache_repl;
+        cfg.adaptive.enabled = adaptive;
+        cfg.wl.maxline = maxline;
+    };
+    return runBench(s);
+}
+
+} // namespace
+
+SpeedupTable
+runAdaptiveFigure(const std::string &title, const std::string &slug,
+                  energy::TraceKind power)
+{
+    SpeedupTable table(title);
+    table.seriesOrder({ "LRU(Best)", "LRU(Adap)", "FIFO(Best)",
+                        "FIFO(Adap)" });
+
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec nvsram;
+        nvsram.workload = app;
+        nvsram.power = power;
+        nvsram.design = nvp::DesignKind::NvsramWB;
+        const auto rb = runBench(nvsram);
+
+        for (const auto pol :
+             { cache::ReplPolicy::LRU, cache::ReplPolicy::FIFO }) {
+            // Static-best: the best-performing fixed maxline for this
+            // application (paper §6.6 picks it from the Fig. 9 sweep).
+            double best = 0.0;
+            for (const unsigned ml : { 2u, 4u, 6u, 8u }) {
+                const auto r = runWl(app, power, pol, false, ml);
+                best = std::max(best, nvp::speedupVs(r, rb));
+            }
+            // Adaptive, starting from the default maxline 6.
+            const auto ra = runWl(app, power, pol, true, 6);
+
+            const std::string prefix =
+                pol == cache::ReplPolicy::LRU ? "LRU" : "FIFO";
+            table.set(prefix + "(Best)", app, best);
+            table.set(prefix + "(Adap)", app, nvp::speedupVs(ra, rb));
+        }
+    }
+    table.print();
+    table.maybeWriteCsv(slug);
+    return table;
+}
+
+} // namespace bench
+} // namespace wlcache

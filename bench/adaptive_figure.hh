@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared driver for paper Figures 11 and 12: WL-Cache with adaptive
+ * maxline management vs the best per-application static maxline, for
+ * both FIFO and LRU cache replacement, normalized to NVSRAM(ideal).
+ */
+
+#ifndef WLCACHE_BENCH_ADAPTIVE_FIGURE_HH
+#define WLCACHE_BENCH_ADAPTIVE_FIGURE_HH
+
+#include <string>
+
+#include "bench/bench_common.hh"
+
+namespace wlcache {
+namespace bench {
+
+/** Run the adaptive-vs-static-best comparison for one trace. */
+SpeedupTable runAdaptiveFigure(const std::string &title,
+                               const std::string &slug,
+                               energy::TraceKind power);
+
+} // namespace bench
+} // namespace wlcache
+
+#endif // WLCACHE_BENCH_ADAPTIVE_FIGURE_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Design-choice ablations beyond the paper's own sweeps (DESIGN.md
+ * §7):
+ *   1. waterline gap (maxline - waterline): the paper fixes it at 1;
+ *      a larger gap cleans earlier and more aggressively.
+ *   2. lazy (paper §5.4) vs eager DirtyQueue cleanup on evictions:
+ *      the CAM search the paper avoids, costed per eviction.
+ *   3. ReplayCache region length: the rollback-granularity /
+ *      drain-frequency trade-off of the baseline model.
+ * All gmean speedups vs NVSRAM(ideal) under Power Trace 1.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "sim/logging.hh"
+#include "util/stat_math.hh"
+#include "util/table.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+
+namespace {
+
+double
+gmeanVsNvsram(const std::function<void(nvp::SystemConfig &)> &tweak,
+              nvp::DesignKind design = nvp::DesignKind::WL)
+{
+    std::vector<double> speedups;
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec base;
+        base.workload = app;
+        base.power = energy::TraceKind::RfHome;
+
+        nvp::ExperimentSpec nvsram = base;
+        nvsram.design = nvp::DesignKind::NvsramWB;
+        const auto rb = runBench(nvsram);
+
+        nvp::ExperimentSpec s = base;
+        s.design = design;
+        s.tweak = tweak;
+        speedups.push_back(nvp::speedupVs(runBench(s), rb));
+    }
+    return util::geoMean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Ablations (gmean speedup vs NVSRAM ideal, "
+                 "Power Trace 1) ===\n\n";
+
+    {
+        std::cout << "-- waterline gap (maxline 6, DQ 8, static) --\n";
+        util::TextTable t;
+        t.header({ "maxline - waterline", "speedup" });
+        for (const unsigned gap : { 1u, 2u, 3u, 5u }) {
+            t.rowDoubles("gap " + std::to_string(gap),
+                         { gmeanVsNvsram([gap](nvp::SystemConfig &c) {
+                               c.wl.waterline_gap = gap;
+                               c.adaptive.enabled = false;
+                           }) });
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "-- DirtyQueue cleanup on dirty evictions --\n";
+        util::TextTable t;
+        t.header({ "policy", "speedup" });
+        t.rowDoubles("lazy stale entries (paper §5.4)",
+                     { gmeanVsNvsram([](nvp::SystemConfig &) {}) });
+        t.rowDoubles("eager CAM cleanup",
+                     { gmeanVsNvsram([](nvp::SystemConfig &c) {
+                           c.wl.eager_evict_cleanup = true;
+                       }) });
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "-- §3.3 alternative: WT + CAM write-back "
+                     "buffer vs WL-Cache --\n";
+        util::TextTable t;
+        t.header({ "design", "speedup" });
+        t.rowDoubles("WL-Cache (DirtyQueue)",
+                     { gmeanVsNvsram([](nvp::SystemConfig &) {}) });
+        t.rowDoubles("WT + 16-entry CAM buffer",
+                     { gmeanVsNvsram([](nvp::SystemConfig &) {},
+                                     nvp::DesignKind::WtBuffered) });
+        t.rowDoubles("plain VCache-WT",
+                     { gmeanVsNvsram([](nvp::SystemConfig &) {},
+                                     nvp::DesignKind::VCacheWT) });
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    {
+        std::cout << "-- ReplayCache region length (events) --\n";
+        util::TextTable t;
+        t.header({ "region", "speedup" });
+        for (const unsigned events : { 8u, 16u, 32u, 64u }) {
+            t.rowDoubles(
+                std::to_string(events),
+                { gmeanVsNvsram(
+                      [events](nvp::SystemConfig &c) {
+                          c.replay.region_events = events;
+                      },
+                      nvp::DesignKind::Replay) });
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Figure 10(a): speedup of each design relative to
+ * NVSRAM(ideal) *of the same cache size*, sweeping the L1 D/I size
+ * from 128 B to 4 KB under Power Trace 1. The paper's observation:
+ * the WL-vs-NVSRAM gap narrows as the cache shrinks (less state to
+ * back up) and widens as it grows.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "sim/logging.hh"
+#include "util/stat_math.hh"
+#include "util/table.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+
+namespace {
+
+void
+setCacheSize(nvp::SystemConfig &cfg, std::size_t bytes)
+{
+    cfg.dcache.size_bytes = bytes;
+    cfg.icache.size_bytes = bytes;
+}
+
+double
+gmeanSpeedup(nvp::DesignKind design, std::size_t bytes)
+{
+    std::vector<double> speedups;
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec base;
+        base.workload = app;
+        base.power = energy::TraceKind::RfHome;
+
+        nvp::ExperimentSpec nvsram = base;
+        nvsram.design = nvp::DesignKind::NvsramWB;
+        nvsram.tweak = [bytes](nvp::SystemConfig &cfg) {
+            setCacheSize(cfg, bytes);
+        };
+        const auto rb = runBench(nvsram);
+
+        nvp::ExperimentSpec s = base;
+        s.design = design;
+        s.tweak = nvsram.tweak;
+        const auto r = runBench(s);
+        speedups.push_back(nvp::speedupVs(r, rb));
+    }
+    return util::geoMean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Figure 10a: cache size sweep "
+                 "(gmean speedup vs same-size NVSRAM ideal), "
+                 "Power Trace 1 ===\n";
+    util::TextTable t;
+    t.header({ "size", "VCache-WT", "ReplayCache", "WL-Cache" });
+    for (const std::size_t bytes :
+         { 128u, 256u, 512u, 1024u, 2048u, 4096u }) {
+        t.rowDoubles(
+            std::to_string(bytes) + "B",
+            { gmeanSpeedup(nvp::DesignKind::VCacheWT, bytes),
+              gmeanSpeedup(nvp::DesignKind::Replay, bytes),
+              gmeanSpeedup(nvp::DesignKind::WL, bytes) });
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduces paper Figure 10(b): absolute execution time of each
+ * design as the capacitor grows from 100 nF to 1 mF, under Power
+ * Trace 1. All schemes perform best around 1 uF; larger capacitors
+ * pay ever longer (re)charging times, and for the smallest capacitor
+ * the fixed checkpoint reservations squeeze the usable energy.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "sim/logging.hh"
+#include "util/stat_math.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+
+namespace {
+
+double
+gmeanTime(nvp::DesignKind design, double farads)
+{
+    std::vector<double> times;
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec s;
+        s.workload = app;
+        s.power = energy::TraceKind::RfHome;
+        s.design = design;
+        s.tweak = [farads](nvp::SystemConfig &cfg) {
+            cfg.platform.capacitance_f = farads;
+            // Undersized capacitors thrash through six-digit outage
+            // counts; bound the sweep's cost and extrapolate.
+            cfg.max_outages = 30'000;
+        };
+        const auto r = runBench(s);
+        double t = r.total_seconds;
+        if (!r.completed) {
+            const auto &trace =
+                workloads::getTrace(s.workload, benchScale());
+            const double progress =
+                static_cast<double>(r.instructions) /
+                static_cast<double>(trace.totalInstructions());
+            t = progress > 1e-6 ? t / progress : 1.0e6;
+        }
+        times.push_back(t);
+    }
+    return util::geoMean(times);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Figure 10b: capacitor size sweep "
+                 "(gmean execution time), Power Trace 1 ===\n";
+    util::TextTable t;
+    t.header({ "capacitor", "VCache-WT", "ReplayCache", "NVSRAM-WB",
+               "WL-Cache" });
+    const double sizes[] = { 100e-9, 344e-9, 1e-6, 10e-6,
+                             100e-6, 500e-6, 1e-3 };
+    const char *labels[] = { "100nF", "344nF", "1uF", "10uF",
+                             "100uF", "500uF", "1mF" };
+    for (unsigned i = 0; i < 7; ++i) {
+        t.row({ labels[i],
+                util::fmtSeconds(
+                    gmeanTime(nvp::DesignKind::VCacheWT, sizes[i])),
+                util::fmtSeconds(
+                    gmeanTime(nvp::DesignKind::Replay, sizes[i])),
+                util::fmtSeconds(
+                    gmeanTime(nvp::DesignKind::NvsramWB, sizes[i])),
+                util::fmtSeconds(
+                    gmeanTime(nvp::DesignKind::WL, sizes[i])) });
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: adaptive vs best-static WL-Cache
+ * threshold management under Power Trace 1.
+ */
+
+#include "bench/adaptive_figure.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    wlcache::setQuiet(true);
+    wlcache::bench::runAdaptiveFigure(
+        "Figure 11: WL-Cache adaptive vs static-best maxline "
+        "(speedup vs NVSRAM ideal), Power Trace 1",
+        "fig11", wlcache::energy::TraceKind::RfHome);
+    return 0;
+}

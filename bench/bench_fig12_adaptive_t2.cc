@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: adaptive vs best-static WL-Cache
+ * threshold management under Power Trace 2.
+ */
+
+#include "bench/adaptive_figure.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    wlcache::setQuiet(true);
+    wlcache::bench::runAdaptiveFigure(
+        "Figure 12: WL-Cache adaptive vs static-best maxline "
+        "(speedup vs NVSRAM ideal), Power Trace 2",
+        "fig12", wlcache::energy::TraceKind::RfOffice);
+    return 0;
+}

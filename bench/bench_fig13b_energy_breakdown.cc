@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces paper Figure 13(b): energy-consumption breakdown (cache
+ * read/write, memory read/write, compute, plus checkpoint/restore
+ * and leakage) of NVCache-WB, VCache-WT, NVSRAM-WB, and WL-Cache,
+ * normalized to NVSRAM(ideal)'s total, under Power Trace 1.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "energy/energy_meter.hh"
+#include "sim/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+using energy::EnergyCategory;
+
+namespace {
+
+/** Mean per-category energy across all apps, joules. */
+std::array<double, energy::EnergyMeter::kNumCategories>
+meanBreakdown(nvp::DesignKind design)
+{
+    std::array<double, energy::EnergyMeter::kNumCategories> sums{};
+    unsigned n = 0;
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec s;
+        s.workload = app;
+        s.power = energy::TraceKind::RfHome;
+        s.design = design;
+        const auto r = runBench(s);
+        for (std::size_t c = 0;
+             c < energy::EnergyMeter::kNumCategories; ++c)
+            sums[c] += r.meter.get(static_cast<EnergyCategory>(c));
+        ++n;
+    }
+    for (auto &v : sums)
+        v /= n;
+    return sums;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Figure 13b: energy breakdown normalized to "
+                 "NVSRAM(ideal) total [%], Power Trace 1 ===\n";
+
+    const nvp::DesignKind designs[] = {
+        nvp::DesignKind::NVCacheWB,
+        nvp::DesignKind::VCacheWT,
+        nvp::DesignKind::NvsramWB,
+        nvp::DesignKind::WL,
+    };
+
+    const auto baseline = meanBreakdown(nvp::DesignKind::NvsramWB);
+    double base_total = 0.0;
+    for (const double v : baseline)
+        base_total += v;
+
+    util::TextTable t;
+    std::vector<std::string> header{ "category" };
+    for (const auto d : designs)
+        header.push_back(nvp::designKindName(d));
+    t.header(header);
+
+    std::vector<std::array<double,
+                           energy::EnergyMeter::kNumCategories>> all;
+    for (const auto d : designs)
+        all.push_back(meanBreakdown(d));
+
+    for (std::size_t c = 0; c < energy::EnergyMeter::kNumCategories;
+         ++c) {
+        std::vector<double> row;
+        for (const auto &b : all)
+            row.push_back(100.0 * b[c] / base_total);
+        t.rowDoubles(
+            energy::energyCategoryName(static_cast<EnergyCategory>(c)),
+            row, 1);
+    }
+    std::vector<double> totals;
+    for (const auto &b : all) {
+        double sum = 0.0;
+        for (const double v : b)
+            sum += v;
+        totals.push_back(100.0 * sum / base_total);
+    }
+    t.rowDoubles("TOTAL", totals, 1);
+    t.print(std::cout);
+    return 0;
+}

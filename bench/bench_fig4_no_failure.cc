@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces paper Figure 4: normalized speedup of each cache design
+ * compared to NVSRAM(ideal) with no power failure.
+ */
+
+#include "bench/speedup_figure.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    wlcache::setQuiet(true);
+    wlcache::bench::runSpeedupFigure(
+        "Figure 4: speedup vs NVSRAM(ideal), no power failure",
+        "fig4", wlcache::energy::TraceKind::Constant,
+        /*no_failure=*/true);
+    return 0;
+}

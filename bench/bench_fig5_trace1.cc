@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces paper Figure 5: normalized speedup of each cache design
+ * compared to NVSRAM(ideal) under RF Power Trace 1 (home).
+ */
+
+#include "bench/speedup_figure.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    wlcache::setQuiet(true);
+    wlcache::bench::runSpeedupFigure(
+        "Figure 5: speedup vs NVSRAM(ideal), Power Trace 1",
+        "fig5", wlcache::energy::TraceKind::RfHome,
+        /*no_failure=*/false);
+    return 0;
+}

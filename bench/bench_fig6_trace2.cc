@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces paper Figure 6: normalized speedup of each cache design
+ * compared to NVSRAM(ideal) under RF Power Trace 2 (office).
+ */
+
+#include "bench/speedup_figure.hh"
+#include "sim/logging.hh"
+
+int
+main()
+{
+    wlcache::setQuiet(true);
+    wlcache::bench::runSpeedupFigure(
+        "Figure 6: speedup vs NVSRAM(ideal), Power Trace 2",
+        "fig6", wlcache::energy::TraceKind::RfOffice,
+        /*no_failure=*/false);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Figure 7: normalized NVM write-traffic increase of
+ * WL-Cache compared to NVSRAM(ideal) under Power Trace 1. WL-Cache
+ * trades a small amount of extra write traffic (waterline cleanings
+ * that later get re-dirtied, plus JIT checkpoints to main NVM) for
+ * its much smaller energy reservation.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "sim/logging.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    SpeedupTable table(
+        "Figure 7: normalized NVM write traffic increase vs "
+        "NVSRAM(ideal), Power Trace 1");
+    table.seriesOrder({ "WL/NVSRAM-writes", "WL/NVSRAM-bytes" });
+
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec base;
+        base.workload = app;
+        base.power = energy::TraceKind::RfHome;
+
+        nvp::ExperimentSpec nvsram = base;
+        nvsram.design = nvp::DesignKind::NvsramWB;
+        const auto rb = runBench(nvsram);
+
+        nvp::ExperimentSpec wl = base;
+        wl.design = nvp::DesignKind::WL;
+        const auto rw = runBench(wl);
+
+        const double writes = rb.nvm_writes
+            ? static_cast<double>(rw.nvm_writes) /
+                static_cast<double>(rb.nvm_writes)
+            : 0.0;
+        const double bytes = rb.nvm_bytes_written
+            ? static_cast<double>(rw.nvm_bytes_written) /
+                static_cast<double>(rb.nvm_bytes_written)
+            : 0.0;
+        table.set("WL/NVSRAM-writes", app, writes);
+        table.set("WL/NVSRAM-bytes", app, bytes);
+    }
+    table.print();
+    table.maybeWriteCsv("fig7");
+    return 0;
+}

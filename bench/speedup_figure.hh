@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Driver shared by the Figure 4/5/6 harnesses: run every cache design
+ * over all 23 applications in one energy environment, normalize to
+ * NVSRAM(ideal), and print the per-app speedup series exactly as the
+ * paper's bar charts report them.
+ */
+
+#ifndef WLCACHE_BENCH_SPEEDUP_FIGURE_HH
+#define WLCACHE_BENCH_SPEEDUP_FIGURE_HH
+
+#include <string>
+
+#include "bench/bench_common.hh"
+
+namespace wlcache {
+namespace bench {
+
+/**
+ * Run the full design-comparison sweep.
+ * @param title Figure caption.
+ * @param slug CSV slug.
+ * @param power Environment (ignored when no_failure).
+ * @param no_failure Infinite power (Figure 4).
+ * @return the populated table (already printed).
+ */
+SpeedupTable runSpeedupFigure(const std::string &title,
+                              const std::string &slug,
+                              energy::TraceKind power, bool no_failure);
+
+} // namespace bench
+} // namespace wlcache
+
+#endif // WLCACHE_BENCH_SPEEDUP_FIGURE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: explore how each cache design behaves for one workload in
+ * one energy environment. Prints execution time, outage counts,
+ * energy breakdown, and cache behaviour side by side — the fastest
+ * way to understand the trade-off space the paper's Table 1 sketches.
+ *
+ * Usage: design_explorer [workload] [trace1|trace2|trace3|solar|
+ *                        thermal|none] [scale]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "energy/power_trace.hh"
+#include "nvp/experiment.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace wlcache;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "sha";
+    const std::string env_name = argc > 2 ? argv[2] : "trace1";
+    const unsigned scale =
+        argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1;
+
+    nvp::ExperimentSpec spec;
+    spec.workload = workload;
+    spec.scale = scale;
+    if (env_name == "none") {
+        spec.no_failure = true;
+    } else if (env_name == "trace1") {
+        spec.power = energy::TraceKind::RfHome;
+    } else if (env_name == "trace2") {
+        spec.power = energy::TraceKind::RfOffice;
+    } else if (env_name == "trace3") {
+        spec.power = energy::TraceKind::RfMementos;
+    } else if (env_name == "solar") {
+        spec.power = energy::TraceKind::Solar;
+    } else if (env_name == "thermal") {
+        spec.power = energy::TraceKind::Thermal;
+    } else {
+        std::cerr << "unknown environment '" << env_name << "'\n";
+        return 1;
+    }
+
+    const auto &trace = workloads::getTrace(workload, scale);
+    std::cout << "workload " << workload << ": "
+              << trace.events.size() << " memory events, "
+              << trace.totalInstructions() << " instructions, "
+              << util::fmtDouble(100.0 * trace.storeFraction(), 1)
+              << "% stores, image "
+              << util::fmtBytes(trace.initial_image.size()) << "\n\n";
+
+    const nvp::DesignKind designs[] = {
+        nvp::DesignKind::NoCache,         nvp::DesignKind::VCacheWT,
+        nvp::DesignKind::WtBuffered,      nvp::DesignKind::NVCacheWB,
+        nvp::DesignKind::NvsramFull,      nvp::DesignKind::NvsramWB,
+        nvp::DesignKind::NvsramPractical, nvp::DesignKind::Replay,
+        nvp::DesignKind::WL,
+    };
+
+    util::TextTable table;
+    table.header({ "design", "time", "on-cycles", "outages",
+                   "energy", "nvm-wr", "ld-hit%", "st-stall",
+                   "final-ok" });
+    for (auto d : designs) {
+        nvp::ExperimentSpec s = spec;
+        s.design = d;
+        const auto r = nvp::runExperiment(s);
+        table.row({
+            nvp::designKindName(d),
+            util::fmtSeconds(r.total_seconds),
+            std::to_string(r.on_cycles),
+            std::to_string(r.outages),
+            util::fmtEnergy(r.meter.total()),
+            std::to_string(r.nvm_writes),
+            util::fmtDouble(100.0 * r.dcache_load_hit_rate, 1),
+            std::to_string(r.store_stall_cycles),
+            r.completed ? (r.final_state_correct ? "yes" : "NO!")
+                        : "dnf",
+        });
+    }
+    table.print(std::cout);
+    return 0;
+}

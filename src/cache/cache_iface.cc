@@ -1,0 +1,8 @@
+#include "cache/cache_iface.hh"
+
+// Interface out-of-line anchor (vtable) lives here.
+
+namespace wlcache {
+namespace cache {
+} // namespace cache
+} // namespace wlcache

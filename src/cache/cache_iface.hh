@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Common interface all data-cache designs implement, plus the shared
+ * statistics block. The NVP system drives a design through exactly
+ * this interface: timed accesses during execution, a JIT checkpoint
+ * when the voltage monitor fires, power-loss/restore transitions, and
+ * a final drain at program completion.
+ */
+
+#ifndef WLCACHE_CACHE_CACHE_IFACE_HH
+#define WLCACHE_CACHE_CACHE_IFACE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cache/cache_params.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wlcache {
+namespace cache {
+
+/** Outcome of a timed cache access. */
+struct CacheAccessResult
+{
+    Cycle ready;  //!< Cycle at which the core may proceed.
+    bool hit;     //!< Tag hit (for statistics / tests).
+};
+
+/** Statistics every design reports. */
+struct CacheStats
+{
+    explicit CacheStats(stats::StatGroup &g)
+        : loads(g.addScalar("loads", "load accesses")),
+          stores(g.addScalar("stores", "store accesses")),
+          load_hits(g.addScalar("load_hits", "load hits")),
+          store_hits(g.addScalar("store_hits", "store hits")),
+          fills(g.addScalar("fills", "lines filled from NVM")),
+          evictions(g.addScalar("evictions", "lines evicted")),
+          dirty_evictions(
+              g.addScalar("dirty_evictions", "dirty lines evicted")),
+          writebacks(
+              g.addScalar("writebacks", "line write-backs to NVM")),
+          stall_cycles(
+              g.addScalar("stall_cycles", "cycles stalled on stores")),
+          checkpoint_lines(g.addScalar("checkpoint_lines",
+                                       "lines persisted by JIT ckpt"))
+    {}
+
+    stats::Scalar &loads;
+    stats::Scalar &stores;
+    stats::Scalar &load_hits;
+    stats::Scalar &store_hits;
+    stats::Scalar &fills;
+    stats::Scalar &evictions;
+    stats::Scalar &dirty_evictions;
+    stats::Scalar &writebacks;
+    stats::Scalar &stall_cycles;
+    stats::Scalar &checkpoint_lines;
+};
+
+/**
+ * Abstract data cache. Implementations: NoCache (NVP baseline),
+ * VCacheWT, NVCacheWB, NvsramCacheWB (ideal), ReplayCacheModel, and
+ * the paper's contribution core::WLCache.
+ */
+class DataCache
+{
+  public:
+    explicit DataCache(const std::string &name)
+        : stat_group_(name), stats_(stat_group_)
+    {}
+    virtual ~DataCache() = default;
+
+    DataCache(const DataCache &) = delete;
+    DataCache &operator=(const DataCache &) = delete;
+
+    /**
+     * Timed access issued by the core at cycle @p now.
+     *
+     * @param op Load or Store.
+     * @param addr Byte address (must not cross a line boundary).
+     * @param bytes Access width (1/2/4/8).
+     * @param value Store data (ignored for loads).
+     * @param load_out When non-null on a load, receives the data.
+     * @param now Issue cycle.
+     */
+    virtual CacheAccessResult access(MemOp op, Addr addr, unsigned bytes,
+                                     std::uint64_t value,
+                                     std::uint64_t *load_out,
+                                     Cycle now) = 0;
+
+    /** Complete any asynchronous machinery up to cycle @p now. */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /**
+     * JIT checkpoint: persist whatever the design needs before the
+     * supply collapses. @return completion cycle.
+     */
+    virtual Cycle checkpoint(Cycle now) = 0;
+
+    /** Volatile state disappears (called after checkpoint()). */
+    virtual void powerLoss() = 0;
+
+    /**
+     * Boot-time restoration (e.g.\ NVSRAM warm restore).
+     * @return completion cycle.
+     */
+    virtual Cycle powerRestore(Cycle now) { return now; }
+
+    /**
+     * Graceful program completion: flush all dirty state to NVM.
+     * @return completion cycle.
+     */
+    virtual Cycle drainAndFlush(Cycle now) = 0;
+
+    /**
+     * Worst-case energy (joules) a JIT checkpoint of this design can
+     * consume. The NVP system reserves this much capacitor energy
+     * above Vmin when deriving Vbackup.
+     */
+    virtual double checkpointEnergyBound() const = 0;
+
+    /**
+     * Functional probe of the *persistent* view this design
+     * contributes beyond NVM main memory (NV arrays, NVSRAM backup
+     * images). Volatile designs return false after powerLoss().
+     */
+    virtual bool probePersistent(Addr addr, unsigned bytes,
+                                 void *out) const
+    {
+        (void)addr; (void)bytes; (void)out;
+        return false;
+    }
+
+    /**
+     * Collect the design's persistent bytes that *override* NVM main
+     * memory (dirty NV-array lines, NVSRAM backup images) into
+     * @p overlay. Designs whose persistence lives entirely in NVM
+     * after a checkpoint contribute nothing.
+     */
+    virtual void collectPersistentOverlay(
+        std::unordered_map<Addr, std::uint8_t> &overlay) const
+    {
+        (void)overlay;
+    }
+
+    /** Leakage power of the cache arrays while powered on, watts. */
+    virtual double leakageWatts() const = 0;
+
+    /** Human-readable design name. */
+    virtual const char *designName() const = 0;
+
+    stats::StatGroup &statGroup() { return stat_group_; }
+    const CacheStats &stats() const { return stats_; }
+    CacheStats &stats() { return stats_; }
+
+  protected:
+    stats::StatGroup stat_group_;
+    CacheStats stats_;
+};
+
+} // namespace cache
+} // namespace wlcache
+
+#endif // WLCACHE_CACHE_CACHE_IFACE_HH

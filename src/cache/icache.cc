@@ -1,0 +1,145 @@
+#include "cache/icache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace cache {
+
+InstrCache::InstrCache(const CacheParams &params, ICacheKind kind,
+                       mem::NvmMemory &nvm, energy::EnergyMeter *meter,
+                       double restore_line_energy,
+                       Cycle restore_line_latency)
+    : params_(params), kind_(kind), nvm_(nvm), meter_(meter),
+      restore_line_energy_(restore_line_energy),
+      restore_line_latency_(restore_line_latency),
+      stat_group_("icache"),
+      stat_fetches_(
+          stat_group_.addScalar("fetches", "instructions fetched")),
+      stat_hits_(stat_group_.addScalar("line_hits", "line-chunk hits")),
+      stat_misses_(stat_group_.addScalar("line_misses", "line fills"))
+{
+    if (kind_ != ICacheKind::None)
+        tags_ = std::make_unique<TagArray>(params_);
+}
+
+Cycle
+InstrCache::fetchLineChunk(Addr line_addr, unsigned insns, Cycle now)
+{
+    stat_fetches_ += insns;
+
+    if (kind_ == ICacheKind::None) {
+        // Stream the line from NVM, then issue at one per cycle.
+        const auto res =
+            nvm_.read(line_addr, params_.line_bytes, now, nullptr);
+        return res.ready + insns;
+    }
+
+    auto ref = tags_->lookup(line_addr);
+    Cycle t = now;
+    if (ref) {
+        ++stat_hits_;
+        tags_->touch(*ref);
+    } else {
+        ++stat_misses_;
+        LineRef victim = tags_->victim(line_addr);
+        if (tags_->valid(victim))
+            tags_->invalidate(victim);
+        const auto res = nvm_.read(line_addr, params_.line_bytes,
+                                   now + params_.miss_lookup_latency,
+                                   nullptr);
+        tags_->install(victim, line_addr, nullptr);
+        if (meter_)
+            meter_->add(energy::EnergyCategory::CacheWrite,
+                        params_.line_fill_energy);
+        t = res.ready;
+    }
+    if (meter_) {
+        meter_->add(energy::EnergyCategory::CacheRead,
+                    params_.access_energy_read *
+                        static_cast<double>(insns));
+        if (params_.repl == ReplPolicy::LRU)
+            meter_->add(energy::EnergyCategory::CacheRead,
+                        params_.lru_update_energy);
+    }
+    // Issue rate: hit_latency cycles per instruction (pipelined SRAM
+    // fetch sustains 1/cycle; NV arrays sustain one every 2 cycles).
+    return t + static_cast<Cycle>(insns) * params_.hit_latency;
+}
+
+Cycle
+InstrCache::fetchRun(Addr pc, unsigned count, Cycle now)
+{
+    wlc_assert(count > 0);
+    Cycle t = now;
+    Addr addr = pc;
+    unsigned left = count;
+    const unsigned line_bytes =
+        kind_ == ICacheKind::None ? 64u : params_.line_bytes;
+    while (left > 0) {
+        const Addr line_addr = addr & ~static_cast<Addr>(line_bytes - 1);
+        const unsigned off = static_cast<unsigned>(addr - line_addr);
+        const unsigned fit = (line_bytes - off) / 4;
+        const unsigned n = std::min(left, fit == 0 ? 1u : fit);
+        t = fetchLineChunk(line_addr, n, t);
+        addr += static_cast<Addr>(n) * 4;
+        left -= n;
+    }
+    return t;
+}
+
+void
+InstrCache::powerLoss()
+{
+    switch (kind_) {
+      case ICacheKind::None:
+      case ICacheKind::NonVolatile:
+        break;
+      case ICacheKind::Volatile:
+        tags_->invalidateAll();
+        break;
+      case ICacheKind::WarmRestore:
+        // Snapshot the (clean) image into the NV counterpart; the
+        // ideal NVSRAM design pays nothing for clean lines.
+        warm_image_.clear();
+        tags_->forEachValidLine([this](LineRef ref, Addr laddr, bool) {
+            SavedLine sl;
+            sl.addr = laddr;
+            sl.data.assign(tags_->data(ref),
+                           tags_->data(ref) + tags_->lineBytes());
+            warm_image_.push_back(std::move(sl));
+        });
+        tags_->invalidateAll();
+        break;
+    }
+}
+
+Cycle
+InstrCache::powerRestore(Cycle now)
+{
+    if (kind_ != ICacheKind::WarmRestore || warm_image_.empty())
+        return now;
+    Cycle t = now;
+    for (const auto &sl : warm_image_) {
+        LineRef victim = tags_->victim(sl.addr);
+        if (tags_->valid(victim))
+            tags_->invalidate(victim);
+        tags_->install(victim, sl.addr, sl.data.data());
+        t += restore_line_latency_;
+        if (meter_)
+            meter_->add(energy::EnergyCategory::Restore,
+                        restore_line_energy_);
+    }
+    warm_image_.clear();
+    return t;
+}
+
+double
+InstrCache::leakageWatts() const
+{
+    return kind_ == ICacheKind::None ? 0.0 : params_.leakage_watts;
+}
+
+} // namespace cache
+} // namespace wlcache

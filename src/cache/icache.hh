@@ -1,0 +1,108 @@
+/**
+ * @file
+ * L1 instruction cache model. Instructions are read-only, so the
+ * design space collapses to: where fetches are served from (SRAM,
+ * NV array, or straight from NVM) and whether the contents survive a
+ * power failure (non-volatile array or NVSRAM-style warm restore).
+ * Fetches arrive as runs of sequential instructions, so the model
+ * performs one tag lookup per line touched rather than per
+ * instruction.
+ */
+
+#ifndef WLCACHE_CACHE_ICACHE_HH
+#define WLCACHE_CACHE_ICACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_params.hh"
+#include "cache/tag_array.hh"
+#include "energy/energy_meter.hh"
+#include "mem/nvm_memory.hh"
+#include "sim/stats.hh"
+
+namespace wlcache {
+namespace cache {
+
+/** How the instruction path behaves across power failures. */
+enum class ICacheKind
+{
+    None,        //!< No I-cache: stream lines from NVM (NVP baseline).
+    Volatile,    //!< SRAM, cold after every outage.
+    NonVolatile, //!< NV array, survives outages, slow/hot.
+    WarmRestore, //!< NVSRAM-style: volatile at runtime, warm at boot.
+};
+
+/** Instruction fetch engine with an optional tag array behind it. */
+class InstrCache
+{
+  public:
+    /**
+     * @param params Geometry/latency/energy (ignored for Kind::None).
+     * @param kind Power-failure behaviour.
+     * @param nvm Backing memory for line fills.
+     * @param meter Energy meter (may be null).
+     * @param restore_line_energy Per-line warm-restore energy.
+     * @param restore_line_latency Per-line warm-restore cycles.
+     */
+    InstrCache(const CacheParams &params, ICacheKind kind,
+               mem::NvmMemory &nvm, energy::EnergyMeter *meter,
+               double restore_line_energy = 2.0e-9,
+               Cycle restore_line_latency = 2);
+
+    /**
+     * Fetch @p count sequential 4-byte instructions starting at
+     * @p pc, issued at cycle @p now.
+     * @return cycle when the last instruction has been fetched.
+     */
+    Cycle fetchRun(Addr pc, unsigned count, Cycle now);
+
+    /** Power failure: volatile contents disappear (kind dependent). */
+    void powerLoss();
+
+    /** Boot: warm restore when the kind supports it. */
+    Cycle powerRestore(Cycle now);
+
+    /** Leakage while powered on, watts. */
+    double leakageWatts() const;
+
+    ICacheKind kind() const { return kind_; }
+    stats::StatGroup &statGroup() { return stat_group_; }
+    std::uint64_t fetches() const
+    {
+        return static_cast<std::uint64_t>(stat_fetches_.value());
+    }
+    std::uint64_t lineMisses() const
+    {
+        return static_cast<std::uint64_t>(stat_misses_.value());
+    }
+
+  private:
+    struct SavedLine
+    {
+        Addr addr;
+        std::vector<std::uint8_t> data;
+    };
+
+    Cycle fetchLineChunk(Addr line_addr, unsigned insns, Cycle now);
+
+    CacheParams params_;
+    ICacheKind kind_;
+    mem::NvmMemory &nvm_;
+    energy::EnergyMeter *meter_;
+    std::unique_ptr<TagArray> tags_;
+    double restore_line_energy_;
+    Cycle restore_line_latency_;
+    std::vector<SavedLine> warm_image_;
+
+    stats::StatGroup stat_group_;
+    stats::Scalar &stat_fetches_;
+    stats::Scalar &stat_hits_;
+    stats::Scalar &stat_misses_;
+};
+
+} // namespace cache
+} // namespace wlcache
+
+#endif // WLCACHE_CACHE_ICACHE_HH

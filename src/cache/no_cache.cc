@@ -1,0 +1,30 @@
+#include "cache/no_cache.hh"
+
+namespace wlcache {
+namespace cache {
+
+NoCache::NoCache(mem::NvmMemory &nvm, energy::EnergyMeter *meter)
+    : DataCache("nocache"), nvm_(nvm), meter_(meter)
+{
+    (void)meter_;
+}
+
+CacheAccessResult
+NoCache::access(MemOp op, Addr addr, unsigned bytes, std::uint64_t value,
+                std::uint64_t *load_out, Cycle now)
+{
+    if (op == MemOp::Load) {
+        ++stats_.loads;
+        std::uint64_t v = 0;
+        const auto res = nvm_.read(addr, bytes, now, &v);
+        if (load_out)
+            *load_out = v;
+        return { res.ready, false };
+    }
+    ++stats_.stores;
+    const auto res = nvm_.write(addr, bytes, &value, now);
+    return { res.ready, false };
+}
+
+} // namespace cache
+} // namespace wlcache

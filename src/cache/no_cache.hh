@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The cache-less NVP baseline (Figure 1(a)): every load and store
+ * goes straight to NVM main memory. Crash consistency is free — there
+ * is no volatile memory state — which is exactly why prior energy
+ * harvesting systems shipped without a cache, and why they are slow.
+ */
+
+#ifndef WLCACHE_CACHE_NO_CACHE_HH
+#define WLCACHE_CACHE_NO_CACHE_HH
+
+#include "cache/cache_iface.hh"
+#include "energy/energy_meter.hh"
+#include "mem/nvm_memory.hh"
+
+namespace wlcache {
+namespace cache {
+
+/** Direct-to-NVM "design" used as the NVP-without-cache baseline. */
+class NoCache : public DataCache
+{
+  public:
+    NoCache(mem::NvmMemory &nvm, energy::EnergyMeter *meter);
+
+    CacheAccessResult access(MemOp op, Addr addr, unsigned bytes,
+                             std::uint64_t value, std::uint64_t *load_out,
+                             Cycle now) override;
+
+    Cycle checkpoint(Cycle now) override { return now; }
+    void powerLoss() override {}
+    Cycle drainAndFlush(Cycle now) override { return now; }
+    double checkpointEnergyBound() const override { return 0.0; }
+    double leakageWatts() const override { return 0.0; }
+    const char *designName() const override { return "NVP-NoCache"; }
+
+  private:
+    mem::NvmMemory &nvm_;
+    energy::EnergyMeter *meter_;
+};
+
+} // namespace cache
+} // namespace wlcache
+
+#endif // WLCACHE_CACHE_NO_CACHE_HH

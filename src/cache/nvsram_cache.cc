@@ -1,0 +1,172 @@
+#include "cache/nvsram_cache.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace cache {
+
+NvsramCacheWB::NvsramCacheWB(const CacheParams &params,
+                             const NvsramParams &nvp, mem::NvmMemory &nvm,
+                             energy::EnergyMeter *meter)
+    : BaseTagCache("nvsram_wb", params, nvm, meter), nvsram_(nvp)
+{
+}
+
+CacheAccessResult
+NvsramCacheWB::access(MemOp op, Addr addr, unsigned bytes,
+                      std::uint64_t value, std::uint64_t *load_out,
+                      Cycle now)
+{
+    auto ref = tags_.lookup(addr);
+
+    if (op == MemOp::Load) {
+        ++stats_.loads;
+        if (ref) {
+            ++stats_.load_hits;
+            tags_.touch(*ref);
+            chargeArrayRead();
+            chargeReplUpdate();
+            if (load_out)
+                *load_out = readLineData(*ref, addr, bytes);
+            return { now + params_.hit_latency, true };
+        }
+        const auto [line, ready] =
+            fillLine(addr, now + params_.miss_lookup_latency);
+        chargeArrayRead();
+        chargeReplUpdate();
+        if (load_out)
+            *load_out = readLineData(line, addr, bytes);
+        return { ready + params_.hit_latency, false };
+    }
+
+    ++stats_.stores;
+    if (ref) {
+        ++stats_.store_hits;
+        tags_.touch(*ref);
+        writeLineData(*ref, addr, bytes, value);
+        tags_.setDirty(*ref, true);
+        chargeArrayWrite();
+        chargeReplUpdate();
+        return { now + params_.write_hit_latency, true };
+    }
+    const auto [line, ready] =
+        fillLine(addr, now + params_.miss_lookup_latency);
+    writeLineData(line, addr, bytes, value);
+    tags_.setDirty(line, true);
+    chargeArrayWrite();
+    chargeReplUpdate();
+    return { ready + params_.write_hit_latency, false };
+}
+
+Cycle
+NvsramCacheWB::checkpoint(Cycle now)
+{
+    backup_.clear();
+    Cycle t = now;
+    unsigned dirty_lines = 0;
+    tags_.forEachValidLine([&](LineRef ref, Addr laddr, bool dirty) {
+        BackupLine bl;
+        bl.addr = laddr;
+        bl.dirty = dirty;
+        bl.data.assign(tags_.data(ref),
+                       tags_.data(ref) + tags_.lineBytes());
+        backup_.push_back(std::move(bl));
+        if (dirty || nvsram_.backup_full) {
+            if (dirty)
+                ++dirty_lines;
+            t += nvsram_.backup_line_latency;
+            if (meter_)
+                meter_->add(energy::EnergyCategory::Checkpoint,
+                            nvsram_.backup_line_energy);
+        }
+    });
+    stats_.checkpoint_lines += dirty_lines;
+    has_backup_ = true;
+    return t;
+}
+
+void
+NvsramCacheWB::powerLoss()
+{
+    tags_.invalidateAll();
+}
+
+Cycle
+NvsramCacheWB::powerRestore(Cycle now)
+{
+    if (!has_backup_)
+        return now;
+    Cycle t = now;
+    for (const auto &bl : backup_) {
+        auto victim = tags_.victim(bl.addr);
+        // The runtime array is empty at boot, so installs never hit
+        // a dirty victim.
+        tags_.install(victim, bl.addr, bl.data.data());
+        if (bl.dirty)
+            tags_.setDirty(victim, true);
+        t += nvsram_.restore_line_latency;
+        if (meter_)
+            meter_->add(energy::EnergyCategory::Restore,
+                        nvsram_.restore_line_energy);
+    }
+    return t;
+}
+
+Cycle
+NvsramCacheWB::drainAndFlush(Cycle now)
+{
+    Cycle t = now;
+    tags_.forEachValidLine([&](LineRef ref, Addr, bool dirty) {
+        if (dirty) {
+            t = writeBackLine(ref, t);
+            tags_.setDirty(ref, false);
+        }
+    });
+    has_backup_ = false;
+    backup_.clear();
+    return t;
+}
+
+double
+NvsramCacheWB::checkpointEnergyBound() const
+{
+    return static_cast<double>(tags_.numLines()) *
+        nvsram_.backup_line_energy;
+}
+
+bool
+NvsramCacheWB::probePersistent(Addr addr, unsigned bytes,
+                               void *out) const
+{
+    if (!has_backup_)
+        return false;
+    const Addr laddr = tags_.lineAddrOf(addr);
+    for (const auto &bl : backup_) {
+        if (bl.addr == laddr && bl.dirty) {
+            const unsigned off = tags_.lineOffset(addr);
+            wlc_assert(off + bytes <= tags_.lineBytes());
+            std::memcpy(out, bl.data.data() + off, bytes);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+NvsramCacheWB::collectPersistentOverlay(
+    std::unordered_map<Addr, std::uint8_t> &overlay) const
+{
+    if (!has_backup_)
+        return;
+    for (const auto &bl : backup_) {
+        if (!bl.dirty)
+            continue;
+        for (unsigned i = 0; i < tags_.lineBytes(); ++i)
+            overlay[bl.addr + i] = bl.data[i];
+    }
+}
+
+} // namespace cache
+} // namespace wlcache

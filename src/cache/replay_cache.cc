@@ -1,0 +1,145 @@
+#include "cache/replay_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace cache {
+
+ReplayCacheModel::ReplayCacheModel(const CacheParams &params,
+                                   const ReplayParams &rp,
+                                   mem::NvmMemory &nvm,
+                                   energy::EnergyMeter *meter)
+    : BaseTagCache("replay_cache", params, nvm, meter), replay_(rp)
+{
+    wlc_assert(replay_.persist_queue_depth > 0);
+    wlc_assert(replay_.region_events > 0);
+}
+
+void
+ReplayCacheModel::tick(Cycle now)
+{
+    while (!inflight_.empty() && inflight_.front().ready <= now)
+        inflight_.pop_front();
+}
+
+CacheAccessResult
+ReplayCacheModel::access(MemOp op, Addr addr, unsigned bytes,
+                         std::uint64_t value, std::uint64_t *load_out,
+                         Cycle now)
+{
+    tick(now);
+    auto ref = tags_.lookup(addr);
+
+    if (op == MemOp::Load) {
+        ++stats_.loads;
+        if (ref) {
+            ++stats_.load_hits;
+            tags_.touch(*ref);
+            chargeArrayRead();
+            chargeReplUpdate();
+            if (load_out)
+                *load_out = readLineData(*ref, addr, bytes);
+            return { now + params_.hit_latency, true };
+        }
+        const auto [line, ready] =
+            fillLine(addr, now + params_.miss_lookup_latency);
+        chargeArrayRead();
+        chargeReplUpdate();
+        if (load_out)
+            *load_out = readLineData(line, addr, bytes);
+        return { ready + params_.hit_latency, false };
+    }
+
+    // Store: update the cache (write-allocate so later loads hit) and
+    // enqueue an asynchronous word persist to NVM.
+    ++stats_.stores;
+    Cycle t = now;
+    bool hit = false;
+    if (ref) {
+        hit = true;
+        ++stats_.store_hits;
+        tags_.touch(*ref);
+        writeLineData(*ref, addr, bytes, value);
+    } else {
+        const auto [line, ready] =
+            fillLine(addr, now + params_.miss_lookup_latency);
+        writeLineData(line, addr, bytes, value);
+        t = ready;
+    }
+    chargeArrayWrite();
+    chargeReplUpdate();
+
+    // Write combining: a store whose word is already waiting in the
+    // persist queue merges into that entry instead of issuing a new
+    // NVM write (the queue is a coalescing store buffer).
+    const Addr word = addr & ~static_cast<Addr>(7);
+    for (const Persist &p : inflight_) {
+        if (p.word_addr == word) {
+            nvm_.poke(addr, bytes, &value);
+            ++coalesced_;
+            return { t + params_.write_hit_latency, hit };
+        }
+    }
+
+    // Back-pressure: if the persist queue is full, the store stalls
+    // until the oldest persist drains.
+    if (inflight_.size() >= replay_.persist_queue_depth) {
+        const Cycle wait_until = inflight_.front().ready;
+        if (wait_until > t) {
+            stats_.stall_cycles += wait_until - t;
+            t = wait_until;
+        }
+        tick(t);
+    }
+
+    // Issue the asynchronous persist; the core does not wait for it.
+    const auto res = nvm_.write(addr, bytes, &value, t);
+    inflight_.push_back({ word, res.ready });
+    return { t + params_.write_hit_latency, hit };
+}
+
+Cycle
+ReplayCacheModel::regionBoundary(Cycle now)
+{
+    // Two-phase region commit: region N's persists may drain while
+    // region N+1 executes; the boundary only waits if the region
+    // *before last* has still not fully drained (one region of
+    // latency-hiding slack, as ReplayCache's region pipelining
+    // provides).
+    Cycle t = now;
+    if (pending_drain_ > t) {
+        stats_.stall_cycles += pending_drain_ - t;
+        t = pending_drain_;
+    }
+    pending_drain_ = inflight_.empty() ? t : inflight_.back().ready;
+    // The commit record (double-buffered region id) is written
+    // asynchronously; it lands behind the region's last persist.
+    ++region_counter_;
+    const Addr slot = replay_.commit_marker_addr +
+        4 * (region_counter_ & 1);
+    nvm_.write(slot, 4, &region_counter_, pending_drain_);
+    return t;
+}
+
+void
+ReplayCacheModel::powerLoss()
+{
+    tags_.invalidateAll();
+    // Whatever was in flight functionally reached NVM already (same
+    // values the replayed region will rewrite); the queue state is
+    // volatile and disappears.
+    inflight_.clear();
+    pending_drain_ = 0;
+}
+
+Cycle
+ReplayCacheModel::drainAndFlush(Cycle now)
+{
+    // All stores were persisted through the queue; just drain it.
+    return regionBoundary(now);
+}
+
+} // namespace cache
+} // namespace wlcache

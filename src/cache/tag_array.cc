@@ -1,0 +1,197 @@
+#include "cache/tag_array.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+#include "util/stat_math.hh"
+
+namespace wlcache {
+namespace cache {
+
+TagArray::TagArray(const CacheParams &params)
+{
+    params.validate();
+    num_sets_ = params.numSets();
+    assoc_ = params.assoc;
+    line_bytes_ = params.line_bytes;
+    line_mask_ = static_cast<Addr>(line_bytes_) - 1;
+    set_mask_ = num_sets_ - 1;
+    repl_ = params.repl;
+    lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
+    bytes_.resize(lines_.size() * line_bytes_, 0);
+}
+
+TagArray::Line &
+TagArray::line(LineRef ref)
+{
+    wlc_assert(ref.set < num_sets_ && ref.way < assoc_);
+    return lines_[static_cast<std::size_t>(ref.set) * assoc_ + ref.way];
+}
+
+const TagArray::Line &
+TagArray::line(LineRef ref) const
+{
+    wlc_assert(ref.set < num_sets_ && ref.way < assoc_);
+    return lines_[static_cast<std::size_t>(ref.set) * assoc_ + ref.way];
+}
+
+std::uint32_t
+TagArray::setIndex(Addr addr) const
+{
+    return static_cast<std::uint32_t>(
+        (addr / line_bytes_) & set_mask_);
+}
+
+std::optional<LineRef>
+TagArray::lookup(Addr addr) const
+{
+    const Addr laddr = lineAddrOf(addr);
+    const std::uint32_t set = setIndex(addr);
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        const LineRef ref{ set, way };
+        const Line &l = line(ref);
+        if (l.valid && l.addr == laddr)
+            return ref;
+    }
+    return std::nullopt;
+}
+
+void
+TagArray::touch(LineRef ref)
+{
+    line(ref).touch_seq = ++seq_;
+}
+
+LineRef
+TagArray::victim(Addr addr) const
+{
+    const std::uint32_t set = setIndex(addr);
+    // Prefer an invalid way.
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        if (!line({ set, way }).valid)
+            return { set, way };
+    }
+    // Otherwise the oldest by policy-relevant sequence number.
+    LineRef best{ set, 0 };
+    std::uint64_t best_seq = UINT64_MAX;
+    for (std::uint32_t way = 0; way < assoc_; ++way) {
+        const Line &l = line({ set, way });
+        const std::uint64_t s =
+            repl_ == ReplPolicy::LRU ? l.touch_seq : l.install_seq;
+        if (s < best_seq) {
+            best_seq = s;
+            best = { set, way };
+        }
+    }
+    return best;
+}
+
+void
+TagArray::install(LineRef ref, Addr line_addr, const std::uint8_t *image)
+{
+    wlc_assert(lineAddrOf(line_addr) == line_addr,
+               "install address not line aligned");
+    wlc_assert(setIndex(line_addr) == ref.set,
+               "install into the wrong set");
+    Line &l = line(ref);
+    if (l.valid && l.dirty) {
+        // Callers must write back or drop dirty victims first.
+        panic("installing over a dirty line 0x%llx",
+              static_cast<unsigned long long>(l.addr));
+    }
+    l.addr = line_addr;
+    l.valid = true;
+    l.dirty = false;
+    l.touch_seq = ++seq_;
+    l.install_seq = seq_;
+    std::uint8_t *dst = data(ref);
+    if (image)
+        std::memcpy(dst, image, line_bytes_);
+    else
+        std::memset(dst, 0, line_bytes_);
+}
+
+void
+TagArray::setDirty(LineRef ref, bool dirty)
+{
+    Line &l = line(ref);
+    wlc_assert(l.valid, "setDirty on invalid line");
+    if (l.dirty == dirty)
+        return;
+    l.dirty = dirty;
+    if (dirty)
+        ++dirty_count_;
+    else {
+        wlc_assert(dirty_count_ > 0);
+        --dirty_count_;
+    }
+}
+
+void
+TagArray::invalidate(LineRef ref)
+{
+    Line &l = line(ref);
+    if (l.valid && l.dirty) {
+        wlc_assert(dirty_count_ > 0);
+        --dirty_count_;
+    }
+    l.valid = false;
+    l.dirty = false;
+}
+
+void
+TagArray::invalidateAll()
+{
+    for (auto &l : lines_) {
+        l.valid = false;
+        l.dirty = false;
+    }
+    dirty_count_ = 0;
+}
+
+std::uint8_t *
+TagArray::data(LineRef ref)
+{
+    wlc_assert(ref.set < num_sets_ && ref.way < assoc_);
+    const std::size_t idx =
+        (static_cast<std::size_t>(ref.set) * assoc_ + ref.way) *
+        line_bytes_;
+    return bytes_.data() + idx;
+}
+
+const std::uint8_t *
+TagArray::data(LineRef ref) const
+{
+    return const_cast<TagArray *>(this)->data(ref);
+}
+
+bool
+TagArray::probe(Addr addr, unsigned bytes, void *out) const
+{
+    wlc_assert(out != nullptr);
+    const auto ref = lookup(addr);
+    if (!ref)
+        return false;
+    const unsigned off = lineOffset(addr);
+    wlc_assert(off + bytes <= line_bytes_,
+               "probe crosses a line boundary");
+    std::memcpy(out, data(*ref) + off, bytes);
+    return true;
+}
+
+void
+TagArray::forEachValidLine(
+    const std::function<void(LineRef, Addr, bool)> &fn) const
+{
+    for (std::uint32_t set = 0; set < num_sets_; ++set) {
+        for (std::uint32_t way = 0; way < assoc_; ++way) {
+            const LineRef ref{ set, way };
+            const Line &l = line(ref);
+            if (l.valid)
+                fn(ref, l.addr, l.dirty);
+        }
+    }
+}
+
+} // namespace cache
+} // namespace wlcache

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Set-associative tag/data array shared by every cache design. Holds
+ * functional line data (so crash-consistency checks can inspect real
+ * bytes), valid/dirty state, and LRU or FIFO victim selection.
+ */
+
+#ifndef WLCACHE_CACHE_TAG_ARRAY_HH
+#define WLCACHE_CACHE_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cache/cache_params.hh"
+#include "sim/types.hh"
+
+namespace wlcache {
+namespace cache {
+
+/** Index of a line inside a TagArray. */
+struct LineRef
+{
+    std::uint32_t set;
+    std::uint32_t way;
+
+    bool operator==(const LineRef &o) const
+    {
+        return set == o.set && way == o.way;
+    }
+};
+
+/**
+ * The tag+data store. Replacement bookkeeping is sequence-number
+ * based: LRU tracks the last-touch sequence, FIFO the install
+ * sequence; the victim is the valid line with the smallest relevant
+ * sequence number (invalid ways win immediately).
+ */
+class TagArray
+{
+  public:
+    explicit TagArray(const CacheParams &params);
+
+    // --- Geometry ---------------------------------------------------------
+    unsigned numSets() const { return num_sets_; }
+    unsigned assoc() const { return assoc_; }
+    unsigned numLines() const { return num_sets_ * assoc_; }
+    unsigned lineBytes() const { return line_bytes_; }
+
+    /** Align @p addr down to its line base address. */
+    Addr lineAddrOf(Addr addr) const { return addr & ~line_mask_; }
+
+    /** Byte offset of @p addr inside its line. */
+    unsigned lineOffset(Addr addr) const
+    {
+        return static_cast<unsigned>(addr & line_mask_);
+    }
+
+    // --- Lookup / replacement ----------------------------------------------
+
+    /** Find the line holding @p addr; no replacement-state update. */
+    std::optional<LineRef> lookup(Addr addr) const;
+
+    /** Record an access for LRU bookkeeping. */
+    void touch(LineRef ref);
+
+    /**
+     * Choose a victim way in the set of @p addr. Prefers an invalid
+     * way; otherwise applies the configured replacement policy.
+     */
+    LineRef victim(Addr addr) const;
+
+    /** Install a line image; the line becomes valid and clean. */
+    void install(LineRef ref, Addr line_addr, const std::uint8_t *image);
+
+    // --- Line state ---------------------------------------------------------
+    bool valid(LineRef ref) const { return line(ref).valid; }
+    bool dirty(LineRef ref) const { return line(ref).dirty; }
+    Addr lineAddr(LineRef ref) const { return line(ref).addr; }
+
+    /** Set/clear the dirty bit, maintaining the dirty-line counter. */
+    void setDirty(LineRef ref, bool dirty);
+
+    /** Invalidate a line (clears dirty too). */
+    void invalidate(LineRef ref);
+
+    /** Invalidate every line (volatile array losing power). */
+    void invalidateAll();
+
+    /** Mutable access to the line's data bytes. */
+    std::uint8_t *data(LineRef ref);
+    const std::uint8_t *data(LineRef ref) const;
+
+    /** Number of currently dirty lines (O(1)). */
+    unsigned dirtyCount() const { return dirty_count_; }
+
+    // --- Functional helpers -------------------------------------------------
+
+    /**
+     * Functional probe: if the line containing @p addr is valid, copy
+     * @p bytes from it into @p out and return true.
+     */
+    bool probe(Addr addr, unsigned bytes, void *out) const;
+
+    /** Invoke @p fn for every valid line. */
+    void forEachValidLine(
+        const std::function<void(LineRef, Addr, bool dirty)> &fn) const;
+
+  private:
+    struct Line
+    {
+        Addr addr = 0;           //!< Line base address.
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t touch_seq = 0;
+        std::uint64_t install_seq = 0;
+    };
+
+    Line &line(LineRef ref);
+    const Line &line(LineRef ref) const;
+    std::uint32_t setIndex(Addr addr) const;
+
+    unsigned num_sets_;
+    unsigned assoc_;
+    unsigned line_bytes_;
+    Addr line_mask_;
+    std::uint32_t set_mask_;
+    ReplPolicy repl_;
+
+    std::vector<Line> lines_;
+    std::vector<std::uint8_t> bytes_;
+    std::uint64_t seq_ = 0;
+    unsigned dirty_count_ = 0;
+};
+
+} // namespace cache
+} // namespace wlcache
+
+#endif // WLCACHE_CACHE_TAG_ARRAY_HH

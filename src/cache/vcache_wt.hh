@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Volatile write-through SRAM cache (paper Figure 1(b), "VCache-WT").
+ * Stores synchronously update NVM (and the cached copy when present,
+ * no-write-allocate); loads enjoy SRAM hits. Crash consistency is by
+ * construction — NVM is always up to date — so the JIT checkpoint
+ * needs no cache energy at all. The cost: every store pays the NVM
+ * write latency, as the paper notes the synchronous requirement
+ * forbids store-buffer optimization.
+ */
+
+#ifndef WLCACHE_CACHE_VCACHE_WT_HH
+#define WLCACHE_CACHE_VCACHE_WT_HH
+
+#include "cache/base_tag_cache.hh"
+
+namespace wlcache {
+namespace cache {
+
+/** Write-through, no-write-allocate, volatile SRAM data cache. */
+class VCacheWT : public BaseTagCache
+{
+  public:
+    VCacheWT(const CacheParams &params, mem::NvmMemory &nvm,
+             energy::EnergyMeter *meter);
+
+    CacheAccessResult access(MemOp op, Addr addr, unsigned bytes,
+                             std::uint64_t value, std::uint64_t *load_out,
+                             Cycle now) override;
+
+    Cycle checkpoint(Cycle now) override { return now; }
+    void powerLoss() override { tags_.invalidateAll(); }
+    Cycle drainAndFlush(Cycle now) override { return now; }
+    double checkpointEnergyBound() const override { return 0.0; }
+    const char *designName() const override { return "VCache-WT"; }
+};
+
+} // namespace cache
+} // namespace wlcache
+
+#endif // WLCACHE_CACHE_VCACHE_WT_HH

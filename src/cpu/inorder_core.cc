@@ -1,0 +1,55 @@
+#include "cpu/inorder_core.hh"
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace cpu {
+
+InOrderCore::InOrderCore(const CoreParams &params,
+                         cache::InstrCache &icache,
+                         cache::DataCache &dcache,
+                         const ICacheStream &stream,
+                         energy::EnergyMeter *meter)
+    : params_(params), icache_(icache), dcache_(dcache), stream_(stream),
+      meter_(meter), stat_group_("core"),
+      stat_insns_(
+          stat_group_.addScalar("instructions", "instructions retired")),
+      stat_mem_insns_(
+          stat_group_.addScalar("mem_instructions", "memory ops issued")),
+      stat_cycles_(
+          stat_group_.addScalar("busy_cycles", "cycles executing events"))
+{
+}
+
+Cycle
+InOrderCore::executeEvent(const MemAccess &ev, Cycle now,
+                          std::uint64_t *load_out)
+{
+    const unsigned insns = ev.computeGap + 1;
+    Cycle t = now;
+
+    // Fetch the gap instructions plus the memory instruction itself.
+    unsigned left = insns;
+    while (left > 0) {
+        const FetchRun run = stream_.take(left);
+        t = icache_.fetchRun(run.pc, run.count, t);
+        left -= run.count;
+    }
+
+    if (meter_)
+        meter_->add(energy::EnergyCategory::Compute,
+                    params_.compute_energy_per_insn *
+                        static_cast<double>(insns));
+    instret_ += insns;
+    stat_insns_ += static_cast<double>(insns);
+    ++stat_mem_insns_;
+
+    // Data access; in-order commit waits for the cache's answer.
+    const auto res = dcache_.access(ev.op, ev.addr, ev.size, ev.value,
+                                    load_out, t);
+    stat_cycles_ += static_cast<double>(res.ready - now);
+    return res.ready;
+}
+
+} // namespace cpu
+} // namespace wlcache

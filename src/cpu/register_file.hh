@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Architectural register file. The simulator replays recorded traces,
+ * so register *values* are symbolic; what matters for the NVP model
+ * is the register state's size (JIT checkpoint energy into NVFFs) and
+ * that a snapshot/restore pair round-trips exactly.
+ */
+
+#ifndef WLCACHE_CPU_REGISTER_FILE_HH
+#define WLCACHE_CPU_REGISTER_FILE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace cpu {
+
+/** 16 x 32-bit general-purpose registers (ARM-class MCU core). */
+class RegisterFile
+{
+  public:
+    static constexpr unsigned kNumRegs = 16;
+
+    std::uint32_t
+    read(unsigned idx) const
+    {
+        wlc_assert(idx < kNumRegs);
+        return regs_[idx];
+    }
+
+    void
+    write(unsigned idx, std::uint32_t value)
+    {
+        wlc_assert(idx < kNumRegs);
+        regs_[idx] = value;
+    }
+
+    /** Bytes a JIT checkpoint must persist. */
+    static constexpr unsigned sizeBytes() { return kNumRegs * 4; }
+
+    /** Snapshot for NVFF backup. */
+    std::array<std::uint32_t, kNumRegs> snapshot() const
+    {
+        return regs_;
+    }
+
+    /** Restore from an NVFF backup image. */
+    void
+    restore(const std::array<std::uint32_t, kNumRegs> &image)
+    {
+        regs_ = image;
+    }
+
+  private:
+    std::array<std::uint32_t, kNumRegs> regs_{};
+};
+
+} // namespace cpu
+} // namespace wlcache
+
+#endif // WLCACHE_CPU_REGISTER_FILE_HH

@@ -1,0 +1,96 @@
+#include "energy/capacitor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace energy {
+
+Capacitor::Capacitor(double capacitance_f, double vmin_v, double vmax_v)
+    : capacitance_f_(capacitance_f), vmin_v_(vmin_v), vmax_v_(vmax_v)
+{
+    wlc_assert(capacitance_f_ > 0.0);
+    wlc_assert(vmin_v_ >= 0.0 && vmax_v_ > vmin_v_);
+    energy_j_ = energyForVoltage(vmin_v_);
+}
+
+double
+Capacitor::energyForVoltage(double v) const
+{
+    return 0.5 * capacitance_f_ * v * v;
+}
+
+double
+Capacitor::voltage() const
+{
+    return std::sqrt(2.0 * energy_j_ / capacitance_f_);
+}
+
+void
+Capacitor::setVoltage(double v)
+{
+    v = std::clamp(v, 0.0, vmax_v_);
+    energy_j_ = energyForVoltage(v);
+}
+
+double
+Capacitor::energyAboveVmin() const
+{
+    return std::max(0.0, energy_j_ - energyForVoltage(vmin_v_));
+}
+
+double
+Capacitor::energyAboveVoltage(double v) const
+{
+    return std::max(0.0, energy_j_ - energyForVoltage(v));
+}
+
+double
+Capacitor::addEnergy(double joules)
+{
+    wlc_assert(joules >= 0.0);
+    const double cap_e = energyForVoltage(vmax_v_);
+    const double room = std::max(0.0, cap_e - energy_j_);
+    const double absorbed = std::min(room, joules);
+    energy_j_ += absorbed;
+    return absorbed;
+}
+
+bool
+Capacitor::drawEnergy(double joules)
+{
+    wlc_assert(joules >= 0.0);
+    if (joules > energy_j_) {
+        energy_j_ = 0.0;
+        return false;
+    }
+    energy_j_ -= joules;
+    return true;
+}
+
+bool
+Capacitor::brownedOut() const
+{
+    return voltage() < vmin_v_;
+}
+
+double
+Capacitor::energyBetween(double v_lo, double v_hi) const
+{
+    wlc_assert(v_hi >= v_lo);
+    return energyForVoltage(v_hi) - energyForVoltage(v_lo);
+}
+
+double
+Capacitor::voltageForEnergyAbove(double v_floor, double joules) const
+{
+    wlc_assert(joules >= 0.0);
+    const double e = energyForVoltage(v_floor) + joules;
+    const double v = std::sqrt(2.0 * e / capacitance_f_);
+    return std::min(v, vmax_v_);
+}
+
+} // namespace energy
+} // namespace wlcache

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Energy-buffer capacitor model. Stored energy follows E = C*V^2/2;
+ * the system operates between Vmin (brown-out) and Vmax (fully
+ * charged). All conversions between voltage and energy live here so
+ * the JIT-checkpointing threshold math (Vbackup) is in one place.
+ */
+
+#ifndef WLCACHE_ENERGY_CAPACITOR_HH
+#define WLCACHE_ENERGY_CAPACITOR_HH
+
+namespace wlcache {
+namespace energy {
+
+/**
+ * Ideal capacitor with clamped voltage range [0, Vmax]. The paper's
+ * default is 1 uF with Vmin 2.8 V and Vmax 3.5 V (Table 2).
+ */
+class Capacitor
+{
+  public:
+    /**
+     * @param capacitance_f Capacitance in farads.
+     * @param vmin_v Minimum operating voltage (brown-out level).
+     * @param vmax_v Fully-charged voltage.
+     */
+    Capacitor(double capacitance_f, double vmin_v, double vmax_v);
+
+    double capacitance() const { return capacitance_f_; }
+    double vmin() const { return vmin_v_; }
+    double vmax() const { return vmax_v_; }
+
+    /** Current terminal voltage, volts. */
+    double voltage() const;
+
+    /** Set the terminal voltage directly (clamped to [0, Vmax]). */
+    void setVoltage(double v);
+
+    /** Total stored energy, joules (relative to 0 V). */
+    double storedEnergy() const { return energy_j_; }
+
+    /** Energy available above the brown-out level, joules. */
+    double energyAboveVmin() const;
+
+    /** Energy stored above the given voltage level, joules. */
+    double energyAboveVoltage(double v) const;
+
+    /**
+     * Add harvested energy; the level clamps at Vmax (excess ambient
+     * energy is discarded, as in a real regulator).
+     * @return energy actually absorbed.
+     */
+    double addEnergy(double joules);
+
+    /**
+     * Draw energy for computation/IO.
+     * @return true if the full amount was available (possibly dipping
+     * below Vmin); the caller decides what a brown-out means.
+     */
+    bool drawEnergy(double joules);
+
+    /** True when voltage() < vmin(). */
+    bool brownedOut() const;
+
+    /** Energy between two voltage levels for this capacitance. */
+    double energyBetween(double v_lo, double v_hi) const;
+
+    /**
+     * Voltage the capacitor must hold so that @p joules of energy is
+     * available before falling to @p v_floor. Clamped to Vmax.
+     */
+    double voltageForEnergyAbove(double v_floor, double joules) const;
+
+  private:
+    double energyForVoltage(double v) const;
+
+    double capacitance_f_;
+    double vmin_v_;
+    double vmax_v_;
+    double energy_j_;
+};
+
+} // namespace energy
+} // namespace wlcache
+
+#endif // WLCACHE_ENERGY_CAPACITOR_HH

@@ -1,0 +1,56 @@
+#include "energy/energy_meter.hh"
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace energy {
+
+const char *
+energyCategoryName(EnergyCategory cat)
+{
+    switch (cat) {
+      case EnergyCategory::Compute:    return "compute";
+      case EnergyCategory::CacheRead:  return "cache_read";
+      case EnergyCategory::CacheWrite: return "cache_write";
+      case EnergyCategory::MemRead:    return "mem_read";
+      case EnergyCategory::MemWrite:   return "mem_write";
+      case EnergyCategory::Checkpoint: return "checkpoint";
+      case EnergyCategory::Restore:    return "restore";
+      case EnergyCategory::Leakage:    return "leakage";
+      case EnergyCategory::NumCategories: break;
+    }
+    panic("unknown EnergyCategory %d", static_cast<int>(cat));
+}
+
+void
+EnergyMeter::add(EnergyCategory cat, double joules)
+{
+    wlc_assert(cat != EnergyCategory::NumCategories);
+    wlc_assert(joules >= 0.0);
+    joules_[static_cast<std::size_t>(cat)] += joules;
+}
+
+double
+EnergyMeter::get(EnergyCategory cat) const
+{
+    wlc_assert(cat != EnergyCategory::NumCategories);
+    return joules_[static_cast<std::size_t>(cat)];
+}
+
+double
+EnergyMeter::total() const
+{
+    double sum = 0.0;
+    for (double j : joules_)
+        sum += j;
+    return sum;
+}
+
+void
+EnergyMeter::reset()
+{
+    joules_.fill(0.0);
+}
+
+} // namespace energy
+} // namespace wlcache

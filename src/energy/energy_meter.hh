@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Energy bookkeeping by consumption category, matching the breakdown
+ * the paper reports in Figure 13(b): cache read/write, memory
+ * read/write, and compute, plus checkpoint/restore and leakage which
+ * the paper folds into the totals.
+ */
+
+#ifndef WLCACHE_ENERGY_ENERGY_METER_HH
+#define WLCACHE_ENERGY_ENERGY_METER_HH
+
+#include <array>
+#include <cstddef>
+
+namespace wlcache {
+namespace energy {
+
+/** Consumption category for the Fig. 13(b) breakdown. */
+enum class EnergyCategory : std::size_t
+{
+    Compute = 0,
+    CacheRead,
+    CacheWrite,
+    MemRead,
+    MemWrite,
+    Checkpoint,
+    Restore,
+    Leakage,
+    NumCategories,
+};
+
+/** Human-readable category name. */
+const char *energyCategoryName(EnergyCategory cat);
+
+/** Accumulates joules per category. */
+class EnergyMeter
+{
+  public:
+    static constexpr std::size_t kNumCategories =
+        static_cast<std::size_t>(EnergyCategory::NumCategories);
+
+    /** Add @p joules to category @p cat. */
+    void add(EnergyCategory cat, double joules);
+
+    /** Consumption of a single category, joules. */
+    double get(EnergyCategory cat) const;
+
+    /** Total across all categories, joules. */
+    double total() const;
+
+    /** Zero every category. */
+    void reset();
+
+  private:
+    std::array<double, kNumCategories> joules_{};
+};
+
+} // namespace energy
+} // namespace wlcache
+
+#endif // WLCACHE_ENERGY_ENERGY_METER_HH

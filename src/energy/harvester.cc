@@ -1,0 +1,112 @@
+#include "energy/harvester.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace energy {
+
+Harvester::Harvester(PowerTrace trace, double efficiency, bool infinite)
+    : trace_(std::move(trace)), efficiency_(efficiency),
+      infinite_(infinite)
+{
+    wlc_assert(efficiency_ > 0.0 && efficiency_ <= 1.0);
+}
+
+double
+Harvester::currentPower() const
+{
+    if (trace_.numSamples() == 0)
+        return 0.0;
+    return trace_.samples()[sample_idx_];
+}
+
+void
+Harvester::stepSample()
+{
+    pos_in_sample_ = 0.0;
+    if (trace_.numSamples() == 0)
+        return;
+    sample_idx_ = (sample_idx_ + 1) % trace_.numSamples();
+}
+
+double
+Harvester::advance(double dt_s, Capacitor &cap)
+{
+    wlc_assert(dt_s >= 0.0);
+    if (infinite_) {
+        now_s_ += dt_s;
+        const double before = cap.storedEnergy();
+        cap.setVoltage(cap.vmax());
+        return cap.storedEnergy() - before;
+    }
+
+    const double period = trace_.samplePeriod();
+    double deposited = 0.0;
+    double remaining = dt_s;
+    while (remaining > 0.0) {
+        double left = period - pos_in_sample_;
+        if (left <= 0.0) {
+            stepSample();
+            left = period;
+        }
+        const double step = std::min(remaining, left);
+        deposited +=
+            cap.addEnergy(currentPower() * efficiency_ * step);
+        pos_in_sample_ += step;
+        now_s_ += step;
+        remaining -= step;
+    }
+    return deposited;
+}
+
+double
+Harvester::chargeUntil(Capacitor &cap, double v_target, double max_wait_s)
+{
+    wlc_assert(v_target <= cap.vmax() + 1e-12);
+    if (infinite_) {
+        cap.setVoltage(cap.vmax());
+        return 0.0;
+    }
+
+    const double period = trace_.samplePeriod();
+    const double start = now_s_;
+    // Work in the energy domain: comparing voltages after the sqrt
+    // round-trip can miss the target by one ulp forever when the
+    // target equals Vmax (the add-side clamp uses energy).
+    const double target_e = cap.energyBetween(0.0, v_target);
+    while (cap.storedEnergy() < target_e * (1.0 - 1e-12)) {
+        if (now_s_ - start > max_wait_s)
+            return now_s_ - start;  // dead environment
+        double left = period - pos_in_sample_;
+        if (left <= 0.0) {
+            stepSample();
+            left = period;
+        }
+        const double p = currentPower() * efficiency_;
+        if (p <= 0.0) {
+            pos_in_sample_ += left;
+            now_s_ += left;
+            continue;
+        }
+        const double needed = target_e - cap.storedEnergy();
+        const double dt = std::min(needed / p, left);
+        cap.addEnergy(p * dt);
+        pos_in_sample_ += dt;
+        now_s_ += dt;
+    }
+    return now_s_ - start;
+}
+
+void
+Harvester::reset()
+{
+    now_s_ = 0.0;
+    sample_idx_ = 0;
+    pos_in_sample_ = 0.0;
+}
+
+} // namespace energy
+} // namespace wlcache

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Couples a PowerTrace to a Capacitor: integrates ambient power over
+ * simulated wall-clock time (on and off periods alike) and deposits
+ * the harvested energy into the buffer.
+ */
+
+#ifndef WLCACHE_ENERGY_HARVESTER_HH
+#define WLCACHE_ENERGY_HARVESTER_HH
+
+#include "energy/capacitor.hh"
+#include "energy/power_trace.hh"
+
+namespace wlcache {
+namespace energy {
+
+/**
+ * Stateful harvester: tracks absolute simulated time and walks the
+ * power trace incrementally so per-event harvesting is O(1) amortized.
+ */
+class Harvester
+{
+  public:
+    /**
+     * @param trace Ambient power waveform (copied).
+     * @param efficiency Conversion efficiency in (0, 1].
+     * @param infinite When true, models a bench-supply: advance() tops
+     *        the capacitor up to Vmax every call (no-failure runs).
+     */
+    Harvester(PowerTrace trace, double efficiency = 0.7,
+              bool infinite = false);
+
+    /**
+     * Advance simulated time by @p dt_s, harvesting into @p cap.
+     * @return energy deposited, joules.
+     */
+    double advance(double dt_s, Capacitor &cap);
+
+    /**
+     * Advance time until @p cap reaches @p v_target or @p max_wait_s
+     * elapses. Used for the power-off recharge phase.
+     * @return seconds spent charging.
+     */
+    double chargeUntil(Capacitor &cap, double v_target,
+                       double max_wait_s = 1.0e4);
+
+    /** Absolute simulated wall-clock time, seconds. */
+    double now() const { return now_s_; }
+
+    /** Reset the clock and trace position (new experiment). */
+    void reset();
+
+    bool infinite() const { return infinite_; }
+    const PowerTrace &trace() const { return trace_; }
+
+    /** Ambient power of the sample the cursor is in, watts. */
+    double currentPower() const;
+
+  private:
+    /** Move the cursor to the start of the next trace sample. */
+    void stepSample();
+
+    PowerTrace trace_;
+    double efficiency_;
+    bool infinite_;
+    double now_s_ = 0.0;
+    std::size_t sample_idx_ = 0;
+    double pos_in_sample_ = 0.0;
+};
+
+} // namespace energy
+} // namespace wlcache
+
+#endif // WLCACHE_ENERGY_HARVESTER_HH

@@ -1,0 +1,247 @@
+#include "energy/power_trace.hh"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace wlcache {
+namespace energy {
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::RfHome:     return "trace1";
+      case TraceKind::RfOffice:   return "trace2";
+      case TraceKind::RfMementos: return "trace3";
+      case TraceKind::Solar:      return "solar";
+      case TraceKind::Thermal:    return "thermal";
+      case TraceKind::Constant:   return "constant";
+    }
+    panic("unknown TraceKind %d", static_cast<int>(kind));
+}
+
+PowerTrace::PowerTrace(double sample_period_s,
+                       std::vector<double> samples_w)
+    : sample_period_s_(sample_period_s), samples_w_(std::move(samples_w))
+{
+    wlc_assert(sample_period_s_ > 0.0);
+    wlc_assert(!samples_w_.empty());
+}
+
+double
+PowerTrace::powerAt(double t_s) const
+{
+    if (samples_w_.empty())
+        return 0.0;
+    const double dur = duration();
+    double t = std::fmod(t_s, dur);
+    if (t < 0.0)
+        t += dur;
+    auto idx = static_cast<std::size_t>(t / sample_period_s_);
+    if (idx >= samples_w_.size())
+        idx = samples_w_.size() - 1;
+    return samples_w_[idx];
+}
+
+double
+PowerTrace::duration() const
+{
+    return sample_period_s_ * static_cast<double>(samples_w_.size());
+}
+
+double
+PowerTrace::meanPower() const
+{
+    if (samples_w_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double w : samples_w_)
+        sum += w;
+    return sum / static_cast<double>(samples_w_.size());
+}
+
+double
+PowerTrace::variationCoefficient() const
+{
+    const double m = meanPower();
+    if (m <= 0.0 || samples_w_.size() < 2)
+        return 0.0;
+    double sq = 0.0;
+    for (double w : samples_w_)
+        sq += (w - m) * (w - m);
+    const double sd =
+        std::sqrt(sq / static_cast<double>(samples_w_.size() - 1));
+    return sd / m;
+}
+
+void
+PowerTrace::save(std::ostream &os) const
+{
+    os << sample_period_s_ << '\n';
+    for (double w : samples_w_)
+        os << w << '\n';
+}
+
+PowerTrace
+PowerTrace::load(std::istream &is)
+{
+    double period = 0.0;
+    if (!(is >> period) || period <= 0.0)
+        fatal("PowerTrace::load: bad sample period");
+    std::vector<double> samples;
+    double w;
+    while (is >> w)
+        samples.push_back(w);
+    if (samples.empty())
+        fatal("PowerTrace::load: no samples");
+    return PowerTrace(period, std::move(samples));
+}
+
+namespace {
+
+/**
+ * Two-state (burst/idle) semi-Markov RF model. Burst and idle
+ * durations are exponentially distributed; burst power wanders with
+ * bounded Gaussian steps. The three RF environments differ in mean
+ * power, duty cycle, and variability.
+ */
+struct RfParams
+{
+    double burst_power_w;   //!< Mean power while a source is active.
+    double idle_power_w;    //!< Residual power between bursts.
+    double burst_mean_s;    //!< Mean burst duration.
+    double idle_mean_s;     //!< Mean idle duration.
+    double jitter;          //!< Relative power jitter inside a burst.
+};
+
+PowerTrace
+makeRfTrace(const RfParams &p, const TraceGenConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const auto n =
+        static_cast<std::size_t>(cfg.duration_s / cfg.sample_period_s);
+    std::vector<double> samples;
+    samples.reserve(n);
+
+    bool in_burst = rng.nextBool(
+        p.burst_mean_s / (p.burst_mean_s + p.idle_mean_s));
+    double state_left =
+        rng.nextExponential(in_burst ? p.burst_mean_s : p.idle_mean_s);
+    double level = p.burst_power_w;
+
+    while (samples.size() < n) {
+        if (state_left <= 0.0) {
+            in_burst = !in_burst;
+            state_left = rng.nextExponential(
+                in_burst ? p.burst_mean_s : p.idle_mean_s);
+            if (in_burst) {
+                level = p.burst_power_w *
+                    (1.0 + p.jitter * rng.nextGaussian());
+                if (level < 0.2 * p.burst_power_w)
+                    level = 0.2 * p.burst_power_w;
+            }
+        }
+        double w = in_burst ? level : p.idle_power_w;
+        // Small per-sample flutter so samples are not perfectly flat.
+        w *= 1.0 + 0.05 * p.jitter * rng.nextGaussian();
+        samples.push_back(w > 0.0 ? w : 0.0);
+        state_left -= cfg.sample_period_s;
+    }
+    return PowerTrace(cfg.sample_period_s, std::move(samples));
+}
+
+PowerTrace
+makeSolarTrace(const TraceGenConfig &cfg)
+{
+    Rng rng(cfg.seed ^ 0x50a1a2ull);
+    const auto n =
+        static_cast<std::size_t>(cfg.duration_s / cfg.sample_period_s);
+    std::vector<double> samples;
+    samples.reserve(n);
+    // Strong base level with slow irradiance drift and occasional
+    // cloud dips.
+    const double base_w = 46.0e-3;
+    double cloud_left = 0.0;
+    double cloud_factor = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) * cfg.sample_period_s;
+        const double drift =
+            1.0 + 0.12 * std::sin(2.0 * M_PI * t / 2.7) +
+            0.05 * std::sin(2.0 * M_PI * t / 0.61);
+        if (cloud_left <= 0.0 && rng.nextBool(2e-4)) {
+            cloud_left = rng.nextDouble(0.02, 0.08);
+            cloud_factor = rng.nextDouble(0.45, 0.75);
+        }
+        double factor = 1.0;
+        if (cloud_left > 0.0) {
+            factor = cloud_factor;
+            cloud_left -= cfg.sample_period_s;
+        }
+        samples.push_back(base_w * drift * factor);
+    }
+    return PowerTrace(cfg.sample_period_s, std::move(samples));
+}
+
+PowerTrace
+makeThermalTrace(const TraceGenConfig &cfg)
+{
+    Rng rng(cfg.seed ^ 0x7e41ull);
+    const auto n =
+        static_cast<std::size_t>(cfg.duration_s / cfg.sample_period_s);
+    std::vector<double> samples;
+    samples.reserve(n);
+    // Thermal gradients change very slowly: near-constant output.
+    const double base_w = 44.0e-3;
+    double level = base_w;
+    for (std::size_t i = 0; i < n; ++i) {
+        level += 0.03e-3 * rng.nextGaussian();
+        if (level < 0.9 * base_w)
+            level = 0.9 * base_w;
+        if (level > 1.1 * base_w)
+            level = 1.1 * base_w;
+        samples.push_back(level);
+    }
+    return PowerTrace(cfg.sample_period_s, std::move(samples));
+}
+
+} // anonymous namespace
+
+PowerTrace
+makeTrace(TraceKind kind, const TraceGenConfig &cfg, double constant_w)
+{
+    switch (kind) {
+      case TraceKind::RfHome:
+        // Paper Trace 1: comparatively stable home RF environment.
+        return makeRfTrace({ 24.0e-3, 2.8e-3, 3000.0e-6, 600.0e-6,
+                             0.25 },
+                           cfg);
+      case TraceKind::RfOffice:
+        // Paper Trace 2: office RF, shorter bursts, more idle time.
+        return makeRfTrace({ 24.0e-3, 2.5e-3, 1700.0e-6, 800.0e-6,
+                             0.45 },
+                           cfg);
+      case TraceKind::RfMementos:
+        // Paper tr.3: RFID-scale source, very low duty cycle.
+        return makeRfTrace({ 20.0e-3, 1.8e-3, 600.0e-6, 1300.0e-6,
+                             0.60 },
+                           cfg);
+      case TraceKind::Solar:
+        return makeSolarTrace(cfg);
+      case TraceKind::Thermal:
+        return makeThermalTrace(cfg);
+      case TraceKind::Constant: {
+        const auto n = static_cast<std::size_t>(
+            cfg.duration_s / cfg.sample_period_s);
+        return PowerTrace(cfg.sample_period_s,
+                          std::vector<double>(n ? n : 1, constant_w));
+      }
+    }
+    panic("unknown TraceKind %d", static_cast<int>(kind));
+}
+
+} // namespace energy
+} // namespace wlcache

@@ -1,0 +1,76 @@
+#include "hwcost/cacti_lite.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "util/stat_math.hh"
+
+namespace wlcache {
+namespace hwcost {
+
+StructureCost
+CactiLite::ramArray(std::size_t entries, std::size_t bits_per_entry,
+                    bool cam) const
+{
+    wlc_assert(entries > 0 && bits_per_entry > 0);
+    const double bits =
+        static_cast<double>(entries) *
+        static_cast<double>(bits_per_entry);
+    const double cell_factor = cam ? tech_.cam_cell_factor : 1.0;
+
+    StructureCost c;
+    c.area_mm2 = bits * tech_.sram_cell_area_um2 * cell_factor *
+        tech_.periphery_factor * 1e-6;
+    // One access touches a full entry (plus a decoded wordline); CAM
+    // compares touch every entry.
+    const double bits_touched = cam
+        ? bits
+        : static_cast<double>(bits_per_entry) *
+            (1.0 + 0.1 * std::log2(static_cast<double>(entries) + 1.0));
+    c.dynamic_access_nj =
+        bits_touched * tech_.dyn_energy_per_bit_pj * 1e-3;
+    c.leakage_mw = bits * tech_.leakage_per_bit_nw * cell_factor * 1e-6;
+    return c;
+}
+
+StructureCost
+CactiLite::dirtyQueue(std::size_t entries, std::size_t addr_bits) const
+{
+    // Each slot: line address + 2 state bits + 2 order counters
+    // (insert/touch sequence, 8 bits folded).
+    const std::size_t bits_per_entry = addr_bits + 2 + 8;
+    StructureCost dq = ramArray(entries, bits_per_entry, false);
+    // Threshold registers (maxline/waterline, 1 byte each) and the
+    // two 2-byte watchdog history values (§5.5).
+    StructureCost regs = ramArray(6, 8, false);
+    StructureCost c;
+    c.area_mm2 = dq.area_mm2 + regs.area_mm2;
+    c.dynamic_access_nj = dq.dynamic_access_nj;
+    c.leakage_mw =
+        dq.leakage_mw + regs.leakage_mw + tech_.logic_leakage_mw;
+    return c;
+}
+
+StructureCost
+CactiLite::cacheArray(std::size_t size_bytes, std::size_t line_bytes,
+                      unsigned assoc, double leakage_scale) const
+{
+    wlc_assert(line_bytes > 0 && assoc > 0);
+    const std::size_t lines = size_bytes / line_bytes;
+    const std::size_t sets = lines / assoc;
+    const unsigned tag_bits =
+        32 - util::floorLog2(static_cast<std::uint64_t>(line_bytes)) -
+        util::floorLog2(static_cast<std::uint64_t>(sets ? sets : 1));
+    const std::size_t bits_per_line =
+        line_bytes * 8 + tag_bits + 2 /*valid+dirty*/ + 8 /*repl*/;
+    StructureCost c = ramArray(lines, bits_per_line, false);
+    // An access reads one way's line segment plus all tags in the set.
+    c.dynamic_access_nj =
+        (64.0 * 8.0 + assoc * (tag_bits + 2.0)) *
+        tech_.dyn_energy_per_bit_pj * 1e-3;
+    c.leakage_mw *= leakage_scale;
+    return c;
+}
+
+} // namespace hwcost
+} // namespace wlcache

@@ -1,0 +1,156 @@
+#include "mem/nvm_memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace mem {
+
+NvmMemory::NvmMemory(const NvmParams &params, energy::EnergyMeter *meter)
+    : params_(params), meter_(meter), data_(params.size_bytes, 0),
+      bank_busy_until_(params.banks, 0),
+      stat_group_("nvm"),
+      stat_reads_(stat_group_.addScalar("reads", "NVM read accesses")),
+      stat_writes_(stat_group_.addScalar("writes", "NVM write accesses")),
+      stat_bytes_read_(
+          stat_group_.addScalar("bytes_read", "bytes read from NVM")),
+      stat_bytes_written_(
+          stat_group_.addScalar("bytes_written", "bytes written to NVM"))
+{
+    wlc_assert(params_.size_bytes > 0);
+    wlc_assert(params_.banks > 0);
+}
+
+void
+NvmMemory::checkRange(Addr addr, unsigned bytes) const
+{
+    wlc_assert(bytes > 0);
+    wlc_assert(addr + bytes <= data_.size(),
+               "NVM access out of range: addr=0x%llx size=%u",
+               static_cast<unsigned long long>(addr), bytes);
+}
+
+Cycle
+NvmMemory::acquire(Addr addr, unsigned bytes, Cycle now)
+{
+    // Wide (line) accesses stripe across banks in a pipelined burst;
+    // arbitration is against the shared channel plus the base bank.
+    (void)bytes;
+    const Cycle start = std::max(now, channel_busy_until_);
+    return std::max(start, bank_busy_until_[params_.bankOf(addr)]);
+}
+
+void
+NvmMemory::release(Addr addr, unsigned bytes, Cycle channel_until,
+                   Cycle bank_until)
+{
+    (void)bytes;
+    channel_busy_until_ = channel_until;
+    bank_busy_until_[params_.bankOf(addr)] = bank_until;
+}
+
+void
+NvmMemory::resetChannel()
+{
+    channel_busy_until_ = 0;
+    for (Cycle &b : bank_busy_until_)
+        b = 0;
+}
+
+NvmAccessResult
+NvmMemory::read(Addr addr, unsigned bytes, Cycle now, void *out)
+{
+    checkRange(addr, bytes);
+    const Cycle start = acquire(addr, bytes, now);
+    const Cycle ready = start + params_.readLatency(bytes);
+    const Cycle beats = (bytes + 7) / 8;
+    release(addr, bytes, start + beats * params_.t_burst, ready);
+    if (out)
+        std::memcpy(out, data_.data() + addr, bytes);
+    ++stat_reads_;
+    stat_bytes_read_ += bytes;
+    if (meter_)
+        meter_->add(energy::EnergyCategory::MemRead,
+                    params_.readEnergy(bytes));
+    return { start, ready };
+}
+
+NvmAccessResult
+NvmMemory::write(Addr addr, unsigned bytes, const void *data, Cycle now)
+{
+    checkRange(addr, bytes);
+    wlc_assert(data != nullptr);
+    const Cycle start = acquire(addr, bytes, now);
+    const Cycle ready = start + params_.writeAckLatency(bytes);
+    const Cycle beats = (bytes + 7) / 8;
+    release(addr, bytes, start + beats * params_.t_burst,
+            ready + params_.writeRecovery());
+    std::memcpy(data_.data() + addr, data, bytes);
+    ++stat_writes_;
+    stat_bytes_written_ += bytes;
+    if (meter_)
+        meter_->add(energy::EnergyCategory::MemWrite,
+                    params_.writeEnergy(bytes));
+    return { start, ready };
+}
+
+NvmAccessResult
+NvmMemory::writeLine(Addr addr, const std::uint8_t *data, unsigned bytes,
+                     Cycle now)
+{
+    return write(addr, bytes, data, now);
+}
+
+void
+NvmMemory::peek(Addr addr, unsigned bytes, void *out) const
+{
+    checkRange(addr, bytes);
+    wlc_assert(out != nullptr);
+    std::memcpy(out, data_.data() + addr, bytes);
+}
+
+void
+NvmMemory::poke(Addr addr, unsigned bytes, const void *data)
+{
+    checkRange(addr, bytes);
+    wlc_assert(data != nullptr);
+    std::memcpy(data_.data() + addr, data, bytes);
+}
+
+std::uint64_t
+NvmMemory::peekInt(Addr addr, unsigned bytes) const
+{
+    wlc_assert(bytes <= 8);
+    std::uint64_t v = 0;
+    peek(addr, bytes, &v);
+    return v;
+}
+
+std::uint64_t
+NvmMemory::numReads() const
+{
+    return static_cast<std::uint64_t>(stat_reads_.value());
+}
+
+std::uint64_t
+NvmMemory::numWrites() const
+{
+    return static_cast<std::uint64_t>(stat_writes_.value());
+}
+
+std::uint64_t
+NvmMemory::bytesWritten() const
+{
+    return static_cast<std::uint64_t>(stat_bytes_written_.value());
+}
+
+void
+NvmMemory::resetStats()
+{
+    stat_group_.resetAll();
+}
+
+} // namespace mem
+} // namespace wlcache

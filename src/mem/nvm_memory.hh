@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Functional + timing model of the NVM main memory. Contents survive
+ * power failure (nothing is cleared on an outage). A single channel
+ * serializes accesses; completion times are computed against a
+ * busy-until cursor so asynchronous write-backs contend with demand
+ * traffic exactly as the paper's WL-Cache cleaning traffic does.
+ */
+
+#ifndef WLCACHE_MEM_NVM_MEMORY_HH
+#define WLCACHE_MEM_NVM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "energy/energy_meter.hh"
+#include "mem/nvm_params.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace wlcache {
+namespace mem {
+
+/** Result of a timed NVM access. */
+struct NvmAccessResult
+{
+    Cycle start;     //!< When the channel accepted the request.
+    Cycle ready;     //!< When data (read) or ack (write) is available.
+};
+
+/**
+ * Byte-addressable non-volatile main memory with one channel.
+ * Functional state is a flat byte array; all accesses are bounds
+ * checked against the configured size.
+ */
+class NvmMemory
+{
+  public:
+    /**
+     * @param params Device parameters.
+     * @param meter Energy meter charged for every access (may be
+     *        null for purely functional use).
+     */
+    explicit NvmMemory(const NvmParams &params,
+                       energy::EnergyMeter *meter = nullptr);
+
+    const NvmParams &params() const { return params_; }
+
+    // --- Timed interface -------------------------------------------------
+
+    /**
+     * Timed read of @p bytes at @p addr issued at cycle @p now.
+     * Copies data into @p out when non-null.
+     */
+    NvmAccessResult read(Addr addr, unsigned bytes, Cycle now,
+                         void *out = nullptr);
+
+    /** Timed write of @p bytes at @p addr issued at cycle @p now. */
+    NvmAccessResult write(Addr addr, unsigned bytes, const void *data,
+                          Cycle now);
+
+    /**
+     * Timed write used by JIT checkpointing and write-backs where the
+     * data comes from a cache line image.
+     */
+    NvmAccessResult writeLine(Addr addr, const std::uint8_t *data,
+                              unsigned bytes, Cycle now);
+
+    /** Cycle at which the shared channel becomes free. */
+    Cycle channelBusyUntil() const { return channel_busy_until_; }
+
+    /** Clear channel/bank state between power cycles. */
+    void resetChannel();
+
+    // --- Functional interface (no timing/energy) -------------------------
+
+    /** Functional peek (testing / consistency checking). */
+    void peek(Addr addr, unsigned bytes, void *out) const;
+
+    /** Functional poke (test setup). */
+    void poke(Addr addr, unsigned bytes, const void *data);
+
+    /** Read a little-endian integer of @p bytes functionally. */
+    std::uint64_t peekInt(Addr addr, unsigned bytes) const;
+
+    // --- Statistics -------------------------------------------------------
+
+    stats::StatGroup &statGroup() { return stat_group_; }
+    std::uint64_t numReads() const;
+    std::uint64_t numWrites() const;
+    std::uint64_t bytesWritten() const;
+
+    /** Reset only the statistics (not contents). */
+    void resetStats();
+
+  private:
+    void checkRange(Addr addr, unsigned bytes) const;
+
+    /**
+     * Arbitrate the channel and the bank(s) an access needs; accesses
+     * wider than one word span every bank.
+     * @return the access start cycle.
+     */
+    Cycle acquire(Addr addr, unsigned bytes, Cycle now);
+
+    /** Mark the acquired resources busy. */
+    void release(Addr addr, unsigned bytes, Cycle channel_until,
+                 Cycle bank_until);
+
+    NvmParams params_;
+    energy::EnergyMeter *meter_;
+    std::vector<std::uint8_t> data_;
+    Cycle channel_busy_until_ = 0;
+    std::vector<Cycle> bank_busy_until_;
+
+    stats::StatGroup stat_group_;
+    stats::Scalar &stat_reads_;
+    stats::Scalar &stat_writes_;
+    stats::Scalar &stat_bytes_read_;
+    stats::Scalar &stat_bytes_written_;
+};
+
+} // namespace mem
+} // namespace wlcache
+
+#endif // WLCACHE_MEM_NVM_MEMORY_HH

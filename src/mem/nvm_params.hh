@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Timing and energy parameters of the byte-addressable NVM (ReRAM)
+ * main memory, following the paper's Table 2:
+ *
+ *   tCK/tBURST/tRCD/tCL/tWTR/tWR/tXAW = 0.94/7.5/18/15/7.5/150/30 ns
+ *
+ * At the 1 GHz core clock (1 cycle == 1 ns) a word read costs
+ * tRCD + tCL + tBURST and a word write occupies the channel for tWR
+ * after the data burst. Energy numbers are per byte, calibrated to
+ * the FRAM/ReRAM class of devices the paper targets.
+ */
+
+#ifndef WLCACHE_MEM_NVM_PARAMS_HH
+#define WLCACHE_MEM_NVM_PARAMS_HH
+
+#include "sim/types.hh"
+
+namespace wlcache {
+namespace mem {
+
+/** NVM device timing/energy/geometry parameters. */
+struct NvmParams
+{
+    /** Size of the simulated physical address space, bytes. */
+    std::size_t size_bytes = 8u << 20;
+
+    /**
+     * Independent banks, word-interleaved (tXAW in Table 2 implies a
+     * multi-bank device). The shared channel carries data bursts;
+     * write recovery (tWR) busies only the accessed bank.
+     */
+    unsigned banks = 16;
+
+    // --- Timing (cycles; 1 cycle == 1 ns) ---
+    Cycle t_rcd = 18;    //!< Row activate to column command.
+    Cycle t_cl = 15;     //!< Column access latency.
+    Cycle t_burst = 4;   //!< One 16-byte beat on the wide channel.
+    Cycle t_wr = 150;    //!< Write recovery (bank busy tail).
+    Cycle t_wtr = 8;     //!< Write-to-read turnaround.
+
+    // --- Energy (joules) ---
+    double read_energy_per_byte = 25.0e-12;
+    double write_energy_per_byte = 55.0e-12;
+    double activate_energy = 0.2e-9;  //!< Per row activation.
+
+    /** Cycles until read data is available for an @p bytes access. */
+    Cycle
+    readLatency(unsigned bytes) const
+    {
+        const Cycle beats = (bytes + 7) / 8;
+        return t_rcd + t_cl + beats * t_burst;
+    }
+
+    /**
+     * Cycles until a synchronous writer may proceed: the device
+     * accepts the data after the column latency plus the burst; the
+     * tWR recovery continues inside the bank afterwards.
+     */
+    Cycle
+    writeAckLatency(unsigned bytes) const
+    {
+        const Cycle beats = (bytes + 7) / 8;
+        return t_rcd + t_cl + beats * t_burst;
+    }
+
+    /** Additional cycles the accessed bank stays busy after a write. */
+    Cycle writeRecovery() const { return t_wr; }
+
+    /** Bank index for an address (word-interleaved). */
+    unsigned
+    bankOf(std::uint64_t addr) const
+    {
+        return static_cast<unsigned>((addr >> 2) % banks);
+    }
+
+    /** Energy for reading @p bytes. */
+    double
+    readEnergy(unsigned bytes) const
+    {
+        return activate_energy + read_energy_per_byte * bytes;
+    }
+
+    /** Energy for writing @p bytes. */
+    double
+    writeEnergy(unsigned bytes) const
+    {
+        return activate_energy + write_energy_per_byte * bytes;
+    }
+};
+
+} // namespace mem
+} // namespace wlcache
+
+#endif // WLCACHE_MEM_NVM_PARAMS_HH

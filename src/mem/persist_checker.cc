@@ -1,0 +1,86 @@
+#include "mem/persist_checker.hh"
+
+#include <cstdio>
+
+#include "mem/nvm_memory.hh"
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace mem {
+
+void
+PersistChecker::applyStore(Addr addr, unsigned bytes, std::uint64_t value)
+{
+    wlc_assert(bytes <= 8);
+    for (unsigned i = 0; i < bytes; ++i)
+        shadow_[addr + i] =
+            static_cast<std::uint8_t>((value >> (8 * i)) & 0xff);
+}
+
+void
+PersistChecker::applyInit(Addr addr, const std::uint8_t *data,
+                          unsigned bytes)
+{
+    wlc_assert(data != nullptr);
+    for (unsigned i = 0; i < bytes; ++i)
+        shadow_[addr + i] = data[i];
+}
+
+std::vector<PersistMismatch>
+PersistChecker::compare(const NvmMemory &nvm,
+                        std::size_t max_mismatches) const
+{
+    std::vector<PersistMismatch> out;
+    for (const auto &[addr, expected] : shadow_) {
+        std::uint8_t actual = 0;
+        nvm.peek(addr, 1, &actual);
+        if (actual != expected) {
+            out.push_back({ addr, expected, actual });
+            if (out.size() >= max_mismatches)
+                break;
+        }
+    }
+    return out;
+}
+
+std::uint8_t
+PersistChecker::expectedByte(Addr addr) const
+{
+    auto it = shadow_.find(addr);
+    wlc_assert(it != shadow_.end(), "byte 0x%llx untracked",
+               static_cast<unsigned long long>(addr));
+    return it->second;
+}
+
+bool
+PersistChecker::isTracked(Addr addr) const
+{
+    return shadow_.find(addr) != shadow_.end();
+}
+
+void
+PersistChecker::reset()
+{
+    shadow_.clear();
+}
+
+std::string
+PersistChecker::describe(const std::vector<PersistMismatch> &ms)
+{
+    if (ms.empty())
+        return "consistent";
+    std::string out =
+        std::to_string(ms.size()) + "+ mismatching bytes:";
+    for (const auto &m : ms) {
+        char buf[80];
+        std::snprintf(buf, sizeof(buf),
+                      " [0x%llx exp=%02x got=%02x]",
+                      static_cast<unsigned long long>(m.addr),
+                      m.expected, m.actual);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace mem
+} // namespace wlcache

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Crash-consistency oracle. Tracks the architecturally-expected NVM
+ * contents (every committed store applied in program order) so tests
+ * can verify, at any recovery point or at program completion, that
+ * the persistent state a cache design produced is consistent.
+ */
+
+#ifndef WLCACHE_MEM_PERSIST_CHECKER_HH
+#define WLCACHE_MEM_PERSIST_CHECKER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace wlcache {
+namespace mem {
+
+class NvmMemory;
+
+/** A detected divergence between expected and actual NVM state. */
+struct PersistMismatch
+{
+    Addr addr;
+    std::uint8_t expected;
+    std::uint8_t actual;
+};
+
+/**
+ * Shadow image of expected persistent memory. Byte granular; only
+ * bytes ever stored (or explicitly initialized) are tracked, so a
+ * comparison touches exactly the workload's write footprint.
+ */
+class PersistChecker
+{
+  public:
+    /** Record that the program stored @p value (little-endian). */
+    void applyStore(Addr addr, unsigned bytes, std::uint64_t value);
+
+    /** Record initial data (workload input images). */
+    void applyInit(Addr addr, const std::uint8_t *data, unsigned bytes);
+
+    /**
+     * Compare every tracked byte against @p nvm.
+     * @param max_mismatches Stop after this many differences.
+     * @return list of mismatching bytes (empty means consistent).
+     */
+    std::vector<PersistMismatch>
+    compare(const NvmMemory &nvm, std::size_t max_mismatches = 16) const;
+
+    /** Visit every tracked byte with its expected value. */
+    void forEach(
+        const std::function<void(Addr, std::uint8_t)> &fn) const
+    {
+        for (const auto &[addr, expected] : shadow_)
+            fn(addr, expected);
+    }
+
+    /** Number of distinct tracked bytes. */
+    std::size_t footprintBytes() const { return shadow_.size(); }
+
+    /** Expected value of a tracked byte; asserts if untracked. */
+    std::uint8_t expectedByte(Addr addr) const;
+
+    /** True if @p addr has ever been stored/initialized. */
+    bool isTracked(Addr addr) const;
+
+    /** Forget everything (new program run). */
+    void reset();
+
+    /** Render a short human-readable mismatch report. */
+    static std::string describe(const std::vector<PersistMismatch> &ms);
+
+  private:
+    std::unordered_map<Addr, std::uint8_t> shadow_;
+};
+
+} // namespace mem
+} // namespace wlcache
+
+#endif // WLCACHE_MEM_PERSIST_CHECKER_HH

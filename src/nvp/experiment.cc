@@ -1,0 +1,38 @@
+#include "nvp/experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace nvp {
+
+RunResult
+runExperiment(const ExperimentSpec &spec)
+{
+    SystemConfig cfg = SystemConfig::forDesign(spec.design);
+    if (spec.tweak)
+        spec.tweak(cfg);
+
+    const workloads::BuiltTrace &trace =
+        workloads::getTrace(spec.workload, spec.scale,
+                            spec.workload_seed);
+
+    energy::TraceGenConfig tg;
+    tg.seed = spec.power_seed;
+    const energy::PowerTrace power =
+        energy::makeTrace(spec.no_failure ? energy::TraceKind::Constant
+                                          : spec.power,
+                          tg);
+
+    SystemSim sim(cfg, trace, power, spec.no_failure);
+    return sim.run();
+}
+
+double
+speedupVs(const RunResult &x, const RunResult &baseline)
+{
+    wlc_assert(x.total_seconds > 0.0);
+    return baseline.total_seconds / x.total_seconds;
+}
+
+} // namespace nvp
+} // namespace wlcache

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Thin experiment harness shared by the benchmark binaries and the
+ * examples: run (design x workload x power environment) and report a
+ * RunResult. Centralizes the trace seeds and configuration tweaks so
+ * every figure reproduces from the same defaults.
+ */
+
+#ifndef WLCACHE_NVP_EXPERIMENT_HH
+#define WLCACHE_NVP_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+
+#include "energy/power_trace.hh"
+#include "nvp/system.hh"
+
+namespace wlcache {
+namespace nvp {
+
+/** One experiment: a design running a workload in an environment. */
+struct ExperimentSpec
+{
+    DesignKind design = DesignKind::WL;
+    std::string workload = "sha";
+
+    /** Ambient environment (ignored when no_failure is set). */
+    energy::TraceKind power = energy::TraceKind::RfHome;
+    /** Infinite-power mode (Figure 4). */
+    bool no_failure = false;
+
+    unsigned scale = 1;
+    std::uint64_t workload_seed = 42;
+    std::uint64_t power_seed = 7;
+
+    /** Optional configuration override hook. */
+    std::function<void(SystemConfig &)> tweak;
+};
+
+/** Run one experiment to completion. */
+RunResult runExperiment(const ExperimentSpec &spec);
+
+/** Execution-time speedup of @p x relative to @p baseline (>1 means
+ *  @p x is faster). */
+double speedupVs(const RunResult &x, const RunResult &baseline);
+
+} // namespace nvp
+} // namespace wlcache
+
+#endif // WLCACHE_NVP_EXPERIMENT_HH

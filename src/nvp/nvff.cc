@@ -1,0 +1,55 @@
+#include "nvp/nvff.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace nvp {
+
+NvffStore::NvffStore(unsigned capacity_bytes,
+                     double write_energy_per_byte,
+                     double read_energy_per_byte,
+                     energy::EnergyMeter *meter,
+                     double write_latency_per_byte)
+    : data_(capacity_bytes, 0),
+      write_energy_per_byte_(write_energy_per_byte),
+      read_energy_per_byte_(read_energy_per_byte), meter_(meter),
+      write_latency_per_byte_(write_latency_per_byte)
+{
+    wlc_assert(capacity_bytes > 0);
+}
+
+Cycle
+NvffStore::checkpoint(const void *data, unsigned bytes, unsigned offset)
+{
+    wlc_assert(data != nullptr);
+    wlc_assert(offset + bytes <= data_.size(),
+               "NVFF checkpoint overflows the bank");
+    std::memcpy(data_.data() + offset, data, bytes);
+    if (meter_)
+        meter_->add(energy::EnergyCategory::Checkpoint,
+                    write_energy_per_byte_ * bytes);
+    has_image_ = true;
+    ++checkpoints_;
+    return static_cast<Cycle>(
+        std::ceil(write_latency_per_byte_ * bytes));
+}
+
+Cycle
+NvffStore::restore(void *data, unsigned bytes, unsigned offset) const
+{
+    wlc_assert(data != nullptr);
+    wlc_assert(offset + bytes <= data_.size(),
+               "NVFF restore overflows the bank");
+    std::memcpy(data, data_.data() + offset, bytes);
+    if (meter_)
+        meter_->add(energy::EnergyCategory::Restore,
+                    read_energy_per_byte_ * bytes);
+    return static_cast<Cycle>(
+        std::ceil(write_latency_per_byte_ * bytes * 0.5));
+}
+
+} // namespace nvp
+} // namespace wlcache

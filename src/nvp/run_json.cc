@@ -1,0 +1,96 @@
+#include "nvp/run_json.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace wlcache {
+namespace nvp {
+
+namespace {
+
+/** Minimal JSON string escaping (names here are ASCII already). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+num(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+void
+writeRunResultJson(std::ostream &os, const RunResult &r)
+{
+    os << "{\n";
+    os << "  \"workload\": \"" << jsonEscape(r.workload) << "\",\n";
+    os << "  \"design\": \"" << designKindName(r.design) << "\",\n";
+    os << "  \"completed\": " << (r.completed ? "true" : "false")
+       << ",\n";
+    os << "  \"on_cycles\": " << r.on_cycles << ",\n";
+    os << "  \"off_seconds\": " << num(r.off_seconds) << ",\n";
+    os << "  \"total_seconds\": " << num(r.total_seconds) << ",\n";
+    os << "  \"instructions\": " << r.instructions << ",\n";
+    os << "  \"trace_events\": " << r.trace_events << ",\n";
+    os << "  \"replayed_events\": " << r.replayed_events << ",\n";
+    os << "  \"outages\": " << r.outages << ",\n";
+    os << "  \"reserve_violations\": " << r.reserve_violations
+       << ",\n";
+    os << "  \"nvm_writes\": " << r.nvm_writes << ",\n";
+    os << "  \"nvm_reads\": " << r.nvm_reads << ",\n";
+    os << "  \"nvm_bytes_written\": " << r.nvm_bytes_written << ",\n";
+    os << "  \"dcache_load_hit_rate\": " << num(r.dcache_load_hit_rate)
+       << ",\n";
+    os << "  \"dcache_store_hit_rate\": "
+       << num(r.dcache_store_hit_rate) << ",\n";
+    os << "  \"store_stall_cycles\": " << r.store_stall_cycles
+       << ",\n";
+    os << "  \"wl\": {\n";
+    os << "    \"reconfigurations\": " << r.reconfigurations << ",\n";
+    os << "    \"maxline_min_seen\": " << r.maxline_min_seen << ",\n";
+    os << "    \"maxline_max_seen\": " << r.maxline_max_seen << ",\n";
+    os << "    \"prediction_accuracy\": "
+       << num(r.prediction_accuracy) << ",\n";
+    os << "    \"avg_dirty_at_ckpt\": " << num(r.avg_dirty_at_ckpt)
+       << ",\n";
+    os << "    \"writebacks_per_on_period\": "
+       << num(r.writebacks_per_on_period) << ",\n";
+    os << "    \"dyn_maxline_raises\": " << r.dyn_maxline_raises
+       << "\n  },\n";
+    os << "  \"oracle\": {\n";
+    os << "    \"consistency_checks\": " << r.consistency_checks
+       << ",\n";
+    os << "    \"consistency_violations\": "
+       << r.consistency_violations << ",\n";
+    os << "    \"load_value_mismatches\": " << r.load_value_mismatches
+       << ",\n";
+    os << "    \"final_state_correct\": "
+       << (r.final_state_correct ? "true" : "false") << "\n  },\n";
+    os << "  \"energy_j\": {\n";
+    for (std::size_t c = 0; c < energy::EnergyMeter::kNumCategories;
+         ++c) {
+        const auto cat = static_cast<energy::EnergyCategory>(c);
+        os << "    \"" << energy::energyCategoryName(cat)
+           << "\": " << num(r.meter.get(cat));
+        os << (c + 1 < energy::EnergyMeter::kNumCategories ? ",\n"
+                                                           : ",\n");
+    }
+    os << "    \"total\": " << num(r.meter.total()) << "\n  }\n";
+    os << "}\n";
+}
+
+} // namespace nvp
+} // namespace wlcache

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Machine-readable run records: serialize a RunResult as JSON so
+ * external tooling (plotters, regression dashboards) can consume
+ * simulation results without scraping tables.
+ */
+
+#ifndef WLCACHE_NVP_RUN_JSON_HH
+#define WLCACHE_NVP_RUN_JSON_HH
+
+#include <ostream>
+
+#include "nvp/system.hh"
+
+namespace wlcache {
+namespace nvp {
+
+/**
+ * Write @p r as a single JSON object (pretty-printed, stable key
+ * order). The energy breakdown nests under "energy_j" by category.
+ */
+void writeRunResultJson(std::ostream &os, const RunResult &r);
+
+} // namespace nvp
+} // namespace wlcache
+
+#endif // WLCACHE_NVP_RUN_JSON_HH

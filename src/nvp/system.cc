@@ -1,0 +1,535 @@
+#include "nvp/system.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cache/no_cache.hh"
+#include "cache/nv_cache.hh"
+#include "cache/nvsram_practical_cache.hh"
+#include "cache/replay_cache.hh"
+#include "cache/vcache_wt.hh"
+#include "cache/wt_buffered_cache.hh"
+#include "cpu/register_file.hh"
+#include "sim/logging.hh"
+#include "sim/trace_log.hh"
+
+#include <ostream>
+
+namespace wlcache {
+namespace nvp {
+
+SystemSim::SystemSim(const SystemConfig &cfg,
+                     const workloads::BuiltTrace &trace,
+                     const energy::PowerTrace &power, bool infinite_power)
+    : cfg_(cfg), trace_(trace),
+      nvm_(std::make_unique<mem::NvmMemory>(cfg.nvm, &meter_)),
+      cap_(cfg.platform.capacitance_f, cfg.platform.vmin,
+           cfg.platform.vmax),
+      harvester_(power, cfg.platform.harvest_efficiency, infinite_power)
+{
+    // Load the program's initial data image into NVM.
+    if (!trace_.initial_image.empty())
+        nvm_->poke(trace_.image_base,
+                   static_cast<unsigned>(trace_.initial_image.size()),
+                   trace_.initial_image.data());
+
+    buildCaches();
+
+    cpu::ICacheStreamParams icp;
+    icp.code_bytes = trace_.info ? trace_.info->code_kb << 10
+                                 : 12u << 10;
+    icp.seed = trace_.seed ^
+        std::hash<std::string>{}(trace_.name);
+    cpu::ICacheStream stream(icp);
+    core_ = std::make_unique<cpu::InOrderCore>(cfg_.core, *icache_,
+                                               *dcache_, stream,
+                                               &meter_);
+
+    if (cfg_.design == DesignKind::WL) {
+        runtime_ = std::make_unique<core::AdaptiveRuntime>(
+            cfg_.adaptive, cfg_.wl.maxline);
+        if (cfg_.wl_dynamic) {
+            wl_->enableDynamicAdaptation([this](double extra_j) {
+                if (harvester_.infinite())
+                    return true;
+                // Raising maxline by one moves Vbackup up a step
+                // (paper §4: dynamic adaptation raises Vbackup when
+                // the capacitor can afford another line).
+                const unsigned next_ml = wl_->maxline() + 1;
+                const double v_next = wlVbackup(next_ml);
+                const double c = cfg_.platform.capacitance_f;
+                const double new_level = 0.5 * c * v_next * v_next;
+                if (cap_.storedEnergy() > new_level + 4.0 * extra_j) {
+                    backup_energy_level_ = new_level;
+                    vbackup_now_ = v_next;
+                    return true;
+                }
+                return false;
+            });
+        }
+    }
+
+    if (cfg_.validate_consistency && !trace_.initial_image.empty())
+        checker_.applyInit(trace_.image_base,
+                           trace_.initial_image.data(),
+                           static_cast<unsigned>(
+                               trace_.initial_image.size()));
+
+    unsigned nvff_bytes = cpu::RegisterFile::sizeBytes();
+    if (cfg_.design == DesignKind::WL)
+        nvff_bytes += core::AdaptiveRuntime::kNvffBytes;
+    nvff_ = std::make_unique<NvffStore>(
+        nvff_bytes, cfg_.platform.nvff_energy_per_byte,
+        cfg_.platform.nvff_restore_energy_per_byte, &meter_);
+
+    leak_watts_ = cfg_.core.leakage_watts + dcache_->leakageWatts() +
+        icache_->leakageWatts();
+    recomputeThresholds();
+}
+
+SystemSim::~SystemSim() = default;
+
+void
+SystemSim::buildCaches()
+{
+    using cache::ICacheKind;
+    switch (cfg_.design) {
+      case DesignKind::NoCache:
+        dcache_ = std::make_unique<cache::NoCache>(*nvm_, &meter_);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::None, *nvm_, &meter_);
+        break;
+      case DesignKind::VCacheWT:
+        dcache_ = std::make_unique<cache::VCacheWT>(cfg_.dcache, *nvm_,
+                                                    &meter_);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::Volatile, *nvm_, &meter_);
+        break;
+      case DesignKind::NVCacheWB:
+        dcache_ = std::make_unique<cache::NVCacheWB>(cfg_.dcache, *nvm_,
+                                                     &meter_);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::NonVolatile, *nvm_, &meter_);
+        break;
+      case DesignKind::NvsramWB:
+        dcache_ = std::make_unique<cache::NvsramCacheWB>(
+            cfg_.dcache, cfg_.nvsram, *nvm_, &meter_);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::WarmRestore, *nvm_, &meter_,
+            cfg_.nvsram.restore_line_energy,
+            cfg_.nvsram.restore_line_latency);
+        break;
+      case DesignKind::NvsramFull: {
+        cache::NvsramParams full = cfg_.nvsram;
+        full.backup_full = true;
+        dcache_ = std::make_unique<cache::NvsramCacheWB>(
+            cfg_.dcache, full, *nvm_, &meter_);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::WarmRestore, *nvm_, &meter_,
+            cfg_.nvsram.restore_line_energy,
+            cfg_.nvsram.restore_line_latency);
+        break;
+      }
+      case DesignKind::NvsramPractical:
+        dcache_ = std::make_unique<cache::NvsramPracticalCache>(
+            cfg_.dcache, cache::nvCacheParams(),
+            cfg_.nvsram_practical, *nvm_, &meter_);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::Volatile, *nvm_, &meter_);
+        break;
+      case DesignKind::WtBuffered:
+        dcache_ = std::make_unique<cache::WtBufferedCache>(
+            cfg_.dcache, cfg_.wt_buffer, *nvm_, &meter_);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::Volatile, *nvm_, &meter_);
+        break;
+      case DesignKind::Replay: {
+        auto rc = std::make_unique<cache::ReplayCacheModel>(
+            cfg_.dcache, cfg_.replay, *nvm_, &meter_);
+        replay_ = rc.get();
+        dcache_ = std::move(rc);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::Volatile, *nvm_, &meter_);
+        break;
+      }
+      case DesignKind::WL: {
+        auto wl = std::make_unique<core::WLCache>(cfg_.dcache, cfg_.wl,
+                                                  *nvm_, &meter_);
+        wl_ = wl.get();
+        dcache_ = std::move(wl);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::Volatile, *nvm_, &meter_);
+        break;
+      }
+    }
+}
+
+double
+SystemSim::reserveNeededJ() const
+{
+    unsigned nvff_bytes = cpu::RegisterFile::sizeBytes();
+    if (cfg_.design == DesignKind::WL)
+        nvff_bytes += core::AdaptiveRuntime::kNvffBytes;
+    return dcache_->checkpointEnergyBound() +
+        nvff_bytes * cfg_.platform.nvff_energy_per_byte;
+}
+
+double
+SystemSim::wlVbackup(unsigned maxline) const
+{
+    const auto &p = cfg_.platform;
+    const double v = p.wl_vbackup_base +
+        p.wl_vbackup_step *
+            static_cast<double>(maxline > p.wl_threshold_anchor
+                                    ? maxline - p.wl_threshold_anchor
+                                    : 0);
+    return std::min(v, p.vmax);
+}
+
+double
+SystemSim::wlVon(unsigned maxline) const
+{
+    const auto &p = cfg_.platform;
+    const double v = p.wl_von_base +
+        p.wl_von_step *
+            static_cast<double>(maxline > p.wl_threshold_anchor
+                                    ? maxline - p.wl_threshold_anchor
+                                    : 0);
+    return std::min(v, p.vmax);
+}
+
+void
+SystemSim::recomputeThresholds()
+{
+    if (cfg_.design == DesignKind::WL) {
+        vbackup_now_ = wlVbackup(wl_->maxline());
+        von_now_ = wlVon(wl_->maxline());
+    } else if (cfg_.design == DesignKind::NvsramWB ||
+               cfg_.design == DesignKind::NvsramFull ||
+               cfg_.design == DesignKind::NvsramPractical) {
+        // NVSRAM sizes its threshold for the worst-case all-dirty
+        // backup (paper §2.3.3): at the default 8 KB / 1 uF this
+        // lands on Table 2's 3.1 V, and it scales with the array.
+        vbackup_now_ = std::min(
+            cfg_.platform.vmax,
+            std::max(2.85, cap_.voltageForEnergyAbove(
+                               cfg_.platform.vmin,
+                               1.25 * reserveNeededJ())));
+        von_now_ = cfg_.platform.von;
+    } else {
+        vbackup_now_ = cfg_.platform.vbackup;
+        von_now_ = cfg_.platform.von;
+    }
+    const double c = cfg_.platform.capacitance_f;
+    backup_energy_level_ = 0.5 * c * vbackup_now_ * vbackup_now_;
+
+    // Sanity: the reserved slice must cover the worst-case JIT
+    // checkpoint. With voltage-divider thresholds this can become
+    // infeasible for tiny capacitors (Figure 10b's left edge).
+    const double vmin = cfg_.platform.vmin;
+    const double reserve =
+        backup_energy_level_ - 0.5 * c * vmin * vmin;
+    if (reserve < reserveNeededJ() && !warned_reserve_) {
+        warned_reserve_ = true;
+        warn("%s: checkpoint reserve %.3g J below worst-case need "
+             "%.3g J (capacitor too small for these thresholds)",
+             designKindName(cfg_.design), reserve, reserveNeededJ());
+    }
+}
+
+void
+SystemSim::drawConsumedEnergy()
+{
+    const double total = meter_.total();
+    const double delta = total - last_meter_total_;
+    last_meter_total_ = total;
+    if (harvester_.infinite())
+        return;
+    cap_.drawEnergy(delta);
+}
+
+void
+SystemSim::accountPassage(Cycle from, Cycle to)
+{
+    if (to <= from)
+        return;
+    const double dt_s = cyclesToSeconds(to - from);
+    meter_.add(energy::EnergyCategory::Leakage, leak_watts_ * dt_s);
+    harvester_.advance(dt_s, cap_);
+}
+
+void
+SystemSim::checkConsistency()
+{
+    ++res_.consistency_checks;
+    std::unordered_map<Addr, std::uint8_t> overlay;
+    dcache_->collectPersistentOverlay(overlay);
+    std::uint64_t mismatched_bytes = 0;
+    checker_.forEach([&](Addr addr, std::uint8_t expected) {
+        if (replay_ && region_dirty_bytes_.count(addr))
+            return;  // in-flight region: rewritten on re-execution
+        std::uint8_t actual = 0;
+        const auto it = overlay.find(addr);
+        if (it != overlay.end())
+            actual = it->second;
+        else
+            nvm_->peek(addr, 1, &actual);
+        if (actual != expected)
+            ++mismatched_bytes;
+    });
+    if (mismatched_bytes > 0)
+        ++res_.consistency_violations;
+}
+
+void
+SystemSim::powerFail()
+{
+    ++res_.outages;
+    WLC_DPRINTF(trace::kPower, now_, "system",
+                "voltage hit Vbackup=%.3fV: outage #%llu",
+                vbackup_now_,
+                static_cast<unsigned long long>(res_.outages));
+
+    // JIT checkpoint: the design persists its bounded state, then the
+    // registers (and, for WL-Cache, the runtime thresholds and the
+    // two watchdog values) capture into their NVFFs in parallel.
+    Cycle ckpt_done = cfg_.inject_checkpoint_skip
+        ? now_ : dcache_->checkpoint(now_);
+    const auto regs = core_->regs().snapshot();
+    ckpt_done += nvff_->checkpoint(
+        regs.data(), cpu::RegisterFile::sizeBytes());
+    if (cfg_.design == DesignKind::WL && runtime_) {
+        const std::uint8_t thresholds[2] = {
+            static_cast<std::uint8_t>(wl_->maxline()),
+            static_cast<std::uint8_t>(wl_->waterline()),
+        };
+        nvff_->checkpoint(thresholds, 2,
+                          cpu::RegisterFile::sizeBytes());
+        // (The watchdog history is maintained inside AdaptiveRuntime;
+        // its 2 x 2 bytes live in the same bank.)
+    }
+    if (ckpt_done > now_)
+        meter_.add(energy::EnergyCategory::Leakage,
+                   leak_watts_ * cyclesToSeconds(ckpt_done - now_));
+    now_ = ckpt_done;
+    drawConsumedEnergy();
+    if (cap_.voltage() < cfg_.platform.vmin - 1e-6)
+        ++res_.reserve_violations;
+
+    const double t_on = cyclesToSeconds(now_ - boot_cycle_);
+
+    // Volatile state is gone.
+    dcache_->powerLoss();
+    icache_->powerLoss();
+
+    if (cfg_.validate_consistency)
+        checkConsistency();
+
+    // ReplayCache: roll back to the last committed region.
+    if (replay_) {
+        res_.replayed_events += idx_ - region_start_idx_;
+        idx_ = region_start_idx_;
+        if (region_stream_snapshot_)
+            core_->restoreStream(*region_stream_snapshot_);
+        region_dirty_bytes_.clear();
+    }
+
+    // The adaptive runtime decides the next interval's thresholds
+    // from the NVFF-resident watchdog history before the system
+    // sleeps, so the comparator charges toward the right Von (§4).
+    if (cfg_.design == DesignKind::WL && runtime_) {
+        const unsigned before = wl_->maxline();
+        const unsigned m = runtime_->onBoot(t_on);
+        if (m != before)
+            WLC_DPRINTF(trace::kAdapt, now_, "runtime",
+                        "T=%.1fus: maxline %u -> %u", t_on * 1e6,
+                        before, m);
+        if (cfg_.adaptive.enabled)
+            wl_->setMaxline(m);
+        else
+            wl_->setMaxline(cfg_.wl.maxline);  // undo dynamic raises
+        recomputeThresholds();
+    }
+
+    // Power-off: the capacitor keeps whatever the checkpoint did not
+    // consume and recharges from there to Von.
+    const double off = harvester_.chargeUntil(cap_, von_now_);
+    res_.off_seconds += off;
+    WLC_DPRINTF(trace::kPower, now_, "system",
+                "recharged to Von=%.3fV in %.1f us", von_now_,
+                off * 1e6);
+    if (cap_.voltage() < von_now_ * (1.0 - 1e-7)) {
+        environment_dead_ = true;  // chargeUntil gave up
+        return;
+    }
+    nvm_->resetChannel();
+
+    bootAndRestore();
+}
+
+void
+SystemSim::bootAndRestore()
+{
+    const Cycle boot_start = now_;
+    now_ += cfg_.platform.reboot_latency_cycles;
+    Cycle t = dcache_->powerRestore(now_);
+    t = icache_->powerRestore(t);
+    std::array<std::uint32_t, cpu::RegisterFile::kNumRegs> regs{};
+    t += nvff_->restore(regs.data(), cpu::RegisterFile::sizeBytes());
+    core_->regs().restore(regs);
+    meter_.add(energy::EnergyCategory::Leakage,
+               leak_watts_ * cyclesToSeconds(t - boot_start));
+    now_ = t;
+    drawConsumedEnergy();
+    boot_cycle_ = now_;
+}
+
+bool
+SystemSim::finalCheck()
+{
+    const std::size_t size = trace_.final_image.size();
+    std::uint8_t buf[4096];
+    std::size_t off = 0;
+    while (off < size) {
+        const unsigned chunk = static_cast<unsigned>(
+            std::min<std::size_t>(sizeof(buf), size - off));
+        nvm_->peek(trace_.image_base + off, chunk, buf);
+        if (std::memcmp(buf, trace_.final_image.data() + off, chunk) !=
+            0)
+            return false;
+        off += chunk;
+    }
+    return true;
+}
+
+RunResult
+SystemSim::run()
+{
+    res_ = RunResult{};
+    res_.workload = trace_.name;
+    res_.design = cfg_.design;
+    res_.trace_events = trace_.events.size();
+
+    // Initial charge-up to the restore voltage.
+    if (harvester_.infinite()) {
+        cap_.setVoltage(cfg_.platform.vmax);
+    } else {
+        res_.off_seconds += harvester_.chargeUntil(cap_, von_now_);
+        if (cap_.voltage() < von_now_ * (1.0 - 1e-7)) {
+            res_.completed = false;
+            return res_;
+        }
+    }
+    boot_cycle_ = now_ = 0;
+    idx_ = 0;
+    region_start_idx_ = 0;
+    if (replay_)
+        region_stream_snapshot_ = std::make_unique<cpu::ICacheStream>(
+            core_->streamSnapshot());
+
+    const std::size_t n = trace_.events.size();
+    const bool failures_possible = !harvester_.infinite();
+
+    while (idx_ < n) {
+        const MemAccess &ev = trace_.events[idx_];
+        std::uint64_t load_val = 0;
+        const Cycle end = core_->executeEvent(ev, now_, &load_val);
+
+        if (cfg_.check_load_values && ev.op == MemOp::Load && !replay_) {
+            // Mask to the access width before comparing.
+            const std::uint64_t mask = ev.size >= 8
+                ? ~0ull : ((1ull << (8 * ev.size)) - 1);
+            if ((load_val & mask) != (ev.value & mask))
+                ++res_.load_value_mismatches;
+        }
+        if (cfg_.validate_consistency && ev.op == MemOp::Store) {
+            checker_.applyStore(ev.addr, ev.size, ev.value);
+            if (replay_)
+                for (unsigned i = 0; i < ev.size; ++i)
+                    region_dirty_bytes_.insert(ev.addr + i);
+        }
+
+        accountPassage(now_, end);
+        now_ = end;
+        drawConsumedEnergy();
+        ++idx_;
+
+        // ReplayCache region boundary: drain persists, commit.
+        if (replay_ &&
+            idx_ - region_start_idx_ >= cfg_.replay.region_events) {
+            const Cycle t = replay_->regionBoundary(now_);
+            accountPassage(now_, t);
+            now_ = t;
+            drawConsumedEnergy();
+            region_start_idx_ = idx_;
+            region_stream_snapshot_ =
+                std::make_unique<cpu::ICacheStream>(
+                    core_->streamSnapshot());
+            region_dirty_bytes_.clear();
+        }
+
+        if (failures_possible &&
+            cap_.storedEnergy() <= backup_energy_level_) {
+            powerFail();
+            if (res_.outages >= cfg_.max_outages ||
+                environment_dead_) {
+                res_.completed = false;
+                break;
+            }
+        }
+    }
+
+    if (idx_ >= n) {
+        // Graceful completion: flush all dirty state.
+        const Cycle t = dcache_->drainAndFlush(now_);
+        accountPassage(now_, t);
+        now_ = t;
+        drawConsumedEnergy();
+        res_.completed = true;
+        res_.final_state_correct = finalCheck();
+    }
+
+    // --- Collect statistics ---
+    res_.on_cycles = now_;
+    res_.total_seconds = cyclesToSeconds(now_) + res_.off_seconds;
+    res_.instructions = core_->instructionsRetired();
+    res_.meter = meter_;
+    res_.nvm_writes = nvm_->numWrites();
+    res_.nvm_reads = nvm_->numReads();
+    res_.nvm_bytes_written = nvm_->bytesWritten();
+
+    const auto &cs = dcache_->stats();
+    const double loads = std::max(1.0, cs.loads.value());
+    const double stores = std::max(1.0, cs.stores.value());
+    res_.dcache_load_hit_rate = cs.load_hits.value() / loads;
+    res_.dcache_store_hit_rate = cs.store_hits.value() / stores;
+    res_.store_stall_cycles =
+        static_cast<std::uint64_t>(cs.stall_cycles.value());
+
+    if (wl_ && runtime_) {
+        res_.reconfigurations = runtime_->reconfigurations();
+        res_.maxline_min_seen = runtime_->observedMaxlineMin();
+        res_.maxline_max_seen = runtime_->observedMaxlineMax();
+        res_.prediction_accuracy = runtime_->predictionAccuracy();
+        res_.avg_dirty_at_ckpt = wl_->wlStats().dirty_at_ckpt.mean();
+        res_.dyn_maxline_raises = static_cast<std::uint64_t>(
+            wl_->wlStats().dyn_maxline_raises.value());
+        if (res_.outages > 0)
+            res_.writebacks_per_on_period =
+                wl_->wlStats().cleanings.value() /
+                static_cast<double>(res_.outages);
+    }
+    return res_;
+}
+
+void
+SystemSim::dumpStats(std::ostream &os) const
+{
+    dcache_->statGroup().dump(os, "system");
+    icache_->statGroup().dump(os, "system");
+    core_->statGroup().dump(os, "system");
+    nvm_->statGroup().dump(os, "system");
+}
+
+} // namespace nvp
+} // namespace wlcache

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The NVP whole-system simulator: boots the platform, replays a
+ * workload trace through the core and the configured cache design,
+ * integrates harvested and consumed energy against the capacitor,
+ * fires JIT checkpoints when the stored energy falls to the Vbackup
+ * level, recharges through power-off periods, restores at Von, and
+ * runs the adaptive WL-Cache runtime at every reboot. Optionally
+ * verifies crash consistency at every recovery point and at program
+ * completion.
+ */
+
+#ifndef WLCACHE_NVP_SYSTEM_HH
+#define WLCACHE_NVP_SYSTEM_HH
+
+#include <memory>
+#include <unordered_set>
+
+#include "cache/cache_iface.hh"
+#include "cache/icache.hh"
+#include "core/adaptive_runtime.hh"
+#include "core/wl_cache.hh"
+#include "cpu/inorder_core.hh"
+#include "energy/capacitor.hh"
+#include "energy/energy_meter.hh"
+#include "energy/harvester.hh"
+#include "mem/nvm_memory.hh"
+#include "mem/persist_checker.hh"
+#include "nvp/nvff.hh"
+#include "nvp/system_config.hh"
+#include "workloads/workloads.hh"
+
+namespace wlcache {
+namespace nvp {
+
+/** Everything a run reports (feeds every figure in the paper). */
+struct RunResult
+{
+    std::string workload;
+    DesignKind design = DesignKind::WL;
+    bool completed = false;
+
+    // --- Time ---
+    std::uint64_t on_cycles = 0;     //!< Cycles while powered.
+    double off_seconds = 0.0;        //!< Recharge time.
+    double total_seconds = 0.0;      //!< On + off wall-clock.
+
+    // --- Progress ---
+    std::uint64_t instructions = 0;
+    std::uint64_t trace_events = 0;
+    std::uint64_t replayed_events = 0;  //!< Re-executed (ReplayCache).
+
+    // --- Power failures ---
+    std::uint64_t outages = 0;
+    std::uint64_t reserve_violations = 0;
+
+    // --- Energy (joules, by category) ---
+    energy::EnergyMeter meter;
+
+    // --- Memory traffic ---
+    std::uint64_t nvm_writes = 0;
+    std::uint64_t nvm_bytes_written = 0;
+    std::uint64_t nvm_reads = 0;
+
+    // --- Cache behaviour ---
+    double dcache_load_hit_rate = 0.0;
+    double dcache_store_hit_rate = 0.0;
+    std::uint64_t store_stall_cycles = 0;
+
+    // --- WL-Cache adaptive statistics (paper §6.6) ---
+    unsigned reconfigurations = 0;
+    unsigned maxline_min_seen = 0;
+    unsigned maxline_max_seen = 0;
+    double prediction_accuracy = 1.0;
+    double avg_dirty_at_ckpt = 0.0;
+    double writebacks_per_on_period = 0.0;
+    std::uint64_t dyn_maxline_raises = 0;
+
+    // --- Consistency oracle ---
+    std::uint64_t consistency_checks = 0;
+    std::uint64_t consistency_violations = 0;
+    std::uint64_t load_value_mismatches = 0;
+    bool final_state_correct = false;
+};
+
+/** One simulated system instance bound to a workload and a trace. */
+class SystemSim
+{
+  public:
+    /**
+     * @param cfg Full system configuration.
+     * @param trace Recorded workload execution to replay.
+     * @param power Ambient power waveform.
+     * @param infinite_power No-failure mode (Figure 4).
+     */
+    SystemSim(const SystemConfig &cfg,
+              const workloads::BuiltTrace &trace,
+              const energy::PowerTrace &power,
+              bool infinite_power = false);
+
+    ~SystemSim();
+
+    /** Run the workload to completion (or until max_outages). */
+    RunResult run();
+
+    /** Access the data cache (tests). */
+    cache::DataCache &dcache() { return *dcache_; }
+
+    /** Access the WL cache when the design is WL (else null). */
+    core::WLCache *wlCache() { return wl_; }
+
+    /** The backing NVM (tests). */
+    mem::NvmMemory &nvm() { return *nvm_; }
+
+    /** NVFF register/threshold backup bank (tests). */
+    const NvffStore &nvff() const { return *nvff_; }
+
+    /** Dump every component's statistics in gem5 style. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void buildCaches();
+    double reserveNeededJ() const;
+    double wlVbackup(unsigned maxline) const;
+    double wlVon(unsigned maxline) const;
+    void recomputeThresholds();
+    void drawConsumedEnergy();
+    void accountPassage(Cycle from, Cycle to);
+    void powerFail();
+    void bootAndRestore();
+    void checkConsistency();
+    bool finalCheck();
+
+    const SystemConfig cfg_;
+    const workloads::BuiltTrace &trace_;
+
+    energy::EnergyMeter meter_;
+    std::unique_ptr<mem::NvmMemory> nvm_;
+    std::unique_ptr<cache::DataCache> dcache_;
+    std::unique_ptr<cache::InstrCache> icache_;
+    std::unique_ptr<cpu::InOrderCore> core_;
+    core::WLCache *wl_ = nullptr;          //!< Non-owning view.
+    cache::ReplayCacheModel *replay_ = nullptr;
+    std::unique_ptr<core::AdaptiveRuntime> runtime_;
+    std::unique_ptr<NvffStore> nvff_;
+    energy::Capacitor cap_;
+    energy::Harvester harvester_;
+    mem::PersistChecker checker_;
+
+    RunResult res_;
+    Cycle now_ = 0;
+    Cycle boot_cycle_ = 0;
+    double last_meter_total_ = 0.0;
+    double backup_energy_level_ = 0.0;  //!< Stored-energy Vbackup level.
+    double vbackup_now_ = 0.0;          //!< Active Vbackup threshold.
+    double von_now_ = 0.0;              //!< Active restore voltage.
+    double leak_watts_ = 0.0;
+    bool environment_dead_ = false;
+    bool warned_reserve_ = false;
+
+    // ReplayCache region rollback state.
+    std::size_t idx_ = 0;
+    std::size_t region_start_idx_ = 0;
+    std::unique_ptr<cpu::ICacheStream> region_stream_snapshot_;
+    std::unordered_set<Addr> region_dirty_bytes_;
+};
+
+} // namespace nvp
+} // namespace wlcache
+
+#endif // WLCACHE_NVP_SYSTEM_HH

@@ -1,0 +1,92 @@
+#include "nvp/system_config.hh"
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace nvp {
+
+const char *
+designKindName(DesignKind kind)
+{
+    switch (kind) {
+      case DesignKind::NoCache:   return "NVP-NoCache";
+      case DesignKind::VCacheWT:  return "VCache-WT";
+      case DesignKind::NVCacheWB: return "NVCache-WB";
+      case DesignKind::NvsramWB:  return "NVSRAM-WB";
+      case DesignKind::NvsramFull: return "NVSRAM-full";
+      case DesignKind::NvsramPractical: return "NVSRAM-practical";
+      case DesignKind::Replay:    return "ReplayCache";
+      case DesignKind::WtBuffered: return "WT+Buffer";
+      case DesignKind::WL:        return "WL-Cache";
+    }
+    panic("unknown DesignKind %d", static_cast<int>(kind));
+}
+
+SystemConfig
+SystemConfig::forDesign(DesignKind kind)
+{
+    SystemConfig cfg;
+    cfg.design = kind;
+    cfg.dcache = cache::sramCacheParams();
+    cfg.icache = cache::sramCacheParams();
+    // The paper's FIFO I-side replacement matters little; keep LRU
+    // defaults on both and let experiments override.
+
+    switch (kind) {
+      case DesignKind::NoCache:
+        cfg.platform.von = 3.3;
+        cfg.platform.vbackup = 2.9;
+        break;
+      case DesignKind::VCacheWT:
+        cfg.platform.von = 3.3;
+        cfg.platform.vbackup = 2.9;
+        break;
+      case DesignKind::NVCacheWB:
+        cfg.dcache = cache::nvCacheParams();
+        cfg.icache = cache::nvCacheParams();
+        cfg.platform.von = 3.3;
+        cfg.platform.vbackup = 2.9;
+        break;
+      case DesignKind::NvsramWB:
+        // Table 2: NVSRAM checkpoints at 3.1 V and restores at 3.5 V
+        // (the full-cache backup needs the largest margins).
+        cfg.platform.von = 3.5;
+        cfg.platform.vbackup = 3.1;
+        break;
+      case DesignKind::NvsramFull:
+        cfg.nvsram.backup_full = true;
+        cfg.platform.von = 3.5;
+        cfg.platform.vbackup = 3.1;
+        break;
+      case DesignKind::NvsramPractical:
+        // Table 1: medium hardware cost and a medium energy buffer —
+        // only the SRAM half needs migration headroom.
+        cfg.platform.von = 3.4;
+        cfg.platform.vbackup = 3.0;
+        break;
+      case DesignKind::Replay:
+        cfg.platform.von = 3.3;
+        cfg.platform.vbackup = 2.9;
+        break;
+      case DesignKind::WtBuffered:
+        // §3.3 alternative: needs a bigger margin than plain WT to
+        // drain the buffer failure-atomically.
+        cfg.platform.von = 3.3;
+        cfg.platform.vbackup = 2.95;
+        break;
+      case DesignKind::WL:
+        // Table 2: WL 2.95~3.1 / 3.3~3.5, tracked per maxline via
+        // the wl_* threshold schedule.
+        cfg.platform.von = 3.3;
+        cfg.platform.vbackup = 2.95;
+        cfg.adaptive.enabled = true;
+        // Paper §6.6: observed maxline range 2..6 with |DQ| = 8.
+        cfg.adaptive.maxline_min = 2;
+        cfg.adaptive.maxline_max = cfg.wl.dq_size - 2;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace nvp
+} // namespace wlcache

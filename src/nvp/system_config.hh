@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Whole-system configuration: which cache design backs the NVP, the
+ * platform energy parameters (capacitor, thresholds, NVFF costs),
+ * and the per-design presets from the paper's Table 2.
+ */
+
+#ifndef WLCACHE_NVP_SYSTEM_CONFIG_HH
+#define WLCACHE_NVP_SYSTEM_CONFIG_HH
+
+#include "cache/cache_params.hh"
+#include "cache/nvsram_cache.hh"
+#include "cache/nvsram_practical_cache.hh"
+#include "cache/replay_cache.hh"
+#include "cache/wt_buffered_cache.hh"
+#include "core/adaptive_runtime.hh"
+#include "core/wl_cache.hh"
+#include "cpu/inorder_core.hh"
+#include "mem/nvm_params.hh"
+
+namespace wlcache {
+namespace nvp {
+
+/** The cache designs the paper compares (Figure 1, Table 1). */
+enum class DesignKind
+{
+    NoCache,      //!< NVP without a cache (Fig. 1a).
+    VCacheWT,     //!< Volatile write-through SRAM (Fig. 1b).
+    NVCacheWB,    //!< Non-volatile write-back (Fig. 1c).
+    NvsramWB,     //!< NVSRAM ideal write-back (Fig. 1d) — the baseline.
+    NvsramFull,   //!< NVSRAM(full): backs up the whole array (§2.3.3).
+    NvsramPractical, //!< Way-partitioned SRAM+NV hybrid (§2.3.3).
+    Replay,       //!< ReplayCache (volatile WB + region persistence).
+    WtBuffered,   //!< WT + CAM write-back buffer (§3.3 alternative).
+    WL,           //!< WL-Cache (Fig. 1e) — the contribution.
+};
+
+/** Human-readable design name matching the paper's figures. */
+const char *designKindName(DesignKind kind);
+
+/** Platform energy/threshold parameters (Table 2). */
+struct PlatformParams
+{
+    double capacitance_f = 1.0e-6;  //!< Default 1 uF.
+    double vmin = 2.8;
+    double vmax = 3.5;
+    /** Restore (boot) voltage; per-design preset (Table 2). */
+    double von = 3.3;
+    /**
+     * JIT-checkpointing voltage threshold; per-design preset
+     * (Table 2: NV 2.9, NVSRAM 3.1, WL 2.95..3.1 by maxline). The
+     * energy reserved between Vbackup and Vmin scales with the
+     * capacitor, exactly as a voltage-divider threshold does in the
+     * MSP430-class hardware the paper assumes (§5.5).
+     */
+    double vbackup = 2.9;
+    double harvest_efficiency = 0.7;
+
+    /**
+     * WL-Cache threshold schedule (§4, §5.5): Vbackup and Von as
+     * linear functions of the current maxline, anchored at
+     * maxline = 2 and matching Table 2's 2.95..3.1 / 3.3..3.5 ranges
+     * at the default DirtyQueue bounds [2, 6].
+     */
+    double wl_vbackup_base = 2.95;
+    double wl_vbackup_step = 0.0375;
+    double wl_von_base = 3.3;
+    double wl_von_step = 0.05;
+    unsigned wl_threshold_anchor = 2;  //!< maxline anchor for bases.
+
+    /** NVFF write energy per byte (registers, thresholds, timers). */
+    double nvff_energy_per_byte = 18.0e-12;
+    /** NVFF read (restore) energy per byte at boot. */
+    double nvff_restore_energy_per_byte = 5.0e-12;
+
+    /** Cycles for wake-up/boot before execution resumes. */
+    Cycle reboot_latency_cycles = 2000;
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    DesignKind design = DesignKind::WL;
+
+    cache::CacheParams dcache;
+    cache::CacheParams icache;
+    cache::NvsramParams nvsram;
+    cache::NvsramPracticalParams nvsram_practical;
+    cache::ReplayParams replay;
+    cache::WtBufferParams wt_buffer;
+    core::WlParams wl;
+    core::AdaptiveConfig adaptive;
+    /** WL-Cache opportunistic dynamic adaptation (§4). */
+    bool wl_dynamic = false;
+
+    mem::NvmParams nvm;
+    cpu::CoreParams core;
+    PlatformParams platform;
+
+    /** Run the crash-consistency oracle at every recovery point. */
+    bool validate_consistency = false;
+    /**
+     * Fault injection (testing the oracle itself): skip the cache's
+     * JIT checkpoint at every power failure. A correct oracle MUST
+     * flag violations for designs whose persistence depends on the
+     * checkpoint (NVSRAM, WL-Cache).
+     */
+    bool inject_checkpoint_skip = false;
+    /** Check every load's value against the recorded trace. */
+    bool check_load_values = false;
+
+    /** Give up after this many outages (dead-environment guard). */
+    std::uint64_t max_outages = 2'000'000;
+
+    /**
+     * Preset for a given design: cache technology (SRAM vs NV array),
+     * restore voltage, and adaptive defaults per the paper.
+     */
+    static SystemConfig forDesign(DesignKind kind);
+};
+
+} // namespace nvp
+} // namespace wlcache
+
+#endif // WLCACHE_NVP_SYSTEM_CONFIG_HH

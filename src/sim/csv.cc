@@ -1,0 +1,53 @@
+#include "sim/csv.hh"
+
+#include "util/strings.hh"
+
+namespace wlcache {
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(fields[i]);
+    }
+    os_ << '\n';
+}
+
+void
+CsvWriter::row(const std::string &label, const std::vector<double> &values,
+               int precision)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size() + 1);
+    fields.push_back(label);
+    for (double v : values)
+        fields.push_back(util::fmtDouble(v, precision));
+    row(fields);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs_quotes = false;
+    for (char c : field) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quotes = true;
+            break;
+        }
+    }
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace wlcache

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Minimal CSV emitter so benchmark harnesses can dump machine-readable
+ * series next to the human-readable tables.
+ */
+
+#ifndef WLCACHE_SIM_CSV_HH
+#define WLCACHE_SIM_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wlcache {
+
+/**
+ * Writes RFC-4180-ish CSV rows to a stream the caller owns. Fields
+ * containing commas, quotes, or newlines are quoted and escaped.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Emit one row of string fields. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Emit a label followed by numeric fields. */
+    void row(const std::string &label, const std::vector<double> &values,
+             int precision = 6);
+
+  private:
+    static std::string escape(const std::string &field);
+
+    std::ostream &os_;
+};
+
+} // namespace wlcache
+
+#endif // WLCACHE_SIM_CSV_HH

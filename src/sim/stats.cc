@@ -1,0 +1,129 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "util/strings.hh"
+
+namespace wlcache {
+namespace stats {
+
+std::string
+Scalar::render() const
+{
+    // Integers render without a fraction; everything else with 6
+    // significant digits.
+    if (value_ == static_cast<double>(static_cast<std::int64_t>(value_)))
+        return std::to_string(static_cast<std::int64_t>(value_));
+    return util::fmtDouble(value_, 6);
+}
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    sum_sq_ += v * v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+std::string
+Distribution::render() const
+{
+    return "n=" + std::to_string(count_) +
+        " mean=" + util::fmtDouble(mean(), 4) +
+        " min=" + util::fmtDouble(min(), 4) +
+        " max=" + util::fmtDouble(max(), 4) +
+        " sd=" + util::fmtDouble(stddev(), 4);
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    wlc_assert(find(name) == nullptr, "duplicate stat '%s'", name.c_str());
+    auto stat = std::make_unique<Scalar>(name, desc);
+    Scalar &ref = *stat;
+    owned_.push_back(std::move(stat));
+    return ref;
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name, const std::string &desc)
+{
+    wlc_assert(find(name) == nullptr, "duplicate stat '%s'", name.c_str());
+    auto stat = std::make_unique<Distribution>(name, desc);
+    Distribution &ref = *stat;
+    owned_.push_back(std::move(stat));
+    return ref;
+}
+
+void
+StatGroup::addChild(StatGroup *child)
+{
+    wlc_assert(child != nullptr);
+    children_.push_back(child);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &s : owned_)
+        s->reset();
+    for (auto *c : children_)
+        c->resetAll();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string full =
+        prefix.empty() ? name_ : prefix + "." + name_;
+    for (const auto &s : owned_) {
+        os << util::padRight(full + "." + s->name(), 44) << ' '
+           << util::padLeft(s->render(), 14) << "  # " << s->desc()
+           << '\n';
+    }
+    for (const auto *c : children_)
+        c->dump(os, full);
+}
+
+const Statistic *
+StatGroup::find(const std::string &name) const
+{
+    for (const auto &s : owned_)
+        if (s->name() == name)
+            return s.get();
+    return nullptr;
+}
+
+} // namespace stats
+} // namespace wlcache

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Lightweight statistics framework in the spirit of gem5's stats
+ * package. Components create named scalar and distribution statistics
+ * inside a StatGroup; groups nest, dump to a stream, and reset between
+ * simulation phases.
+ */
+
+#ifndef WLCACHE_SIM_STATS_HH
+#define WLCACHE_SIM_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wlcache {
+namespace stats {
+
+/** Abstract named statistic. */
+class Statistic
+{
+  public:
+    Statistic(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc))
+    {}
+    virtual ~Statistic() = default;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the current value for dumping. */
+    virtual std::string render() const = 0;
+
+    /** Reset to the initial value. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** Simple accumulating scalar (counter or gauge). */
+class Scalar : public Statistic
+{
+  public:
+    using Statistic::Statistic;
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+
+    double value() const { return value_; }
+
+    std::string render() const override;
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Streaming distribution: tracks count, sum, min, max, and sum of
+ * squares, enough for mean and standard deviation without storing
+ * samples.
+ */
+class Distribution : public Statistic
+{
+  public:
+    using Statistic::Statistic;
+
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const;
+    double stddev() const;
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A named collection of statistics. Groups own their statistics and
+ * may own child groups, forming a dump tree.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create (and own) a scalar statistic. */
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+
+    /** Create (and own) a distribution statistic. */
+    Distribution &addDistribution(const std::string &name,
+                                  const std::string &desc);
+
+    /** Register a child group (not owned). */
+    void addChild(StatGroup *child);
+
+    /** Reset every statistic in this group and its children. */
+    void resetAll();
+
+    /** Dump "group.stat value # desc" lines recursively. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Find a statistic by name in this group only; null if absent. */
+    const Statistic *find(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Statistic>> owned_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace stats
+} // namespace wlcache
+
+#endif // WLCACHE_SIM_STATS_HH

@@ -1,0 +1,84 @@
+#include "sim/trace_log.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "util/strings.hh"
+
+namespace wlcache {
+namespace trace {
+
+namespace {
+
+std::uint32_t enabled_categories = kNone;
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case kCache: return "cache";
+      case kQueue: return "queue";
+      case kPower: return "power";
+      case kNvm:   return "nvm";
+      case kAdapt: return "adapt";
+      default:     return "?";
+    }
+}
+
+} // anonymous namespace
+
+void
+setEnabled(std::uint32_t categories)
+{
+    enabled_categories = categories;
+}
+
+std::uint32_t
+enabled()
+{
+    return enabled_categories;
+}
+
+std::uint32_t
+parseCategories(const std::string &spec)
+{
+    std::uint32_t mask = kNone;
+    for (const auto &name : util::split(spec, ',')) {
+        const std::string n = util::toLower(name);
+        if (n.empty())
+            continue;
+        if (n == "all")
+            mask |= kAll;
+        else if (n == "cache")
+            mask |= kCache;
+        else if (n == "queue")
+            mask |= kQueue;
+        else if (n == "power")
+            mask |= kPower;
+        else if (n == "nvm")
+            mask |= kNvm;
+        else if (n == "adapt")
+            mask |= kAdapt;
+        else
+            warn("unknown trace category '%s'", n.c_str());
+    }
+    return mask;
+}
+
+void
+print(Category cat, Cycle when, const char *component, const char *fmt,
+      ...)
+{
+    std::fprintf(stderr, "%10llu: %-6s %-10s ",
+                 static_cast<unsigned long long>(when),
+                 categoryName(cat), component);
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+}
+
+} // namespace trace
+} // namespace wlcache

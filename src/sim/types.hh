@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fundamental simulator types and units.
+ *
+ * The simulated core runs at 1 GHz (paper Table 2), so one cycle is
+ * one nanosecond. All latencies in the models are expressed in cycles;
+ * wall-clock durations (power traces, charging intervals) are expressed
+ * in seconds as doubles.
+ */
+
+#ifndef WLCACHE_SIM_TYPES_HH
+#define WLCACHE_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace wlcache {
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count (1 cycle == 1 ns at 1 GHz). */
+using Cycle = std::uint64_t;
+
+/** Core clock frequency, Hz (paper Table 2: 1.0 GHz). */
+constexpr double kCoreFreqHz = 1.0e9;
+
+/** Seconds per simulated cycle. */
+constexpr double kSecondsPerCycle = 1.0 / kCoreFreqHz;
+
+/** Convert cycles to seconds. */
+constexpr double
+cyclesToSeconds(Cycle c)
+{
+    return static_cast<double>(c) * kSecondsPerCycle;
+}
+
+/** Convert a duration in seconds to whole cycles (rounded down). */
+constexpr Cycle
+secondsToCycles(double s)
+{
+    return static_cast<Cycle>(s * kCoreFreqHz);
+}
+
+/** Kind of a data-memory operation issued by the core. */
+enum class MemOp : std::uint8_t
+{
+    Load,
+    Store,
+};
+
+/** Access width in bytes for a memory operation (1, 2, 4, or 8). */
+using AccessSize = std::uint8_t;
+
+/**
+ * One data-memory reference in a workload trace.
+ *
+ * @c computeGap is the number of non-memory instructions the core
+ * executes *before* this reference; it models the compute/memory mix
+ * without recording every ALU instruction.
+ */
+struct MemAccess
+{
+    std::uint32_t computeGap;
+    MemOp op;
+    AccessSize size;
+    Addr addr;
+    std::uint64_t value;  //!< Store data (or loaded data for checking).
+};
+
+} // namespace wlcache
+
+#endif // WLCACHE_SIM_TYPES_HH

@@ -1,0 +1,65 @@
+#include "util/stat_math.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace wlcache {
+namespace util {
+
+double
+geoMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return v & ~(align - 1);
+}
+
+std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace util
+} // namespace wlcache

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Numeric helpers: geometric mean, power-of-two math, alignment.
+ */
+
+#ifndef WLCACHE_UTIL_STAT_MATH_HH
+#define WLCACHE_UTIL_STAT_MATH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wlcache {
+namespace util {
+
+/**
+ * Geometric mean of a vector of positive values.
+ * @return 0.0 for an empty vector or any non-positive entry.
+ */
+double geoMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0.0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** True iff @p v is a power of two (0 is not). */
+bool isPowerOfTwo(std::uint64_t v);
+
+/** floor(log2(v)); @p v must be non-zero. */
+unsigned floorLog2(std::uint64_t v);
+
+/** Round @p v down to a multiple of the power-of-two @p align. */
+std::uint64_t alignDown(std::uint64_t v, std::uint64_t align);
+
+/** Round @p v up to a multiple of the power-of-two @p align. */
+std::uint64_t alignUp(std::uint64_t v, std::uint64_t align);
+
+} // namespace util
+} // namespace wlcache
+
+#endif // WLCACHE_UTIL_STAT_MATH_HH

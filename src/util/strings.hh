@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small string formatting helpers shared across the simulator,
+ * benchmarks, and examples.
+ */
+
+#ifndef WLCACHE_UTIL_STRINGS_HH
+#define WLCACHE_UTIL_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wlcache {
+namespace util {
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Format a double with @p precision digits after the decimal point. */
+std::string fmtDouble(double v, int precision = 2);
+
+/**
+ * Format a byte count with a binary-unit suffix (B, KiB, MiB).
+ * Values that are exact multiples render without a fraction,
+ * e.g.\ 8192 -> "8KiB".
+ */
+std::string fmtBytes(std::uint64_t bytes);
+
+/**
+ * Format an energy value given in joules using an SI prefix
+ * (J, mJ, uJ, nJ, pJ).
+ */
+std::string fmtEnergy(double joules);
+
+/**
+ * Format a duration given in seconds using an SI prefix
+ * (s, ms, us, ns).
+ */
+std::string fmtSeconds(double seconds);
+
+/** Split @p s on the single-character delimiter @p delim. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string s);
+
+} // namespace util
+} // namespace wlcache
+
+#endif // WLCACHE_UTIL_STRINGS_HH

@@ -1,0 +1,73 @@
+#include "util/table.hh"
+
+#include <algorithm>
+
+#include "util/strings.hh"
+
+namespace wlcache {
+namespace util {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+    rows_.clear();
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::rowDoubles(const std::string &label,
+                      const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(fmtDouble(v, precision));
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    // Compute per-column widths across header and all rows.
+    std::vector<std::size_t> widths;
+    auto account = [&widths](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    account(header_);
+    for (const auto &r : rows_)
+        account(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << "  ";
+            // Left-align the first column (labels), right-align data.
+            os << (i == 0 ? padRight(cells[i], widths[i])
+                          : padLeft(cells[i], widths[i]));
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+} // namespace util
+} // namespace wlcache

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to render
+ * each paper table/figure as aligned rows on stdout.
+ */
+
+#ifndef WLCACHE_UTIL_TABLE_HH
+#define WLCACHE_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wlcache {
+namespace util {
+
+/**
+ * Accumulates rows of string cells and prints them with per-column
+ * alignment. The first added row is treated as the header.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row; clears any previous contents. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. Rows may differ in length. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: append a row of doubles, formatted. */
+    void rowDoubles(const std::string &label,
+                    const std::vector<double> &values,
+                    int precision = 3);
+
+    /** Render the table to @p os with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows (excluding the header). */
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace util
+} // namespace wlcache
+
+#endif // WLCACHE_UTIL_TABLE_HH

@@ -1,0 +1,76 @@
+#include "workloads/guest_env.hh"
+
+#include "util/stat_math.hh"
+
+namespace wlcache {
+namespace workloads {
+
+GuestEnv::GuestEnv(std::uint64_t seed, Addr data_base,
+                   std::size_t heap_bytes)
+    : data_base_(data_base), backing_(heap_bytes, 0),
+      initial_(heap_bytes, 0), rng_(seed)
+{
+    wlc_assert(util::isPowerOfTwo(64) && data_base % 64 == 0,
+               "data base must be line aligned");
+}
+
+Addr
+GuestEnv::alloc(std::size_t bytes, std::size_t align)
+{
+    wlc_assert(util::isPowerOfTwo(align) && align <= 64);
+    brk_ = static_cast<std::size_t>(
+        util::alignUp(brk_, static_cast<std::uint64_t>(align)));
+    const Addr addr = data_base_ + brk_;
+    brk_ += bytes;
+    wlc_assert(brk_ <= backing_.size(), "guest heap exhausted");
+    return addr;
+}
+
+std::uint8_t *
+GuestEnv::ptr(Addr addr, unsigned bytes)
+{
+    wlc_assert(addr >= data_base_, "guest access below data segment");
+    const std::size_t off = static_cast<std::size_t>(addr - data_base_);
+    wlc_assert(off + bytes <= backing_.size(),
+               "guest access beyond heap");
+    wlc_assert(addr % bytes == 0,
+               "unaligned guest access: addr=0x%llx size=%u",
+               static_cast<unsigned long long>(addr), bytes);
+    return backing_.data() + off;
+}
+
+void
+GuestEnv::record(MemOp op, Addr addr, unsigned bytes, std::uint64_t v)
+{
+    MemAccess ev;
+    ev.computeGap = gap_;
+    ev.op = op;
+    ev.size = static_cast<AccessSize>(bytes);
+    ev.addr = addr;
+    ev.value = v;
+    trace_.push_back(ev);
+    gap_ = 0;
+}
+
+void
+GuestEnv::markInit(Addr addr, unsigned bytes)
+{
+    const std::size_t off = static_cast<std::size_t>(addr - data_base_);
+    std::memcpy(initial_.data() + off, backing_.data() + off, bytes);
+}
+
+void
+GuestEnv::finish()
+{
+    if (gap_ > 0) {
+        // Flush the trailing compute gap with a scratch load so no
+        // instructions are lost from the timing model.
+        const Addr scratch = data_base_;
+        std::uint64_t v = 0;
+        std::memcpy(&v, backing_.data(), 4);
+        record(MemOp::Load, scratch, 4, v & 0xffffffffull);
+    }
+}
+
+} // namespace workloads
+} // namespace wlcache

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The 23 benchmark kernels (15 MediaBench-class, 8 MiBench-class)
+ * used throughout the paper's evaluation. Each kernel implements the
+ * real algorithm against GuestEnv so the recorded reference stream
+ * carries the genuine locality and store density of the application.
+ * The @p scale parameter multiplies the input size.
+ */
+
+#ifndef WLCACHE_WORKLOADS_KERNELS_HH
+#define WLCACHE_WORKLOADS_KERNELS_HH
+
+#include "workloads/guest_env.hh"
+
+namespace wlcache {
+namespace workloads {
+
+// --- MediaBench-class -----------------------------------------------------
+void runAdpcmEncode(GuestEnv &env, unsigned scale);
+void runAdpcmDecode(GuestEnv &env, unsigned scale);
+void runG721Encode(GuestEnv &env, unsigned scale);
+void runG721Decode(GuestEnv &env, unsigned scale);
+void runGsmEncode(GuestEnv &env, unsigned scale);
+void runGsmDecode(GuestEnv &env, unsigned scale);
+void runEpic(GuestEnv &env, unsigned scale);
+void runJpegEncode(GuestEnv &env, unsigned scale);
+void runJpegDecode(GuestEnv &env, unsigned scale);
+void runMpeg2Encode(GuestEnv &env, unsigned scale);
+void runMpeg2Decode(GuestEnv &env, unsigned scale);
+void runPegwitDecrypt(GuestEnv &env, unsigned scale);
+void runSha(GuestEnv &env, unsigned scale);
+void runSusanCorners(GuestEnv &env, unsigned scale);
+void runSusanEdges(GuestEnv &env, unsigned scale);
+
+// --- MiBench-class ----------------------------------------------------------
+void runBasicmath(GuestEnv &env, unsigned scale);
+void runQsort(GuestEnv &env, unsigned scale);
+void runDijkstra(GuestEnv &env, unsigned scale);
+void runFft(GuestEnv &env, unsigned scale);
+void runFftInverse(GuestEnv &env, unsigned scale);
+void runPatricia(GuestEnv &env, unsigned scale);
+void runRijndaelEncrypt(GuestEnv &env, unsigned scale);
+void runRijndaelDecrypt(GuestEnv &env, unsigned scale);
+
+/**
+ * FIPS-197 known-answer self-test of the Rijndael kernel's cipher
+ * core (encrypt the appendix-C vector, compare, decrypt back).
+ * @return true when both directions match the standard.
+ */
+bool aesSelfTest();
+
+} // namespace workloads
+} // namespace wlcache
+
+#endif // WLCACHE_WORKLOADS_KERNELS_HH

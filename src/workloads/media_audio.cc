@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Audio codec kernels: IMA ADPCM encode/decode (MediaBench
+ * adpcm), an adaptive-predictor ADPCM in the style of G.721, and an
+ * LPC analysis/synthesis pair in the style of GSM 06.10. All tables
+ * and signal buffers live in guest memory so the reference stream
+ * carries the codecs' real access patterns.
+ */
+
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+/** IMA ADPCM index adjustment table. */
+const int kImaIndexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8,
+};
+
+/** IMA ADPCM quantizer step table (89 entries). */
+const int kImaStepTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+};
+
+int
+clampInt(int v, int lo, int hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Generate a deterministic speech-like waveform into @p pcm. */
+void
+makeSpeech(GuestEnv &env, GArray<std::int16_t> &pcm)
+{
+    double phase1 = 0.0, phase2 = 0.0;
+    std::int32_t noise_state = 12345;
+    for (std::size_t i = 0; i < pcm.size(); ++i) {
+        phase1 += 0.061 + 0.02 * env.rng().nextDouble();
+        phase2 += 0.173;
+        noise_state = noise_state * 1103515245 + 12345;
+        const int noise = (noise_state >> 20) & 0x3ff;
+        const double s = 6000.0 * (phase1 - static_cast<int>(phase1)) +
+            2500.0 * (phase2 - static_cast<int>(phase2)) + noise - 4200.0;
+        pcm.initAt(i, static_cast<std::int16_t>(clampInt(
+                          static_cast<int>(s), -32768, 32767)));
+    }
+}
+
+/** Load the IMA tables into guest memory. */
+struct ImaTables
+{
+    GArray<std::int32_t> index_table;
+    GArray<std::int32_t> step_table;
+
+    explicit ImaTables(GuestEnv &env)
+        : index_table(env, 16), step_table(env, 89)
+    {
+        for (std::size_t i = 0; i < 16; ++i)
+            index_table.initAt(i, kImaIndexTable[i]);
+        for (std::size_t i = 0; i < 89; ++i)
+            step_table.initAt(i, kImaStepTable[i]);
+    }
+};
+
+} // anonymous namespace
+
+void
+runAdpcmEncode(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n = 22000u * scale;
+    ImaTables tables(env);
+    GArray<std::int16_t> pcm(env, n);
+    GArray<std::uint8_t> out(env, n / 2);
+    makeSpeech(env, pcm);
+
+    int predicted = 0;
+    int index = 0;
+    std::uint8_t pack = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const int sample = pcm.get(i);
+        const int step = tables.step_table.get(
+            static_cast<std::size_t>(index));
+        int diff = sample - predicted;
+        env.compute(4);
+
+        int code = 0;
+        if (diff < 0) {
+            code = 8;
+            diff = -diff;
+        }
+        // Successive-approximation quantization of diff/step.
+        int temp_step = step;
+        int delta = temp_step >> 3;
+        if (diff >= temp_step) {
+            code |= 4;
+            diff -= temp_step;
+            delta += temp_step;
+        }
+        temp_step >>= 1;
+        if (diff >= temp_step) {
+            code |= 2;
+            diff -= temp_step;
+            delta += temp_step;
+        }
+        temp_step >>= 1;
+        if (diff >= temp_step) {
+            code |= 1;
+            delta += temp_step;
+        }
+        env.compute(10);
+
+        predicted += (code & 8) ? -delta : delta;
+        predicted = clampInt(predicted, -32768, 32767);
+        index = clampInt(index + tables.index_table.get(
+                                     static_cast<std::size_t>(code & 7)),
+                         0, 88);
+        env.compute(5);
+
+        if (i & 1)
+            out.set(i / 2, static_cast<std::uint8_t>(
+                               pack | ((code & 0xf) << 4)));
+        else
+            pack = static_cast<std::uint8_t>(code & 0xf);
+    }
+}
+
+void
+runAdpcmDecode(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n = 26000u * scale;
+    ImaTables tables(env);
+    GArray<std::uint8_t> in(env, n / 2);
+    GArray<std::int16_t> out(env, n);
+    for (std::size_t i = 0; i < n / 2; ++i)
+        in.initAt(i, static_cast<std::uint8_t>(env.rng().next() & 0xff));
+
+    int predicted = 0;
+    int index = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t byte = in.get(i / 2);
+        const int code = (i & 1) ? (byte >> 4) : (byte & 0xf);
+        const int step = tables.step_table.get(
+            static_cast<std::size_t>(index));
+        env.compute(3);
+
+        int delta = step >> 3;
+        if (code & 4)
+            delta += step;
+        if (code & 2)
+            delta += step >> 1;
+        if (code & 1)
+            delta += step >> 2;
+        predicted += (code & 8) ? -delta : delta;
+        predicted = clampInt(predicted, -32768, 32767);
+        index = clampInt(index + tables.index_table.get(
+                                     static_cast<std::size_t>(code & 7)),
+                         0, 88);
+        env.compute(8);
+
+        out.set(i, static_cast<std::int16_t>(predicted));
+    }
+}
+
+namespace {
+
+/**
+ * Adaptive-predictor ADPCM in the style of G.721: a six-tap zero
+ * predictor with sign-sign LMS adaptation and a backward-adaptive
+ * quantizer scale. State arrays live in guest memory like the
+ * reference code's persistent predictor state.
+ */
+struct G721State
+{
+    GArray<std::int32_t> b;   //!< Zero-predictor coefficients (x256).
+    GArray<std::int32_t> dq;  //!< Last six quantized differences.
+    std::int32_t y = 512;     //!< Quantizer scale (x16).
+
+    explicit G721State(GuestEnv &env) : b(env, 6), dq(env, 6)
+    {
+        for (std::size_t i = 0; i < 6; ++i) {
+            b.initAt(i, 0);
+            dq.initAt(i, 0);
+        }
+    }
+
+    /** Zero-predictor estimate. */
+    std::int32_t
+    predict(GuestEnv &env)
+    {
+        std::int64_t acc = 0;
+        for (std::size_t i = 0; i < 6; ++i) {
+            acc += static_cast<std::int64_t>(b.get(i)) * dq.get(i);
+            env.compute(2);
+        }
+        return static_cast<std::int32_t>(acc >> 8);
+    }
+
+    /** Update predictor and quantizer state with a new dq. */
+    void
+    update(GuestEnv &env, std::int32_t dq_new, int code_mag)
+    {
+        // Sign-sign LMS on the six taps.
+        for (std::size_t i = 0; i < 6; ++i) {
+            const std::int32_t bi = b.get(i);
+            const std::int32_t di = dq.get(i);
+            std::int32_t adj = 0;
+            if (dq_new != 0 && di != 0)
+                adj = ((dq_new > 0) == (di > 0)) ? 2 : -2;
+            b.set(i, clampInt(bi - (bi >> 8) + adj, -20480, 20480));
+            env.compute(5);
+        }
+        // Shift the difference history.
+        for (std::size_t i = 5; i > 0; --i)
+            dq.set(i, dq.get(i - 1));
+        dq.set(0, dq_new);
+        // Backward-adaptive scale: grow on big codes, decay on small.
+        const int target = code_mag >= 4 ? 2048 : 128;
+        y = y + ((target - y) >> 5);
+        y = clampInt(y, 64, 8192);
+        env.compute(6);
+    }
+};
+
+} // anonymous namespace
+
+void
+runG721Encode(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n = 7000u * scale;
+    GArray<std::int16_t> pcm(env, n);
+    GArray<std::uint8_t> out(env, n);
+    makeSpeech(env, pcm);
+    G721State st(env);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const int sample = pcm.get(i);
+        const std::int32_t se = st.predict(env);
+        const std::int32_t d = sample - se;
+        // 4-bit magnitude+sign quantization against scale y.
+        const std::int32_t step = st.y >> 2;
+        int mag = step > 0 ? static_cast<int>(
+                                 (d < 0 ? -d : d) / (step + 1)) : 0;
+        mag = clampInt(mag, 0, 7);
+        const int code = (d < 0 ? 8 : 0) | mag;
+        const std::int32_t dq_new =
+            (d < 0 ? -1 : 1) * mag * (step + 1);
+        env.compute(9);
+        out.set(i, static_cast<std::uint8_t>(code));
+        st.update(env, dq_new, mag);
+    }
+}
+
+void
+runG721Decode(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n = 7000u * scale;
+    GArray<std::uint8_t> in(env, n);
+    GArray<std::int16_t> out(env, n);
+    for (std::size_t i = 0; i < n; ++i)
+        in.initAt(i, static_cast<std::uint8_t>(env.rng().next() & 0xf));
+    G721State st(env);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const int code = in.get(i);
+        const int mag = code & 7;
+        const std::int32_t step = st.y >> 2;
+        const std::int32_t dq_new =
+            ((code & 8) ? -1 : 1) * mag * (step + 1);
+        const std::int32_t se = st.predict(env);
+        const std::int32_t sr = clampInt(se + dq_new, -32768, 32767);
+        env.compute(7);
+        out.set(i, static_cast<std::int16_t>(sr));
+        st.update(env, dq_new, mag);
+    }
+}
+
+namespace {
+
+constexpr std::size_t kGsmFrame = 160;
+constexpr std::size_t kGsmOrder = 8;
+
+} // anonymous namespace
+
+void
+runGsmEncode(GuestEnv &env, unsigned scale)
+{
+    const std::size_t frames = 34u * scale;
+    const std::size_t n = frames * kGsmFrame;
+    GArray<std::int16_t> pcm(env, n);
+    GArray<std::int32_t> autocorr(env, kGsmOrder + 1);
+    GArray<std::int32_t> refl(env, kGsmOrder);
+    GArray<std::int32_t> err(env, kGsmOrder + 1);
+    GArray<std::int16_t> residual(env, n);
+    GArray<std::int16_t> hist(env, kGsmOrder);
+    makeSpeech(env, pcm);
+    for (std::size_t i = 0; i < kGsmOrder; ++i)
+        hist.initAt(i, 0);
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::size_t base = f * kGsmFrame;
+
+        // Autocorrelation lags 0..8.
+        for (std::size_t k = 0; k <= kGsmOrder; ++k) {
+            std::int64_t acc = 0;
+            for (std::size_t i = k; i < kGsmFrame; i += 4) {
+                acc += static_cast<std::int64_t>(pcm.get(base + i)) *
+                    pcm.get(base + i - k);
+                env.compute(3);
+            }
+            autocorr.set(k, static_cast<std::int32_t>(acc >> 16));
+        }
+
+        // Levinson-Durbin style reflection coefficients (x4096).
+        std::int64_t e = autocorr.get(0);
+        if (e <= 0)
+            e = 1;
+        err.set(0, static_cast<std::int32_t>(e));
+        for (std::size_t m = 0; m < kGsmOrder; ++m) {
+            const std::int64_t num = autocorr.get(m + 1);
+            std::int32_t k = static_cast<std::int32_t>(
+                (num << 12) / (err.get(m) + 1));
+            k = clampInt(k, -4000, 4000);
+            refl.set(m, k);
+            const std::int64_t em = err.get(m);
+            err.set(m + 1, static_cast<std::int32_t>(
+                               em - ((em * k * k) >> 24) + 1));
+            env.compute(12);
+        }
+
+        // Short-term analysis filter: residual via lattice-ish pass.
+        for (std::size_t i = 0; i < kGsmFrame; ++i) {
+            std::int32_t s = pcm.get(base + i);
+            for (std::size_t m = 0; m < kGsmOrder; m += 2) {
+                const std::int32_t k = refl.get(m);
+                const std::int32_t h = hist.get(m);
+                s -= static_cast<std::int32_t>(
+                    (static_cast<std::int64_t>(k) * h) >> 12);
+                env.compute(4);
+            }
+            for (std::size_t m = kGsmOrder - 1; m > 0; --m)
+                hist.set(m, hist.get(m - 1));
+            hist.set(0, static_cast<std::int16_t>(
+                            clampInt(s, -32768, 32767)));
+            residual.set(base + i, static_cast<std::int16_t>(
+                                       clampInt(s >> 2, -32768, 32767)));
+            env.compute(4);
+        }
+    }
+}
+
+void
+runGsmDecode(GuestEnv &env, unsigned scale)
+{
+    const std::size_t frames = 40u * scale;
+    const std::size_t n = frames * kGsmFrame;
+    GArray<std::int16_t> residual(env, n);
+    GArray<std::int32_t> refl(env, kGsmOrder);
+    GArray<std::int16_t> hist(env, kGsmOrder);
+    GArray<std::int16_t> out(env, n);
+    for (std::size_t i = 0; i < n; ++i)
+        residual.initAt(i, static_cast<std::int16_t>(
+                               (env.rng().next() & 0x7ff) - 1024));
+    for (std::size_t i = 0; i < kGsmOrder; ++i)
+        hist.initAt(i, 0);
+
+    for (std::size_t f = 0; f < frames; ++f) {
+        const std::size_t base = f * kGsmFrame;
+        // Per-frame reflection coefficients (decoded parameters).
+        for (std::size_t m = 0; m < kGsmOrder; ++m) {
+            refl.set(m, static_cast<std::int32_t>(
+                            (env.rng().next() % 6000) - 3000));
+            env.compute(3);
+        }
+        // Short-term synthesis filter.
+        for (std::size_t i = 0; i < kGsmFrame; ++i) {
+            std::int32_t s = residual.get(base + i) << 2;
+            for (std::size_t m = 0; m < kGsmOrder; m += 2) {
+                const std::int32_t k = refl.get(m);
+                const std::int32_t h = hist.get(m);
+                s += static_cast<std::int32_t>(
+                    (static_cast<std::int64_t>(k) * h) >> 12);
+                env.compute(4);
+            }
+            s = clampInt(s, -32768, 32767);
+            for (std::size_t m = kGsmOrder - 1; m > 0; --m)
+                hist.set(m, hist.get(m - 1));
+            hist.set(0, static_cast<std::int16_t>(s));
+            out.set(base + i, static_cast<std::int16_t>(s));
+            env.compute(3);
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace wlcache

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Crypto-flavoured MediaBench kernels: a real SHA-1 over a buffer,
+ * and a block-cipher decryption standing in for Pegwit's decrypt path
+ * (Pegwit's elliptic-curve keying is replaced by an XTEA-CBC stream:
+ * same per-block load/round/store structure the cache sees — see
+ * DESIGN.md §2).
+ */
+
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+std::uint32_t
+rotl32(std::uint32_t v, int s)
+{
+    return (v << s) | (v >> (32 - s));
+}
+
+} // anonymous namespace
+
+void
+runSha(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n_bytes = 28u * 1024 * scale;
+    const std::size_t n_words = n_bytes / 4;
+    GArray<std::uint32_t> msg(env, n_words);
+    GArray<std::uint32_t> w(env, 80);
+    GArray<std::uint32_t> digest(env, 5);
+    for (std::size_t i = 0; i < n_words; ++i)
+        msg.initAt(i, static_cast<std::uint32_t>(env.rng().next()));
+
+    std::uint32_t h0 = 0x67452301u, h1 = 0xefcdab89u, h2 = 0x98badcfeu,
+                  h3 = 0x10325476u, h4 = 0xc3d2e1f0u;
+
+    for (std::size_t chunk = 0; chunk + 16 <= n_words; chunk += 16) {
+        for (unsigned t = 0; t < 16; ++t) {
+            w.set(t, msg.get(chunk + t));
+            env.compute(2);
+        }
+        for (unsigned t = 16; t < 80; ++t) {
+            const std::uint32_t v = rotl32(
+                w.get(t - 3) ^ w.get(t - 8) ^ w.get(t - 14) ^
+                    w.get(t - 16),
+                1);
+            w.set(t, v);
+            env.compute(5);
+        }
+        std::uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+        for (unsigned t = 0; t < 80; ++t) {
+            std::uint32_t f, k;
+            if (t < 20) {
+                f = (b & c) | ((~b) & d);
+                k = 0x5a827999u;
+            } else if (t < 40) {
+                f = b ^ c ^ d;
+                k = 0x6ed9eba1u;
+            } else if (t < 60) {
+                f = (b & c) | (b & d) | (c & d);
+                k = 0x8f1bbcdcu;
+            } else {
+                f = b ^ c ^ d;
+                k = 0xca62c1d6u;
+            }
+            const std::uint32_t temp =
+                rotl32(a, 5) + f + e + k + w.get(t);
+            e = d;
+            d = c;
+            c = rotl32(b, 30);
+            b = a;
+            a = temp;
+            env.compute(9);
+        }
+        h0 += a;
+        h1 += b;
+        h2 += c;
+        h3 += d;
+        h4 += e;
+        env.compute(5);
+    }
+    digest.set(0, h0);
+    digest.set(1, h1);
+    digest.set(2, h2);
+    digest.set(3, h3);
+    digest.set(4, h4);
+}
+
+void
+runPegwitDecrypt(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n_bytes = 14u * 1024 * scale;
+    const std::size_t n_blocks = n_bytes / 8;
+    GArray<std::uint32_t> cipher(env, n_blocks * 2);
+    GArray<std::uint32_t> plain(env, n_blocks * 2);
+    GArray<std::uint32_t> key(env, 4);
+    for (std::size_t i = 0; i < n_blocks * 2; ++i)
+        cipher.initAt(i, static_cast<std::uint32_t>(env.rng().next()));
+    for (unsigned i = 0; i < 4; ++i)
+        key.initAt(i, static_cast<std::uint32_t>(env.rng().next()));
+
+    constexpr std::uint32_t kDelta = 0x9e3779b9u;
+    std::uint32_t iv0 = 0x01234567u, iv1 = 0x89abcdefu;
+
+    for (std::size_t blk = 0; blk < n_blocks; ++blk) {
+        std::uint32_t v0 = cipher.get(blk * 2);
+        std::uint32_t v1 = cipher.get(blk * 2 + 1);
+        const std::uint32_t c0 = v0, c1 = v1;
+        std::uint32_t sum = kDelta * 32;
+        for (unsigned round = 0; round < 32; ++round) {
+            const std::uint32_t k_hi =
+                key.get((sum >> 11) & 3);
+            v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + k_hi);
+            sum -= kDelta;
+            const std::uint32_t k_lo = key.get(sum & 3);
+            v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + k_lo);
+            env.compute(14);
+        }
+        // CBC chaining with the previous ciphertext block.
+        plain.set(blk * 2, v0 ^ iv0);
+        plain.set(blk * 2 + 1, v1 ^ iv1);
+        iv0 = c0;
+        iv1 = c1;
+        env.compute(4);
+    }
+}
+
+} // namespace workloads
+} // namespace wlcache

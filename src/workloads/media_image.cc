@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Image kernels: JPEG-style 8x8 DCT encode/decode, an EPIC-style
+ * Laplacian pyramid coder, and SUSAN corner/edge detection. Images,
+ * block scratch buffers, and quantization tables live in guest
+ * memory, so the blocked access patterns (hot 8x8 scratch, strided
+ * row walks, stencil windows) reach the cache models faithfully.
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+/** JPEG luminance quantization table (Annex K). */
+const int kJpegQuant[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+};
+
+/** Fill an image with a deterministic scene (gradients + blobs). */
+void
+makeImage(GuestEnv &env, GArray<std::int16_t> &img, unsigned w,
+          unsigned h)
+{
+    // A few random bright blobs over a smooth gradient.
+    const unsigned n_blobs = 6;
+    int bx[8], by[8], br[8];
+    for (unsigned b = 0; b < n_blobs; ++b) {
+        bx[b] = static_cast<int>(env.rng().nextBelow(w));
+        by[b] = static_cast<int>(env.rng().nextBelow(h));
+        br[b] = 4 + static_cast<int>(env.rng().nextBelow(12));
+    }
+    for (unsigned y = 0; y < h; ++y) {
+        for (unsigned x = 0; x < w; ++x) {
+            int v = static_cast<int>((x * 96) / w + (y * 64) / h);
+            for (unsigned b = 0; b < n_blobs; ++b) {
+                const int dx = static_cast<int>(x) - bx[b];
+                const int dy = static_cast<int>(y) - by[b];
+                if (dx * dx + dy * dy < br[b] * br[b])
+                    v += 90;
+            }
+            img.initAt(y * static_cast<std::size_t>(w) + x,
+                       static_cast<std::int16_t>(v > 255 ? 255 : v));
+        }
+    }
+}
+
+/** Integer 1-D DCT-II butterfly pass over 8 samples (in scratch). */
+void
+dct1d(GuestEnv &env, GArray<std::int32_t> &s, std::size_t base,
+      std::size_t stride)
+{
+    // AAN-style integer butterfly; coefficients x256.
+    static const int c1 = 251, c2 = 236, c3 = 212, c5 = 142, c6 = 97,
+                     c7 = 49;
+    std::int32_t x[8];
+    for (unsigned i = 0; i < 8; ++i)
+        x[i] = s.get(base + i * stride);
+    env.compute(6);
+    const std::int32_t s07 = x[0] + x[7], d07 = x[0] - x[7];
+    const std::int32_t s16 = x[1] + x[6], d16 = x[1] - x[6];
+    const std::int32_t s25 = x[2] + x[5], d25 = x[2] - x[5];
+    const std::int32_t s34 = x[3] + x[4], d34 = x[3] - x[4];
+    env.compute(8);
+    const std::int32_t e0 = s07 + s34, e3 = s07 - s34;
+    const std::int32_t e1 = s16 + s25, e2 = s16 - s25;
+    s.set(base + 0 * stride, (e0 + e1) >> 1);
+    s.set(base + 4 * stride, (e0 - e1) >> 1);
+    s.set(base + 2 * stride, (e3 * c2 + e2 * c6) >> 9);
+    s.set(base + 6 * stride, (e3 * c6 - e2 * c2) >> 9);
+    s.set(base + 1 * stride,
+          (d07 * c1 + d16 * c3 + d25 * c5 + d34 * c7) >> 9);
+    s.set(base + 3 * stride,
+          (d07 * c3 - d16 * c7 - d25 * c1 - d34 * c5) >> 9);
+    s.set(base + 5 * stride,
+          (d07 * c5 - d16 * c1 + d25 * c7 + d34 * c3) >> 9);
+    s.set(base + 7 * stride,
+          (d07 * c7 - d16 * c5 + d25 * c3 - d34 * c1) >> 9);
+    env.compute(28);
+}
+
+/** Crude integer inverse transform (transpose-free, two passes). */
+void
+idct1d(GuestEnv &env, GArray<std::int32_t> &s, std::size_t base,
+       std::size_t stride)
+{
+    std::int32_t x[8];
+    for (unsigned i = 0; i < 8; ++i)
+        x[i] = s.get(base + i * stride);
+    env.compute(6);
+    static const int c1 = 251, c2 = 236, c3 = 212, c5 = 142, c6 = 97,
+                     c7 = 49;
+    const std::int32_t e0 = x[0] + x[4], e1 = x[0] - x[4];
+    const std::int32_t e2 = (x[2] * c2 + x[6] * c6) >> 9;
+    const std::int32_t e3 = (x[2] * c6 - x[6] * c2) >> 9;
+    const std::int32_t o0 =
+        (x[1] * c1 + x[3] * c3 + x[5] * c5 + x[7] * c7) >> 9;
+    const std::int32_t o1 =
+        (x[1] * c3 - x[3] * c7 - x[5] * c1 - x[7] * c5) >> 9;
+    const std::int32_t o2 =
+        (x[1] * c5 - x[3] * c1 + x[5] * c7 + x[7] * c3) >> 9;
+    const std::int32_t o3 =
+        (x[1] * c7 - x[3] * c5 + x[5] * c3 - x[7] * c1) >> 9;
+    env.compute(30);
+    s.set(base + 0 * stride, e0 + e2 + o0);
+    s.set(base + 7 * stride, e0 + e2 - o0);
+    s.set(base + 1 * stride, e1 + e3 + o1);
+    s.set(base + 6 * stride, e1 + e3 - o1);
+    s.set(base + 2 * stride, e1 - e3 + o2);
+    s.set(base + 5 * stride, e1 - e3 - o2);
+    s.set(base + 3 * stride, e0 - e2 + o3);
+    s.set(base + 4 * stride, e0 - e2 - o3);
+    env.compute(10);
+}
+
+} // anonymous namespace
+
+void
+runJpegEncode(GuestEnv &env, unsigned scale)
+{
+    const unsigned w = 112, h = 112 * scale;
+    GArray<std::int16_t> img(env, static_cast<std::size_t>(w) * h);
+    GArray<std::int32_t> quant(env, 64);
+    GArray<std::int32_t> block(env, 64);
+    GArray<std::int16_t> coeffs(env, static_cast<std::size_t>(w) * h);
+    makeImage(env, img, w, h);
+    for (unsigned i = 0; i < 64; ++i)
+        quant.initAt(i, kJpegQuant[i]);
+
+    for (unsigned by = 0; by < h; by += 8) {
+        for (unsigned bx = 0; bx < w; bx += 8) {
+            // Load the block into the hot scratch buffer.
+            for (unsigned y = 0; y < 8; ++y)
+                for (unsigned x = 0; x < 8; ++x) {
+                    block.set(y * 8 + x,
+                              img.get((by + y) *
+                                          static_cast<std::size_t>(w) +
+                                      bx + x) - 128);
+                    env.compute(2);
+                }
+            // 2-D DCT: rows then columns.
+            for (unsigned r = 0; r < 8; ++r)
+                dct1d(env, block, r * 8, 1);
+            for (unsigned c = 0; c < 8; ++c)
+                dct1d(env, block, c, 8);
+            // Quantize and emit.
+            for (unsigned i = 0; i < 64; ++i) {
+                const std::int32_t q = quant.get(i);
+                const std::int32_t v = block.get(i) / (q * 2);
+                coeffs.set((by + i / 8) * static_cast<std::size_t>(w) +
+                               bx + i % 8,
+                           static_cast<std::int16_t>(v));
+                env.compute(4);
+            }
+        }
+    }
+}
+
+void
+runJpegDecode(GuestEnv &env, unsigned scale)
+{
+    const unsigned w = 112, h = 112 * scale;
+    GArray<std::int16_t> coeffs(env, static_cast<std::size_t>(w) * h);
+    GArray<std::int32_t> quant(env, 64);
+    GArray<std::int32_t> block(env, 64);
+    GArray<std::uint8_t> out(env, static_cast<std::size_t>(w) * h);
+    for (unsigned i = 0; i < 64; ++i)
+        quant.initAt(i, kJpegQuant[i]);
+    // Sparse coefficient field, as a real entropy decoder would emit.
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+        const bool nz = (i % 64) < 12 || env.rng().nextBool(0.04);
+        coeffs.initAt(i, nz ? static_cast<std::int16_t>(
+                                  (env.rng().next() & 0x1f) - 16)
+                            : 0);
+    }
+
+    for (unsigned by = 0; by < h; by += 8) {
+        for (unsigned bx = 0; bx < w; bx += 8) {
+            for (unsigned i = 0; i < 64; ++i) {
+                const std::int32_t q = quant.get(i);
+                block.set(i, coeffs.get(
+                                 (by + i / 8) *
+                                     static_cast<std::size_t>(w) +
+                                 bx + i % 8) * q);
+                env.compute(3);
+            }
+            for (unsigned c = 0; c < 8; ++c)
+                idct1d(env, block, c, 8);
+            for (unsigned r = 0; r < 8; ++r)
+                idct1d(env, block, r * 8, 1);
+            for (unsigned i = 0; i < 64; ++i) {
+                std::int32_t v = (block.get(i) >> 3) + 128;
+                v = v < 0 ? 0 : (v > 255 ? 255 : v);
+                out.set((by + i / 8) * static_cast<std::size_t>(w) +
+                            bx + i % 8,
+                        static_cast<std::uint8_t>(v));
+                env.compute(3);
+            }
+        }
+    }
+}
+
+void
+runEpic(GuestEnv &env, unsigned scale)
+{
+    // EPIC builds a filter-subsample pyramid and quantizes each band.
+    const unsigned w0 = 96, h0 = 96 * scale;
+    GArray<std::int16_t> level0(env,
+                                static_cast<std::size_t>(w0) * h0);
+    GArray<std::int16_t> level1(env,
+                                static_cast<std::size_t>(w0 / 2) *
+                                    (h0 / 2));
+    GArray<std::int16_t> level2(env,
+                                static_cast<std::size_t>(w0 / 4) *
+                                    (h0 / 4));
+    GArray<std::int16_t> tmp(env, static_cast<std::size_t>(w0) * h0);
+    GArray<std::int32_t> taps(env, 5);
+    makeImage(env, level0, w0, h0);
+    const int kTaps[5] = { 14, 62, 104, 62, 14 };  // x256 binomial
+    for (unsigned i = 0; i < 5; ++i)
+        taps.initAt(i, kTaps[i]);
+
+    struct Band
+    {
+        GArray<std::int16_t> *src;
+        GArray<std::int16_t> *dst;
+        unsigned w, h;
+    };
+    Band bands[2] = {
+        { &level0, &level1, w0, h0 },
+        { &level1, &level2, w0 / 2, h0 / 2 },
+    };
+
+    for (const Band &b : bands) {
+        // Horizontal 5-tap filter into tmp.
+        for (unsigned y = 0; y < b.h; ++y) {
+            for (unsigned x = 2; x + 2 < b.w; ++x) {
+                std::int32_t acc = 0;
+                for (int t = -2; t <= 2; ++t) {
+                    acc += b.src->get(y * static_cast<std::size_t>(b.w) +
+                                      x + t) *
+                        taps.get(static_cast<std::size_t>(t + 2));
+                    env.compute(3);
+                }
+                tmp.set(y * static_cast<std::size_t>(b.w) + x,
+                        static_cast<std::int16_t>(acc >> 8));
+            }
+        }
+        // Vertical filter + 2x subsample + dead-zone quantize.
+        for (unsigned y = 2; y + 2 < b.h; y += 2) {
+            for (unsigned x = 0; x < b.w; x += 2) {
+                std::int32_t acc = 0;
+                for (int t = -2; t <= 2; ++t) {
+                    acc += tmp.get((y + t) *
+                                       static_cast<std::size_t>(b.w) +
+                                   x) *
+                        taps.get(static_cast<std::size_t>(t + 2));
+                    env.compute(3);
+                }
+                std::int32_t q = acc >> 12;
+                if (q > -2 && q < 2)
+                    q = 0;  // dead zone
+                b.dst->set((y / 2) * static_cast<std::size_t>(b.w / 2) +
+                               x / 2,
+                           static_cast<std::int16_t>(q));
+                env.compute(4);
+            }
+        }
+    }
+}
+
+namespace {
+
+/** Shared SUSAN driver: USAN area per pixel with a 37-pixel mask. */
+void
+susanCommon(GuestEnv &env, unsigned w, unsigned h, int usan_threshold,
+            int geometric_threshold, GArray<std::uint8_t> &result,
+            GArray<std::int16_t> &img, GArray<std::int32_t> &lut)
+{
+    // 37-pixel circular mask offsets (radius ~3.4).
+    static const int kMask[37][2] = {
+        { -1, -3 }, { 0, -3 }, { 1, -3 },
+        { -2, -2 }, { -1, -2 }, { 0, -2 }, { 1, -2 }, { 2, -2 },
+        { -3, -1 }, { -2, -1 }, { -1, -1 }, { 0, -1 }, { 1, -1 },
+        { 2, -1 }, { 3, -1 },
+        { -3, 0 }, { -2, 0 }, { -1, 0 }, { 0, 0 }, { 1, 0 }, { 2, 0 },
+        { 3, 0 },
+        { -3, 1 }, { -2, 1 }, { -1, 1 }, { 0, 1 }, { 1, 1 }, { 2, 1 },
+        { 3, 1 },
+        { -2, 2 }, { -1, 2 }, { 0, 2 }, { 1, 2 }, { 2, 2 },
+        { -1, 3 }, { 0, 3 }, { 1, 3 },
+    };
+    for (unsigned y = 3; y + 3 < h; ++y) {
+        for (unsigned x = 3; x + 3 < w; ++x) {
+            const int center =
+                img.get(y * static_cast<std::size_t>(w) + x);
+            std::int32_t usan = 0;
+            for (unsigned m = 0; m < 37; ++m) {
+                const int px = img.get(
+                    (y + kMask[m][1]) * static_cast<std::size_t>(w) +
+                    (x + kMask[m][0]));
+                int diff = px - center;
+                if (diff < 0)
+                    diff = -diff;
+                if (diff > 255)
+                    diff = 255;
+                // Similarity via precomputed LUT (exp curve).
+                usan += lut.get(static_cast<std::size_t>(
+                    diff / usan_threshold > 15
+                        ? 15 : diff / usan_threshold));
+                env.compute(6);
+            }
+            const bool hit = usan < geometric_threshold;
+            result.set(y * static_cast<std::size_t>(w) + x,
+                       hit ? static_cast<std::uint8_t>(
+                                 (geometric_threshold - usan) >> 4)
+                           : 0);
+            env.compute(3);
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+runSusanCorners(GuestEnv &env, unsigned scale)
+{
+    const unsigned w = 64, h = 64 * scale;
+    GArray<std::int16_t> img(env, static_cast<std::size_t>(w) * h);
+    GArray<std::uint8_t> result(env, static_cast<std::size_t>(w) * h);
+    GArray<std::int32_t> lut(env, 16);
+    makeImage(env, img, w, h);
+    for (unsigned i = 0; i < 16; ++i)
+        lut.initAt(i, static_cast<std::int32_t>(
+                          100.0 * std::exp(-(i * i) / 16.0)));
+    // Corners: hard geometric threshold at half the max USAN.
+    susanCommon(env, w, h, 12, 37 * 50, result, img, lut);
+}
+
+void
+runSusanEdges(GuestEnv &env, unsigned scale)
+{
+    const unsigned w = 64, h = 64 * scale;
+    GArray<std::int16_t> img(env, static_cast<std::size_t>(w) * h);
+    GArray<std::uint8_t> result(env, static_cast<std::size_t>(w) * h);
+    GArray<std::int32_t> lut(env, 16);
+    makeImage(env, img, w, h);
+    for (unsigned i = 0; i < 16; ++i)
+        lut.initAt(i, static_cast<std::int32_t>(
+                          100.0 * std::exp(-(i * i) / 24.0)));
+    // Edges: three-quarter geometric threshold, softer brightness cut.
+    susanCommon(env, w, h, 20, 37 * 75, result, img, lut);
+}
+
+} // namespace workloads
+} // namespace wlcache

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Video kernels in the style of MPEG-2: the decoder performs motion
+ * compensation plus block reconstruction; the encoder performs block
+ * motion estimation (SAD search) plus a forward transform of the
+ * residual. Reference and current frames are guest arrays, so the
+ * 2-D strided window walks hit the cache models directly.
+ */
+
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+constexpr unsigned kMb = 16;  //!< Macroblock edge.
+
+void
+makeFrame(GuestEnv &env, GArray<std::uint8_t> &f, unsigned w, unsigned h,
+          unsigned phase)
+{
+    for (unsigned y = 0; y < h; ++y)
+        for (unsigned x = 0; x < w; ++x) {
+            const unsigned v =
+                ((x + phase) * 5 + (y + phase / 2) * 3) & 0xff;
+            f.initAt(y * static_cast<std::size_t>(w) + x,
+                     static_cast<std::uint8_t>(
+                         (v >> 1) + (env.rng().next() & 0x1f)));
+        }
+}
+
+} // anonymous namespace
+
+void
+runMpeg2Decode(GuestEnv &env, unsigned scale)
+{
+    const unsigned w = 64, h = 64;
+    const unsigned frames = 6 * scale;
+    GArray<std::uint8_t> ref(env, static_cast<std::size_t>(w) * h);
+    GArray<std::uint8_t> cur(env, static_cast<std::size_t>(w) * h);
+    GArray<std::int16_t> resid(env, static_cast<std::size_t>(w) * h);
+    makeFrame(env, ref, w, h, 0);
+    // Residual field the entropy decoder would have produced.
+    for (std::size_t i = 0; i < resid.size(); ++i)
+        resid.initAt(i, static_cast<std::int16_t>(
+                            (env.rng().next() & 0x0f) - 8));
+
+    for (unsigned f = 0; f < frames; ++f) {
+        for (unsigned my = 0; my < h; my += kMb) {
+            for (unsigned mx = 0; mx < w; mx += kMb) {
+                // Decoded motion vector, clamped to the frame.
+                int vx = static_cast<int>(env.rng().nextRange(-3, 3));
+                int vy = static_cast<int>(env.rng().nextRange(-3, 3));
+                if (static_cast<int>(mx) + vx < 0 ||
+                    mx + vx + kMb > w)
+                    vx = 0;
+                if (static_cast<int>(my) + vy < 0 ||
+                    my + vy + kMb > h)
+                    vy = 0;
+                env.compute(12);
+                // Motion compensation + residual add.
+                for (unsigned y = 0; y < kMb; ++y) {
+                    for (unsigned x = 0; x < kMb; ++x) {
+                        const std::size_t src =
+                            (my + vy + y) * static_cast<std::size_t>(w) +
+                            (mx + vx + x);
+                        const std::size_t dst =
+                            (my + y) * static_cast<std::size_t>(w) +
+                            (mx + x);
+                        int v = ref.get(src) + resid.get(dst);
+                        v = v < 0 ? 0 : (v > 255 ? 255 : v);
+                        cur.set(dst, static_cast<std::uint8_t>(v));
+                        env.compute(4);
+                    }
+                }
+            }
+        }
+        // The reconstructed frame becomes the next reference.
+        for (std::size_t i = 0; i < ref.size(); i += 4) {
+            ref.set(i, cur.get(i));
+            env.compute(2);
+        }
+    }
+}
+
+void
+runMpeg2Encode(GuestEnv &env, unsigned scale)
+{
+    const unsigned w = 64, h = 64;
+    const unsigned frames = 3 * scale;
+    GArray<std::uint8_t> ref(env, static_cast<std::size_t>(w) * h);
+    GArray<std::uint8_t> cur(env, static_cast<std::size_t>(w) * h);
+    GArray<std::int16_t> resid(env, static_cast<std::size_t>(w) * h);
+    GArray<std::int32_t> mvs(env, (w / kMb) * (h / kMb) * 2);
+    makeFrame(env, ref, w, h, 0);
+
+    for (unsigned f = 0; f < frames; ++f) {
+        // "Capture" the next frame: shifted reference (true motion).
+        for (unsigned y = 0; y < h; ++y)
+            for (unsigned x = 0; x < w; ++x) {
+                const unsigned sx = (x + 2 + f) % w;
+                const unsigned sy = (y + 1) % h;
+                cur.set(y * static_cast<std::size_t>(w) + x,
+                        ref.get(sy * static_cast<std::size_t>(w) + sx));
+                env.compute(3);
+            }
+
+        unsigned mb_idx = 0;
+        for (unsigned my = 0; my < h; my += kMb) {
+            for (unsigned mx = 0; mx < w; mx += kMb, ++mb_idx) {
+                // Motion search: +-4 at step 2 on subsampled pixels.
+                int best_sad = INT32_MAX, best_vx = 0, best_vy = 0;
+                for (int vy = -4; vy <= 4; vy += 2) {
+                    for (int vx = -4; vx <= 4; vx += 2) {
+                        if (static_cast<int>(mx) + vx < 0 ||
+                            mx + vx + kMb > w ||
+                            static_cast<int>(my) + vy < 0 ||
+                            my + vy + kMb > h)
+                            continue;
+                        int sad = 0;
+                        for (unsigned y = 0; y < kMb; y += 2) {
+                            for (unsigned x = 0; x < kMb; x += 2) {
+                                const int a = cur.get(
+                                    (my + y) *
+                                        static_cast<std::size_t>(w) +
+                                    mx + x);
+                                const int b = ref.get(
+                                    (my + vy + y) *
+                                        static_cast<std::size_t>(w) +
+                                    mx + vx + x);
+                                sad += a > b ? a - b : b - a;
+                                env.compute(4);
+                            }
+                        }
+                        if (sad < best_sad) {
+                            best_sad = sad;
+                            best_vx = vx;
+                            best_vy = vy;
+                        }
+                        env.compute(3);
+                    }
+                }
+                mvs.set(mb_idx * 2, best_vx);
+                mvs.set(mb_idx * 2 + 1, best_vy);
+                // Residual against the motion-compensated predictor.
+                for (unsigned y = 0; y < kMb; y += 2) {
+                    for (unsigned x = 0; x < kMb; x += 2) {
+                        const std::size_t dst =
+                            (my + y) * static_cast<std::size_t>(w) +
+                            mx + x;
+                        const int a = cur.get(dst);
+                        const int b = ref.get(
+                            (my + best_vy + y) *
+                                static_cast<std::size_t>(w) +
+                            mx + best_vx + x);
+                        resid.set(dst,
+                                  static_cast<std::int16_t>(a - b));
+                        env.compute(3);
+                    }
+                }
+            }
+        }
+        // Reconstruct reference for the next frame (simplified).
+        for (std::size_t i = 0; i < ref.size(); i += 2) {
+            ref.set(i, cur.get(i));
+            env.compute(2);
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace wlcache

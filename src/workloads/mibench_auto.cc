@@ -1,0 +1,246 @@
+/**
+ * @file
+ * MiBench automotive/office kernels: basicmath (cubic roots, integer
+ * square roots, angle conversions), qsort (actual quicksort over
+ * guest memory), and dijkstra (shortest paths on an adjacency
+ * matrix, as the MiBench network benchmark does).
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+/** Bit-by-bit integer square root (as MiBench's isqrt). */
+std::uint32_t
+isqrt(GuestEnv &env, std::uint32_t x)
+{
+    std::uint32_t r = 0, bit = 1u << 30;
+    while (bit > x)
+        bit >>= 2;
+    while (bit != 0) {
+        if (x >= r + bit) {
+            x -= r + bit;
+            r = (r >> 1) + bit;
+        } else {
+            r >>= 1;
+        }
+        bit >>= 2;
+        env.compute(5);
+    }
+    return r;
+}
+
+} // anonymous namespace
+
+void
+runBasicmath(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n = 5200u * scale;
+    GArray<double> coeff_a(env, n);
+    GArray<double> coeff_b(env, n);
+    GArray<double> roots(env, n * 3);
+    GArray<std::uint32_t> squares(env, n);
+    GArray<std::uint32_t> sqrts(env, n);
+    GArray<double> degrees(env, n);
+    GArray<double> radians(env, n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        coeff_a.initAt(i, env.rng().nextDouble(-10.0, 10.0));
+        coeff_b.initAt(i, env.rng().nextDouble(-20.0, 20.0));
+        squares.initAt(i, static_cast<std::uint32_t>(
+                              env.rng().next() & 0x3ffffff));
+        degrees.initAt(i, env.rng().nextDouble(0.0, 360.0));
+    }
+
+    // Cubic x^3 + a x^2 + b x + c = 0 via the trigonometric method.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = coeff_a.get(i);
+        const double b = coeff_b.get(i);
+        const double c = 1.0;
+        const double q = (a * a - 3.0 * b) / 9.0;
+        const double r =
+            (2.0 * a * a * a - 9.0 * a * b + 27.0 * c) / 54.0;
+        env.compute(18);
+        if (q > 0.0 && r * r < q * q * q) {
+            const double theta = std::acos(r / std::sqrt(q * q * q));
+            const double s = -2.0 * std::sqrt(q);
+            roots.set(i * 3 + 0, s * std::cos(theta / 3.0) - a / 3.0);
+            roots.set(i * 3 + 1,
+                      s * std::cos((theta + 2.0 * M_PI) / 3.0) -
+                          a / 3.0);
+            roots.set(i * 3 + 2,
+                      s * std::cos((theta - 2.0 * M_PI) / 3.0) -
+                          a / 3.0);
+            env.compute(40);
+        } else {
+            const double e = std::cbrt(std::fabs(r) +
+                                       std::sqrt(r * r - q * q * q +
+                                                 1e-9));
+            roots.set(i * 3 + 0,
+                      (r < 0 ? e : -e) + q / (e + 1e-12) - a / 3.0);
+            roots.set(i * 3 + 1, 0.0);
+            roots.set(i * 3 + 2, 0.0);
+            env.compute(30);
+        }
+    }
+
+    // Integer square roots.
+    for (std::size_t i = 0; i < n; ++i)
+        sqrts.set(i, isqrt(env, squares.get(i)));
+
+    // Degree <-> radian round trips.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double rad = degrees.get(i) * (M_PI / 180.0);
+        radians.set(i, rad);
+        env.compute(4);
+    }
+}
+
+namespace {
+
+/** In-place quicksort over a guest array (median-of-three pivot). */
+void
+quickSort(GuestEnv &env, GArray<std::uint32_t> &a, std::int64_t lo,
+          std::int64_t hi)
+{
+    while (lo < hi) {
+        if (hi - lo < 12) {
+            // Insertion sort for small partitions, as real qsort does.
+            for (std::int64_t i = lo + 1; i <= hi; ++i) {
+                const std::uint32_t key =
+                    a.get(static_cast<std::size_t>(i));
+                std::int64_t j = i - 1;
+                while (j >= lo &&
+                       a.get(static_cast<std::size_t>(j)) > key) {
+                    a.set(static_cast<std::size_t>(j + 1),
+                          a.get(static_cast<std::size_t>(j)));
+                    --j;
+                    env.compute(5);
+                }
+                a.set(static_cast<std::size_t>(j + 1), key);
+                env.compute(4);
+            }
+            return;
+        }
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        std::uint32_t pa = a.get(static_cast<std::size_t>(lo));
+        std::uint32_t pb = a.get(static_cast<std::size_t>(mid));
+        std::uint32_t pc = a.get(static_cast<std::size_t>(hi));
+        std::uint32_t pivot =
+            pa < pb ? (pb < pc ? pb : (pa < pc ? pc : pa))
+                    : (pa < pc ? pa : (pb < pc ? pc : pb));
+        env.compute(10);
+
+        std::int64_t i = lo, j = hi;
+        while (i <= j) {
+            while (a.get(static_cast<std::size_t>(i)) < pivot) {
+                ++i;
+                env.compute(3);
+            }
+            while (a.get(static_cast<std::size_t>(j)) > pivot) {
+                --j;
+                env.compute(3);
+            }
+            if (i <= j) {
+                const std::uint32_t t =
+                    a.get(static_cast<std::size_t>(i));
+                a.set(static_cast<std::size_t>(i),
+                      a.get(static_cast<std::size_t>(j)));
+                a.set(static_cast<std::size_t>(j), t);
+                ++i;
+                --j;
+                env.compute(6);
+            }
+        }
+        // Recurse into the smaller half, iterate on the larger.
+        if (j - lo < hi - i) {
+            quickSort(env, a, lo, j);
+            lo = i;
+        } else {
+            quickSort(env, a, i, hi);
+            hi = j;
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+runQsort(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n = 7000u * scale;
+    GArray<std::uint32_t> a(env, n);
+    for (std::size_t i = 0; i < n; ++i)
+        a.initAt(i, static_cast<std::uint32_t>(env.rng().next()));
+    quickSort(env, a, 0, static_cast<std::int64_t>(n) - 1);
+    // Verification sweep (as the benchmark's output pass).
+    std::uint32_t prev = 0;
+    for (std::size_t i = 0; i < n; i += 2) {
+        const std::uint32_t v = a.get(i);
+        wlc_assert(v >= prev, "qsort produced unsorted output");
+        prev = v;
+        env.compute(3);
+    }
+}
+
+void
+runDijkstra(GuestEnv &env, unsigned scale)
+{
+    const unsigned n_nodes = 88;
+    const unsigned n_sources = 7 * scale;
+    GArray<std::int32_t> adj(env,
+                             static_cast<std::size_t>(n_nodes) * n_nodes);
+    GArray<std::int32_t> dist(env, n_nodes);
+    GArray<std::uint8_t> visited(env, n_nodes);
+    GArray<std::int32_t> result(env, n_sources);
+
+    for (unsigned i = 0; i < n_nodes; ++i)
+        for (unsigned j = 0; j < n_nodes; ++j)
+            adj.initAt(static_cast<std::size_t>(i) * n_nodes + j,
+                       i == j ? 0 : static_cast<std::int32_t>(
+                                        1 + env.rng().nextBelow(50)));
+
+    constexpr std::int32_t kInf = 1 << 28;
+    for (unsigned src = 0; src < n_sources; ++src) {
+        for (unsigned i = 0; i < n_nodes; ++i) {
+            dist.set(i, i == src % n_nodes ? 0 : kInf);
+            visited.set(i, 0);
+            env.compute(3);
+        }
+        for (unsigned iter = 0; iter < n_nodes; ++iter) {
+            // Extract-min scan.
+            std::int32_t best = kInf + 1;
+            int u = -1;
+            for (unsigned i = 0; i < n_nodes; ++i) {
+                if (!visited.get(i) && dist.get(i) < best) {
+                    best = dist.get(i);
+                    u = static_cast<int>(i);
+                }
+                env.compute(4);
+            }
+            if (u < 0)
+                break;
+            visited.set(static_cast<std::size_t>(u), 1);
+            // Relax neighbours.
+            for (unsigned v = 0; v < n_nodes; ++v) {
+                const std::int32_t wgt = adj.get(
+                    static_cast<std::size_t>(u) * n_nodes + v);
+                if (wgt > 0 && best + wgt < dist.get(v)) {
+                    dist.set(v, best + wgt);
+                    env.compute(3);
+                }
+                env.compute(3);
+            }
+        }
+        result.set(src, dist.get((src * 31 + 7) % n_nodes));
+    }
+}
+
+} // namespace workloads
+} // namespace wlcache

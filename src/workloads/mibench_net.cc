@@ -1,0 +1,189 @@
+/**
+ * @file
+ * MiBench patricia: a Patricia trie keyed by 32-bit addresses, with
+ * inserts followed by a lookup-heavy phase. Nodes are guest-memory
+ * records, so the pointer-chasing traversal produces the scattered,
+ * dependent-load pattern tries are known for.
+ *
+ * Encoding: each node stores a bit rank in [1, 33] (rank = tested bit
+ * index + 1); the head sentinel has rank 0. Child links that point at
+ * a node with rank <= the parent's rank are upward (leaf) links, the
+ * classic Patricia termination condition.
+ */
+
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+constexpr std::size_t kFieldRank = 0;
+constexpr std::size_t kFieldLeft = 1;
+constexpr std::size_t kFieldRight = 2;
+constexpr std::size_t kFieldKey = 3;
+constexpr std::size_t kNodeWords = 4;
+
+struct Trie
+{
+    GuestEnv &env;
+    GArray<std::uint32_t> pool;
+    std::uint32_t next_node = 0;
+    std::uint32_t head;
+
+    Trie(GuestEnv &e, std::size_t max_nodes)
+        : env(e), pool(e, max_nodes * kNodeWords), head(alloc(0, 0))
+    {
+        setField(head, kFieldLeft, head);
+        setField(head, kFieldRight, head);
+    }
+
+    std::uint32_t
+    alloc(std::uint32_t key, std::uint32_t rank)
+    {
+        const std::uint32_t id = next_node++;
+        wlc_assert(static_cast<std::size_t>(id + 1) * kNodeWords <=
+                       pool.size(),
+                   "trie pool exhausted");
+        setField(id, kFieldKey, key);
+        setField(id, kFieldRank, rank);
+        setField(id, kFieldLeft, id);
+        setField(id, kFieldRight, id);
+        return id;
+    }
+
+    std::uint32_t
+    field(std::uint32_t node, std::size_t f)
+    {
+        return pool.get(static_cast<std::size_t>(node) * kNodeWords + f);
+    }
+
+    void
+    setField(std::uint32_t node, std::size_t f, std::uint32_t v)
+    {
+        pool.set(static_cast<std::size_t>(node) * kNodeWords + f, v);
+    }
+
+    /** Test bit of rank @p rank (rank >= 1) in @p key, MSB first. */
+    static bool
+    bitSet(std::uint32_t key, std::uint32_t rank)
+    {
+        return (key >> (32 - rank)) & 1u;
+    }
+
+    /** Descend to the leaf link for @p key. */
+    std::uint32_t
+    search(std::uint32_t key)
+    {
+        std::uint32_t p = head;
+        std::uint32_t cur = field(p, kFieldLeft);
+        env.compute(2);
+        while (field(cur, kFieldRank) > field(p, kFieldRank)) {
+            p = cur;
+            cur = bitSet(key, field(cur, kFieldRank))
+                ? field(cur, kFieldRight) : field(cur, kFieldLeft);
+            env.compute(6);
+        }
+        return cur;
+    }
+
+    /** Insert @p key if absent; @return true when inserted. */
+    bool
+    insert(std::uint32_t key)
+    {
+        const std::uint32_t near = search(key);
+        const std::uint32_t near_key = field(near, kFieldKey);
+        if (near == head ? false : near_key == key)
+            return false;
+
+        // Rank of the first differing bit (head compares vs key 0).
+        const std::uint32_t diff =
+            near == head ? key : (near_key ^ key);
+        std::uint32_t rank = 1;
+        while (rank <= 32 && !((diff >> (32 - rank)) & 1u)) {
+            ++rank;
+            env.compute(2);
+        }
+        if (rank > 32)
+            return false;  // identical keys
+
+        // Re-descend until the next node's rank exceeds the new rank.
+        std::uint32_t p = head;
+        std::uint32_t cur = field(p, kFieldLeft);
+        bool went_right = false;
+        while (field(cur, kFieldRank) > field(p, kFieldRank) &&
+               field(cur, kFieldRank) < rank) {
+            p = cur;
+            went_right = bitSet(key, field(cur, kFieldRank));
+            cur = went_right ? field(cur, kFieldRight)
+                             : field(cur, kFieldLeft);
+            env.compute(6);
+        }
+
+        const std::uint32_t node = alloc(key, rank);
+        if (bitSet(key, rank)) {
+            setField(node, kFieldRight, node);
+            setField(node, kFieldLeft, cur);
+        } else {
+            setField(node, kFieldLeft, node);
+            setField(node, kFieldRight, cur);
+        }
+        if (p == head)
+            setField(p, kFieldLeft, node);
+        else if (went_right)
+            setField(p, kFieldRight, node);
+        else
+            setField(p, kFieldLeft, node);
+        env.compute(8);
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+void
+runPatricia(GuestEnv &env, unsigned scale)
+{
+    const std::size_t n_insert = 1400u * scale;
+    const std::size_t n_lookup = 5200u * scale;
+    Trie trie(env, n_insert + 8);
+    GArray<std::uint32_t> keys(env, n_insert);
+    GArray<std::uint32_t> stats(env, 2);
+    stats.initAt(0, 0);
+    stats.initAt(1, 0);
+
+    // Insert phase: synthetic IPv4-like addresses, clustered subnets.
+    std::uint32_t inserted = 0;
+    for (std::size_t i = 0; i < n_insert; ++i) {
+        const std::uint32_t subnet =
+            static_cast<std::uint32_t>(env.rng().nextBelow(64)) << 24;
+        const std::uint32_t host =
+            static_cast<std::uint32_t>(env.rng().next() & 0xffffff);
+        const std::uint32_t key = subnet | host;
+        keys.initAt(i, key);
+        if (trie.insert(keys.get(i)))
+            ++inserted;
+    }
+    stats.set(0, inserted);
+
+    // Lookup phase: mix of present and absent keys.
+    std::uint32_t found = 0;
+    for (std::size_t i = 0; i < n_lookup; ++i) {
+        std::uint32_t key;
+        if (env.rng().nextBool(0.7))
+            key = keys.get(env.rng().nextBelow(n_insert));
+        else
+            key = static_cast<std::uint32_t>(env.rng().next());
+        const std::uint32_t leaf = trie.search(key);
+        if (trie.field(leaf, kFieldKey) == key)
+            ++found;
+        env.compute(5);
+    }
+    stats.set(1, found);
+    wlc_assert(found > 0, "patricia lookups found nothing");
+}
+
+} // namespace workloads
+} // namespace wlcache

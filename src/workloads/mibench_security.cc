@@ -1,0 +1,273 @@
+/**
+ * @file
+ * MiBench security kernels: Rijndael (AES-128) encryption and
+ * decryption in ECB mode over a buffer. S-boxes, round keys, and the
+ * state block live in guest memory, so the table-lookup-heavy inner
+ * loop reaches the cache models exactly as the reference C code's
+ * does.
+ */
+
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+const std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67,
+    0x2b, 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59,
+    0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7,
+    0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1,
+    0x71, 0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05,
+    0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83,
+    0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29,
+    0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa,
+    0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c,
+    0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc,
+    0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19,
+    0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee,
+    0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4,
+    0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6,
+    0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70,
+    0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9,
+    0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e,
+    0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf, 0x8c, 0xa1,
+    0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0,
+    0x54, 0xbb, 0x16,
+};
+
+std::uint8_t
+xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+/** AES tables + key schedule in guest memory. */
+struct AesCtx
+{
+    GArray<std::uint8_t> sbox;
+    GArray<std::uint8_t> inv_sbox;
+    GArray<std::uint8_t> round_keys;  //!< 11 x 16 bytes.
+
+    AesCtx(GuestEnv &env)
+        : sbox(env, 256), inv_sbox(env, 256), round_keys(env, 176)
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            sbox.initAt(i, kSbox[i]);
+            inv_sbox.initAt(kSbox[i], static_cast<std::uint8_t>(i));
+        }
+    }
+
+    /** Real AES-128 key expansion with traced S-box lookups. */
+    void
+    expandKey(GuestEnv &env, const std::uint8_t key[16])
+    {
+        for (unsigned i = 0; i < 16; ++i)
+            round_keys.initAt(i, key[i]);
+        std::uint8_t rcon = 1;
+        for (unsigned i = 16; i < 176; i += 4) {
+            std::uint8_t t[4];
+            for (unsigned j = 0; j < 4; ++j)
+                t[j] = round_keys.get(i - 4 + j);
+            if (i % 16 == 0) {
+                const std::uint8_t tmp = t[0];
+                t[0] = static_cast<std::uint8_t>(sbox.get(t[1]) ^ rcon);
+                t[1] = sbox.get(t[2]);
+                t[2] = sbox.get(t[3]);
+                t[3] = sbox.get(tmp);
+                rcon = xtime(rcon);
+                env.compute(8);
+            }
+            for (unsigned j = 0; j < 4; ++j)
+                round_keys.set(i + j, static_cast<std::uint8_t>(
+                                          round_keys.get(i - 16 + j) ^
+                                          t[j]));
+            env.compute(6);
+        }
+    }
+};
+
+void
+addRoundKey(GuestEnv &env, AesCtx &ctx, std::uint8_t st[16],
+            unsigned round)
+{
+    for (unsigned i = 0; i < 16; ++i)
+        st[i] ^= ctx.round_keys.get(round * 16 + i);
+    env.compute(16);
+}
+
+void
+encryptBlock(GuestEnv &env, AesCtx &ctx, std::uint8_t st[16])
+{
+    addRoundKey(env, ctx, st, 0);
+    for (unsigned round = 1; round <= 10; ++round) {
+        // SubBytes (traced table lookups).
+        for (unsigned i = 0; i < 16; ++i)
+            st[i] = ctx.sbox.get(st[i]);
+        env.compute(16);
+        // ShiftRows.
+        std::uint8_t t;
+        t = st[1]; st[1] = st[5]; st[5] = st[9]; st[9] = st[13];
+        st[13] = t;
+        t = st[2]; st[2] = st[10]; st[10] = t;
+        t = st[6]; st[6] = st[14]; st[14] = t;
+        t = st[15]; st[15] = st[11]; st[11] = st[7]; st[7] = st[3];
+        st[3] = t;
+        env.compute(12);
+        // MixColumns (skipped in the final round).
+        if (round != 10) {
+            for (unsigned c = 0; c < 4; ++c) {
+                std::uint8_t *col = st + 4 * c;
+                const std::uint8_t a0 = col[0], a1 = col[1],
+                                   a2 = col[2], a3 = col[3];
+                col[0] = static_cast<std::uint8_t>(
+                    xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+                col[1] = static_cast<std::uint8_t>(
+                    a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+                col[2] = static_cast<std::uint8_t>(
+                    a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+                col[3] = static_cast<std::uint8_t>(
+                    (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+                env.compute(16);
+            }
+        }
+        addRoundKey(env, ctx, st, round);
+    }
+}
+
+void
+decryptBlock(GuestEnv &env, AesCtx &ctx, std::uint8_t st[16])
+{
+    addRoundKey(env, ctx, st, 10);
+    for (unsigned round = 10; round >= 1; --round) {
+        // InvShiftRows.
+        std::uint8_t t;
+        t = st[13]; st[13] = st[9]; st[9] = st[5]; st[5] = st[1];
+        st[1] = t;
+        t = st[2]; st[2] = st[10]; st[10] = t;
+        t = st[6]; st[6] = st[14]; st[14] = t;
+        t = st[3]; st[3] = st[7]; st[7] = st[11]; st[11] = st[15];
+        st[15] = t;
+        env.compute(12);
+        // InvSubBytes.
+        for (unsigned i = 0; i < 16; ++i)
+            st[i] = ctx.inv_sbox.get(st[i]);
+        env.compute(16);
+        addRoundKey(env, ctx, st, round - 1);
+        // InvMixColumns (skipped after the last round key).
+        if (round != 1) {
+            for (unsigned c = 0; c < 4; ++c) {
+                std::uint8_t *col = st + 4 * c;
+                const std::uint8_t a0 = col[0], a1 = col[1],
+                                   a2 = col[2], a3 = col[3];
+                col[0] = static_cast<std::uint8_t>(
+                    gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^
+                    gmul(a3, 9));
+                col[1] = static_cast<std::uint8_t>(
+                    gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^
+                    gmul(a3, 13));
+                col[2] = static_cast<std::uint8_t>(
+                    gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^
+                    gmul(a3, 11));
+                col[3] = static_cast<std::uint8_t>(
+                    gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^
+                    gmul(a3, 14));
+                env.compute(60);
+            }
+        }
+    }
+}
+
+void
+runRijndael(GuestEnv &env, unsigned scale, bool encrypt)
+{
+    const std::size_t n_bytes = 3200u * scale;
+    const std::size_t n_blocks = n_bytes / 16;
+    AesCtx ctx(env);
+    GArray<std::uint8_t> input(env, n_bytes);
+    GArray<std::uint8_t> output(env, n_bytes);
+    std::uint8_t key[16];
+    for (unsigned i = 0; i < 16; ++i)
+        key[i] = static_cast<std::uint8_t>(env.rng().next());
+    for (std::size_t i = 0; i < n_bytes; ++i)
+        input.initAt(i, static_cast<std::uint8_t>(env.rng().next()));
+    ctx.expandKey(env, key);
+
+    for (std::size_t blk = 0; blk < n_blocks; ++blk) {
+        std::uint8_t st[16];
+        for (unsigned i = 0; i < 16; ++i)
+            st[i] = input.get(blk * 16 + i);
+        if (encrypt)
+            encryptBlock(env, ctx, st);
+        else
+            decryptBlock(env, ctx, st);
+        for (unsigned i = 0; i < 16; ++i)
+            output.set(blk * 16 + i, st[i]);
+    }
+}
+
+} // anonymous namespace
+
+bool
+aesSelfTest()
+{
+    // FIPS-197 Appendix C.1: AES-128 with key 000102...0f maps
+    // 00112233445566778899aabbccddeeff to
+    // 69c4e0d86a7b0430d8cdb78070b4c55a.
+    GuestEnv env(0);
+    AesCtx ctx(env);
+    std::uint8_t key[16], st[16];
+    for (unsigned i = 0; i < 16; ++i) {
+        key[i] = static_cast<std::uint8_t>(i);
+        st[i] = static_cast<std::uint8_t>((i << 4) | i);
+    }
+    ctx.expandKey(env, key);
+    encryptBlock(env, ctx, st);
+    static const std::uint8_t kExpected[16] = {
+        0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+        0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a,
+    };
+    for (unsigned i = 0; i < 16; ++i)
+        if (st[i] != kExpected[i])
+            return false;
+    decryptBlock(env, ctx, st);
+    for (unsigned i = 0; i < 16; ++i)
+        if (st[i] != static_cast<std::uint8_t>((i << 4) | i))
+            return false;
+    return true;
+}
+
+void
+runRijndaelEncrypt(GuestEnv &env, unsigned scale)
+{
+    runRijndael(env, scale, true);
+}
+
+void
+runRijndaelDecrypt(GuestEnv &env, unsigned scale)
+{
+    runRijndael(env, scale, false);
+}
+
+} // namespace workloads
+} // namespace wlcache

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * MiBench telecom kernels: iterative radix-2 FFT and inverse FFT on
+ * complex doubles held in guest memory, including the bit-reversal
+ * permutation (the classic strided-then-butterfly access pattern).
+ */
+
+#include <cmath>
+#include <cstdint>
+
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+namespace {
+
+constexpr std::size_t kFftSize = 2048;
+
+/** Bit-reversal permutation of re/im arrays. */
+void
+bitReverse(GuestEnv &env, GArray<double> &re, GArray<double> &im,
+           std::size_t n)
+{
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < n - 1; ++i) {
+        if (i < j) {
+            const double tr = re.get(i);
+            re.set(i, re.get(j));
+            re.set(j, tr);
+            const double ti = im.get(i);
+            im.set(i, im.get(j));
+            im.set(j, ti);
+            env.compute(8);
+        }
+        std::size_t m = n >> 1;
+        while (m >= 1 && (j & m)) {
+            j ^= m;
+            m >>= 1;
+            env.compute(3);
+        }
+        j |= m;
+        env.compute(2);
+    }
+}
+
+/** Radix-2 Cooley-Tukey; @p sign -1 forward, +1 inverse. */
+void
+fftCore(GuestEnv &env, GArray<double> &re, GArray<double> &im,
+        std::size_t n, double sign)
+{
+    bitReverse(env, re, im, n);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * M_PI /
+            static_cast<double>(len);
+        const double wr = std::cos(ang), wi = std::sin(ang);
+        for (std::size_t base = 0; base < n; base += len) {
+            double cur_r = 1.0, cur_i = 0.0;
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const std::size_t even = base + k;
+                const std::size_t odd = base + k + len / 2;
+                const double er = re.get(even), ei = im.get(even);
+                const double orr = re.get(odd), oi = im.get(odd);
+                const double tr = orr * cur_r - oi * cur_i;
+                const double ti = orr * cur_i + oi * cur_r;
+                re.set(even, er + tr);
+                im.set(even, ei + ti);
+                re.set(odd, er - tr);
+                im.set(odd, ei - ti);
+                const double nr = cur_r * wr - cur_i * wi;
+                cur_i = cur_r * wi + cur_i * wr;
+                cur_r = nr;
+                env.compute(20);
+            }
+        }
+    }
+}
+
+void
+makeSignal(GuestEnv &env, GArray<double> &re, GArray<double> &im,
+           std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i);
+        re.initAt(i, std::sin(0.037 * t) + 0.5 * std::sin(0.231 * t) +
+                         0.1 * env.rng().nextGaussian());
+        im.initAt(i, 0.0);
+    }
+}
+
+} // anonymous namespace
+
+void
+runFft(GuestEnv &env, unsigned scale)
+{
+    const unsigned waves = 4 * scale;
+    GArray<double> re(env, kFftSize);
+    GArray<double> im(env, kFftSize);
+    GArray<double> mag(env, kFftSize / 2);
+    makeSignal(env, re, im, kFftSize);
+
+    for (unsigned wv = 0; wv < waves; ++wv) {
+        fftCore(env, re, im, kFftSize, -1.0);
+        // Power spectrum of the lower half.
+        for (std::size_t i = 0; i < kFftSize / 2; ++i) {
+            const double r = re.get(i), m = im.get(i);
+            mag.set(i, r * r + m * m);
+            env.compute(5);
+        }
+    }
+}
+
+void
+runFftInverse(GuestEnv &env, unsigned scale)
+{
+    const unsigned waves = 4 * scale;
+    GArray<double> re(env, kFftSize);
+    GArray<double> im(env, kFftSize);
+    makeSignal(env, re, im, kFftSize);
+
+    // Forward once, then repeated inverse+renormalize rounds (the
+    // MiBench FFT -i invocation exercises the inverse path).
+    fftCore(env, re, im, kFftSize, -1.0);
+    for (unsigned wv = 0; wv < waves; ++wv) {
+        fftCore(env, re, im, kFftSize, 1.0);
+        const double inv_n = 1.0 / static_cast<double>(kFftSize);
+        for (std::size_t i = 0; i < kFftSize; i += 2) {
+            re.set(i, re.get(i) * inv_n);
+            im.set(i, im.get(i) * inv_n);
+            env.compute(4);
+        }
+    }
+}
+
+} // namespace workloads
+} // namespace wlcache

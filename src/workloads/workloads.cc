@@ -1,0 +1,135 @@
+#include "workloads/workloads.hh"
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "sim/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace wlcache {
+namespace workloads {
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        // --- MediaBench-class (paper order) ---
+        { "adpcmdecode", "Media", 6, runAdpcmDecode },
+        { "adpcmencode", "Media", 6, runAdpcmEncode },
+        { "epic", "Media", 14, runEpic },
+        { "g721decode", "Media", 10, runG721Decode },
+        { "g721encode", "Media", 10, runG721Encode },
+        { "gsmdecode", "Media", 12, runGsmDecode },
+        { "gsmencode", "Media", 14, runGsmEncode },
+        { "jpegdecode", "Media", 16, runJpegDecode },
+        { "jpegencode", "Media", 16, runJpegEncode },
+        { "mpeg2decode", "Media", 18, runMpeg2Decode },
+        { "mpeg2encode", "Media", 20, runMpeg2Encode },
+        { "pegwitdecrypt", "Media", 8, runPegwitDecrypt },
+        { "sha", "Media", 6, runSha },
+        { "susancorners", "Media", 10, runSusanCorners },
+        { "susanedges", "Media", 10, runSusanEdges },
+        // --- MiBench-class ---
+        { "basicmath", "MiBench", 8, runBasicmath },
+        { "qsort", "MiBench", 6, runQsort },
+        { "dijkstra", "MiBench", 6, runDijkstra },
+        { "FFT", "MiBench", 10, runFft },
+        { "FFT_i", "MiBench", 10, runFftInverse },
+        { "patricia", "MiBench", 8, runPatricia },
+        { "rijndael_d", "MiBench", 12, runRijndaelDecrypt },
+        { "rijndael_e", "MiBench", 12, runRijndaelEncrypt },
+    };
+    return table;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (name == w.name)
+            return &w;
+    return nullptr;
+}
+
+std::uint64_t
+BuiltTrace::totalInstructions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ev : events)
+        n += ev.computeGap + 1;
+    return n;
+}
+
+double
+BuiltTrace::storeFraction() const
+{
+    if (events.empty())
+        return 0.0;
+    std::uint64_t stores = 0;
+    for (const auto &ev : events)
+        if (ev.op == MemOp::Store)
+            ++stores;
+    return static_cast<double>(stores) /
+        static_cast<double>(events.size());
+}
+
+namespace {
+
+using TraceKey = std::tuple<std::string, unsigned, std::uint64_t>;
+
+std::map<TraceKey, std::unique_ptr<BuiltTrace>> &
+traceCache()
+{
+    static std::map<TraceKey, std::unique_ptr<BuiltTrace>> cache;
+    return cache;
+}
+
+} // anonymous namespace
+
+const BuiltTrace &
+getTrace(const std::string &name, unsigned scale, std::uint64_t seed)
+{
+    wlc_assert(scale >= 1);
+    const TraceKey key{ name, scale, seed };
+    auto &cache = traceCache();
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+
+    const WorkloadInfo *info = findWorkload(name);
+    if (!info)
+        fatal("unknown workload '%s'", name.c_str());
+
+    GuestEnv env(seed);
+    info->run(env, scale);
+    env.finish();
+
+    auto built = std::make_unique<BuiltTrace>();
+    built->name = name;
+    built->info = info;
+    built->seed = seed;
+    built->scale = scale;
+    built->events = env.trace();
+    built->image_base = env.dataBase();
+    const std::size_t used = env.heapUsed();
+    built->initial_image.assign(env.initialImage().begin(),
+                                env.initialImage().begin() + used);
+    built->final_image.assign(env.finalImage().begin(),
+                              env.finalImage().begin() + used);
+    wlc_assert(!built->events.empty(), "workload '%s' recorded nothing",
+               name.c_str());
+
+    const BuiltTrace &ref = *built;
+    cache.emplace(key, std::move(built));
+    return ref;
+}
+
+void
+clearTraceCache()
+{
+    traceCache().clear();
+}
+
+} // namespace workloads
+} // namespace wlcache

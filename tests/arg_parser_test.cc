@@ -1,0 +1,119 @@
+/** @file Unit tests for the CLI argument parser. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/arg_parser.hh"
+
+using namespace wlcache::util;
+
+namespace {
+
+/** Helper: parse a vector of strings as argv. */
+bool
+parse(ArgParser &p, std::vector<std::string> argv_strings)
+{
+    std::vector<char *> argv;
+    static std::vector<std::string> storage;
+    storage = std::move(argv_strings);
+    argv.push_back(const_cast<char *>("prog"));
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+ArgParser
+makeParser()
+{
+    ArgParser p("prog", "test");
+    p.option("name", "default", "a name")
+        .option("count", "3", "a count")
+        .option("ratio", "0.5", "a ratio")
+        .flag("verbose", "talk more");
+    return p;
+}
+
+} // namespace
+
+TEST(ArgParser, DefaultsApply)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, {}));
+    EXPECT_EQ(p.get("name"), "default");
+    EXPECT_EQ(p.getInt("count"), 3);
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+    EXPECT_FALSE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, SpaceSeparatedValues)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, { "--name", "wl", "--count", "42" }));
+    EXPECT_EQ(p.get("name"), "wl");
+    EXPECT_EQ(p.getInt("count"), 42);
+}
+
+TEST(ArgParser, EqualsSeparatedValues)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, { "--ratio=0.25", "--name=x" }));
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.25);
+    EXPECT_EQ(p.get("name"), "x");
+}
+
+TEST(ArgParser, FlagsToggle)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, { "--verbose" }));
+    EXPECT_TRUE(p.getFlag("verbose"));
+}
+
+TEST(ArgParser, PositionalsCollected)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, { "cmd", "--count", "1", "file.txt" }));
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "cmd");
+    EXPECT_EQ(p.positional()[1], "file.txt");
+}
+
+TEST(ArgParser, UnknownOptionFails)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, { "--bogus", "1" }));
+}
+
+TEST(ArgParser, MissingValueFails)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, { "--count" }));
+}
+
+TEST(ArgParser, FlagWithValueFails)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, { "--verbose=1" }));
+}
+
+TEST(ArgParser, HelpStopsParsing)
+{
+    auto p = makeParser();
+    EXPECT_FALSE(parse(p, { "--help" }));
+}
+
+TEST(ArgParser, ScientificNotationDoubles)
+{
+    auto p = makeParser();
+    ASSERT_TRUE(parse(p, { "--ratio", "1e-6" }));
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 1e-6);
+}
+
+TEST(ArgParser, UsageListsOptions)
+{
+    const auto p = makeParser();
+    const std::string u = p.usage();
+    EXPECT_NE(u.find("--name"), std::string::npos);
+    EXPECT_NE(u.find("--verbose"), std::string::npos);
+    EXPECT_NE(u.find("default: 3"), std::string::npos);
+}

@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Unit tests for the baseline cache designs: NoCache, VCache-WT,
+ * NVCache-WB, NVSRAM-WB(ideal), and the ReplayCache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/no_cache.hh"
+#include "cache/nv_cache.hh"
+#include "cache/nvsram_cache.hh"
+#include "cache/replay_cache.hh"
+#include "cache/vcache_wt.hh"
+#include "mem/nvm_memory.hh"
+
+using namespace wlcache;
+using namespace wlcache::cache;
+
+namespace {
+
+struct DesignFixture : public ::testing::Test
+{
+    DesignFixture()
+    {
+        mem::NvmParams np;
+        np.size_bytes = 1u << 20;
+        nvm = std::make_unique<mem::NvmMemory>(np, &meter);
+        params.size_bytes = 1024;
+        params.assoc = 2;
+        params.line_bytes = 64;
+    }
+
+    Cycle
+    store(DataCache &c, Addr addr, std::uint32_t v, Cycle at)
+    {
+        return c.access(MemOp::Store, addr, 4, v, nullptr, at).ready;
+    }
+
+    std::uint64_t
+    load(DataCache &c, Addr addr, Cycle at)
+    {
+        std::uint64_t out = 0;
+        c.access(MemOp::Load, addr, 4, 0, &out, at);
+        return out;
+    }
+
+    energy::EnergyMeter meter;
+    std::unique_ptr<mem::NvmMemory> nvm;
+    CacheParams params;
+};
+
+} // namespace
+
+// --- NoCache ---------------------------------------------------------------
+
+TEST_F(DesignFixture, NoCacheGoesStraightToNvm)
+{
+    NoCache c(*nvm, &meter);
+    store(c, 0x100, 42, 0);
+    EXPECT_EQ(nvm->peekInt(0x100, 4), 42u);
+    EXPECT_EQ(load(c, 0x100, 1000), 42u);
+    EXPECT_EQ(nvm->numReads(), 1u);
+    EXPECT_DOUBLE_EQ(c.checkpointEnergyBound(), 0.0);
+    EXPECT_DOUBLE_EQ(c.leakageWatts(), 0.0);
+}
+
+TEST_F(DesignFixture, NoCachePaysNvmLatency)
+{
+    NoCache c(*nvm, &meter);
+    const auto r = c.access(MemOp::Load, 0x0, 4, 0, nullptr, 0);
+    EXPECT_GE(r.ready, nvm->params().readLatency(4));
+}
+
+// --- VCache-WT ---------------------------------------------------------------
+
+TEST_F(DesignFixture, WtStoreUpdatesNvmSynchronously)
+{
+    VCacheWT c(params, *nvm, &meter);
+    store(c, 0x200, 7, 0);
+    // NVM always up to date: that is the WT crash-consistency story.
+    EXPECT_EQ(nvm->peekInt(0x200, 4), 7u);
+}
+
+TEST_F(DesignFixture, WtStoreIsNoWriteAllocate)
+{
+    VCacheWT c(params, *nvm, &meter);
+    store(c, 0x200, 7, 0);
+    EXPECT_EQ(c.stats().fills.value(), 0.0);
+    // A later load misses and fills, returning the stored value.
+    EXPECT_EQ(load(c, 0x200, 1000), 7u);
+    EXPECT_EQ(c.stats().fills.value(), 1.0);
+}
+
+TEST_F(DesignFixture, WtStoreHitUpdatesCachedCopy)
+{
+    VCacheWT c(params, *nvm, &meter);
+    load(c, 0x200, 0);           // fill
+    store(c, 0x200, 9, 1000);    // hit
+    EXPECT_EQ(c.stats().store_hits.value(), 1.0);
+    EXPECT_EQ(load(c, 0x200, 2000), 9u);
+    EXPECT_EQ(c.stats().load_hits.value(), 1.0);
+}
+
+TEST_F(DesignFixture, WtLinesNeverDirtyAndCheckpointIsFree)
+{
+    VCacheWT c(params, *nvm, &meter);
+    load(c, 0x200, 0);
+    store(c, 0x200, 9, 1000);
+    EXPECT_EQ(c.tags().dirtyCount(), 0u);
+    EXPECT_EQ(c.checkpoint(5000), 5000u);
+    EXPECT_DOUBLE_EQ(c.checkpointEnergyBound(), 0.0);
+}
+
+TEST_F(DesignFixture, WtColdAfterPowerLoss)
+{
+    VCacheWT c(params, *nvm, &meter);
+    load(c, 0x200, 0);
+    c.powerLoss();
+    const auto r = c.access(MemOp::Load, 0x200, 4, 0, nullptr, 10);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST_F(DesignFixture, WtStoreWaitsForNvmAck)
+{
+    VCacheWT c(params, *nvm, &meter);
+    const Cycle done = store(c, 0x200, 1, 0);
+    EXPECT_GE(done, nvm->params().writeAckLatency(4));
+}
+
+// --- NVCache-WB --------------------------------------------------------------
+
+TEST_F(DesignFixture, NvCacheHoldsDirtyDataWithoutNvmWrites)
+{
+    NVCacheWB c(nvCacheParams(), *nvm, &meter);
+    store(c, 0x300, 5, 0);
+    EXPECT_EQ(nvm->peekInt(0x300, 4), 0u);  // not yet in NVM
+    EXPECT_EQ(c.tags().dirtyCount(), 1u);
+}
+
+TEST_F(DesignFixture, NvCacheSurvivesPowerLoss)
+{
+    NVCacheWB c(nvCacheParams(), *nvm, &meter);
+    store(c, 0x300, 5, 0);
+    c.checkpoint(100);
+    c.powerLoss();
+    // The array is non-volatile: the line is still there, dirty.
+    const auto r = c.access(MemOp::Load, 0x300, 4, 0, nullptr, 200);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(c.tags().dirtyCount(), 1u);
+}
+
+TEST_F(DesignFixture, NvCachePersistentOverlayExposesDirtyLines)
+{
+    NVCacheWB c(nvCacheParams(), *nvm, &meter);
+    store(c, 0x300, 0xabcd, 0);
+    std::unordered_map<Addr, std::uint8_t> overlay;
+    c.collectPersistentOverlay(overlay);
+    EXPECT_EQ(overlay.at(0x300), 0xcd);
+    EXPECT_EQ(overlay.at(0x301), 0xab);
+}
+
+TEST_F(DesignFixture, NvCacheDrainWritesBackDirty)
+{
+    NVCacheWB c(nvCacheParams(), *nvm, &meter);
+    store(c, 0x300, 5, 0);
+    c.drainAndFlush(1000);
+    EXPECT_EQ(nvm->peekInt(0x300, 4), 5u);
+    EXPECT_EQ(c.tags().dirtyCount(), 0u);
+}
+
+TEST_F(DesignFixture, NvCacheSlowerThanSram)
+{
+    NVCacheWB nv(nvCacheParams(), *nvm, &meter);
+    VCacheWT wt(params, *nvm, &meter);
+    load(nv, 0x300, 0);
+    load(wt, 0x300, 0);
+    const auto rn = nv.access(MemOp::Load, 0x300, 4, 0, nullptr, 1000);
+    const auto rw = wt.access(MemOp::Load, 0x300, 4, 0, nullptr, 1000);
+    EXPECT_GT(rn.ready, rw.ready);
+}
+
+// --- NVSRAM-WB (ideal) -------------------------------------------------------
+
+TEST_F(DesignFixture, NvsramCheckpointBacksUpDirtyLinesOnly)
+{
+    NvsramCacheWB c(params, NvsramParams{}, *nvm, &meter);
+    store(c, 0x000, 1, 0);
+    load(c, 0x100, 100);  // clean line
+    const double before =
+        meter.get(energy::EnergyCategory::Checkpoint);
+    c.checkpoint(1000);
+    const double spent =
+        meter.get(energy::EnergyCategory::Checkpoint) - before;
+    // Exactly one dirty line paid for.
+    EXPECT_NEAR(spent, NvsramParams{}.backup_line_energy, 1e-15);
+    EXPECT_EQ(c.stats().checkpoint_lines.value(), 1.0);
+}
+
+TEST_F(DesignFixture, NvsramWarmRestoreRecoversCacheState)
+{
+    NvsramCacheWB c(params, NvsramParams{}, *nvm, &meter);
+    store(c, 0x000, 42, 0);
+    load(c, 0x100, 100);
+    c.checkpoint(1000);
+    c.powerLoss();
+    c.powerRestore(2000);
+    // Warm: both lines hit, and the dirty data is intact.
+    const auto r1 = c.access(MemOp::Load, 0x000, 4, 0, nullptr, 3000);
+    EXPECT_TRUE(r1.hit);
+    std::uint64_t v = 0;
+    c.access(MemOp::Load, 0x000, 4, 0, &v, 3100);
+    EXPECT_EQ(v, 42u);
+    const auto r2 = c.access(MemOp::Load, 0x100, 4, 0, nullptr, 3200);
+    EXPECT_TRUE(r2.hit);
+    EXPECT_EQ(c.tags().dirtyCount(), 1u);  // dirtiness restored too
+}
+
+TEST_F(DesignFixture, NvsramWorstCaseReserveCoversAllLines)
+{
+    NvsramCacheWB c(params, NvsramParams{}, *nvm, &meter);
+    // 1024 B / 64 B = 16 lines, all could be dirty.
+    EXPECT_NEAR(c.checkpointEnergyBound(),
+                16.0 * NvsramParams{}.backup_line_energy, 1e-12);
+}
+
+TEST_F(DesignFixture, NvsramOverlayHoldsCheckpointedDirtyBytes)
+{
+    NvsramCacheWB c(params, NvsramParams{}, *nvm, &meter);
+    store(c, 0x000, 0x11223344, 0);
+    c.checkpoint(1000);
+    c.powerLoss();
+    std::unordered_map<Addr, std::uint8_t> overlay;
+    c.collectPersistentOverlay(overlay);
+    EXPECT_EQ(overlay.at(0x000), 0x44);
+    std::uint32_t probe = 0;
+    EXPECT_TRUE(c.probePersistent(0x000, 4, &probe));
+    EXPECT_EQ(probe, 0x11223344u);
+}
+
+TEST_F(DesignFixture, NvsramWithoutCheckpointHasNoBackup)
+{
+    NvsramCacheWB c(params, NvsramParams{}, *nvm, &meter);
+    store(c, 0x000, 1, 0);
+    std::uint32_t probe = 0;
+    EXPECT_FALSE(c.probePersistent(0x000, 4, &probe));
+}
+
+// --- ReplayCache -------------------------------------------------------------
+
+TEST_F(DesignFixture, ReplayStoreDoesNotWaitForNvm)
+{
+    ReplayCacheModel c(params, ReplayParams{}, *nvm, &meter);
+    load(c, 0x400, 0);  // fill so the store hits
+    const Cycle t0 = 10000;
+    const Cycle done = store(c, 0x400, 3, t0);
+    EXPECT_LT(done - t0, nvm->params().writeAckLatency(4));
+    EXPECT_GT(c.persistQueueDepth(), 0u);
+}
+
+TEST_F(DesignFixture, ReplayPersistsReachNvmAsynchronously)
+{
+    ReplayCacheModel c(params, ReplayParams{}, *nvm, &meter);
+    store(c, 0x400, 3, 0);
+    c.regionBoundary(100000);
+    EXPECT_EQ(nvm->peekInt(0x400, 4), 3u);
+    c.tick(200000);  // persists drain in the background
+    EXPECT_EQ(c.persistQueueDepth(), 0u);
+}
+
+TEST_F(DesignFixture, ReplayCoalescesSameWordPersists)
+{
+    ReplayCacheModel c(params, ReplayParams{}, *nvm, &meter);
+    Cycle t = 0;
+    t = store(c, 0x400, 1, t);
+    t = store(c, 0x400, 2, t);  // same word, persist still in flight
+    EXPECT_EQ(c.coalescedPersists(), 1u);
+    c.regionBoundary(t + 100000);
+    EXPECT_EQ(nvm->peekInt(0x400, 4), 2u);  // latest value persisted
+}
+
+TEST_F(DesignFixture, ReplayQueueBackpressureStalls)
+{
+    ReplayParams rp;
+    rp.persist_queue_depth = 2;
+    ReplayCacheModel c(params, rp, *nvm, &meter);
+    Cycle t = 0;
+    // Distinct words in one line (hits after the first fill).
+    for (unsigned i = 0; i < 8; ++i)
+        t = store(c, 0x400 + 8 * i, i, t);
+    EXPECT_GT(c.stats().stall_cycles.value(), 0.0);
+}
+
+TEST_F(DesignFixture, ReplayLinesNeverDirtySoEvictionsAreSilent)
+{
+    ReplayCacheModel c(params, ReplayParams{}, *nvm, &meter);
+    store(c, 0x400, 3, 0);
+    EXPECT_EQ(c.tags().dirtyCount(), 0u);
+}
+
+TEST_F(DesignFixture, ReplayPowerLossDropsQueueAndCache)
+{
+    ReplayCacheModel c(params, ReplayParams{}, *nvm, &meter);
+    store(c, 0x400, 3, 0);
+    c.powerLoss();
+    EXPECT_EQ(c.persistQueueDepth(), 0u);
+    const auto r = c.access(MemOp::Load, 0x400, 4, 0, nullptr, 10);
+    EXPECT_FALSE(r.hit);
+}
+
+TEST_F(DesignFixture, ReplayCheckpointNeedsNoEnergy)
+{
+    ReplayCacheModel c(params, ReplayParams{}, *nvm, &meter);
+    EXPECT_DOUBLE_EQ(c.checkpointEnergyBound(), 0.0);
+}

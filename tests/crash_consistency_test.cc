@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Property-based crash-consistency sweep: for every cache design,
+ * across several apps, RF environments, and power-trace seeds, the
+ * system must (1) never show an inconsistent persistent state at a
+ * recovery point, (2) return correct load values, and (3) finish
+ * with NVM exactly equal to the program's reference memory image.
+ * This is the strongest end-to-end statement the paper's §3.2/§5.3
+ * protocols must satisfy, exercised under randomized outage timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvp/experiment.hh"
+
+using namespace wlcache;
+using namespace wlcache::nvp;
+
+struct CrashCase
+{
+    DesignKind design;
+    const char *app;
+    energy::TraceKind power;
+    std::uint64_t power_seed;
+};
+
+class CrashConsistency : public ::testing::TestWithParam<CrashCase>
+{
+};
+
+TEST_P(CrashConsistency, HoldsAcrossRandomizedOutages)
+{
+    const CrashCase &c = GetParam();
+    ExperimentSpec s;
+    s.design = c.design;
+    s.workload = c.app;
+    s.power = c.power;
+    s.power_seed = c.power_seed;
+    s.tweak = [](SystemConfig &cfg) {
+        cfg.validate_consistency = true;
+        cfg.check_load_values = true;
+    };
+    const auto r = runExperiment(s);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.consistency_violations, 0u)
+        << "persistent state diverged at a recovery point";
+    EXPECT_EQ(r.load_value_mismatches, 0u)
+        << "a load observed a wrong value after recovery";
+    EXPECT_TRUE(r.final_state_correct)
+        << "final NVM image differs from the reference execution";
+    EXPECT_EQ(r.reserve_violations, 0u);
+}
+
+namespace {
+
+std::vector<CrashCase>
+crashCases()
+{
+    const DesignKind designs[] = {
+        DesignKind::VCacheWT, DesignKind::NVCacheWB,
+        DesignKind::NvsramWB, DesignKind::Replay, DesignKind::WL,
+    };
+    const char *apps[] = { "sha", "patricia", "jpegencode" };
+    const energy::TraceKind traces[] = {
+        energy::TraceKind::RfHome,
+        energy::TraceKind::RfMementos,
+    };
+    std::vector<CrashCase> cases;
+    for (const auto d : designs)
+        for (const auto *app : apps)
+            for (const auto tk : traces)
+                for (std::uint64_t seed : { 7ull, 1234ull })
+                    cases.push_back({ d, app, tk, seed });
+    return cases;
+}
+
+std::string
+crashName(const ::testing::TestParamInfo<CrashCase> &info)
+{
+    std::string n = std::string(designKindName(info.param.design)) +
+        "_" + info.param.app + "_" +
+        energy::traceKindName(info.param.power) + "_s" +
+        std::to_string(info.param.power_seed);
+    for (auto &c : n)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return n;
+}
+
+} // anonymous namespace
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrashConsistency,
+                         ::testing::ValuesIn(crashCases()), crashName);
+
+// --- Maxline sweep: the WL protocols must hold at every threshold ---
+
+class WlMaxlineConsistency : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(WlMaxlineConsistency, HoldsAtEveryMaxline)
+{
+    const unsigned maxline = GetParam();
+    ExperimentSpec s;
+    s.design = DesignKind::WL;
+    s.workload = "gsmencode";
+    s.power = energy::TraceKind::RfOffice;
+    s.tweak = [maxline](SystemConfig &cfg) {
+        cfg.wl.maxline = maxline;
+        cfg.adaptive.enabled = false;  // hold the threshold fixed
+        cfg.validate_consistency = true;
+        cfg.check_load_values = true;
+    };
+    const auto r = runExperiment(s);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.consistency_violations, 0u);
+    EXPECT_TRUE(r.final_state_correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(Maxline2to8, WlMaxlineConsistency,
+                         ::testing::Values(2u, 3u, 4u, 6u, 8u));
+
+// --- DirtyQueue policy sweep ---
+
+class WlDqPolicyConsistency
+    : public ::testing::TestWithParam<cache::ReplPolicy>
+{
+};
+
+TEST_P(WlDqPolicyConsistency, HoldsForBothDqPolicies)
+{
+    const auto policy = GetParam();
+    ExperimentSpec s;
+    s.design = DesignKind::WL;
+    s.workload = "qsort";
+    s.power = energy::TraceKind::RfHome;
+    s.tweak = [policy](SystemConfig &cfg) {
+        cfg.wl.dq_repl = policy;
+        cfg.validate_consistency = true;
+    };
+    const auto r = runExperiment(s);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.consistency_violations, 0u);
+    EXPECT_TRUE(r.final_state_correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(FifoAndLru, WlDqPolicyConsistency,
+                         ::testing::Values(cache::ReplPolicy::FIFO,
+                                           cache::ReplPolicy::LRU));
+
+// --- Cache replacement / associativity sweep ---
+
+struct GeomCase
+{
+    unsigned assoc;
+    cache::ReplPolicy repl;
+};
+
+class WlGeometryConsistency : public ::testing::TestWithParam<GeomCase>
+{
+};
+
+TEST_P(WlGeometryConsistency, HoldsAcrossGeometries)
+{
+    const GeomCase g = GetParam();
+    ExperimentSpec s;
+    s.design = DesignKind::WL;
+    s.workload = "susanedges";
+    s.power = energy::TraceKind::RfOffice;
+    s.tweak = [g](SystemConfig &cfg) {
+        cfg.dcache.assoc = g.assoc;
+        cfg.dcache.repl = g.repl;
+        cfg.validate_consistency = true;
+    };
+    const auto r = runExperiment(s);
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.consistency_violations, 0u);
+    EXPECT_TRUE(r.final_state_correct);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, WlGeometryConsistency,
+    ::testing::Values(GeomCase{ 1, cache::ReplPolicy::LRU },
+                      GeomCase{ 2, cache::ReplPolicy::FIFO },
+                      GeomCase{ 4, cache::ReplPolicy::LRU }),
+    [](const ::testing::TestParamInfo<GeomCase> &info) {
+        return "assoc" + std::to_string(info.param.assoc) + "_" +
+            cache::replPolicyName(info.param.repl);
+    });

@@ -1,0 +1,170 @@
+/** @file Unit tests for the DirtyQueue structure (paper §3, §5). */
+
+#include <gtest/gtest.h>
+
+#include "core/dirty_queue.hh"
+
+using namespace wlcache;
+using namespace wlcache::core;
+using wlcache::cache::ReplPolicy;
+
+TEST(DirtyQueue, StartsEmpty)
+{
+    DirtyQueue dq(8, ReplPolicy::FIFO);
+    EXPECT_TRUE(dq.empty());
+    EXPECT_FALSE(dq.full());
+    EXPECT_EQ(dq.size(), 0u);
+    EXPECT_EQ(dq.pendingCount(), 0u);
+    EXPECT_FALSE(dq.selectVictim().has_value());
+    EXPECT_FALSE(dq.earliestInFlightReady().has_value());
+}
+
+TEST(DirtyQueue, InsertFillsSlots)
+{
+    DirtyQueue dq(2, ReplPolicy::FIFO);
+    ASSERT_TRUE(dq.insert(0x100).has_value());
+    ASSERT_TRUE(dq.insert(0x200).has_value());
+    EXPECT_TRUE(dq.full());
+    EXPECT_FALSE(dq.insert(0x300).has_value());
+}
+
+TEST(DirtyQueue, FifoVictimIsOldestInsert)
+{
+    DirtyQueue dq(4, ReplPolicy::FIFO);
+    dq.insert(0xa00);
+    dq.insert(0xb00);
+    dq.insert(0xc00);
+    const auto v = dq.selectVictim();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(dq.entry(*v).line_addr, 0xa00u);
+}
+
+TEST(DirtyQueue, LruVictimFollowsTouches)
+{
+    DirtyQueue dq(4, ReplPolicy::LRU);
+    dq.insert(0xa00);
+    dq.insert(0xb00);
+    dq.touch(0xa00);  // 0xa00 now most recently stored
+    const auto v = dq.selectVictim();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(dq.entry(*v).line_addr, 0xb00u);
+}
+
+TEST(DirtyQueue, TouchUnknownAddressIsNoop)
+{
+    DirtyQueue dq(4, ReplPolicy::LRU);
+    dq.insert(0xa00);
+    dq.touch(0xdead);  // nothing matches
+    const auto v = dq.selectVictim();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(dq.entry(*v).line_addr, 0xa00u);
+}
+
+TEST(DirtyQueue, DuplicateAddressesAllowed)
+{
+    // §5.3: a re-dirtied line inserts a second entry.
+    DirtyQueue dq(4, ReplPolicy::FIFO);
+    dq.insert(0xa00);
+    dq.insert(0xa00);
+    EXPECT_EQ(dq.size(), 2u);
+}
+
+TEST(DirtyQueue, TouchRefreshesYoungestDuplicate)
+{
+    DirtyQueue dq(4, ReplPolicy::LRU);
+    dq.insert(0xa00);  // slot 0, older
+    dq.insert(0xb00);
+    dq.insert(0xa00);  // duplicate, younger
+    dq.touch(0xa00);
+    // touch() refreshes only the *youngest* duplicate; the stale
+    // older 0xa00 entry keeps its original recency and is selected.
+    const auto v = dq.selectVictim();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(dq.entry(*v).line_addr, 0xa00u);
+    EXPECT_EQ(*v, 0u);  // the stale duplicate, not the refreshed one
+}
+
+TEST(DirtyQueue, InFlightLifecycle)
+{
+    DirtyQueue dq(4, ReplPolicy::FIFO);
+    const auto s = dq.insert(0xa00);
+    ASSERT_TRUE(s.has_value());
+    dq.markInFlight(*s, 500);
+    EXPECT_EQ(dq.pendingCount(), 0u);
+    EXPECT_EQ(dq.size(), 1u);
+    EXPECT_FALSE(dq.selectVictim().has_value());
+    const auto ready = dq.earliestInFlightReady();
+    ASSERT_TRUE(ready.has_value());
+    EXPECT_EQ(*ready, 500u);
+
+    dq.completeInFlight(499);
+    EXPECT_EQ(dq.size(), 1u);  // not yet
+    dq.completeInFlight(500);
+    EXPECT_TRUE(dq.empty());
+}
+
+TEST(DirtyQueue, EarliestInFlightPicksMin)
+{
+    DirtyQueue dq(4, ReplPolicy::FIFO);
+    const auto a = dq.insert(0xa00);
+    const auto b = dq.insert(0xb00);
+    dq.markInFlight(*a, 900);
+    dq.markInFlight(*b, 300);
+    EXPECT_EQ(*dq.earliestInFlightReady(), 300u);
+}
+
+TEST(DirtyQueue, RemoveFreesSlot)
+{
+    DirtyQueue dq(1, ReplPolicy::FIFO);
+    const auto s = dq.insert(0xa00);
+    EXPECT_TRUE(dq.full());
+    dq.remove(*s);
+    EXPECT_TRUE(dq.empty());
+    EXPECT_TRUE(dq.insert(0xb00).has_value());
+}
+
+TEST(DirtyQueue, ClearReleasesEverything)
+{
+    DirtyQueue dq(4, ReplPolicy::FIFO);
+    dq.insert(0xa00);
+    const auto b = dq.insert(0xb00);
+    dq.markInFlight(*b, 100);
+    dq.clear();
+    EXPECT_TRUE(dq.empty());
+    EXPECT_FALSE(dq.earliestInFlightReady().has_value());
+}
+
+TEST(DirtyQueue, VictimSkipsInFlight)
+{
+    DirtyQueue dq(4, ReplPolicy::FIFO);
+    const auto a = dq.insert(0xa00);  // oldest
+    dq.insert(0xb00);
+    dq.markInFlight(*a, 100);
+    const auto v = dq.selectVictim();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(dq.entry(*v).line_addr, 0xb00u);
+}
+
+TEST(DirtyQueue, PendingCountTracksStates)
+{
+    DirtyQueue dq(4, ReplPolicy::FIFO);
+    const auto a = dq.insert(0xa00);
+    dq.insert(0xb00);
+    EXPECT_EQ(dq.pendingCount(), 2u);
+    dq.markInFlight(*a, 10);
+    EXPECT_EQ(dq.pendingCount(), 1u);
+}
+
+TEST(DirtyQueue, MarkInFlightRequiresPending)
+{
+    DirtyQueue dq(2, ReplPolicy::FIFO);
+    const auto a = dq.insert(0xa00);
+    dq.markInFlight(*a, 10);
+    EXPECT_DEATH(dq.markInFlight(*a, 20), "");
+}
+
+TEST(DirtyQueue, RemoveFreeSlotPanics)
+{
+    DirtyQueue dq(2, ReplPolicy::FIFO);
+    EXPECT_DEATH(dq.remove(0), "");
+}

@@ -1,0 +1,259 @@
+/** @file Unit tests for energy: capacitor, power traces, harvester,
+ *  energy meter. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "energy/capacitor.hh"
+#include "energy/energy_meter.hh"
+#include "energy/harvester.hh"
+#include "energy/power_trace.hh"
+
+using namespace wlcache;
+using namespace wlcache::energy;
+
+namespace {
+
+Capacitor
+paperCap()
+{
+    return Capacitor(1.0e-6, 2.8, 3.5);
+}
+
+} // namespace
+
+TEST(Capacitor, StartsAtVmin)
+{
+    auto c = paperCap();
+    EXPECT_NEAR(c.voltage(), 2.8, 1e-9);
+    EXPECT_NEAR(c.energyAboveVmin(), 0.0, 1e-15);
+}
+
+TEST(Capacitor, EnergyVoltageRoundTrip)
+{
+    auto c = paperCap();
+    c.setVoltage(3.3);
+    EXPECT_NEAR(c.voltage(), 3.3, 1e-12);
+    EXPECT_NEAR(c.storedEnergy(), 0.5 * 1e-6 * 3.3 * 3.3, 1e-12);
+}
+
+TEST(Capacitor, PaperUsableEnergy)
+{
+    // Table 2: 1 uF between 2.8 V and 3.5 V holds ~2.2 uJ usable.
+    auto c = paperCap();
+    EXPECT_NEAR(c.energyBetween(2.8, 3.5), 2.2e-6, 0.01e-6);
+}
+
+TEST(Capacitor, AddEnergyClampsAtVmax)
+{
+    auto c = paperCap();
+    c.setVoltage(3.49);
+    const double absorbed = c.addEnergy(1.0);  // absurd surplus
+    EXPECT_NEAR(c.voltage(), 3.5, 1e-9);
+    EXPECT_LT(absorbed, 1.0e-6);
+}
+
+TEST(Capacitor, DrawEnergyUnderflow)
+{
+    auto c = paperCap();
+    EXPECT_FALSE(c.drawEnergy(1.0));
+    EXPECT_NEAR(c.storedEnergy(), 0.0, 1e-15);
+    EXPECT_TRUE(c.brownedOut());
+}
+
+TEST(Capacitor, DrawEnergySuccess)
+{
+    auto c = paperCap();
+    c.setVoltage(3.5);
+    EXPECT_TRUE(c.drawEnergy(1.0e-6));
+    EXPECT_LT(c.voltage(), 3.5);
+    EXPECT_FALSE(c.brownedOut());
+}
+
+TEST(Capacitor, VoltageForEnergyAbove)
+{
+    auto c = paperCap();
+    const double v = c.voltageForEnergyAbove(2.8, 1.0e-6);
+    EXPECT_NEAR(c.energyBetween(2.8, v), 1.0e-6, 1e-12);
+    // Clamps at vmax.
+    EXPECT_DOUBLE_EQ(c.voltageForEnergyAbove(2.8, 1.0), 3.5);
+}
+
+TEST(PowerTrace, PowerAtWraps)
+{
+    PowerTrace t(1.0, { 1.0, 2.0, 3.0 });
+    EXPECT_DOUBLE_EQ(t.powerAt(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(t.powerAt(2.5), 3.0);
+    EXPECT_DOUBLE_EQ(t.powerAt(3.5), 1.0);  // wrapped
+    EXPECT_DOUBLE_EQ(t.duration(), 3.0);
+}
+
+TEST(PowerTrace, MeanPower)
+{
+    PowerTrace t(1.0, { 1.0, 3.0 });
+    EXPECT_DOUBLE_EQ(t.meanPower(), 2.0);
+}
+
+TEST(PowerTrace, SaveLoadRoundTrip)
+{
+    PowerTrace t(0.5e-3, { 0.1, 0.2, 0.3 });
+    std::stringstream ss;
+    t.save(ss);
+    const PowerTrace u = PowerTrace::load(ss);
+    EXPECT_DOUBLE_EQ(u.samplePeriod(), 0.5e-3);
+    ASSERT_EQ(u.numSamples(), 3u);
+    EXPECT_DOUBLE_EQ(u.samples()[1], 0.2);
+}
+
+TEST(PowerTrace, GeneratorsDeterministic)
+{
+    TraceGenConfig cfg;
+    cfg.seed = 5;
+    const auto a = makeTrace(TraceKind::RfHome, cfg);
+    const auto b = makeTrace(TraceKind::RfHome, cfg);
+    ASSERT_EQ(a.numSamples(), b.numSamples());
+    EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(PowerTrace, StabilityOrderingMatchesPaper)
+{
+    // Paper: thermal/solar stable and strong; tr.3 the most unstable.
+    TraceGenConfig cfg;
+    const auto tr1 = makeTrace(TraceKind::RfHome, cfg);
+    const auto tr2 = makeTrace(TraceKind::RfOffice, cfg);
+    const auto tr3 = makeTrace(TraceKind::RfMementos, cfg);
+    const auto solar = makeTrace(TraceKind::Solar, cfg);
+    const auto thermal = makeTrace(TraceKind::Thermal, cfg);
+
+    EXPECT_GT(solar.meanPower(), tr1.meanPower());
+    EXPECT_GT(thermal.meanPower(), tr1.meanPower());
+    EXPECT_GT(tr1.meanPower(), tr3.meanPower());
+    EXPECT_GT(tr2.variationCoefficient(), tr1.variationCoefficient());
+    EXPECT_GT(tr3.variationCoefficient(), tr2.variationCoefficient());
+    EXPECT_LT(thermal.variationCoefficient(),
+              solar.variationCoefficient());
+}
+
+TEST(PowerTrace, ConstantKind)
+{
+    TraceGenConfig cfg;
+    const auto t = makeTrace(TraceKind::Constant, cfg, 7.0e-3);
+    EXPECT_NEAR(t.meanPower(), 7.0e-3, 1e-12);
+    EXPECT_NEAR(t.variationCoefficient(), 0.0, 1e-9);
+}
+
+TEST(PowerTrace, KindNames)
+{
+    EXPECT_STREQ(traceKindName(TraceKind::RfHome), "trace1");
+    EXPECT_STREQ(traceKindName(TraceKind::RfMementos), "trace3");
+    EXPECT_STREQ(traceKindName(TraceKind::Thermal), "thermal");
+}
+
+TEST(Harvester, AdvanceDepositsPower)
+{
+    PowerTrace t(1.0, { 10.0e-3 });
+    Harvester h(t, 1.0);
+    Capacitor c(1.0, 0.0, 100.0);  // huge: nothing clamps
+    const double dep = h.advance(1.0e-3, c);
+    EXPECT_NEAR(dep, 10.0e-6, 1e-12);
+    EXPECT_NEAR(h.now(), 1.0e-3, 1e-12);
+}
+
+TEST(Harvester, EfficiencyApplied)
+{
+    PowerTrace t(1.0, { 10.0e-3 });
+    Harvester h(t, 0.5);
+    Capacitor c(1.0, 0.0, 100.0);
+    EXPECT_NEAR(h.advance(1.0e-3, c), 5.0e-6, 1e-12);
+}
+
+TEST(Harvester, AdvanceClampsAtFullCapacitor)
+{
+    PowerTrace t(1.0, { 10.0e-3 });
+    Harvester h(t, 1.0);
+    auto c = paperCap();  // only ~2.2 uJ of room
+    const double dep = h.advance(1.0, c);  // 10 mJ offered
+    EXPECT_NEAR(dep, c.energyBetween(2.8, 3.5), 1e-12);
+    EXPECT_NEAR(c.voltage(), 3.5, 1e-9);
+}
+
+TEST(Harvester, AdvanceCrossesSampleBoundaries)
+{
+    PowerTrace t(1.0e-3, { 10.0e-3, 0.0 });
+    Harvester h(t, 1.0);
+    Capacitor c(1.0, 0.0, 100.0);
+    // 2 ms spanning one full on-sample and one off-sample.
+    const double dep = h.advance(2.0e-3, c);
+    EXPECT_NEAR(dep, 10.0e-6, 1e-10);
+}
+
+TEST(Harvester, ChargeUntilReachesTarget)
+{
+    PowerTrace t(1.0, { 20.0e-3 });
+    Harvester h(t, 1.0);
+    auto c = paperCap();
+    const double needed = c.energyBetween(2.8, 3.3);
+    const double secs = h.chargeUntil(c, 3.3);
+    EXPECT_NEAR(c.voltage(), 3.3, 1e-9);
+    EXPECT_NEAR(secs, needed / 20.0e-3, 1e-9);
+}
+
+TEST(Harvester, ChargeUntilGivesUpOnDeadTrace)
+{
+    PowerTrace t(1.0, { 0.0 });
+    Harvester h(t, 1.0);
+    auto c = paperCap();
+    const double secs = h.chargeUntil(c, 3.3, 5.0);
+    EXPECT_LT(c.voltage(), 3.3);
+    EXPECT_GT(secs, 5.0);
+}
+
+TEST(Harvester, InfiniteModeTopsUp)
+{
+    PowerTrace t(1.0, { 0.0 });
+    Harvester h(t, 1.0, /*infinite=*/true);
+    auto c = paperCap();
+    h.advance(1.0e-9, c);
+    EXPECT_NEAR(c.voltage(), 3.5, 1e-9);
+    EXPECT_DOUBLE_EQ(h.chargeUntil(c, 3.5), 0.0);
+}
+
+TEST(Harvester, LongAdvanceMatchesMeanPower)
+{
+    TraceGenConfig cfg;
+    cfg.seed = 3;
+    const auto t = makeTrace(TraceKind::RfHome, cfg);
+    Harvester h(t, 1.0);
+    // Huge capacitor so nothing clamps.
+    Capacitor c(1.0, 0.0, 100.0);
+    const double dep = h.advance(t.duration(), c);
+    EXPECT_NEAR(dep, t.meanPower() * t.duration(),
+                0.01 * t.meanPower() * t.duration());
+}
+
+TEST(EnergyMeter, AccumulatesByCategory)
+{
+    EnergyMeter m;
+    m.add(EnergyCategory::Compute, 1.0e-9);
+    m.add(EnergyCategory::Compute, 2.0e-9);
+    m.add(EnergyCategory::MemWrite, 5.0e-9);
+    EXPECT_NEAR(m.get(EnergyCategory::Compute), 3.0e-9, 1e-18);
+    EXPECT_NEAR(m.total(), 8.0e-9, 1e-18);
+}
+
+TEST(EnergyMeter, ResetZeroes)
+{
+    EnergyMeter m;
+    m.add(EnergyCategory::Leakage, 1.0);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(EnergyMeter, CategoryNames)
+{
+    EXPECT_STREQ(energyCategoryName(EnergyCategory::CacheRead),
+                 "cache_read");
+    EXPECT_STREQ(energyCategoryName(EnergyCategory::Checkpoint),
+                 "checkpoint");
+}

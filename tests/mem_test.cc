@@ -1,0 +1,216 @@
+/** @file Unit tests for mem: NVM timing/functional model and the
+ *  persist checker. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_meter.hh"
+#include "mem/nvm_memory.hh"
+#include "mem/persist_checker.hh"
+
+using namespace wlcache;
+using namespace wlcache::mem;
+
+namespace {
+
+NvmParams
+smallParams()
+{
+    NvmParams p;
+    p.size_bytes = 1u << 16;
+    return p;
+}
+
+} // namespace
+
+TEST(Nvm, FunctionalWriteReadRoundTrip)
+{
+    NvmMemory nvm(smallParams());
+    const std::uint32_t v = 0xdeadbeef;
+    nvm.write(0x100, 4, &v, 0);
+    std::uint32_t out = 0;
+    nvm.read(0x100, 4, 100, &out);
+    EXPECT_EQ(out, v);
+}
+
+TEST(Nvm, PeekPokeBypassTiming)
+{
+    NvmMemory nvm(smallParams());
+    const std::uint16_t v = 0xabcd;
+    nvm.poke(0x40, 2, &v);
+    EXPECT_EQ(nvm.peekInt(0x40, 2), 0xabcdu);
+    EXPECT_EQ(nvm.numReads(), 0u);
+    EXPECT_EQ(nvm.numWrites(), 0u);
+}
+
+TEST(Nvm, ReadLatencyMatchesParams)
+{
+    NvmParams p = smallParams();
+    NvmMemory nvm(p);
+    const auto r = nvm.read(0x0, 4, 10, nullptr);
+    EXPECT_EQ(r.start, 10u);
+    EXPECT_EQ(r.ready, 10 + p.readLatency(4));
+}
+
+TEST(Nvm, WriteAckIncludesActivation)
+{
+    NvmParams p = smallParams();
+    NvmMemory nvm(p);
+    const std::uint32_t v = 1;
+    const auto r = nvm.write(0x0, 4, &v, 5);
+    EXPECT_EQ(r.ready, 5 + p.t_rcd + p.t_cl + p.t_burst);
+}
+
+TEST(Nvm, SameBankWritesSerializeOnRecovery)
+{
+    NvmParams p = smallParams();
+    NvmMemory nvm(p);
+    const std::uint32_t v = 1;
+    const auto a = nvm.write(0x0, 4, &v, 0);
+    // Same 4-byte word -> same bank: must wait out tWR.
+    const auto b = nvm.write(0x0, 4, &v, a.ready);
+    EXPECT_GE(b.start, a.ready + p.writeRecovery());
+}
+
+TEST(Nvm, DifferentBankWritesOverlap)
+{
+    NvmParams p = smallParams();
+    NvmMemory nvm(p);
+    const std::uint32_t v = 1;
+    const auto a = nvm.write(0x0, 4, &v, 0);
+    // Next word maps to the next bank; only the channel burst gates.
+    const auto b = nvm.write(0x4, 4, &v, 0);
+    EXPECT_LT(b.start, a.ready);
+    EXPECT_GE(b.start, a.start + p.t_burst);
+}
+
+TEST(Nvm, ChannelResetClearsBusyState)
+{
+    NvmParams p = smallParams();
+    NvmMemory nvm(p);
+    const std::uint32_t v = 1;
+    nvm.write(0x0, 4, &v, 0);
+    nvm.resetChannel();
+    const auto r = nvm.write(0x0, 4, &v, 0);
+    EXPECT_EQ(r.start, 0u);
+}
+
+TEST(Nvm, LineWriteUpdatesAllBytes)
+{
+    NvmMemory nvm(smallParams());
+    std::uint8_t line[64];
+    for (unsigned i = 0; i < 64; ++i)
+        line[i] = static_cast<std::uint8_t>(i);
+    nvm.writeLine(0x1000, line, 64, 0);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(nvm.peekInt(0x1000 + i, 1), i);
+}
+
+TEST(Nvm, StatsCountAccesses)
+{
+    NvmMemory nvm(smallParams());
+    const std::uint32_t v = 1;
+    nvm.write(0, 4, &v, 0);
+    nvm.write(8, 8, &v, 0);
+    nvm.read(0, 4, 0, nullptr);
+    EXPECT_EQ(nvm.numWrites(), 2u);
+    EXPECT_EQ(nvm.numReads(), 1u);
+    EXPECT_EQ(nvm.bytesWritten(), 12u);
+}
+
+TEST(Nvm, EnergyCharged)
+{
+    energy::EnergyMeter m;
+    NvmParams p = smallParams();
+    NvmMemory nvm(p, &m);
+    const std::uint32_t v = 1;
+    nvm.write(0, 4, &v, 0);
+    EXPECT_NEAR(m.get(energy::EnergyCategory::MemWrite),
+                p.writeEnergy(4), 1e-18);
+    nvm.read(0, 4, 0, nullptr);
+    EXPECT_NEAR(m.get(energy::EnergyCategory::MemRead),
+                p.readEnergy(4), 1e-18);
+}
+
+TEST(Nvm, ResetStatsKeepsContents)
+{
+    NvmMemory nvm(smallParams());
+    const std::uint32_t v = 77;
+    nvm.write(0x20, 4, &v, 0);
+    nvm.resetStats();
+    EXPECT_EQ(nvm.numWrites(), 0u);
+    EXPECT_EQ(nvm.peekInt(0x20, 4), 77u);
+}
+
+TEST(PersistChecker, TracksStores)
+{
+    PersistChecker c;
+    c.applyStore(0x10, 4, 0x04030201);
+    EXPECT_TRUE(c.isTracked(0x10));
+    EXPECT_TRUE(c.isTracked(0x13));
+    EXPECT_FALSE(c.isTracked(0x14));
+    EXPECT_EQ(c.expectedByte(0x12), 0x03);
+    EXPECT_EQ(c.footprintBytes(), 4u);
+}
+
+TEST(PersistChecker, LatestStoreWins)
+{
+    PersistChecker c;
+    c.applyStore(0x10, 4, 0x11111111);
+    c.applyStore(0x12, 1, 0xff);
+    EXPECT_EQ(c.expectedByte(0x12), 0xff);
+    EXPECT_EQ(c.expectedByte(0x11), 0x11);
+}
+
+TEST(PersistChecker, CompareDetectsMismatch)
+{
+    NvmMemory nvm(smallParams());
+    PersistChecker c;
+    const std::uint32_t v = 0xaabbccdd;
+    nvm.poke(0x30, 4, &v);
+    c.applyStore(0x30, 4, 0xaabbccdd);
+    EXPECT_TRUE(c.compare(nvm).empty());
+
+    c.applyStore(0x30, 1, 0x00);  // NVM still has 0xdd
+    const auto ms = c.compare(nvm);
+    ASSERT_EQ(ms.size(), 1u);
+    EXPECT_EQ(ms[0].addr, 0x30u);
+    EXPECT_EQ(ms[0].expected, 0x00);
+    EXPECT_EQ(ms[0].actual, 0xdd);
+}
+
+TEST(PersistChecker, CompareHonorsLimit)
+{
+    NvmMemory nvm(smallParams());
+    PersistChecker c;
+    for (Addr a = 0; a < 64; ++a)
+        c.applyStore(a, 1, 0x55);
+    EXPECT_EQ(c.compare(nvm, 8).size(), 8u);
+}
+
+TEST(PersistChecker, InitAndReset)
+{
+    PersistChecker c;
+    const std::uint8_t img[3] = { 1, 2, 3 };
+    c.applyInit(0x80, img, 3);
+    EXPECT_EQ(c.expectedByte(0x81), 2);
+    c.reset();
+    EXPECT_EQ(c.footprintBytes(), 0u);
+}
+
+TEST(PersistChecker, DescribeFormats)
+{
+    EXPECT_EQ(PersistChecker::describe({}), "consistent");
+    const auto s =
+        PersistChecker::describe({ { 0x10, 0xaa, 0xbb } });
+    EXPECT_NE(s.find("0x10"), std::string::npos);
+    EXPECT_NE(s.find("aa"), std::string::npos);
+}
+
+TEST(PersistChecker, ForEachVisitsAll)
+{
+    PersistChecker c;
+    c.applyStore(0x10, 2, 0xbbaa);
+    unsigned count = 0;
+    c.forEach([&](Addr, std::uint8_t) { ++count; });
+    EXPECT_EQ(count, 2u);
+}

@@ -1,0 +1,75 @@
+/** @file Unit tests for the NVFF backup storage. */
+
+#include <gtest/gtest.h>
+
+#include "nvp/nvff.hh"
+
+using namespace wlcache;
+using namespace wlcache::nvp;
+
+TEST(Nvff, CheckpointRestoreRoundTrip)
+{
+    NvffStore nvff(64, 18e-12, 5e-12);
+    const std::uint32_t regs[4] = { 1, 2, 3, 4 };
+    nvff.checkpoint(regs, sizeof(regs));
+    std::uint32_t out[4] = {};
+    nvff.restore(out, sizeof(out));
+    EXPECT_EQ(out[0], 1u);
+    EXPECT_EQ(out[3], 4u);
+    EXPECT_TRUE(nvff.hasImage());
+    EXPECT_EQ(nvff.checkpointCount(), 1u);
+}
+
+TEST(Nvff, OffsetsAreIndependent)
+{
+    NvffStore nvff(16, 18e-12, 5e-12);
+    const std::uint8_t a = 0xaa, b = 0xbb;
+    nvff.checkpoint(&a, 1, 0);
+    nvff.checkpoint(&b, 1, 8);
+    std::uint8_t out = 0;
+    nvff.restore(&out, 1, 0);
+    EXPECT_EQ(out, 0xaa);
+    nvff.restore(&out, 1, 8);
+    EXPECT_EQ(out, 0xbb);
+}
+
+TEST(Nvff, EnergyCharged)
+{
+    energy::EnergyMeter meter;
+    NvffStore nvff(64, 18e-12, 5e-12, &meter);
+    std::uint8_t buf[64] = {};
+    nvff.checkpoint(buf, 64);
+    EXPECT_NEAR(meter.get(energy::EnergyCategory::Checkpoint),
+                64 * 18e-12, 1e-18);
+    nvff.restore(buf, 64);
+    EXPECT_NEAR(meter.get(energy::EnergyCategory::Restore),
+                64 * 5e-12, 1e-18);
+}
+
+TEST(Nvff, CaptureLatencyScalesWithBytes)
+{
+    NvffStore nvff(128, 18e-12, 5e-12, nullptr, 0.125);
+    std::uint8_t buf[128] = {};
+    const Cycle t64 = nvff.checkpoint(buf, 64);
+    const Cycle t128 = nvff.checkpoint(buf, 128);
+    EXPECT_GT(t128, t64);
+    EXPECT_EQ(t64, 8u);  // 64 bytes x 0.125 cycles
+}
+
+TEST(Nvff, OverflowPanics)
+{
+    NvffStore nvff(8, 18e-12, 5e-12);
+    std::uint8_t buf[16] = {};
+    EXPECT_DEATH(nvff.checkpoint(buf, 16), "overflow");
+    EXPECT_DEATH(nvff.restore(buf, 4, 6), "overflow");
+}
+
+TEST(Nvff, StartsEmpty)
+{
+    NvffStore nvff(8, 1e-12, 1e-12);
+    EXPECT_FALSE(nvff.hasImage());
+    EXPECT_EQ(nvff.capacity(), 8u);
+    std::uint8_t out = 0xff;
+    nvff.restore(&out, 1);
+    EXPECT_EQ(out, 0u);  // zero-initialized contents
+}

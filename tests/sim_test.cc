@@ -1,0 +1,212 @@
+/** @file Unit tests for sim: RNG, stats framework, CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/csv.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+using namespace wlcache;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBelow(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(7);
+    bool seen[5] = {};
+    for (int i = 0; i < 500; ++i)
+        seen[r.nextBelow(5)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        lo |= v == -3;
+        hi |= v == 3;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextExponential(3.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng r(19);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(Types, CycleSecondConversion)
+{
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(1'000'000'000ull), 1.0);
+    EXPECT_EQ(secondsToCycles(1.0e-6), 1000ull);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::StatGroup g("g");
+    auto &s = g.addScalar("count", "a counter");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+}
+
+TEST(Stats, ScalarRenderIntegerVsFloat)
+{
+    stats::StatGroup g("g");
+    auto &s = g.addScalar("x", "");
+    s.set(5.0);
+    EXPECT_EQ(s.render(), "5");
+    s.set(1.25);
+    EXPECT_EQ(s.render(), "1.250000");
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::StatGroup g("g");
+    auto &d = g.addDistribution("d", "");
+    for (double v : { 1.0, 2.0, 3.0, 4.0 })
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, DistributionEmpty)
+{
+    stats::StatGroup g("g");
+    auto &d = g.addDistribution("d", "");
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, ResetAllRecursesChildren)
+{
+    stats::StatGroup parent("p");
+    stats::StatGroup child("c");
+    parent.addChild(&child);
+    auto &s = child.addScalar("s", "");
+    s += 7;
+    parent.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DumpContainsNamesAndDescriptions)
+{
+    stats::StatGroup g("cache");
+    auto &s = g.addScalar("hits", "cache hits");
+    s += 3;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("cache.hits"), std::string::npos);
+    EXPECT_NE(os.str().find("# cache hits"), std::string::npos);
+}
+
+TEST(Stats, FindLocatesStat)
+{
+    stats::StatGroup g("g");
+    g.addScalar("a", "");
+    EXPECT_NE(g.find("a"), nullptr);
+    EXPECT_EQ(g.find("b"), nullptr);
+}
+
+TEST(Csv, BasicRow)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({ "a", "b", "c" });
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesSpecials)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row({ "a,b", "say \"hi\"" });
+    EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, NumericRow)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.row("lbl", { 1.5 }, 2);
+    EXPECT_EQ(os.str(), "lbl,1.50\n");
+}

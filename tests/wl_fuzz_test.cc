@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Randomized differential testing of WL-Cache against a simple
+ * reference memory: long random interleavings of loads, stores,
+ * checkpoint/power-loss cycles, and drains must (1) always return
+ * the last-stored value on loads, (2) never exceed the maxline bound,
+ * and (3) leave NVM holding exactly the reference contents after
+ * every checkpoint and at the end. Parameterized over maxline, queue
+ * policy, and geometry so the §5 protocols are fuzzed in every
+ * configuration corner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/wl_cache.hh"
+#include "mem/nvm_memory.hh"
+#include "sim/rng.hh"
+
+using namespace wlcache;
+using namespace wlcache::core;
+
+namespace {
+
+struct FuzzConfig
+{
+    unsigned maxline;
+    unsigned dq_size;
+    cache::ReplPolicy dq_repl;
+    cache::ReplPolicy cache_repl;
+    unsigned assoc;
+    bool eager_cleanup;
+    std::uint64_t seed;
+};
+
+std::string
+fuzzName(const ::testing::TestParamInfo<FuzzConfig> &info)
+{
+    const auto &c = info.param;
+    return "ml" + std::to_string(c.maxline) + "_dq" +
+        std::to_string(c.dq_size) + "_" +
+        cache::replPolicyName(c.dq_repl) + "_c" +
+        cache::replPolicyName(c.cache_repl) + "_a" +
+        std::to_string(c.assoc) + (c.eager_cleanup ? "_eager" : "") +
+        "_s" + std::to_string(c.seed);
+}
+
+} // namespace
+
+class WlFuzz : public ::testing::TestWithParam<FuzzConfig>
+{
+};
+
+TEST_P(WlFuzz, RandomOpsPreserveConsistency)
+{
+    const FuzzConfig &fc = GetParam();
+
+    energy::EnergyMeter meter;
+    mem::NvmParams np;
+    np.size_bytes = 1u << 16;
+    mem::NvmMemory nvm(np, &meter);
+
+    cache::CacheParams cp;
+    cp.size_bytes = 1024;
+    cp.assoc = fc.assoc;
+    cp.line_bytes = 64;
+    cp.repl = fc.cache_repl;
+    WlParams wp;
+    wp.maxline = fc.maxline;
+    wp.dq_size = fc.dq_size;
+    wp.dq_repl = fc.dq_repl;
+    wp.eager_evict_cleanup = fc.eager_cleanup;
+
+    auto wl = std::make_unique<WLCache>(cp, wp, nvm, &meter);
+    Rng rng(fc.seed);
+
+    // Reference model of the program's memory (word granular), over
+    // a footprint ~4x the cache so evictions and conflicts happen.
+    std::map<Addr, std::uint32_t> reference;
+    const Addr base = 0x1000;
+    const unsigned footprint_words = 1024;
+
+    Cycle t = 0;
+    for (unsigned step = 0; step < 30'000; ++step) {
+        const Addr addr =
+            base + 4 * rng.nextBelow(footprint_words);
+        const double dice = rng.nextDouble();
+        if (dice < 0.45) {
+            // Store a fresh value.
+            const auto v = static_cast<std::uint32_t>(rng.next());
+            t = wl->access(MemOp::Store, addr, 4, v, nullptr, t).ready;
+            reference[addr] = v;
+        } else if (dice < 0.985) {
+            // Load and check against the reference.
+            std::uint64_t out = 0;
+            t = wl->access(MemOp::Load, addr, 4, 0, &out, t).ready;
+            const auto it = reference.find(addr);
+            const std::uint32_t expect =
+                it == reference.end() ? 0u : it->second;
+            ASSERT_EQ(static_cast<std::uint32_t>(out), expect)
+                << "load divergence at step " << step;
+        } else if (dice < 0.995) {
+            // Power failure: checkpoint, lose the cache, verify NVM
+            // against the reference.
+            t = wl->checkpoint(t);
+            wl->powerLoss();
+            for (const auto &[a, v] : reference) {
+                ASSERT_EQ(nvm.peekInt(a, 4), v)
+                    << "post-checkpoint divergence at 0x" << std::hex
+                    << a << " step " << std::dec << step;
+            }
+            nvm.resetChannel();
+            t += 2000;
+        } else {
+            // Graceful drain.
+            t = wl->drainAndFlush(t);
+            for (const auto &[a, v] : reference)
+                ASSERT_EQ(nvm.peekInt(a, 4), v);
+        }
+        // The architectural bound must hold at every step.
+        ASSERT_LE(wl->dirtyLineCount(), wl->maxline());
+        ASSERT_LE(wl->dirtyQueue().size(), wp.dq_size);
+    }
+
+    // Final settle: everything must be in NVM.
+    wl->drainAndFlush(t + 1'000'000);
+    for (const auto &[a, v] : reference)
+        ASSERT_EQ(nvm.peekInt(a, 4), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, WlFuzz,
+    ::testing::Values(
+        FuzzConfig{ 6, 8, cache::ReplPolicy::FIFO,
+                    cache::ReplPolicy::LRU, 2, false, 1 },
+        FuzzConfig{ 6, 8, cache::ReplPolicy::LRU,
+                    cache::ReplPolicy::LRU, 2, false, 2 },
+        FuzzConfig{ 2, 4, cache::ReplPolicy::FIFO,
+                    cache::ReplPolicy::FIFO, 2, false, 3 },
+        FuzzConfig{ 1, 2, cache::ReplPolicy::FIFO,
+                    cache::ReplPolicy::LRU, 2, false, 4 },
+        FuzzConfig{ 8, 8, cache::ReplPolicy::LRU,
+                    cache::ReplPolicy::FIFO, 2, false, 5 },
+        FuzzConfig{ 6, 8, cache::ReplPolicy::FIFO,
+                    cache::ReplPolicy::LRU, 1, false, 6 },
+        FuzzConfig{ 6, 8, cache::ReplPolicy::FIFO,
+                    cache::ReplPolicy::LRU, 4, false, 7 },
+        FuzzConfig{ 6, 8, cache::ReplPolicy::FIFO,
+                    cache::ReplPolicy::LRU, 2, true, 8 },
+        FuzzConfig{ 3, 10, cache::ReplPolicy::LRU,
+                    cache::ReplPolicy::LRU, 2, true, 9 },
+        FuzzConfig{ 4, 5, cache::ReplPolicy::FIFO,
+                    cache::ReplPolicy::FIFO, 4, false, 10 }),
+    fuzzName);

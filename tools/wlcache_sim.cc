@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The general-purpose simulator driver: run any (design x workload x
+ * environment x configuration) combination from the command line and
+ * print the result summary, with optional full statistics dump and
+ * crash-consistency validation. This is the tool a user reaches for
+ * when exploring configurations the benchmark harnesses do not
+ * sweep.
+ *
+ * Examples:
+ *   wlcache_sim --design wl --workload sha --trace trace1
+ *   wlcache_sim --design nvsram --workload FFT --trace solar --stats
+ *   wlcache_sim --design wl --maxline 4 --dq-size 10 --no-adaptive \
+ *               --capacitor 10e-6 --validate
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "energy/power_trace.hh"
+#include "nvp/run_json.hh"
+#include "nvp/system.hh"
+#include "sim/trace_log.hh"
+#include "util/arg_parser.hh"
+#include "util/strings.hh"
+#include "workloads/workloads.hh"
+
+using namespace wlcache;
+
+namespace {
+
+bool
+parseDesign(const std::string &name, nvp::DesignKind &out)
+{
+    const std::string n = util::toLower(name);
+    if (n == "nocache")
+        out = nvp::DesignKind::NoCache;
+    else if (n == "wt" || n == "vcache-wt")
+        out = nvp::DesignKind::VCacheWT;
+    else if (n == "nvcache" || n == "nvc")
+        out = nvp::DesignKind::NVCacheWB;
+    else if (n == "nvsram")
+        out = nvp::DesignKind::NvsramWB;
+    else if (n == "nvsram-full")
+        out = nvp::DesignKind::NvsramFull;
+    else if (n == "nvsram-practical" || n == "nvsram-prac")
+        out = nvp::DesignKind::NvsramPractical;
+    else if (n == "replay")
+        out = nvp::DesignKind::Replay;
+    else if (n == "wtbuf" || n == "wt-buffer")
+        out = nvp::DesignKind::WtBuffered;
+    else if (n == "wl")
+        out = nvp::DesignKind::WL;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseTrace(const std::string &name, energy::TraceKind &out,
+           bool &no_failure)
+{
+    const std::string n = util::toLower(name);
+    no_failure = false;
+    if (n == "none" || n == "infinite") {
+        no_failure = true;
+        out = energy::TraceKind::Constant;
+    } else if (n == "trace1") {
+        out = energy::TraceKind::RfHome;
+    } else if (n == "trace2") {
+        out = energy::TraceKind::RfOffice;
+    } else if (n == "trace3") {
+        out = energy::TraceKind::RfMementos;
+    } else if (n == "solar") {
+        out = energy::TraceKind::Solar;
+    } else if (n == "thermal") {
+        out = energy::TraceKind::Thermal;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "wlcache_sim",
+        "run one NVP cache-design simulation end to end");
+    args.option("design", "wl",
+                "nocache|wt|nvcache|nvsram|nvsram-full|"
+                "nvsram-practical|replay|wtbuf|wl")
+        .option("workload", "sha", "one of the 23 benchmark kernels")
+        .option("trace", "trace1",
+                "none|trace1|trace2|trace3|solar|thermal")
+        .option("scale", "1", "workload input scale factor")
+        .option("seed", "42", "workload input seed")
+        .option("power-seed", "7", "power trace seed")
+        .option("cache-size", "8192", "L1 D/I cache bytes")
+        .option("assoc", "2", "set associativity")
+        .option("cache-repl", "lru", "cache replacement: lru|fifo")
+        .option("dq-size", "8", "DirtyQueue slots (WL)")
+        .option("maxline", "6", "initial maxline (WL)")
+        .option("dq-repl", "fifo", "DirtyQueue replacement: fifo|lru")
+        .option("capacitor", "1e-6", "capacitance, farads")
+        .flag("no-adaptive", "disable boot-time adaptation (WL)")
+        .flag("dynamic", "enable dynamic maxline adaptation (WL)")
+        .flag("eager-cleanup", "eager DQ cleanup ablation (WL)")
+        .flag("validate", "run the crash-consistency oracle")
+        .flag("stats", "dump full component statistics")
+        .option("debug", "",
+                "debug categories: cache,queue,power,nvm,adapt,all")
+        .option("json", "", "write the run record as JSON to a file");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    if (!args.get("debug").empty())
+        trace::setEnabled(trace::parseCategories(args.get("debug")));
+
+    nvp::DesignKind design;
+    if (!parseDesign(args.get("design"), design))
+        fatal("unknown design '%s'", args.get("design").c_str());
+    energy::TraceKind kind;
+    bool no_failure = false;
+    if (!parseTrace(args.get("trace"), kind, no_failure))
+        fatal("unknown trace '%s'", args.get("trace").c_str());
+    if (!workloads::findWorkload(args.get("workload")))
+        fatal("unknown workload '%s' (see workloads/workloads.cc)",
+              args.get("workload").c_str());
+
+    nvp::SystemConfig cfg = nvp::SystemConfig::forDesign(design);
+    cfg.dcache.size_bytes =
+        static_cast<std::size_t>(args.getInt("cache-size"));
+    cfg.icache.size_bytes = cfg.dcache.size_bytes;
+    cfg.dcache.assoc = static_cast<unsigned>(args.getInt("assoc"));
+    cfg.icache.assoc = cfg.dcache.assoc;
+    cfg.dcache.repl = util::toLower(args.get("cache-repl")) == "fifo"
+        ? cache::ReplPolicy::FIFO : cache::ReplPolicy::LRU;
+    cfg.wl.dq_size = static_cast<unsigned>(args.getInt("dq-size"));
+    cfg.wl.maxline = static_cast<unsigned>(args.getInt("maxline"));
+    cfg.wl.dq_repl = util::toLower(args.get("dq-repl")) == "lru"
+        ? cache::ReplPolicy::LRU : cache::ReplPolicy::FIFO;
+    cfg.adaptive.maxline_max = cfg.wl.dq_size >= 4
+        ? cfg.wl.dq_size - 2 : cfg.wl.dq_size;
+    cfg.platform.capacitance_f = args.getDouble("capacitor");
+    if (args.getFlag("no-adaptive"))
+        cfg.adaptive.enabled = false;
+    cfg.wl_dynamic = args.getFlag("dynamic");
+    cfg.wl.eager_evict_cleanup = args.getFlag("eager-cleanup");
+    cfg.validate_consistency = args.getFlag("validate");
+    cfg.check_load_values = args.getFlag("validate");
+
+    const auto &trace = workloads::getTrace(
+        args.get("workload"),
+        static_cast<unsigned>(args.getInt("scale")),
+        static_cast<std::uint64_t>(args.getInt("seed")));
+
+    energy::TraceGenConfig tg;
+    tg.seed = static_cast<std::uint64_t>(args.getInt("power-seed"));
+    const auto power = energy::makeTrace(kind, tg);
+
+    nvp::SystemSim sim(cfg, trace, power, no_failure);
+    const auto r = sim.run();
+
+    std::cout << "design:            " << nvp::designKindName(design)
+              << "\nworkload:          " << r.workload << " ("
+              << r.trace_events << " events, " << r.instructions
+              << " instructions)"
+              << "\nenvironment:       " << args.get("trace")
+              << "\ncompleted:         "
+              << (r.completed ? "yes" : "NO")
+              << "\nexecution time:    "
+              << util::fmtSeconds(r.total_seconds) << "  (on "
+              << util::fmtSeconds(cyclesToSeconds(r.on_cycles))
+              << ", off " << util::fmtSeconds(r.off_seconds) << ")"
+              << "\npower failures:    " << r.outages
+              << "\nenergy:            "
+              << util::fmtEnergy(r.meter.total())
+              << "\nnvm writes:        " << r.nvm_writes << " ("
+              << r.nvm_bytes_written << " bytes)"
+              << "\nload hit rate:     "
+              << util::fmtDouble(100.0 * r.dcache_load_hit_rate, 2)
+              << "%"
+              << "\nstore stalls:      " << r.store_stall_cycles
+              << " cycles\n";
+    if (design == nvp::DesignKind::WL) {
+        std::cout << "wl reconfigs:      " << r.reconfigurations
+                  << " (maxline " << r.maxline_min_seen << ".."
+                  << r.maxline_max_seen << ", pred-acc "
+                  << util::fmtDouble(100.0 * r.prediction_accuracy, 1)
+                  << "%)"
+                  << "\nwl dirty@ckpt:     "
+                  << util::fmtDouble(r.avg_dirty_at_ckpt, 2)
+                  << "\nwl dyn raises:     " << r.dyn_maxline_raises
+                  << "\n";
+    }
+    if (cfg.validate_consistency) {
+        std::cout << "consistency:       " << r.consistency_checks
+                  << " checks, " << r.consistency_violations
+                  << " violations, final image "
+                  << (r.final_state_correct ? "correct" : "WRONG")
+                  << "\n";
+    }
+    if (args.getFlag("stats")) {
+        std::cout << "\n--- component statistics ---\n";
+        sim.dumpStats(std::cout);
+    }
+    if (!args.get("json").empty()) {
+        std::ofstream out(args.get("json"));
+        if (!out)
+            fatal("cannot write '%s'", args.get("json").c_str());
+        nvp::writeRunResultJson(out, r);
+        std::cout << "run record written to " << args.get("json")
+                  << "\n";
+    }
+    return r.completed ? 0 : 2;
+}

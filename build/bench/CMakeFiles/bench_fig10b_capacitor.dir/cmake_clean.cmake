@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_capacitor.dir/bench_fig10b_capacitor.cc.o"
+  "CMakeFiles/bench_fig10b_capacitor.dir/bench_fig10b_capacitor.cc.o.d"
+  "bench_fig10b_capacitor"
+  "bench_fig10b_capacitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_capacitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

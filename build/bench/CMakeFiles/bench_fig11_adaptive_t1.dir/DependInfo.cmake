@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_adaptive_t1.cc" "bench/CMakeFiles/bench_fig11_adaptive_t1.dir/bench_fig11_adaptive_t1.cc.o" "gcc" "bench/CMakeFiles/bench_fig11_adaptive_t1.dir/bench_fig11_adaptive_t1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wlc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvp/CMakeFiles/wlc_nvp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/wlc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/wlc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wlc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wlc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwcost/CMakeFiles/wlc_hwcost.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wlc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_no_failure.dir/bench_fig4_no_failure.cc.o"
+  "CMakeFiles/bench_fig4_no_failure.dir/bench_fig4_no_failure.cc.o.d"
+  "bench_fig4_no_failure"
+  "bench_fig4_no_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_no_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8b_associativity.dir/bench_fig8b_associativity.cc.o"
+  "CMakeFiles/bench_fig8b_associativity.dir/bench_fig8b_associativity.cc.o.d"
+  "bench_fig8b_associativity"
+  "bench_fig8b_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hwcost.dir/bench_hwcost.cc.o"
+  "CMakeFiles/bench_hwcost.dir/bench_hwcost.cc.o.d"
+  "bench_hwcost"
+  "bench_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

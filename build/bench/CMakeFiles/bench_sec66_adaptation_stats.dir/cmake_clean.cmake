@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec66_adaptation_stats.dir/bench_sec66_adaptation_stats.cc.o"
+  "CMakeFiles/bench_sec66_adaptation_stats.dir/bench_sec66_adaptation_stats.cc.o.d"
+  "bench_sec66_adaptation_stats"
+  "bench_sec66_adaptation_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec66_adaptation_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

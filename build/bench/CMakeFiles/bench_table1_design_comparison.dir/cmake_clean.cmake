@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_design_comparison.dir/bench_table1_design_comparison.cc.o"
+  "CMakeFiles/bench_table1_design_comparison.dir/bench_table1_design_comparison.cc.o.d"
+  "bench_table1_design_comparison"
+  "bench_table1_design_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_design_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_bench_common.dir/adaptive_figure.cc.o"
+  "CMakeFiles/wlc_bench_common.dir/adaptive_figure.cc.o.d"
+  "CMakeFiles/wlc_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/wlc_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/wlc_bench_common.dir/speedup_figure.cc.o"
+  "CMakeFiles/wlc_bench_common.dir/speedup_figure.cc.o.d"
+  "libwlc_bench_common.a"
+  "libwlc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

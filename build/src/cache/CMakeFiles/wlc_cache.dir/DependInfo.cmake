@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/base_tag_cache.cc" "src/cache/CMakeFiles/wlc_cache.dir/base_tag_cache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/base_tag_cache.cc.o.d"
+  "/root/repo/src/cache/cache_iface.cc" "src/cache/CMakeFiles/wlc_cache.dir/cache_iface.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/cache_iface.cc.o.d"
+  "/root/repo/src/cache/cache_params.cc" "src/cache/CMakeFiles/wlc_cache.dir/cache_params.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/cache_params.cc.o.d"
+  "/root/repo/src/cache/icache.cc" "src/cache/CMakeFiles/wlc_cache.dir/icache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/icache.cc.o.d"
+  "/root/repo/src/cache/no_cache.cc" "src/cache/CMakeFiles/wlc_cache.dir/no_cache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/no_cache.cc.o.d"
+  "/root/repo/src/cache/nv_cache.cc" "src/cache/CMakeFiles/wlc_cache.dir/nv_cache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/nv_cache.cc.o.d"
+  "/root/repo/src/cache/nvsram_cache.cc" "src/cache/CMakeFiles/wlc_cache.dir/nvsram_cache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/nvsram_cache.cc.o.d"
+  "/root/repo/src/cache/nvsram_practical_cache.cc" "src/cache/CMakeFiles/wlc_cache.dir/nvsram_practical_cache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/nvsram_practical_cache.cc.o.d"
+  "/root/repo/src/cache/replay_cache.cc" "src/cache/CMakeFiles/wlc_cache.dir/replay_cache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/replay_cache.cc.o.d"
+  "/root/repo/src/cache/tag_array.cc" "src/cache/CMakeFiles/wlc_cache.dir/tag_array.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/tag_array.cc.o.d"
+  "/root/repo/src/cache/vcache_wt.cc" "src/cache/CMakeFiles/wlc_cache.dir/vcache_wt.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/vcache_wt.cc.o.d"
+  "/root/repo/src/cache/wt_buffered_cache.cc" "src/cache/CMakeFiles/wlc_cache.dir/wt_buffered_cache.cc.o" "gcc" "src/cache/CMakeFiles/wlc_cache.dir/wt_buffered_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wlc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

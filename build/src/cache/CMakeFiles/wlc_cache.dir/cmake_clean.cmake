@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_cache.dir/base_tag_cache.cc.o"
+  "CMakeFiles/wlc_cache.dir/base_tag_cache.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/cache_iface.cc.o"
+  "CMakeFiles/wlc_cache.dir/cache_iface.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/cache_params.cc.o"
+  "CMakeFiles/wlc_cache.dir/cache_params.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/icache.cc.o"
+  "CMakeFiles/wlc_cache.dir/icache.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/no_cache.cc.o"
+  "CMakeFiles/wlc_cache.dir/no_cache.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/nv_cache.cc.o"
+  "CMakeFiles/wlc_cache.dir/nv_cache.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/nvsram_cache.cc.o"
+  "CMakeFiles/wlc_cache.dir/nvsram_cache.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/nvsram_practical_cache.cc.o"
+  "CMakeFiles/wlc_cache.dir/nvsram_practical_cache.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/replay_cache.cc.o"
+  "CMakeFiles/wlc_cache.dir/replay_cache.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/tag_array.cc.o"
+  "CMakeFiles/wlc_cache.dir/tag_array.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/vcache_wt.cc.o"
+  "CMakeFiles/wlc_cache.dir/vcache_wt.cc.o.d"
+  "CMakeFiles/wlc_cache.dir/wt_buffered_cache.cc.o"
+  "CMakeFiles/wlc_cache.dir/wt_buffered_cache.cc.o.d"
+  "libwlc_cache.a"
+  "libwlc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_core.dir/adaptive_runtime.cc.o"
+  "CMakeFiles/wlc_core.dir/adaptive_runtime.cc.o.d"
+  "CMakeFiles/wlc_core.dir/dirty_queue.cc.o"
+  "CMakeFiles/wlc_core.dir/dirty_queue.cc.o.d"
+  "CMakeFiles/wlc_core.dir/wl_cache.cc.o"
+  "CMakeFiles/wlc_core.dir/wl_cache.cc.o.d"
+  "libwlc_core.a"
+  "libwlc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

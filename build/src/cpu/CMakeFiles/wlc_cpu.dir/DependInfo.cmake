@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/icache_stream.cc" "src/cpu/CMakeFiles/wlc_cpu.dir/icache_stream.cc.o" "gcc" "src/cpu/CMakeFiles/wlc_cpu.dir/icache_stream.cc.o.d"
+  "/root/repo/src/cpu/inorder_core.cc" "src/cpu/CMakeFiles/wlc_cpu.dir/inorder_core.cc.o" "gcc" "src/cpu/CMakeFiles/wlc_cpu.dir/inorder_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/wlc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wlc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

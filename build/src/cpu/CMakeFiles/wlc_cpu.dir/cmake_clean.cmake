@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_cpu.dir/icache_stream.cc.o"
+  "CMakeFiles/wlc_cpu.dir/icache_stream.cc.o.d"
+  "CMakeFiles/wlc_cpu.dir/inorder_core.cc.o"
+  "CMakeFiles/wlc_cpu.dir/inorder_core.cc.o.d"
+  "libwlc_cpu.a"
+  "libwlc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_energy.dir/capacitor.cc.o"
+  "CMakeFiles/wlc_energy.dir/capacitor.cc.o.d"
+  "CMakeFiles/wlc_energy.dir/energy_meter.cc.o"
+  "CMakeFiles/wlc_energy.dir/energy_meter.cc.o.d"
+  "CMakeFiles/wlc_energy.dir/harvester.cc.o"
+  "CMakeFiles/wlc_energy.dir/harvester.cc.o.d"
+  "CMakeFiles/wlc_energy.dir/power_trace.cc.o"
+  "CMakeFiles/wlc_energy.dir/power_trace.cc.o.d"
+  "libwlc_energy.a"
+  "libwlc_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_hwcost.dir/cacti_lite.cc.o"
+  "CMakeFiles/wlc_hwcost.dir/cacti_lite.cc.o.d"
+  "libwlc_hwcost.a"
+  "libwlc_hwcost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_hwcost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

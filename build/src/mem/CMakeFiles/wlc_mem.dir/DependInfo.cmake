@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/nvm_memory.cc" "src/mem/CMakeFiles/wlc_mem.dir/nvm_memory.cc.o" "gcc" "src/mem/CMakeFiles/wlc_mem.dir/nvm_memory.cc.o.d"
+  "/root/repo/src/mem/persist_checker.cc" "src/mem/CMakeFiles/wlc_mem.dir/persist_checker.cc.o" "gcc" "src/mem/CMakeFiles/wlc_mem.dir/persist_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wlc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_mem.dir/nvm_memory.cc.o"
+  "CMakeFiles/wlc_mem.dir/nvm_memory.cc.o.d"
+  "CMakeFiles/wlc_mem.dir/persist_checker.cc.o"
+  "CMakeFiles/wlc_mem.dir/persist_checker.cc.o.d"
+  "libwlc_mem.a"
+  "libwlc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

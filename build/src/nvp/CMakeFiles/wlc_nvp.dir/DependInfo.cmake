@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvp/experiment.cc" "src/nvp/CMakeFiles/wlc_nvp.dir/experiment.cc.o" "gcc" "src/nvp/CMakeFiles/wlc_nvp.dir/experiment.cc.o.d"
+  "/root/repo/src/nvp/nvff.cc" "src/nvp/CMakeFiles/wlc_nvp.dir/nvff.cc.o" "gcc" "src/nvp/CMakeFiles/wlc_nvp.dir/nvff.cc.o.d"
+  "/root/repo/src/nvp/run_json.cc" "src/nvp/CMakeFiles/wlc_nvp.dir/run_json.cc.o" "gcc" "src/nvp/CMakeFiles/wlc_nvp.dir/run_json.cc.o.d"
+  "/root/repo/src/nvp/system.cc" "src/nvp/CMakeFiles/wlc_nvp.dir/system.cc.o" "gcc" "src/nvp/CMakeFiles/wlc_nvp.dir/system.cc.o.d"
+  "/root/repo/src/nvp/system_config.cc" "src/nvp/CMakeFiles/wlc_nvp.dir/system_config.cc.o" "gcc" "src/nvp/CMakeFiles/wlc_nvp.dir/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/wlc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/wlc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/wlc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/wlc_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wlc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

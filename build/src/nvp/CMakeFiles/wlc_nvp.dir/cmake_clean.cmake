@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_nvp.dir/experiment.cc.o"
+  "CMakeFiles/wlc_nvp.dir/experiment.cc.o.d"
+  "CMakeFiles/wlc_nvp.dir/nvff.cc.o"
+  "CMakeFiles/wlc_nvp.dir/nvff.cc.o.d"
+  "CMakeFiles/wlc_nvp.dir/run_json.cc.o"
+  "CMakeFiles/wlc_nvp.dir/run_json.cc.o.d"
+  "CMakeFiles/wlc_nvp.dir/system.cc.o"
+  "CMakeFiles/wlc_nvp.dir/system.cc.o.d"
+  "CMakeFiles/wlc_nvp.dir/system_config.cc.o"
+  "CMakeFiles/wlc_nvp.dir/system_config.cc.o.d"
+  "libwlc_nvp.a"
+  "libwlc_nvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_sim.dir/csv.cc.o"
+  "CMakeFiles/wlc_sim.dir/csv.cc.o.d"
+  "CMakeFiles/wlc_sim.dir/logging.cc.o"
+  "CMakeFiles/wlc_sim.dir/logging.cc.o.d"
+  "CMakeFiles/wlc_sim.dir/rng.cc.o"
+  "CMakeFiles/wlc_sim.dir/rng.cc.o.d"
+  "CMakeFiles/wlc_sim.dir/stats.cc.o"
+  "CMakeFiles/wlc_sim.dir/stats.cc.o.d"
+  "CMakeFiles/wlc_sim.dir/trace_log.cc.o"
+  "CMakeFiles/wlc_sim.dir/trace_log.cc.o.d"
+  "libwlc_sim.a"
+  "libwlc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/arg_parser.cc" "src/util/CMakeFiles/wlc_util.dir/arg_parser.cc.o" "gcc" "src/util/CMakeFiles/wlc_util.dir/arg_parser.cc.o.d"
+  "/root/repo/src/util/stat_math.cc" "src/util/CMakeFiles/wlc_util.dir/stat_math.cc.o" "gcc" "src/util/CMakeFiles/wlc_util.dir/stat_math.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/util/CMakeFiles/wlc_util.dir/strings.cc.o" "gcc" "src/util/CMakeFiles/wlc_util.dir/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/util/CMakeFiles/wlc_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/wlc_util.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wlc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_util.dir/arg_parser.cc.o"
+  "CMakeFiles/wlc_util.dir/arg_parser.cc.o.d"
+  "CMakeFiles/wlc_util.dir/stat_math.cc.o"
+  "CMakeFiles/wlc_util.dir/stat_math.cc.o.d"
+  "CMakeFiles/wlc_util.dir/strings.cc.o"
+  "CMakeFiles/wlc_util.dir/strings.cc.o.d"
+  "CMakeFiles/wlc_util.dir/table.cc.o"
+  "CMakeFiles/wlc_util.dir/table.cc.o.d"
+  "libwlc_util.a"
+  "libwlc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwlc_util.a"
+)

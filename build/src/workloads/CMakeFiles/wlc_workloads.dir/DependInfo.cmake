@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/guest_env.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/guest_env.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/guest_env.cc.o.d"
+  "/root/repo/src/workloads/media_audio.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_audio.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_audio.cc.o.d"
+  "/root/repo/src/workloads/media_crypto.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_crypto.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_crypto.cc.o.d"
+  "/root/repo/src/workloads/media_image.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_image.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_image.cc.o.d"
+  "/root/repo/src/workloads/media_video.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_video.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/media_video.cc.o.d"
+  "/root/repo/src/workloads/mibench_auto.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_auto.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_auto.cc.o.d"
+  "/root/repo/src/workloads/mibench_net.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_net.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_net.cc.o.d"
+  "/root/repo/src/workloads/mibench_security.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_security.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_security.cc.o.d"
+  "/root/repo/src/workloads/mibench_telecom.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_telecom.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/mibench_telecom.cc.o.d"
+  "/root/repo/src/workloads/workloads.cc" "src/workloads/CMakeFiles/wlc_workloads.dir/workloads.cc.o" "gcc" "src/workloads/CMakeFiles/wlc_workloads.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wlc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wlc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

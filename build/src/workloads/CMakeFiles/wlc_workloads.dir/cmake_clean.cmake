@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlc_workloads.dir/guest_env.cc.o"
+  "CMakeFiles/wlc_workloads.dir/guest_env.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/media_audio.cc.o"
+  "CMakeFiles/wlc_workloads.dir/media_audio.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/media_crypto.cc.o"
+  "CMakeFiles/wlc_workloads.dir/media_crypto.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/media_image.cc.o"
+  "CMakeFiles/wlc_workloads.dir/media_image.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/media_video.cc.o"
+  "CMakeFiles/wlc_workloads.dir/media_video.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/mibench_auto.cc.o"
+  "CMakeFiles/wlc_workloads.dir/mibench_auto.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/mibench_net.cc.o"
+  "CMakeFiles/wlc_workloads.dir/mibench_net.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/mibench_security.cc.o"
+  "CMakeFiles/wlc_workloads.dir/mibench_security.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/mibench_telecom.cc.o"
+  "CMakeFiles/wlc_workloads.dir/mibench_telecom.cc.o.d"
+  "CMakeFiles/wlc_workloads.dir/workloads.cc.o"
+  "CMakeFiles/wlc_workloads.dir/workloads.cc.o.d"
+  "libwlc_workloads.a"
+  "libwlc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

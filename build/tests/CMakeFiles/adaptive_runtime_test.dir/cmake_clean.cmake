@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_runtime_test.dir/adaptive_runtime_test.cc.o"
+  "CMakeFiles/adaptive_runtime_test.dir/adaptive_runtime_test.cc.o.d"
+  "adaptive_runtime_test"
+  "adaptive_runtime_test.pdb"
+  "adaptive_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_designs_test.dir/cache_designs_test.cc.o"
+  "CMakeFiles/cache_designs_test.dir/cache_designs_test.cc.o.d"
+  "cache_designs_test"
+  "cache_designs_test.pdb"
+  "cache_designs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_designs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_fuzz_test.dir/design_fuzz_test.cc.o"
+  "CMakeFiles/design_fuzz_test.dir/design_fuzz_test.cc.o.d"
+  "design_fuzz_test"
+  "design_fuzz_test.pdb"
+  "design_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

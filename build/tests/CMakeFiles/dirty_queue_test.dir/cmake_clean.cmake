@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_queue_test.dir/dirty_queue_test.cc.o"
+  "CMakeFiles/dirty_queue_test.dir/dirty_queue_test.cc.o.d"
+  "dirty_queue_test"
+  "dirty_queue_test.pdb"
+  "dirty_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwcost_test.dir/hwcost_test.cc.o"
+  "CMakeFiles/hwcost_test.dir/hwcost_test.cc.o.d"
+  "hwcost_test"
+  "hwcost_test.pdb"
+  "hwcost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwcost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvff_test.dir/nvff_test.cc.o"
+  "CMakeFiles/nvff_test.dir/nvff_test.cc.o.d"
+  "nvff_test"
+  "nvff_test.pdb"
+  "nvff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

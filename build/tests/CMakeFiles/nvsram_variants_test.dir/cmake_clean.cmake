@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvsram_variants_test.dir/nvsram_variants_test.cc.o"
+  "CMakeFiles/nvsram_variants_test.dir/nvsram_variants_test.cc.o.d"
+  "nvsram_variants_test"
+  "nvsram_variants_test.pdb"
+  "nvsram_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvsram_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_array_test.dir/tag_array_test.cc.o"
+  "CMakeFiles/tag_array_test.dir/tag_array_test.cc.o.d"
+  "tag_array_test"
+  "tag_array_test.pdb"
+  "tag_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

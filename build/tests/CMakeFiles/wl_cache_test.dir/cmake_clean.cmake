@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_cache_test.dir/wl_cache_test.cc.o"
+  "CMakeFiles/wl_cache_test.dir/wl_cache_test.cc.o.d"
+  "wl_cache_test"
+  "wl_cache_test.pdb"
+  "wl_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

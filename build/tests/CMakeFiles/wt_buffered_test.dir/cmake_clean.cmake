@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wt_buffered_test.dir/wt_buffered_test.cc.o"
+  "CMakeFiles/wt_buffered_test.dir/wt_buffered_test.cc.o.d"
+  "wt_buffered_test"
+  "wt_buffered_test.pdb"
+  "wt_buffered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wt_buffered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

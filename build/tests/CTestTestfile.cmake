@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/tag_array_test[1]_include.cmake")
+include("/root/repo/build/tests/dirty_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_designs_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/hwcost_test[1]_include.cmake")
+include("/root/repo/build/tests/arg_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/nvff_test[1]_include.cmake")
+include("/root/repo/build/tests/oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/wt_buffered_test[1]_include.cmake")
+include("/root/repo/build/tests/nvsram_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/design_fuzz_test[1]_include.cmake")

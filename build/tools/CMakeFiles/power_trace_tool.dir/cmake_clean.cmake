@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_trace_tool.dir/power_trace_tool.cc.o"
+  "CMakeFiles/power_trace_tool.dir/power_trace_tool.cc.o.d"
+  "power_trace_tool"
+  "power_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlcache_sim.dir/wlcache_sim.cc.o"
+  "CMakeFiles/wlcache_sim.dir/wlcache_sim.cc.o.d"
+  "wlcache_sim"
+  "wlcache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlcache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

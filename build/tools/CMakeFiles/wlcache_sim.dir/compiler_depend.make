@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wlcache_sim.
+# This may be replaced when dependencies are built.

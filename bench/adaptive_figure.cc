@@ -7,9 +7,9 @@ namespace bench {
 
 namespace {
 
-nvp::RunResult
-runWl(const std::string &app, energy::TraceKind power,
-      cache::ReplPolicy cache_repl, bool adaptive, unsigned maxline)
+nvp::ExperimentSpec
+wlSpec(const std::string &app, energy::TraceKind power,
+       cache::ReplPolicy cache_repl, bool adaptive, unsigned maxline)
 {
     nvp::ExperimentSpec s;
     s.workload = app;
@@ -20,7 +20,7 @@ runWl(const std::string &app, energy::TraceKind power,
         cfg.adaptive.enabled = adaptive;
         cfg.wl.maxline = maxline;
     };
-    return runBench(s);
+    return s;
 }
 
 } // namespace
@@ -33,24 +33,42 @@ runAdaptiveFigure(const std::string &title, const std::string &slug,
     table.seriesOrder({ "LRU(Best)", "LRU(Adap)", "FIFO(Best)",
                         "FIFO(Adap)" });
 
+    constexpr cache::ReplPolicy kPolicies[] = {
+        cache::ReplPolicy::LRU, cache::ReplPolicy::FIFO
+    };
+    constexpr unsigned kMaxlines[] = { 2u, 4u, 6u, 8u };
+
+    // One batch per figure: baseline, the static maxline sweep, and
+    // the adaptive run for every app and policy.
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec nvsram;
         nvsram.workload = app;
         nvsram.power = power;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
-        for (const auto pol :
-             { cache::ReplPolicy::LRU, cache::ReplPolicy::FIFO }) {
+        for (const auto pol : kPolicies) {
+            for (const unsigned ml : kMaxlines)
+                specs.push_back(wlSpec(app, power, pol, false, ml));
+            specs.push_back(wlSpec(app, power, pol, true, 6));
+        }
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::size_t i = 0;
+    for (const auto &app : appNames()) {
+        const auto &rb = results[i++];
+
+        for (const auto pol : kPolicies) {
             // Static-best: the best-performing fixed maxline for this
             // application (paper §6.6 picks it from the Fig. 9 sweep).
             double best = 0.0;
-            for (const unsigned ml : { 2u, 4u, 6u, 8u }) {
-                const auto r = runWl(app, power, pol, false, ml);
-                best = std::max(best, nvp::speedupVs(r, rb));
-            }
+            for (std::size_t m = 0; m < std::size(kMaxlines); ++m)
+                best = std::max(best,
+                                nvp::speedupVs(results[i++], rb));
             // Adaptive, starting from the default maxline 6.
-            const auto ra = runWl(app, power, pol, true, 6);
+            const auto &ra = results[i++];
 
             const std::string prefix =
                 pol == cache::ReplPolicy::LRU ? "LRU" : "FIFO";

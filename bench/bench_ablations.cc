@@ -27,7 +27,7 @@ double
 gmeanVsNvsram(const std::function<void(nvp::SystemConfig &)> &tweak,
               nvp::DesignKind design = nvp::DesignKind::WL)
 {
-    std::vector<double> speedups;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -35,13 +35,19 @@ gmeanVsNvsram(const std::function<void(nvp::SystemConfig &)> &tweak,
 
         nvp::ExperimentSpec nvsram = base;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
         nvp::ExperimentSpec s = base;
         s.design = design;
         s.tweak = tweak;
-        speedups.push_back(nvp::speedupVs(runBench(s), rb));
+        specs.push_back(s);
     }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < results.size(); i += 2)
+        speedups.push_back(
+            nvp::speedupVs(results[i + 1], results[i]));
     return util::geoMean(speedups);
 }
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "runner/runner.hh"
 #include "sim/csv.hh"
 #include "sim/logging.hh"
 #include "util/stat_math.hh"
@@ -144,12 +145,46 @@ benchScale()
     return v >= 1 ? static_cast<unsigned>(v) : 1;
 }
 
+unsigned
+benchJobs()
+{
+    const char *s = std::getenv("WLCACHE_BENCH_JOBS");
+    if (!s)
+        return 1;  // Historical serial behaviour when unset.
+    const int v = std::atoi(s);
+    if (v < 0)
+        return 1;
+    return v == 0 ? runner::defaultJobs()
+                  : static_cast<unsigned>(v);
+}
+
+std::vector<nvp::RunResult>
+runBenchBatch(const std::vector<nvp::ExperimentSpec> &specs)
+{
+    runner::JobSet set;
+    for (const auto &spec : specs) {
+        nvp::ExperimentSpec s = spec;
+        s.scale = benchScale();
+        set.add(std::move(s));
+    }
+
+    runner::RunnerConfig cfg;
+    cfg.jobs = benchJobs();
+    if (const char *dir = std::getenv("WLCACHE_BENCH_CACHE_DIR"))
+        cfg.cache_dir = dir;
+    if (const char *p = std::getenv("WLCACHE_BENCH_PROGRESS"))
+        cfg.progress = p[0] != '\0' && std::string(p) != "0";
+    if (const char *m = std::getenv("WLCACHE_BENCH_MANIFEST"))
+        cfg.manifest_path = m;
+
+    runner::Runner runner(cfg);
+    return runner.runAll(set);
+}
+
 nvp::RunResult
 runBench(const nvp::ExperimentSpec &spec)
 {
-    nvp::ExperimentSpec s = spec;
-    s.scale = benchScale();
-    return nvp::runExperiment(s);
+    return runBenchBatch({ spec }).front();
 }
 
 } // namespace bench

@@ -4,6 +4,16 @@
  * list in the paper's presentation order, speedup-table rendering
  * with the paper's gmean(Media)/gmean(Mi)/gmean(Total) columns, and
  * optional CSV output (set WLCACHE_BENCH_CSV=path prefix).
+ *
+ * Experiment execution goes through the shared runner subsystem, so
+ * every figure binary picks up parallelism and result caching from
+ * the environment without per-binary flags:
+ *
+ *   WLCACHE_BENCH_JOBS       worker threads (0 = all cores;
+ *                            unset = 1, the historical serial mode)
+ *   WLCACHE_BENCH_CACHE_DIR  content-addressed result cache directory
+ *   WLCACHE_BENCH_PROGRESS   set non-empty for progress lines (stderr)
+ *   WLCACHE_BENCH_MANIFEST   write the batch manifest JSON here
  */
 
 #ifndef WLCACHE_BENCH_BENCH_COMMON_HH
@@ -61,7 +71,19 @@ class SpeedupTable
 /** Scale factor for bench workloads (WLCACHE_BENCH_SCALE, default 1). */
 unsigned benchScale();
 
-/** Run an experiment with bench-standard seeds. */
+/** Worker threads for bench batches (WLCACHE_BENCH_JOBS, default 1). */
+unsigned benchJobs();
+
+/**
+ * Run a batch of experiments through the shared runner (parallelism
+ * and caching per the WLCACHE_BENCH_* environment).
+ * @return results in submission order — identical to running each
+ *         spec serially.
+ */
+std::vector<nvp::RunResult>
+runBenchBatch(const std::vector<nvp::ExperimentSpec> &specs);
+
+/** Run an experiment with bench-standard seeds (batch of one). */
 nvp::RunResult runBench(const nvp::ExperimentSpec &spec);
 
 } // namespace bench

@@ -29,7 +29,7 @@ setCacheSize(nvp::SystemConfig &cfg, std::size_t bytes)
 double
 gmeanSpeedup(nvp::DesignKind design, std::size_t bytes)
 {
-    std::vector<double> speedups;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -40,14 +40,19 @@ gmeanSpeedup(nvp::DesignKind design, std::size_t bytes)
         nvsram.tweak = [bytes](nvp::SystemConfig &cfg) {
             setCacheSize(cfg, bytes);
         };
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
         nvp::ExperimentSpec s = base;
         s.design = design;
         s.tweak = nvsram.tweak;
-        const auto r = runBench(s);
-        speedups.push_back(nvp::speedupVs(r, rb));
+        specs.push_back(s);
     }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < results.size(); i += 2)
+        speedups.push_back(
+            nvp::speedupVs(results[i + 1], results[i]));
     return util::geoMean(speedups);
 }
 

@@ -23,7 +23,7 @@ namespace {
 double
 gmeanTime(nvp::DesignKind design, double farads)
 {
-    std::vector<double> times;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec s;
         s.workload = app;
@@ -35,11 +35,17 @@ gmeanTime(nvp::DesignKind design, double farads)
             // counts; bound the sweep's cost and extrapolate.
             cfg.max_outages = 30'000;
         };
-        const auto r = runBench(s);
+        specs.push_back(std::move(s));
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> times;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
         double t = r.total_seconds;
         if (!r.completed) {
             const auto &trace =
-                workloads::getTrace(s.workload, benchScale());
+                workloads::getTrace(specs[i].workload, benchScale());
             const double progress =
                 static_cast<double>(r.instructions) /
                 static_cast<double>(trace.totalInstructions());

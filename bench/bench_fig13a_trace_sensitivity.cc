@@ -27,9 +27,7 @@ struct TraceStats
 TraceStats
 gmeanFor(nvp::DesignKind design, energy::TraceKind power, bool dyn)
 {
-    std::vector<double> speedups;
-    double outages = 0.0;
-    unsigned n = 0;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -37,7 +35,7 @@ gmeanFor(nvp::DesignKind design, energy::TraceKind power, bool dyn)
 
         nvp::ExperimentSpec nvsram = base;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
         nvp::ExperimentSpec s = base;
         s.design = design;
@@ -46,7 +44,16 @@ gmeanFor(nvp::DesignKind design, energy::TraceKind power, bool dyn)
                 cfg.wl_dynamic = true;
             };
         }
-        const auto r = runBench(s);
+        specs.push_back(s);
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> speedups;
+    double outages = 0.0;
+    unsigned n = 0;
+    for (std::size_t i = 0; i < results.size(); i += 2) {
+        const auto &rb = results[i];
+        const auto &r = results[i + 1];
         speedups.push_back(nvp::speedupVs(r, rb));
         outages += static_cast<double>(r.outages);
         ++n;

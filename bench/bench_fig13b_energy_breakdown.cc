@@ -24,21 +24,23 @@ namespace {
 std::array<double, energy::EnergyMeter::kNumCategories>
 meanBreakdown(nvp::DesignKind design)
 {
-    std::array<double, energy::EnergyMeter::kNumCategories> sums{};
-    unsigned n = 0;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec s;
         s.workload = app;
         s.power = energy::TraceKind::RfHome;
         s.design = design;
-        const auto r = runBench(s);
+        specs.push_back(std::move(s));
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::array<double, energy::EnergyMeter::kNumCategories> sums{};
+    for (const auto &r : results)
         for (std::size_t c = 0;
              c < energy::EnergyMeter::kNumCategories; ++c)
             sums[c] += r.meter.get(static_cast<EnergyCategory>(c));
-        ++n;
-    }
     for (auto &v : sums)
-        v /= n;
+        v /= results.size();
     return sums;
 }
 

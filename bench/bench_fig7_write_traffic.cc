@@ -24,6 +24,7 @@ main()
         "NVSRAM(ideal), Power Trace 1");
     table.seriesOrder({ "WL/NVSRAM-writes", "WL/NVSRAM-bytes" });
 
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -31,11 +32,18 @@ main()
 
         nvp::ExperimentSpec nvsram = base;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
         nvp::ExperimentSpec wl = base;
         wl.design = nvp::DesignKind::WL;
-        const auto rw = runBench(wl);
+        specs.push_back(wl);
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::size_t i = 0;
+    for (const auto &app : appNames()) {
+        const auto &rb = results[i++];
+        const auto &rw = results[i++];
 
         const double writes = rb.nvm_writes
             ? static_cast<double>(rw.nvm_writes) /

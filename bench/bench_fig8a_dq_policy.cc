@@ -23,7 +23,7 @@ double
 gmeanSpeedup(cache::ReplPolicy dq_repl, energy::TraceKind power,
              bool no_failure)
 {
-    std::vector<double> speedups;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -32,16 +32,21 @@ gmeanSpeedup(cache::ReplPolicy dq_repl, energy::TraceKind power,
 
         nvp::ExperimentSpec nvsram = base;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
         nvp::ExperimentSpec wl = base;
         wl.design = nvp::DesignKind::WL;
         wl.tweak = [dq_repl](nvp::SystemConfig &cfg) {
             cfg.wl.dq_repl = dq_repl;
         };
-        const auto rw = runBench(wl);
-        speedups.push_back(nvp::speedupVs(rw, rb));
+        specs.push_back(wl);
     }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < results.size(); i += 2)
+        speedups.push_back(
+            nvp::speedupVs(results[i + 1], results[i]));
     return util::geoMean(speedups);
 }
 

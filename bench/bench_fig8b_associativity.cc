@@ -21,7 +21,7 @@ namespace {
 double
 gmeanSpeedup(unsigned assoc, energy::TraceKind power, bool no_failure)
 {
-    std::vector<double> speedups;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -30,7 +30,7 @@ gmeanSpeedup(unsigned assoc, energy::TraceKind power, bool no_failure)
 
         nvp::ExperimentSpec nvsram = base;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
         nvp::ExperimentSpec wl = base;
         wl.design = nvp::DesignKind::WL;
@@ -44,9 +44,14 @@ gmeanSpeedup(unsigned assoc, energy::TraceKind power, bool no_failure)
             cfg.dcache.access_energy_write *= scale;
             cfg.icache.access_energy_read *= scale;
         };
-        const auto rw = runBench(wl);
-        speedups.push_back(nvp::speedupVs(rw, rb));
+        specs.push_back(wl);
     }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < results.size(); i += 2)
+        speedups.push_back(
+            nvp::speedupVs(results[i + 1], results[i]));
     return util::geoMean(speedups);
 }
 

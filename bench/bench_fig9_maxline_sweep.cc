@@ -29,6 +29,12 @@ main()
                              std::to_string(ml));
     table.seriesOrder(series);
 
+    constexpr cache::ReplPolicy kPolicies[] = {
+        cache::ReplPolicy::FIFO, cache::ReplPolicy::LRU
+    };
+    constexpr unsigned kMaxlines[] = { 2u, 4u, 6u, 8u };
+
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -36,11 +42,10 @@ main()
 
         nvp::ExperimentSpec nvsram = base;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
-        for (const auto pol :
-             { cache::ReplPolicy::FIFO, cache::ReplPolicy::LRU }) {
-            for (const unsigned ml : { 2u, 4u, 6u, 8u }) {
+        for (const auto pol : kPolicies) {
+            for (const unsigned ml : kMaxlines) {
                 nvp::ExperimentSpec wl = base;
                 wl.design = nvp::DesignKind::WL;
                 wl.tweak = [pol, ml](nvp::SystemConfig &cfg) {
@@ -48,11 +53,21 @@ main()
                     cfg.wl.maxline = ml;
                     cfg.adaptive.enabled = false;  // static sweep
                 };
-                const auto rw = runBench(wl);
+                specs.push_back(wl);
+            }
+        }
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::size_t i = 0;
+    for (const auto &app : appNames()) {
+        const auto &rb = results[i++];
+        for (const auto pol : kPolicies) {
+            for (const unsigned ml : kMaxlines) {
                 const std::string name =
                     std::string(cache::replPolicyName(pol)) + "@" +
                     std::to_string(ml);
-                table.set(name, app, nvp::speedupVs(rw, rb));
+                table.set(name, app, nvp::speedupVs(results[i++], rb));
             }
         }
     }

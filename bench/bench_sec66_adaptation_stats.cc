@@ -34,15 +34,20 @@ main()
     const energy::TraceKind traces[] = { energy::TraceKind::RfHome,
                                          energy::TraceKind::RfOffice };
     for (const auto tk : traces) {
-        std::vector<double> reconfigs, accs, dirty, wbs, stalls,
-            outages;
-        unsigned ml_min = 99, ml_max = 0;
+        std::vector<nvp::ExperimentSpec> specs;
         for (const auto &app : appNames()) {
             nvp::ExperimentSpec s;
             s.workload = app;
             s.power = tk;
             s.design = nvp::DesignKind::WL;
-            const auto r = runBench(s);
+            specs.push_back(std::move(s));
+        }
+        const auto results = runBenchBatch(specs);
+
+        std::vector<double> reconfigs, accs, dirty, wbs, stalls,
+            outages;
+        unsigned ml_min = 99, ml_max = 0;
+        for (const auto &r : results) {
             reconfigs.push_back(r.reconfigurations);
             accs.push_back(100.0 * r.prediction_accuracy);
             dirty.push_back(r.avg_dirty_at_ckpt);

@@ -23,7 +23,7 @@ double
 gmeanSpeedup(nvp::DesignKind design, std::uint64_t power_seed,
              std::uint64_t workload_seed)
 {
-    std::vector<double> speedups;
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.workload = app;
@@ -33,12 +33,18 @@ gmeanSpeedup(nvp::DesignKind design, std::uint64_t power_seed,
 
         nvp::ExperimentSpec nvsram = base;
         nvsram.design = nvp::DesignKind::NvsramWB;
-        const auto rb = runBench(nvsram);
+        specs.push_back(nvsram);
 
         nvp::ExperimentSpec s = base;
         s.design = design;
-        speedups.push_back(nvp::speedupVs(runBench(s), rb));
+        specs.push_back(s);
     }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < results.size(); i += 2)
+        speedups.push_back(
+            nvp::speedupVs(results[i + 1], results[i]));
     return util::geoMean(speedups);
 }
 

@@ -39,19 +39,29 @@ energyBufferClass(double joules)
     return "Large";
 }
 
-/** Quick speedup of a design vs NVCache-WB (the slow baseline) on a
- *  representative app under Trace 1. */
-double
-quickSpeedup(nvp::DesignKind d)
+/** Quick speedups of several designs vs NVCache-WB (the slow
+ *  baseline) on a representative app under Trace 1, evaluated as one
+ *  batch so the runner can parallelize and cache them. */
+std::vector<double>
+quickSpeedups(const std::vector<nvp::DesignKind> &designs)
 {
     nvp::ExperimentSpec nvc;
     nvc.workload = "gsmdecode";
     nvc.power = energy::TraceKind::RfHome;
     nvc.design = nvp::DesignKind::NVCacheWB;
-    const auto rb = runBench(nvc);
-    nvp::ExperimentSpec s = nvc;
-    s.design = d;
-    return nvp::speedupVs(runBench(s), rb);
+
+    std::vector<nvp::ExperimentSpec> specs{ nvc };
+    for (const auto d : designs) {
+        nvp::ExperimentSpec s = nvc;
+        s.design = d;
+        specs.push_back(std::move(s));
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::vector<double> speedups;
+    for (std::size_t i = 1; i < results.size(); ++i)
+        speedups.push_back(nvp::speedupVs(results[i], results[0]));
+    return speedups;
 }
 
 const char *
@@ -85,15 +95,25 @@ main()
                                    &meter);
     core::WLCache wl(sram, core::WlParams{}, nvm, &meter);
 
+    const auto sp = quickSpeedups({
+        nvp::DesignKind::VCacheWT,
+        nvp::DesignKind::NVCacheWB,
+        nvp::DesignKind::NvsramFull,
+        nvp::DesignKind::NvsramWB,
+        nvp::DesignKind::NvsramPractical,
+        nvp::DesignKind::Replay,
+        nvp::DesignKind::WL,
+    });
+
     util::TextTable t;
     t.header({ "scheme", "HW cost", "EnergyBuf", "NV cache req.",
                "ckpt bound", "perf." });
     t.row({ "VCache-WT", "None",
             energyBufferClass(wt.checkpointEnergyBound()), "No",
             util::fmtEnergy(wt.checkpointEnergyBound()),
-            perfClass(quickSpeedup(nvp::DesignKind::VCacheWT)) });
+            perfClass(sp[0]) });
     t.row({ "NVCache-WB", "Low", "No", "Yes (full array)", "0.000J",
-            perfClass(quickSpeedup(nvp::DesignKind::NVCacheWB)) });
+            perfClass(sp[1]) });
     cache::NvsramParams full_p;
     full_p.backup_full = true;
     cache::NvsramCacheWB nvsram_full(sram, full_p, nvm, &meter);
@@ -104,26 +124,25 @@ main()
             energyBufferClass(nvsram_full.checkpointEnergyBound()),
             "Yes (same-size)",
             util::fmtEnergy(nvsram_full.checkpointEnergyBound()),
-            perfClass(quickSpeedup(nvp::DesignKind::NvsramFull)) });
+            perfClass(sp[2]) });
     t.row({ "NVSRAM(ideal)", "High+",
             energyBufferClass(nvsram.checkpointEnergyBound()),
             "Yes (same-size)",
             util::fmtEnergy(nvsram.checkpointEnergyBound()),
-            perfClass(quickSpeedup(nvp::DesignKind::NvsramWB)) });
+            perfClass(sp[3]) });
     t.row({ "NVSRAM(practical)", "Medium",
             energyBufferClass(nvsram_prac.checkpointEnergyBound()),
             "Yes (half ways)",
             util::fmtEnergy(nvsram_prac.checkpointEnergyBound()),
-            perfClass(
-                quickSpeedup(nvp::DesignKind::NvsramPractical)) });
+            perfClass(sp[4]) });
     t.row({ "ReplayCache", "None",
             energyBufferClass(replay.checkpointEnergyBound()), "No",
             util::fmtEnergy(replay.checkpointEnergyBound()),
-            perfClass(quickSpeedup(nvp::DesignKind::Replay)) });
+            perfClass(sp[5]) });
     t.row({ "WL-Cache", "Low",
             energyBufferClass(wl.checkpointEnergyBound()), "No",
             util::fmtEnergy(wl.checkpointEnergyBound()),
-            perfClass(quickSpeedup(nvp::DesignKind::WL)) });
+            perfClass(sp[6]) });
     t.print(std::cout);
     std::cout << "\n(ckpt bound: worst-case JIT checkpoint energy the "
                  "platform must reserve.)\n";

@@ -20,20 +20,31 @@ runSpeedupFigure(const std::string &title, const std::string &slug,
     table.seriesOrder({ "NVCache-WB", "VCache-WT", "ReplayCache",
                         "WL-Cache" });
 
+    // Submit the whole figure — baseline plus every design, per app —
+    // as one batch so the runner can execute it on all workers.
+    std::vector<nvp::ExperimentSpec> specs;
     for (const auto &app : appNames()) {
         nvp::ExperimentSpec base;
         base.design = nvp::DesignKind::NvsramWB;
         base.workload = app;
         base.power = power;
         base.no_failure = no_failure;
-        const auto baseline = runBench(base);
+        specs.push_back(base);
 
         for (const auto d : designs) {
             nvp::ExperimentSpec s = base;
             s.design = d;
-            const auto r = runBench(s);
+            specs.push_back(s);
+        }
+    }
+    const auto results = runBenchBatch(specs);
+
+    std::size_t i = 0;
+    for (const auto &app : appNames()) {
+        const auto &baseline = results[i++];
+        for (const auto d : designs) {
             table.set(nvp::designKindName(d), app,
-                      nvp::speedupVs(r, baseline));
+                      nvp::speedupVs(results[i++], baseline));
         }
     }
     table.print();

@@ -2,6 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <sstream>
+
+#include "util/json.hh"
 
 namespace wlcache {
 namespace nvp {
@@ -25,8 +28,10 @@ jsonEscape(const std::string &s)
 std::string
 num(double v)
 {
+    // 17 significant digits: enough for exact double round-trips
+    // through the result cache.
     char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
 }
 
@@ -90,6 +95,184 @@ writeRunResultJson(std::ostream &os, const RunResult &r)
     }
     os << "    \"total\": " << num(r.meter.total()) << "\n  }\n";
     os << "}\n";
+}
+
+namespace {
+
+/** Field-extraction helpers: false (with a message) on any mismatch. */
+struct Reader
+{
+    const util::JsonValue &root;
+    std::string *err;
+
+    bool
+    fail(const std::string &what) const
+    {
+        if (err)
+            *err = what;
+        return false;
+    }
+
+    const util::JsonValue *
+    want(const util::JsonValue &obj, const std::string &key,
+         util::JsonValue::Kind kind) const
+    {
+        const util::JsonValue *v = obj.get(key);
+        if (!v || v->kind() != kind)
+            return nullptr;
+        return v;
+    }
+
+    bool
+    getU64(const util::JsonValue &obj, const std::string &key,
+           std::uint64_t &out) const
+    {
+        const auto *v =
+            want(obj, key, util::JsonValue::Kind::Number);
+        if (!v)
+            return fail("missing number '" + key + "'");
+        out = v->asU64();
+        return true;
+    }
+
+    bool
+    getDouble(const util::JsonValue &obj, const std::string &key,
+              double &out) const
+    {
+        const auto *v =
+            want(obj, key, util::JsonValue::Kind::Number);
+        if (!v)
+            return fail("missing number '" + key + "'");
+        out = v->asDouble();
+        return true;
+    }
+
+    bool
+    getBool(const util::JsonValue &obj, const std::string &key,
+            bool &out) const
+    {
+        const auto *v = want(obj, key, util::JsonValue::Kind::Bool);
+        if (!v)
+            return fail("missing bool '" + key + "'");
+        out = v->asBool();
+        return true;
+    }
+
+    template <typename T>
+    bool
+    getUnsigned(const util::JsonValue &obj, const std::string &key,
+                T &out) const
+    {
+        std::uint64_t v = 0;
+        if (!getU64(obj, key, v))
+            return false;
+        out = static_cast<T>(v);
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+bool
+readRunResultJson(std::istream &is, RunResult &out, std::string *err)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    util::JsonValue root;
+    if (!util::parseJson(buf.str(), root, err))
+        return false;
+    if (!root.isObject()) {
+        if (err)
+            *err = "record is not a JSON object";
+        return false;
+    }
+
+    Reader rd{ root, err };
+    RunResult r;
+
+    const util::JsonValue *wv =
+        rd.want(root, "workload", util::JsonValue::Kind::String);
+    if (!wv)
+        return rd.fail("missing string 'workload'");
+    r.workload = wv->asString();
+
+    const util::JsonValue *dv =
+        rd.want(root, "design", util::JsonValue::Kind::String);
+    if (!dv)
+        return rd.fail("missing string 'design'");
+    if (!designKindFromName(dv->asString(), r.design))
+        return rd.fail("unknown design '" + dv->asString() + "'");
+
+    if (!rd.getBool(root, "completed", r.completed) ||
+        !rd.getU64(root, "on_cycles", r.on_cycles) ||
+        !rd.getDouble(root, "off_seconds", r.off_seconds) ||
+        !rd.getDouble(root, "total_seconds", r.total_seconds) ||
+        !rd.getU64(root, "instructions", r.instructions) ||
+        !rd.getU64(root, "trace_events", r.trace_events) ||
+        !rd.getU64(root, "replayed_events", r.replayed_events) ||
+        !rd.getU64(root, "outages", r.outages) ||
+        !rd.getU64(root, "reserve_violations",
+                   r.reserve_violations) ||
+        !rd.getU64(root, "nvm_writes", r.nvm_writes) ||
+        !rd.getU64(root, "nvm_reads", r.nvm_reads) ||
+        !rd.getU64(root, "nvm_bytes_written", r.nvm_bytes_written) ||
+        !rd.getDouble(root, "dcache_load_hit_rate",
+                      r.dcache_load_hit_rate) ||
+        !rd.getDouble(root, "dcache_store_hit_rate",
+                      r.dcache_store_hit_rate) ||
+        !rd.getU64(root, "store_stall_cycles", r.store_stall_cycles))
+        return false;
+
+    const util::JsonValue *wl =
+        rd.want(root, "wl", util::JsonValue::Kind::Object);
+    if (!wl)
+        return rd.fail("missing object 'wl'");
+    if (!rd.getUnsigned(*wl, "reconfigurations",
+                        r.reconfigurations) ||
+        !rd.getUnsigned(*wl, "maxline_min_seen",
+                        r.maxline_min_seen) ||
+        !rd.getUnsigned(*wl, "maxline_max_seen",
+                        r.maxline_max_seen) ||
+        !rd.getDouble(*wl, "prediction_accuracy",
+                      r.prediction_accuracy) ||
+        !rd.getDouble(*wl, "avg_dirty_at_ckpt",
+                      r.avg_dirty_at_ckpt) ||
+        !rd.getDouble(*wl, "writebacks_per_on_period",
+                      r.writebacks_per_on_period) ||
+        !rd.getU64(*wl, "dyn_maxline_raises", r.dyn_maxline_raises))
+        return false;
+
+    const util::JsonValue *oracle =
+        rd.want(root, "oracle", util::JsonValue::Kind::Object);
+    if (!oracle)
+        return rd.fail("missing object 'oracle'");
+    if (!rd.getU64(*oracle, "consistency_checks",
+                   r.consistency_checks) ||
+        !rd.getU64(*oracle, "consistency_violations",
+                   r.consistency_violations) ||
+        !rd.getU64(*oracle, "load_value_mismatches",
+                   r.load_value_mismatches) ||
+        !rd.getBool(*oracle, "final_state_correct",
+                    r.final_state_correct))
+        return false;
+
+    const util::JsonValue *energy =
+        rd.want(root, "energy_j", util::JsonValue::Kind::Object);
+    if (!energy)
+        return rd.fail("missing object 'energy_j'");
+    for (std::size_t c = 0; c < energy::EnergyMeter::kNumCategories;
+         ++c) {
+        const auto cat = static_cast<energy::EnergyCategory>(c);
+        double joules = 0.0;
+        if (!rd.getDouble(*energy, energy::energyCategoryName(cat),
+                          joules))
+            return false;
+        r.meter.add(cat, joules);
+    }
+
+    out = r;
+    return true;
 }
 
 } // namespace nvp

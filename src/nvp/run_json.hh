@@ -2,13 +2,16 @@
  * @file
  * Machine-readable run records: serialize a RunResult as JSON so
  * external tooling (plotters, regression dashboards) can consume
- * simulation results without scraping tables.
+ * simulation results without scraping tables, and parse one back so
+ * the runner's result cache can skip finished simulations.
  */
 
 #ifndef WLCACHE_NVP_RUN_JSON_HH
 #define WLCACHE_NVP_RUN_JSON_HH
 
+#include <istream>
 #include <ostream>
+#include <string>
 
 #include "nvp/system.hh"
 
@@ -18,8 +21,23 @@ namespace nvp {
 /**
  * Write @p r as a single JSON object (pretty-printed, stable key
  * order). The energy breakdown nests under "energy_j" by category.
+ * Doubles are written with 17 significant digits so a parsed record
+ * reproduces the original values bit for bit.
  */
 void writeRunResultJson(std::ostream &os, const RunResult &r);
+
+/**
+ * Parse a writeRunResultJson() record. Strict: every field must be
+ * present with the right type, so a truncated or corrupted cache
+ * entry is rejected rather than half-applied.
+ *
+ * @param is Stream positioned at the record.
+ * @param out Receives the result; untouched on failure.
+ * @param err Optional one-line diagnostic on failure.
+ * @return true when @p out holds a complete record.
+ */
+bool readRunResultJson(std::istream &is, RunResult &out,
+                       std::string *err = nullptr);
 
 } // namespace nvp
 } // namespace wlcache

@@ -1,5 +1,8 @@
 #include "nvp/system_config.hh"
 
+#include <cstdio>
+#include <ostream>
+
 #include "sim/logging.hh"
 
 namespace wlcache {
@@ -20,6 +23,25 @@ designKindName(DesignKind kind)
       case DesignKind::WL:        return "WL-Cache";
     }
     panic("unknown DesignKind %d", static_cast<int>(kind));
+}
+
+bool
+designKindFromName(const std::string &name, DesignKind &out)
+{
+    static constexpr DesignKind kinds[] = {
+        DesignKind::NoCache,         DesignKind::VCacheWT,
+        DesignKind::NVCacheWB,       DesignKind::NvsramWB,
+        DesignKind::NvsramFull,      DesignKind::NvsramPractical,
+        DesignKind::Replay,          DesignKind::WtBuffered,
+        DesignKind::WL,
+    };
+    for (const DesignKind k : kinds) {
+        if (name == designKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
 }
 
 SystemConfig
@@ -86,6 +108,155 @@ SystemConfig::forDesign(DesignKind kind)
         break;
     }
     return cfg;
+}
+
+namespace {
+
+/** Full-precision double rendering so equal keys mean equal bits. */
+std::string
+keyNum(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+dumpCacheParams(std::ostream &os, const char *prefix,
+                const cache::CacheParams &p)
+{
+    os << prefix << ".size_bytes=" << p.size_bytes << '\n'
+       << prefix << ".assoc=" << p.assoc << '\n'
+       << prefix << ".line_bytes=" << p.line_bytes << '\n'
+       << prefix << ".repl=" << cache::replPolicyName(p.repl) << '\n'
+       << prefix << ".hit_latency=" << p.hit_latency << '\n'
+       << prefix << ".write_hit_latency=" << p.write_hit_latency
+       << '\n'
+       << prefix << ".miss_lookup_latency=" << p.miss_lookup_latency
+       << '\n'
+       << prefix << ".access_energy_read="
+       << keyNum(p.access_energy_read) << '\n'
+       << prefix << ".access_energy_write="
+       << keyNum(p.access_energy_write) << '\n'
+       << prefix << ".line_fill_energy=" << keyNum(p.line_fill_energy)
+       << '\n'
+       << prefix << ".line_read_energy=" << keyNum(p.line_read_energy)
+       << '\n'
+       << prefix << ".leakage_watts=" << keyNum(p.leakage_watts)
+       << '\n'
+       << prefix << ".lru_update_energy="
+       << keyNum(p.lru_update_energy) << '\n';
+}
+
+} // anonymous namespace
+
+void
+dumpConfigKey(std::ostream &os, const SystemConfig &cfg)
+{
+    os << "design=" << designKindName(cfg.design) << '\n';
+    dumpCacheParams(os, "dcache", cfg.dcache);
+    dumpCacheParams(os, "icache", cfg.icache);
+
+    os << "nvsram.backup_full=" << cfg.nvsram.backup_full << '\n'
+       << "nvsram.backup_line_energy="
+       << keyNum(cfg.nvsram.backup_line_energy) << '\n'
+       << "nvsram.restore_line_energy="
+       << keyNum(cfg.nvsram.restore_line_energy) << '\n'
+       << "nvsram.backup_line_latency="
+       << cfg.nvsram.backup_line_latency << '\n'
+       << "nvsram.restore_line_latency="
+       << cfg.nvsram.restore_line_latency << '\n';
+
+    os << "nvsram_practical.migrate_line_energy="
+       << keyNum(cfg.nvsram_practical.migrate_line_energy) << '\n'
+       << "nvsram_practical.migrate_line_latency="
+       << cfg.nvsram_practical.migrate_line_latency << '\n';
+
+    os << "replay.persist_queue_depth="
+       << cfg.replay.persist_queue_depth << '\n'
+       << "replay.region_events=" << cfg.replay.region_events << '\n'
+       << "replay.commit_marker_addr="
+       << cfg.replay.commit_marker_addr << '\n';
+
+    os << "wt_buffer.entries=" << cfg.wt_buffer.entries << '\n'
+       << "wt_buffer.cam_search_latency="
+       << cfg.wt_buffer.cam_search_latency << '\n'
+       << "wt_buffer.cam_search_energy="
+       << keyNum(cfg.wt_buffer.cam_search_energy) << '\n'
+       << "wt_buffer.buffer_leakage_watts="
+       << keyNum(cfg.wt_buffer.buffer_leakage_watts) << '\n';
+
+    os << "wl.dq_size=" << cfg.wl.dq_size << '\n'
+       << "wl.maxline=" << cfg.wl.maxline << '\n'
+       << "wl.waterline_gap=" << cfg.wl.waterline_gap << '\n'
+       << "wl.dq_repl=" << cache::replPolicyName(cfg.wl.dq_repl)
+       << '\n'
+       << "wl.dq_access_energy=" << keyNum(cfg.wl.dq_access_energy)
+       << '\n'
+       << "wl.dq_leakage_watts=" << keyNum(cfg.wl.dq_leakage_watts)
+       << '\n'
+       << "wl.dq_lru_search_energy="
+       << keyNum(cfg.wl.dq_lru_search_energy) << '\n'
+       << "wl.eager_evict_cleanup=" << cfg.wl.eager_evict_cleanup
+       << '\n'
+       << "wl.dq_cam_search_energy="
+       << keyNum(cfg.wl.dq_cam_search_energy) << '\n';
+
+    os << "adaptive.enabled=" << cfg.adaptive.enabled << '\n'
+       << "adaptive.delta=" << keyNum(cfg.adaptive.delta) << '\n'
+       << "adaptive.maxline_min=" << cfg.adaptive.maxline_min << '\n'
+       << "adaptive.maxline_max=" << cfg.adaptive.maxline_max << '\n'
+       << "adaptive.timer_resolution_s="
+       << keyNum(cfg.adaptive.timer_resolution_s) << '\n'
+       << "wl_dynamic=" << cfg.wl_dynamic << '\n';
+
+    os << "nvm.size_bytes=" << cfg.nvm.size_bytes << '\n'
+       << "nvm.banks=" << cfg.nvm.banks << '\n'
+       << "nvm.t_rcd=" << cfg.nvm.t_rcd << '\n'
+       << "nvm.t_cl=" << cfg.nvm.t_cl << '\n'
+       << "nvm.t_burst=" << cfg.nvm.t_burst << '\n'
+       << "nvm.t_wr=" << cfg.nvm.t_wr << '\n'
+       << "nvm.t_wtr=" << cfg.nvm.t_wtr << '\n'
+       << "nvm.read_energy_per_byte="
+       << keyNum(cfg.nvm.read_energy_per_byte) << '\n'
+       << "nvm.write_energy_per_byte="
+       << keyNum(cfg.nvm.write_energy_per_byte) << '\n'
+       << "nvm.activate_energy=" << keyNum(cfg.nvm.activate_energy)
+       << '\n';
+
+    os << "core.compute_energy_per_insn="
+       << keyNum(cfg.core.compute_energy_per_insn) << '\n'
+       << "core.leakage_watts=" << keyNum(cfg.core.leakage_watts)
+       << '\n';
+
+    const PlatformParams &pf = cfg.platform;
+    os << "platform.capacitance_f=" << keyNum(pf.capacitance_f) << '\n'
+       << "platform.vmin=" << keyNum(pf.vmin) << '\n'
+       << "platform.vmax=" << keyNum(pf.vmax) << '\n'
+       << "platform.von=" << keyNum(pf.von) << '\n'
+       << "platform.vbackup=" << keyNum(pf.vbackup) << '\n'
+       << "platform.harvest_efficiency="
+       << keyNum(pf.harvest_efficiency) << '\n'
+       << "platform.wl_vbackup_base=" << keyNum(pf.wl_vbackup_base)
+       << '\n'
+       << "platform.wl_vbackup_step=" << keyNum(pf.wl_vbackup_step)
+       << '\n'
+       << "platform.wl_von_base=" << keyNum(pf.wl_von_base) << '\n'
+       << "platform.wl_von_step=" << keyNum(pf.wl_von_step) << '\n'
+       << "platform.wl_threshold_anchor=" << pf.wl_threshold_anchor
+       << '\n'
+       << "platform.nvff_energy_per_byte="
+       << keyNum(pf.nvff_energy_per_byte) << '\n'
+       << "platform.nvff_restore_energy_per_byte="
+       << keyNum(pf.nvff_restore_energy_per_byte) << '\n'
+       << "platform.reboot_latency_cycles="
+       << pf.reboot_latency_cycles << '\n';
+
+    os << "validate_consistency=" << cfg.validate_consistency << '\n'
+       << "inject_checkpoint_skip=" << cfg.inject_checkpoint_skip
+       << '\n'
+       << "check_load_values=" << cfg.check_load_values << '\n'
+       << "max_outages=" << cfg.max_outages << '\n';
 }
 
 } // namespace nvp

@@ -8,6 +8,9 @@
 #ifndef WLCACHE_NVP_SYSTEM_CONFIG_HH
 #define WLCACHE_NVP_SYSTEM_CONFIG_HH
 
+#include <iosfwd>
+#include <string>
+
 #include "cache/cache_params.hh"
 #include "cache/nvsram_cache.hh"
 #include "cache/nvsram_practical_cache.hh"
@@ -37,6 +40,12 @@ enum class DesignKind
 
 /** Human-readable design name matching the paper's figures. */
 const char *designKindName(DesignKind kind);
+
+/**
+ * Inverse of designKindName(): parse a figure-style design name.
+ * @return true and set @p out on a match; false on an unknown name.
+ */
+bool designKindFromName(const std::string &name, DesignKind &out);
 
 /** Platform energy/threshold parameters (Table 2). */
 struct PlatformParams
@@ -118,6 +127,16 @@ struct SystemConfig
      */
     static SystemConfig forDesign(DesignKind kind);
 };
+
+/**
+ * Write every simulation-affecting field of @p cfg as canonical
+ * `key=value` lines (stable order, full double precision). The
+ * runner's content-addressed result cache hashes this dump, so two
+ * configurations collide exactly when the simulator cannot tell them
+ * apart. When adding a SystemConfig field, extend this dump and bump
+ * runner::kResultSchemaVersion.
+ */
+void dumpConfigKey(std::ostream &os, const SystemConfig &cfg);
 
 } // namespace nvp
 } // namespace wlcache

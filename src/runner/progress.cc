@@ -1,0 +1,82 @@
+#include "runner/progress.hh"
+
+#include <cstdio>
+
+namespace wlcache {
+namespace runner {
+
+namespace {
+
+std::string
+fmtShortTime(double seconds)
+{
+    char buf[32];
+    if (seconds < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+    else if (seconds < 7200.0)
+        std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600.0);
+    return buf;
+}
+
+} // anonymous namespace
+
+ProgressReporter::ProgressReporter(std::size_t total,
+                                   std::ostream *out)
+    : total_(total), out_(out),
+      start_(std::chrono::steady_clock::now())
+{}
+
+double
+ProgressReporter::elapsedSeconds() const
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+}
+
+void
+ProgressReporter::jobDone(const std::string &id, bool cached,
+                          double wall_seconds)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    if (cached)
+        ++cache_hits_;
+    if (!out_)
+        return;
+
+    const double elapsed = elapsedSeconds();
+    const double eta = done_ > 0 && done_ < total_
+        ? elapsed / static_cast<double>(done_) *
+            static_cast<double>(total_ - done_)
+        : 0.0;
+
+    char head[96];
+    std::snprintf(head, sizeof(head),
+                  "[%zu/%zu] %3.0f%% hits %zu eta %s  ", done_, total_,
+                  total_ ? 100.0 * static_cast<double>(done_) /
+                          static_cast<double>(total_)
+                         : 100.0,
+                  cache_hits_, fmtShortTime(eta).c_str());
+    char tail[48];
+    std::snprintf(tail, sizeof(tail), "  %.0f ms%s",
+                  1e3 * wall_seconds, cached ? " (cached)" : "");
+    *out_ << head << id << tail << std::endl;
+}
+
+void
+ProgressReporter::finish()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_)
+        return;
+    *out_ << "batch done: " << done_ << " job"
+          << (done_ == 1 ? "" : "s") << " in "
+          << fmtShortTime(elapsedSeconds()) << ", " << cache_hits_
+          << " cache hit" << (cache_hits_ == 1 ? "" : "s")
+          << std::endl;
+}
+
+} // namespace runner
+} // namespace wlcache

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Thread-safe batch progress reporting: jobs done/total, cache hit
+ * count, a wall-clock ETA extrapolated from completed jobs, and the
+ * per-job wall time of the latest completion. Output goes to stderr
+ * (or any stream) so a batch's stdout stays byte-identical whether
+ * or not progress is shown.
+ */
+
+#ifndef WLCACHE_RUNNER_PROGRESS_HH
+#define WLCACHE_RUNNER_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace wlcache {
+namespace runner {
+
+class ProgressReporter
+{
+  public:
+    /**
+     * @param total Number of jobs in the batch.
+     * @param out Stream for progress lines; null disables output
+     *            (counters still accumulate).
+     */
+    ProgressReporter(std::size_t total, std::ostream *out);
+
+    /**
+     * Record one finished job (thread-safe).
+     * @param id Job identifier for the progress line.
+     * @param cached True when served from the result cache.
+     * @param wall_seconds Time the job spent executing or loading.
+     */
+    void jobDone(const std::string &id, bool cached,
+                 double wall_seconds);
+
+    /** Emit the closing summary line (call once, after the batch). */
+    void finish();
+
+    // --- Counters (valid after the batch joined its workers) ---
+    std::size_t done() const { return done_; }
+    std::size_t cacheHits() const { return cache_hits_; }
+    double elapsedSeconds() const;
+
+  private:
+    const std::size_t total_;
+    std::ostream *out_;
+    const std::chrono::steady_clock::time_point start_;
+
+    mutable std::mutex mutex_;
+    std::size_t done_ = 0;
+    std::size_t cache_hits_ = 0;
+};
+
+} // namespace runner
+} // namespace wlcache
+
+#endif // WLCACHE_RUNNER_PROGRESS_HH

@@ -1,0 +1,85 @@
+#include "runner/result_cache.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "nvp/run_json.hh"
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace runner {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return (fs::path(dir_) / (key + ".json")).string();
+}
+
+bool
+ResultCache::load(const std::string &key, nvp::RunResult &out) const
+{
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(key);
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    std::string err;
+    if (nvp::readRunResultJson(in, out, &err))
+        return true;
+
+    // A torn or corrupted entry: drop it so this run's store()
+    // replaces it with a good record, and report the fallback.
+    warn("result cache: discarding corrupted entry %s (%s)",
+         path.c_str(), err.c_str());
+    std::error_code ec;
+    fs::remove(path, ec);
+    return false;
+}
+
+void
+ResultCache::store(const std::string &key,
+                   const nvp::RunResult &r) const
+{
+    if (!enabled())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        warn("result cache: cannot create '%s': %s", dir_.c_str(),
+             ec.message().c_str());
+        return;
+    }
+
+    // Unique temp name per writer, atomically renamed into place so
+    // a concurrent reader only ever sees complete records.
+    std::ostringstream tmp_name;
+    tmp_name << key << ".tmp." << std::this_thread::get_id();
+    const fs::path tmp = fs::path(dir_) / tmp_name.str();
+    {
+        std::ofstream outf(tmp);
+        if (!outf) {
+            warn("result cache: cannot write '%s'",
+                 tmp.string().c_str());
+            return;
+        }
+        nvp::writeRunResultJson(outf, r);
+    }
+    fs::rename(tmp, entryPath(key), ec);
+    if (ec) {
+        warn("result cache: rename into '%s' failed: %s",
+             entryPath(key).c_str(), ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace runner
+} // namespace wlcache

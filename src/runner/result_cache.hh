@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Content-addressed on-disk result cache. Each finished RunResult is
+ * stored as `<dir>/<spec-key>.json` (the run_json record), so
+ * re-running an unchanged figure costs one file read per experiment
+ * instead of a simulation. Entries are written atomically
+ * (temp file + rename) so concurrent workers and interrupted runs
+ * can never leave a torn record; unreadable or corrupted entries are
+ * treated as misses and re-executed.
+ */
+
+#ifndef WLCACHE_RUNNER_RESULT_CACHE_HH
+#define WLCACHE_RUNNER_RESULT_CACHE_HH
+
+#include <string>
+
+#include "nvp/system.hh"
+
+namespace wlcache {
+namespace runner {
+
+class ResultCache
+{
+  public:
+    /**
+     * @param dir Cache directory; created on first store. An empty
+     *            dir disables the cache (all lookups miss).
+     */
+    explicit ResultCache(std::string dir);
+
+    /** True when a directory was configured. */
+    bool enabled() const { return !dir_.empty(); }
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Load the entry for @p key.
+     * @return true and fill @p out on a hit; false on a miss or an
+     *         unreadable/corrupted entry (which is also deleted so
+     *         the follow-up store starts clean).
+     */
+    bool load(const std::string &key, nvp::RunResult &out) const;
+
+    /**
+     * Store @p r under @p key (atomic; last writer wins). Failures
+     * to write are reported via warn() but never fail the run — the
+     * cache is an accelerator, not a dependency.
+     */
+    void store(const std::string &key, const nvp::RunResult &r) const;
+
+    /** Path of the entry file for @p key. */
+    std::string entryPath(const std::string &key) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace runner
+} // namespace wlcache
+
+#endif // WLCACHE_RUNNER_RESULT_CACHE_HH

@@ -1,0 +1,161 @@
+#include "runner/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "runner/progress.hh"
+#include "runner/result_cache.hh"
+#include "runner/spec_key.hh"
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace runner {
+
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("WLCACHE_JOBS")) {
+        const int v = std::atoi(env);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+        warn("ignoring invalid WLCACHE_JOBS='%s'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1;
+}
+
+Runner::Runner(RunnerConfig cfg) : cfg_(std::move(cfg)) {}
+
+std::vector<nvp::RunResult>
+Runner::runAll(const JobSet &set)
+{
+    const std::size_t n = set.size();
+    unsigned jobs = cfg_.jobs ? cfg_.jobs : defaultJobs();
+    if (jobs > n && n > 0)
+        jobs = static_cast<unsigned>(n);
+
+    stats_ = BatchStats{};
+    stats_.total = n;
+    stats_.jobs = jobs;
+    stats_.records.resize(n);
+
+    std::vector<nvp::RunResult> results(n);
+    if (n == 0)
+        return results;
+
+    const ResultCache cache(cfg_.cache_dir);
+    std::ostream *pout = nullptr;
+    if (cfg_.progress)
+        pout = cfg_.progress_out ? cfg_.progress_out : &std::cerr;
+    ProgressReporter progress(n, pout);
+
+    // Shared cursor: workers claim jobs in submission order. Results
+    // land in per-job slots, so completion order never matters.
+    std::atomic<std::size_t> next{ 0 };
+    std::atomic<std::size_t> executed{ 0 };
+
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            const Job &job = set[i];
+            const auto t0 = std::chrono::steady_clock::now();
+
+            JobRecord &rec = stats_.records[i];
+            rec.id = job.id;
+            rec.key = job.key;
+            rec.cached = cache.load(job.key, results[i]);
+            if (!rec.cached) {
+                results[i] = nvp::runExperiment(job.spec);
+                cache.store(job.key, results[i]);
+                executed.fetch_add(1, std::memory_order_relaxed);
+            }
+            rec.completed = results[i].completed;
+            rec.wall_seconds = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0).count();
+            progress.jobDone(job.id, rec.cached, rec.wall_seconds);
+        }
+    };
+
+    if (jobs <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned t = 0; t < jobs; ++t)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    if (pout)
+        progress.finish();
+
+    stats_.cache_hits = progress.cacheHits();
+    stats_.executed = executed.load();
+    stats_.wall_seconds = progress.elapsedSeconds();
+
+    if (!cfg_.manifest_path.empty())
+        writeManifest(set);
+    return results;
+}
+
+void
+Runner::writeManifest(const JobSet &set) const
+{
+    std::ofstream out(cfg_.manifest_path);
+    if (!out) {
+        warn("cannot write manifest '%s'",
+             cfg_.manifest_path.c_str());
+        return;
+    }
+
+    auto esc = [](const std::string &s) {
+        std::string o;
+        o.reserve(s.size());
+        for (const char c : s) {
+            if (c == '"' || c == '\\')
+                o += '\\';
+            o += c;
+        }
+        return o;
+    };
+
+    char wall[32];
+    std::snprintf(wall, sizeof(wall), "%.6f", stats_.wall_seconds);
+    out << "{\n"
+        << "  \"schema\": " << kResultSchemaVersion << ",\n"
+        << "  \"jobs\": " << stats_.jobs << ",\n"
+        << "  \"total\": " << stats_.total << ",\n"
+        << "  \"cache_hits\": " << stats_.cache_hits << ",\n"
+        << "  \"executed\": " << stats_.executed << ",\n"
+        << "  \"cache_dir\": \"" << esc(cfg_.cache_dir) << "\",\n"
+        << "  \"wall_seconds\": " << wall << ",\n"
+        << "  \"results\": [\n";
+    for (std::size_t i = 0; i < stats_.records.size(); ++i) {
+        const JobRecord &rec = stats_.records[i];
+        const Job &job = set[i];
+        char ms[32];
+        std::snprintf(ms, sizeof(ms), "%.3f",
+                      1e3 * rec.wall_seconds);
+        out << "    {\"id\": \"" << esc(rec.id) << "\", \"key\": \""
+            << rec.key << "\", \"workload\": \""
+            << esc(job.spec.workload) << "\", \"design\": \""
+            << nvp::designKindName(job.spec.design)
+            << "\", \"cached\": " << (rec.cached ? "true" : "false")
+            << ", \"completed\": "
+            << (rec.completed ? "true" : "false")
+            << ", \"wall_ms\": " << ms << '}'
+            << (i + 1 < stats_.records.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+}
+
+} // namespace runner
+} // namespace wlcache

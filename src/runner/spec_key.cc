@@ -1,0 +1,57 @@
+#include "runner/spec_key.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace wlcache {
+namespace runner {
+
+std::string
+specKeyText(const nvp::ExperimentSpec &spec)
+{
+    // Resolve the configuration the run would actually use: design
+    // preset plus the caller's tweak hook.
+    nvp::SystemConfig cfg = nvp::SystemConfig::forDesign(spec.design);
+    if (spec.tweak)
+        spec.tweak(cfg);
+
+    std::ostringstream os;
+    os << "schema=" << kResultSchemaVersion << '\n'
+       << "workload=" << spec.workload << '\n'
+       << "scale=" << spec.scale << '\n'
+       << "workload_seed=" << spec.workload_seed << '\n'
+       << "power=" << energy::traceKindName(spec.power) << '\n'
+       << "power_seed=" << spec.power_seed << '\n'
+       << "no_failure=" << spec.no_failure << '\n';
+    nvp::dumpConfigKey(os, cfg);
+    return os.str();
+}
+
+std::string
+hashKeyText(const std::string &text)
+{
+    // Two independent 64-bit FNV-1a streams (distinct offset bases)
+    // give a 128-bit key; collisions across a result cache of any
+    // realistic size are then negligible.
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    std::uint64_t h0 = 0xcbf29ce484222325ull;
+    std::uint64_t h1 = 0x9ae16a3b2f90404full;
+    for (const unsigned char c : text) {
+        h0 = (h0 ^ c) * kPrime;
+        h1 = (h1 ^ (c + 0x5bu)) * kPrime;
+    }
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(h0),
+                  static_cast<unsigned long long>(h1));
+    return buf;
+}
+
+std::string
+specKey(const nvp::ExperimentSpec &spec)
+{
+    return hashKeyText(specKeyText(spec));
+}
+
+} // namespace runner
+} // namespace wlcache

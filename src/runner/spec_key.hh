@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Content-addressed identity for experiments. An ExperimentSpec's
+ * `tweak` hook is an opaque callable, so the key hashes the *effect*
+ * of the spec instead of its fields: the fully resolved SystemConfig
+ * (preset + tweak applied) plus the workload/power inputs and a
+ * schema version. Two specs share a key exactly when the simulator
+ * cannot tell them apart, which is the property the result cache
+ * needs.
+ */
+
+#ifndef WLCACHE_RUNNER_SPEC_KEY_HH
+#define WLCACHE_RUNNER_SPEC_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "nvp/experiment.hh"
+
+namespace wlcache {
+namespace runner {
+
+/**
+ * Result-record schema version. Bump when RunResult serialization,
+ * SystemConfig fields, or simulator semantics change so stale cache
+ * entries miss instead of resurfacing.
+ */
+constexpr unsigned kResultSchemaVersion = 1;
+
+/**
+ * Canonical text describing everything that determines a run's
+ * outcome (hashed to form the cache key; also useful for debugging
+ * key mismatches).
+ */
+std::string specKeyText(const nvp::ExperimentSpec &spec);
+
+/** 128-bit FNV-1a digest of @p text, as 32 lowercase hex digits. */
+std::string hashKeyText(const std::string &text);
+
+/** Cache key for @p spec: hashKeyText(specKeyText(spec)). */
+std::string specKey(const nvp::ExperimentSpec &spec);
+
+} // namespace runner
+} // namespace wlcache
+
+#endif // WLCACHE_RUNNER_SPEC_KEY_HH

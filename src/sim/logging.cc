@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -7,7 +8,9 @@ namespace wlcache {
 
 namespace {
 
-bool quiet_flag = false;
+// Atomic: runner worker threads read this while a driver thread may
+// still be configuring verbosity.
+std::atomic<bool> quiet_flag{ false };
 
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)

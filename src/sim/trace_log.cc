@@ -1,5 +1,6 @@
 #include "sim/trace_log.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
@@ -11,7 +12,8 @@ namespace trace {
 
 namespace {
 
-std::uint32_t enabled_categories = kNone;
+// Atomic: read on every WLC_DPRINTF site, including runner workers.
+std::atomic<std::uint32_t> enabled_categories{ kNone };
 
 const char *
 categoryName(Category cat)

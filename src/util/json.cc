@@ -1,0 +1,398 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace util {
+
+bool
+JsonValue::asBool() const
+{
+    wlc_assert(isBool());
+    return bool_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    wlc_assert(isNumber());
+    return std::strtod(scalar_.c_str(), nullptr);
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    wlc_assert(isNumber());
+    // Integral tokens parse exactly; scientific/fractional tokens
+    // fall back to the double value.
+    if (scalar_.find_first_of(".eE") == std::string::npos &&
+        !scalar_.empty() && scalar_[0] != '-')
+        return std::strtoull(scalar_.c_str(), nullptr, 10);
+    return static_cast<std::uint64_t>(asDouble());
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    wlc_assert(isString());
+    return scalar_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    wlc_assert(isArray());
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    wlc_assert(isObject());
+    return members_;
+}
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(std::string token)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::move(token);
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.scalar_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.items_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+/** Recursive-descent parser over the document text. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {}
+
+    bool
+    parseDocument(JsonValue &out)
+    {
+        skipWs();
+        JsonValue v;
+        if (!parseValue(v, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        out = std::move(v);
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err_)
+            *err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of document");
+        const char c = text_[pos_];
+        switch (c) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"': return parseString(out);
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(true);
+            return true;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(false);
+            return true;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out = JsonValue::makeNull();
+            return true;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseString(JsonValue &out)
+    {
+        std::string s;
+        if (!parseRawString(s))
+            return false;
+        out = JsonValue::makeString(std::move(s));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &s)
+    {
+        wlc_assert(text_[pos_] == '"');
+        ++pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                // ASCII-only escapes are enough for our writers.
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                if (code > 0x7f)
+                    return fail("non-ASCII \\u escape unsupported");
+                s += static_cast<char>(code);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+            digits = true;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                digits = true;
+            }
+        }
+        if (!digits)
+            return fail("malformed number");
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            bool exp_digits = false;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                exp_digits = true;
+            }
+            if (!exp_digits)
+                return fail("malformed exponent");
+        }
+        out = JsonValue::makeNumber(text_.substr(start, pos_ - start));
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        std::vector<JsonValue> items;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out = JsonValue::makeArray(std::move(items));
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            const char c = text_[pos_++];
+            if (c == ']')
+                break;
+            if (c != ',')
+                return fail("expected ',' or ']'");
+        }
+        out = JsonValue::makeArray(std::move(items));
+        return true;
+    }
+
+    bool
+    parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected member name");
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_++] != ':')
+                return fail("expected ':'");
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v, depth + 1))
+                return false;
+            members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            const char c = text_[pos_++];
+            if (c == '}')
+                break;
+            if (c != ',')
+                return fail("expected ',' or '}'");
+        }
+        out = JsonValue::makeObject(std::move(members));
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+};
+
+} // anonymous namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string *err)
+{
+    Parser p(text, err);
+    return p.parseDocument(out);
+}
+
+} // namespace util
+} // namespace wlcache

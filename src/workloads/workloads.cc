@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "sim/logging.hh"
@@ -78,6 +79,14 @@ namespace {
 
 using TraceKey = std::tuple<std::string, unsigned, std::uint64_t>;
 
+/**
+ * Process-wide trace cache, shared by every runner worker thread.
+ * The mutex guards lookup and build; the map's node-based storage
+ * keeps handed-out BuiltTrace references stable across inserts, and
+ * a built trace is immutable afterwards, so readers need no lock.
+ */
+std::mutex trace_cache_mutex;
+
 std::map<TraceKey, std::unique_ptr<BuiltTrace>> &
 traceCache()
 {
@@ -92,6 +101,7 @@ getTrace(const std::string &name, unsigned scale, std::uint64_t seed)
 {
     wlc_assert(scale >= 1);
     const TraceKey key{ name, scale, seed };
+    const std::lock_guard<std::mutex> lock(trace_cache_mutex);
     auto &cache = traceCache();
     auto it = cache.find(key);
     if (it != cache.end())
@@ -128,6 +138,7 @@ getTrace(const std::string &name, unsigned scale, std::uint64_t seed)
 void
 clearTraceCache()
 {
+    const std::lock_guard<std::mutex> lock(trace_cache_mutex);
     traceCache().clear();
 }
 

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the minimal JSON reader backing the runner's result
+ * cache and manifests: scalar parsing, exact 64-bit number
+ * round-trips, structure navigation, and rejection of every malformed
+ * input a torn cache entry could produce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hh"
+
+using namespace wlcache::util;
+
+namespace {
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(parseJson(text, v, &err)) << text << ": " << err;
+    return v;
+}
+
+bool
+parseFails(const std::string &text)
+{
+    JsonValue v;
+    return !parseJson(text, v);
+}
+
+} // namespace
+
+TEST(Json, Scalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool());
+    EXPECT_DOUBLE_EQ(parseOk("0").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(parseOk("-3.25").asDouble(), -3.25);
+    EXPECT_DOUBLE_EQ(parseOk("1.5e3").asDouble(), 1500.0);
+    EXPECT_DOUBLE_EQ(parseOk("2E-2").asDouble(), 0.02);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+    EXPECT_TRUE(parseOk("  42  ").isNumber());
+}
+
+TEST(Json, LargeIntegersSurviveExactly)
+{
+    // Above 2^53: a double round-trip would corrupt these.
+    const std::uint64_t big = 18446744073709551615ull; // 2^64 - 1
+    EXPECT_EQ(parseOk("18446744073709551615").asU64(), big);
+    EXPECT_EQ(parseOk("9007199254740993").asU64(),
+              9007199254740993ull); // 2^53 + 1
+    EXPECT_EQ(parseOk("0").asU64(), 0u);
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(parseOk(R"("a\nb")").asString(), "a\nb");
+    EXPECT_EQ(parseOk(R"("a\tb")").asString(), "a\tb");
+    EXPECT_EQ(parseOk(R"("q\"q")").asString(), "q\"q");
+    EXPECT_EQ(parseOk(R"("back\\slash")").asString(), "back\\slash");
+    EXPECT_EQ(parseOk(R"("sol\/idus")").asString(), "sol/idus");
+    EXPECT_EQ(parseOk(R"("A")").asString(), "A");
+}
+
+TEST(Json, ArraysAndObjects)
+{
+    const auto arr = parseOk("[1, \"two\", [3], {\"f\": 4}, null]");
+    ASSERT_TRUE(arr.isArray());
+    ASSERT_EQ(arr.items().size(), 5u);
+    EXPECT_EQ(arr.items()[0].asU64(), 1u);
+    EXPECT_EQ(arr.items()[1].asString(), "two");
+    EXPECT_EQ(arr.items()[2].items()[0].asU64(), 3u);
+    EXPECT_EQ(arr.items()[3].get("f")->asU64(), 4u);
+    EXPECT_TRUE(arr.items()[4].isNull());
+    EXPECT_TRUE(parseOk("[]").items().empty());
+    EXPECT_TRUE(parseOk("{}").members().empty());
+
+    const auto obj = parseOk(R"({"a": 1, "b": {"c": true}})");
+    ASSERT_TRUE(obj.isObject());
+    EXPECT_EQ(obj.members().size(), 2u);
+    EXPECT_EQ(obj.members()[0].first, "a"); // source order kept
+    EXPECT_EQ(obj.get("a")->asU64(), 1u);
+    EXPECT_TRUE(obj.get("b")->get("c")->asBool());
+    EXPECT_EQ(obj.get("missing"), nullptr);
+    EXPECT_EQ(obj.get("a")->get("not-an-object"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_TRUE(parseFails(""));
+    EXPECT_TRUE(parseFails("   "));
+    EXPECT_TRUE(parseFails("{"));
+    EXPECT_TRUE(parseFails("[1, 2"));
+    EXPECT_TRUE(parseFails("{\"a\": }"));
+    EXPECT_TRUE(parseFails("{\"a\" 1}"));
+    EXPECT_TRUE(parseFails("{a: 1}"));
+    EXPECT_TRUE(parseFails("[1,, 2]"));
+    EXPECT_TRUE(parseFails("\"unterminated"));
+    EXPECT_TRUE(parseFails("\"bad\\escape\""));
+    EXPECT_TRUE(parseFails("tru"));
+    EXPECT_TRUE(parseFails("nul"));
+    EXPECT_TRUE(parseFails("+1"));
+    EXPECT_TRUE(parseFails("-"));
+    EXPECT_TRUE(parseFails("1e"));
+    EXPECT_TRUE(parseFails("1 2"));      // trailing garbage
+    EXPECT_TRUE(parseFails("{} extra"));
+    EXPECT_TRUE(parseFails("this is not JSON {]"));
+}
+
+TEST(Json, DepthLimit)
+{
+    // 80 nested arrays exceeds the parser's recursion bound; a sane
+    // nesting parses fine.
+    std::string deep;
+    for (int i = 0; i < 80; ++i)
+        deep += '[';
+    deep += "1";
+    for (int i = 0; i < 80; ++i)
+        deep += ']';
+    EXPECT_TRUE(parseFails(deep));
+
+    std::string ok = "1";
+    for (int i = 0; i < 20; ++i)
+        ok = "[" + ok + "]";
+    EXPECT_TRUE(parseOk(ok).isArray());
+}
+
+TEST(Json, ErrorMessageProvided)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\"a\":", v, &err));
+    EXPECT_FALSE(err.empty());
+}

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: spec-key identity,
+ * parallel-vs-serial determinism, result-cache round-trips,
+ * corrupted-entry recovery, and manifest emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "nvp/run_json.hh"
+#include "runner/result_cache.hh"
+#include "runner/runner.hh"
+#include "runner/spec_key.hh"
+#include "sim/logging.hh"
+#include "util/json.hh"
+
+using namespace wlcache;
+using namespace wlcache::runner;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Serialize a result so two runs can be compared bit for bit. */
+std::string
+resultJson(const nvp::RunResult &r)
+{
+    std::ostringstream os;
+    nvp::writeRunResultJson(os, r);
+    return os.str();
+}
+
+nvp::ExperimentSpec
+makeSpec(nvp::DesignKind d, const char *app)
+{
+    nvp::ExperimentSpec s;
+    s.design = d;
+    s.workload = app;
+    s.power = energy::TraceKind::RfHome;
+    return s;
+}
+
+/** A fresh, empty cache directory under the test temp dir. */
+class CacheDir
+{
+  public:
+    explicit CacheDir(const char *name)
+        : path_(fs::path(::testing::TempDir()) / name)
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~CacheDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+} // namespace
+
+TEST(SpecKey, StableAndSensitive)
+{
+    setQuiet(true);
+    const auto spec = makeSpec(nvp::DesignKind::WL, "sha");
+    const std::string key = specKey(spec);
+    EXPECT_EQ(key.size(), 32u);
+    EXPECT_EQ(key.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+
+    // Identical specs agree, even when one uses an equivalent tweak.
+    EXPECT_EQ(key, specKey(makeSpec(nvp::DesignKind::WL, "sha")));
+    auto noop = spec;
+    noop.tweak = [](nvp::SystemConfig &) {};
+    EXPECT_EQ(key, specKey(noop));
+
+    // Every spec field and any effective tweak changes the key.
+    auto other = spec;
+    other.workload = "dijkstra";
+    EXPECT_NE(key, specKey(other));
+    other = spec;
+    other.design = nvp::DesignKind::Replay;
+    EXPECT_NE(key, specKey(other));
+    other = spec;
+    other.power_seed += 1;
+    EXPECT_NE(key, specKey(other));
+    other = spec;
+    other.workload_seed += 1;
+    EXPECT_NE(key, specKey(other));
+    other = spec;
+    other.scale = 2;
+    EXPECT_NE(key, specKey(other));
+    other = spec;
+    other.no_failure = true;
+    EXPECT_NE(key, specKey(other));
+    other = spec;
+    other.tweak = [](nvp::SystemConfig &cfg) { cfg.wl.maxline = 4; };
+    EXPECT_NE(key, specKey(other));
+}
+
+TEST(JobSet, StableIdsAndIndices)
+{
+    JobSet set;
+    EXPECT_TRUE(set.empty());
+    const auto i0 = set.add(makeSpec(nvp::DesignKind::WL, "sha"));
+    const auto i1 =
+        set.add(makeSpec(nvp::DesignKind::Replay, "sha"), "custom");
+    EXPECT_EQ(i0, 0u);
+    EXPECT_EQ(i1, 1u);
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_EQ(set[0].id, "0:WL-Cache/sha@trace1");
+    EXPECT_EQ(set[1].id, "custom");
+    EXPECT_EQ(set[0].key, specKey(set[0].spec));
+}
+
+TEST(Runner, ParallelMatchesSerial)
+{
+    setQuiet(true);
+    const nvp::DesignKind designs[] = { nvp::DesignKind::VCacheWT,
+                                        nvp::DesignKind::Replay,
+                                        nvp::DesignKind::WL };
+    const char *const apps[] = { "sha",   "dijkstra", "adpcmdecode",
+                                 "qsort", "basicmath", "FFT" };
+    JobSet set;
+    for (const auto d : designs)
+        for (const auto *app : apps)
+            set.add(makeSpec(d, app));
+
+    RunnerConfig serial_cfg;
+    serial_cfg.jobs = 1;
+    Runner serial(serial_cfg);
+    const auto serial_results = serial.runAll(set);
+    EXPECT_EQ(serial.stats().jobs, 1u);
+
+    RunnerConfig par_cfg;
+    par_cfg.jobs = 4;
+    Runner parallel(par_cfg);
+    const auto par_results = parallel.runAll(set);
+    EXPECT_EQ(parallel.stats().jobs, 4u);
+
+    ASSERT_EQ(serial_results.size(), set.size());
+    ASSERT_EQ(par_results.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_EQ(resultJson(serial_results[i]),
+                  resultJson(par_results[i]))
+            << "job " << set[i].id;
+}
+
+TEST(Runner, CacheRoundTrip)
+{
+    setQuiet(true);
+    CacheDir dir("wlc-runner-cache-test");
+    JobSet set;
+    set.add(makeSpec(nvp::DesignKind::WL, "sha"));
+    set.add(makeSpec(nvp::DesignKind::Replay, "sha"));
+    set.add(makeSpec(nvp::DesignKind::WL, "dijkstra"));
+
+    RunnerConfig cfg;
+    cfg.jobs = 2;
+    cfg.cache_dir = dir.str();
+
+    Runner cold(cfg);
+    const auto cold_results = cold.runAll(set);
+    EXPECT_EQ(cold.stats().cache_hits, 0u);
+    EXPECT_EQ(cold.stats().executed, set.size());
+
+    Runner warm(cfg);
+    const auto warm_results = warm.runAll(set);
+    EXPECT_EQ(warm.stats().cache_hits, set.size());
+    EXPECT_EQ(warm.stats().executed, 0u);
+    for (const auto &rec : warm.stats().records)
+        EXPECT_TRUE(rec.cached);
+
+    ASSERT_EQ(cold_results.size(), warm_results.size());
+    for (std::size_t i = 0; i < cold_results.size(); ++i)
+        EXPECT_EQ(resultJson(cold_results[i]),
+                  resultJson(warm_results[i]))
+            << "job " << set[i].id;
+}
+
+TEST(Runner, CorruptedCacheEntryReExecutes)
+{
+    setQuiet(true);
+    CacheDir dir("wlc-runner-corrupt-test");
+    JobSet set;
+    set.add(makeSpec(nvp::DesignKind::WL, "sha"));
+
+    RunnerConfig cfg;
+    cfg.jobs = 1;
+    cfg.cache_dir = dir.str();
+
+    Runner cold(cfg);
+    const auto cold_results = cold.runAll(set);
+    ASSERT_EQ(cold.stats().executed, 1u);
+
+    const ResultCache cache(dir.str());
+    const std::string entry = cache.entryPath(set[0].key);
+    ASSERT_TRUE(fs::exists(entry));
+
+    // Garbage entry: the runner must fall back to execution.
+    {
+        std::ofstream(entry) << "this is not JSON {]";
+        Runner again(cfg);
+        const auto results = again.runAll(set);
+        EXPECT_EQ(again.stats().cache_hits, 0u);
+        EXPECT_EQ(again.stats().executed, 1u);
+        EXPECT_EQ(resultJson(results[0]), resultJson(cold_results[0]));
+    }
+
+    // Truncated entry (valid prefix of a real record): same fallback.
+    {
+        std::ostringstream full;
+        nvp::writeRunResultJson(full, cold_results[0]);
+        std::ofstream(entry) << full.str().substr(0,
+                                                  full.str().size() / 2);
+        Runner again(cfg);
+        const auto results = again.runAll(set);
+        EXPECT_EQ(again.stats().cache_hits, 0u);
+        EXPECT_EQ(again.stats().executed, 1u);
+        EXPECT_EQ(resultJson(results[0]), resultJson(cold_results[0]));
+    }
+
+    // The fallback re-stored a good entry, so the next run hits.
+    {
+        Runner warm(cfg);
+        warm.runAll(set);
+        EXPECT_EQ(warm.stats().cache_hits, 1u);
+    }
+}
+
+TEST(Runner, ResultCacheDirectCorruptLoad)
+{
+    setQuiet(true);
+    CacheDir dir("wlc-result-cache-test");
+    const ResultCache cache(dir.str());
+    EXPECT_TRUE(cache.enabled());
+
+    nvp::RunResult out;
+    EXPECT_FALSE(cache.load("00000000000000000000000000000000", out));
+
+    const std::string key(32, 'a');
+    std::ofstream(cache.entryPath(key)) << "{\"schema\": 1";
+    EXPECT_FALSE(cache.load(key, out));
+    // Corrupted entries are deleted so the next store starts clean.
+    EXPECT_FALSE(fs::exists(cache.entryPath(key)));
+
+    const ResultCache disabled("");
+    EXPECT_FALSE(disabled.enabled());
+    EXPECT_FALSE(disabled.load(key, out));
+}
+
+TEST(Runner, ManifestWritten)
+{
+    setQuiet(true);
+    CacheDir dir("wlc-runner-manifest-test");
+    const std::string manifest =
+        (fs::path(dir.str()) / "manifest.json").string();
+
+    JobSet set;
+    set.add(makeSpec(nvp::DesignKind::WL, "sha"));
+    set.add(makeSpec(nvp::DesignKind::Replay, "sha"));
+
+    RunnerConfig cfg;
+    cfg.jobs = 2;
+    cfg.manifest_path = manifest;
+    Runner run(cfg);
+    run.runAll(set);
+
+    std::ifstream in(manifest);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    util::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(util::parseJson(ss.str(), v, &err)) << err;
+    EXPECT_EQ(v.get("total")->asU64(), 2u);
+    EXPECT_EQ(v.get("executed")->asU64(), 2u);
+    ASSERT_NE(v.get("results"), nullptr);
+    ASSERT_EQ(v.get("results")->items().size(), 2u);
+    EXPECT_EQ(v.get("results")->items()[0].get("workload")->asString(),
+              "sha");
+}
+
+TEST(Runner, RunResultJsonRoundTrip)
+{
+    setQuiet(true);
+    const auto r =
+        nvp::runExperiment(makeSpec(nvp::DesignKind::WL, "sha"));
+
+    std::stringstream ss;
+    nvp::writeRunResultJson(ss, r);
+
+    nvp::RunResult back;
+    std::string err;
+    ASSERT_TRUE(nvp::readRunResultJson(ss, back, &err)) << err;
+    EXPECT_EQ(resultJson(r), resultJson(back));
+}

@@ -12,18 +12,27 @@
  *   wlcache_sim --design nvsram --workload FFT --trace solar --stats
  *   wlcache_sim --design wl --maxline 4 --dq-size 10 --no-adaptive \
  *               --capacitor 10e-6 --validate
+ *
+ * Batch mode sweeps comma-separated lists (or "all") of designs,
+ * workloads and traces through the parallel runner, printing one
+ * deterministic summary table on stdout (progress goes to stderr):
+ *   wlcache_sim --batch --design wl,replay --workload all \
+ *               --trace trace1 --jobs 8 --cache-dir ~/.wlcache-cache
  */
 
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "energy/power_trace.hh"
 #include "nvp/run_json.hh"
 #include "nvp/system.hh"
+#include "runner/runner.hh"
 #include "sim/trace_log.hh"
 #include "util/arg_parser.hh"
 #include "util/strings.hh"
+#include "util/table.hh"
 #include "workloads/workloads.hh"
 
 using namespace wlcache;
@@ -82,6 +91,144 @@ parseTrace(const std::string &name, energy::TraceKind &out,
     return true;
 }
 
+/** Apply every CLI configuration override to @p cfg. Shared between
+ *  the single-run path and batch mode so both resolve a spec the
+ *  same way. */
+void
+applyCliConfig(const util::ArgParser &args, nvp::SystemConfig &cfg)
+{
+    cfg.dcache.size_bytes =
+        static_cast<std::size_t>(args.getInt("cache-size"));
+    cfg.icache.size_bytes = cfg.dcache.size_bytes;
+    cfg.dcache.assoc = static_cast<unsigned>(args.getInt("assoc"));
+    cfg.icache.assoc = cfg.dcache.assoc;
+    cfg.dcache.repl = util::toLower(args.get("cache-repl")) == "fifo"
+        ? cache::ReplPolicy::FIFO : cache::ReplPolicy::LRU;
+    cfg.wl.dq_size = static_cast<unsigned>(args.getInt("dq-size"));
+    cfg.wl.maxline = static_cast<unsigned>(args.getInt("maxline"));
+    cfg.wl.dq_repl = util::toLower(args.get("dq-repl")) == "lru"
+        ? cache::ReplPolicy::LRU : cache::ReplPolicy::FIFO;
+    cfg.adaptive.maxline_max = cfg.wl.dq_size >= 4
+        ? cfg.wl.dq_size - 2 : cfg.wl.dq_size;
+    cfg.platform.capacitance_f = args.getDouble("capacitor");
+    if (args.getFlag("no-adaptive"))
+        cfg.adaptive.enabled = false;
+    cfg.wl_dynamic = args.getFlag("dynamic");
+    cfg.wl.eager_evict_cleanup = args.getFlag("eager-cleanup");
+    cfg.validate_consistency = args.getFlag("validate");
+    cfg.check_load_values = args.getFlag("validate");
+}
+
+/** Expand a comma-separated list, mapping "all" to @p everything. */
+std::vector<std::string>
+expandList(const std::string &arg,
+           const std::vector<std::string> &everything)
+{
+    if (util::toLower(arg) == "all")
+        return everything;
+    std::vector<std::string> out;
+    for (auto &item : util::split(arg, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Run a design x workload x trace sweep through the parallel
+ *  runner; the summary table on stdout is deterministic (identical
+ *  for any --jobs value), progress goes to stderr. */
+int
+runBatch(const util::ArgParser &args)
+{
+    const std::vector<std::string> all_designs = {
+        "nocache",  "wt",     "nvcache", "nvsram", "nvsram-full",
+        "nvsram-practical", "replay", "wtbuf", "wl",
+    };
+    const std::vector<std::string> all_traces = {
+        "none", "trace1", "trace2", "trace3", "solar", "thermal",
+    };
+    std::vector<std::string> all_workloads;
+    for (const auto &w : workloads::allWorkloads())
+        all_workloads.push_back(w.name);
+
+    const auto designs = expandList(args.get("design"), all_designs);
+    const auto traces = expandList(args.get("trace"), all_traces);
+    const auto apps = expandList(args.get("workload"), all_workloads);
+    if (designs.empty() || traces.empty() || apps.empty())
+        fatal("batch mode needs at least one design, workload and "
+              "trace");
+
+    runner::JobSet set;
+    for (const auto &trace_name : traces) {
+        energy::TraceKind kind;
+        bool no_failure = false;
+        if (!parseTrace(trace_name, kind, no_failure))
+            fatal("unknown trace '%s'", trace_name.c_str());
+        for (const auto &design_name : designs) {
+            nvp::DesignKind design;
+            if (!parseDesign(design_name, design))
+                fatal("unknown design '%s'", design_name.c_str());
+            for (const auto &app : apps) {
+                if (!workloads::findWorkload(app))
+                    fatal("unknown workload '%s'", app.c_str());
+                nvp::ExperimentSpec s;
+                s.design = design;
+                s.workload = app;
+                s.power = kind;
+                s.no_failure = no_failure;
+                s.scale =
+                    static_cast<unsigned>(args.getInt("scale"));
+                s.workload_seed =
+                    static_cast<std::uint64_t>(args.getInt("seed"));
+                s.power_seed = static_cast<std::uint64_t>(
+                    args.getInt("power-seed"));
+                s.tweak = [&args](nvp::SystemConfig &cfg) {
+                    applyCliConfig(args, cfg);
+                };
+                set.add(s, nvp::designKindName(design) +
+                               std::string("/") + app + "@" +
+                               trace_name);
+            }
+        }
+    }
+
+    runner::RunnerConfig rc;
+    rc.jobs = static_cast<unsigned>(args.getInt("jobs"));
+    rc.cache_dir = args.get("cache-dir");
+    rc.progress = !args.getFlag("no-progress");
+    rc.manifest_path = args.get("manifest");
+    runner::Runner run(rc);
+    const auto results = run.runAll(set);
+
+    util::TextTable t;
+    t.header({ "design", "workload", "trace", "done", "time",
+               "outages", "energy", "nvm writes", "load hit%" });
+    bool all_completed = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        const auto &spec = set.jobs()[i].spec;
+        all_completed = all_completed && r.completed;
+        t.row({ nvp::designKindName(spec.design), spec.workload,
+                spec.no_failure
+                    ? "none"
+                    : energy::traceKindName(spec.power),
+                r.completed ? "yes" : "NO",
+                util::fmtSeconds(r.total_seconds),
+                std::to_string(r.outages),
+                util::fmtEnergy(r.meter.total()),
+                std::to_string(r.nvm_writes),
+                util::fmtDouble(100.0 * r.dcache_load_hit_rate,
+                                2) });
+    }
+    t.print(std::cout);
+
+    const auto &st = run.stats();
+    std::cerr << "batch: " << st.total << " runs, " << st.cache_hits
+              << " cache hits, " << st.executed << " executed, "
+              << st.jobs << " worker thread(s), "
+              << util::fmtSeconds(st.wall_seconds) << " wall\n";
+    return all_completed ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -113,12 +260,25 @@ main(int argc, char **argv)
         .flag("stats", "dump full component statistics")
         .option("debug", "",
                 "debug categories: cache,queue,power,nvm,adapt,all")
-        .option("json", "", "write the run record as JSON to a file");
+        .option("json", "", "write the run record as JSON to a file")
+        .flag("batch",
+              "sweep design/workload/trace lists (or 'all') through "
+              "the parallel runner")
+        .option("jobs", "0",
+                "batch worker threads; 0 = WLCACHE_JOBS env or all "
+                "cores")
+        .option("cache-dir", "",
+                "batch result-cache directory (empty = no cache)")
+        .option("manifest", "", "write a batch manifest JSON here")
+        .flag("no-progress", "suppress batch progress on stderr");
     if (!args.parse(argc, argv))
         return 1;
 
     if (!args.get("debug").empty())
         trace::setEnabled(trace::parseCategories(args.get("debug")));
+
+    if (args.getFlag("batch"))
+        return runBatch(args);
 
     nvp::DesignKind design;
     if (!parseDesign(args.get("design"), design))
@@ -132,26 +292,7 @@ main(int argc, char **argv)
               args.get("workload").c_str());
 
     nvp::SystemConfig cfg = nvp::SystemConfig::forDesign(design);
-    cfg.dcache.size_bytes =
-        static_cast<std::size_t>(args.getInt("cache-size"));
-    cfg.icache.size_bytes = cfg.dcache.size_bytes;
-    cfg.dcache.assoc = static_cast<unsigned>(args.getInt("assoc"));
-    cfg.icache.assoc = cfg.dcache.assoc;
-    cfg.dcache.repl = util::toLower(args.get("cache-repl")) == "fifo"
-        ? cache::ReplPolicy::FIFO : cache::ReplPolicy::LRU;
-    cfg.wl.dq_size = static_cast<unsigned>(args.getInt("dq-size"));
-    cfg.wl.maxline = static_cast<unsigned>(args.getInt("maxline"));
-    cfg.wl.dq_repl = util::toLower(args.get("dq-repl")) == "lru"
-        ? cache::ReplPolicy::LRU : cache::ReplPolicy::FIFO;
-    cfg.adaptive.maxline_max = cfg.wl.dq_size >= 4
-        ? cfg.wl.dq_size - 2 : cfg.wl.dq_size;
-    cfg.platform.capacitance_f = args.getDouble("capacitor");
-    if (args.getFlag("no-adaptive"))
-        cfg.adaptive.enabled = false;
-    cfg.wl_dynamic = args.getFlag("dynamic");
-    cfg.wl.eager_evict_cleanup = args.getFlag("eager-cleanup");
-    cfg.validate_consistency = args.getFlag("validate");
-    cfg.check_load_values = args.getFlag("validate");
+    applyCliConfig(args, cfg);
 
     const auto &trace = workloads::getTrace(
         args.get("workload"),

@@ -153,6 +153,8 @@ WLCache::access(MemOp op, Addr addr, unsigned bytes, std::uint64_t value,
             chargeReplUpdate();
             if (load_out)
                 *load_out = readLineData(*ref, addr, bytes);
+            if (probe_)
+                probe_(now + params_.hit_latency);
             return { now + params_.hit_latency, true };
         }
         const auto [line, ready] =
@@ -161,6 +163,8 @@ WLCache::access(MemOp op, Addr addr, unsigned bytes, std::uint64_t value,
         chargeReplUpdate();
         if (load_out)
             *load_out = readLineData(line, addr, bytes);
+        if (probe_)
+            probe_(ready + params_.hit_latency);
         return { ready + params_.hit_latency, false };
     }
 
@@ -212,6 +216,8 @@ WLCache::access(MemOp op, Addr addr, unsigned bytes, std::uint64_t value,
     chargeReplUpdate();
 
     t = cleanAboveWaterline(t);
+    if (probe_)
+        probe_(t + params_.write_hit_latency);
     return { t + params_.write_hit_latency, hit };
 }
 
@@ -250,6 +256,8 @@ WLCache::checkpoint(Cycle now)
     wlc_assert(persisted <= wl_.maxline,
                "JIT checkpoint exceeded the maxline bound");
     dq_.clear();
+    if (probe_)
+        probe_(t);
     return t;
 }
 

@@ -129,6 +129,17 @@ class WLCache : public cache::BaseTagCache
         try_reserve_ = std::move(fn);
     }
 
+    /**
+     * Observation hook fired after every completed access and after
+     * every JIT checkpoint: property tests attach one to assert the
+     * DirtyQueue invariants — dirty lines never exceed maxline;
+     * cleaning engages above the waterline — at every step of a run
+     * instead of only at hand-picked instants. Purely observational:
+     * no timing or energy is charged.
+     */
+    using ProbeFn = std::function<void(Cycle now)>;
+    void setAccessProbe(ProbeFn fn) { probe_ = std::move(fn); }
+
   protected:
     void onDirtyEviction(Addr line_addr) override;
 
@@ -156,6 +167,7 @@ class WLCache : public cache::BaseTagCache
     DirtyQueue dq_;
     WlStats wl_stats_;
     TryReserveFn try_reserve_;
+    ProbeFn probe_;
 };
 
 } // namespace core

@@ -47,6 +47,20 @@ InOrderCore::executeEvent(const MemAccess &ev, Cycle now,
     // Data access; in-order commit waits for the cache's answer.
     const auto res = dcache_.access(ev.op, ev.addr, ev.size, ev.value,
                                     load_out, t);
+
+    // Trace replay carries no real dataflow, but the register file
+    // still needs deterministic, execution-dependent content so a
+    // JIT checkpoint/restore fault of the NVFF bank is observable:
+    // fold every access (using the cache's answer for loads, so a
+    // wrong load value also perturbs register state) into a register
+    // chosen by the address.
+    const std::uint64_t folded =
+        (ev.op == MemOp::Load && load_out) ? *load_out : ev.value;
+    const unsigned reg = static_cast<unsigned>(ev.addr >> 2) %
+        RegisterFile::kNumRegs;
+    regs_.write(reg, regs_.read(reg) * 0x9e3779b1u +
+                         static_cast<std::uint32_t>(folded ^ ev.addr));
+
     stat_cycles_ += static_cast<double>(res.ready - now);
     return res.ready;
 }

@@ -77,9 +77,24 @@ Harvester::chargeUntil(Capacitor &cap, double v_target, double max_wait_s)
     // round-trip can miss the target by one ulp forever when the
     // target equals Vmax (the add-side clamp uses energy).
     const double target_e = cap.energyBetween(0.0, v_target);
+    // A full trace pass that deposits nothing can never reach the
+    // target: give up immediately instead of stepping zero-power
+    // samples one at a time until max_wait_s (an all-outage trace
+    // would otherwise take ~5e8 iterations to "time out").
+    const double pass_len_s =
+        period * static_cast<double>(
+                     std::max<std::size_t>(1, trace_.numSamples()));
+    double pass_start_s = now_s_;
+    double pass_start_e = cap.storedEnergy();
     while (cap.storedEnergy() < target_e * (1.0 - 1e-12)) {
         if (now_s_ - start > max_wait_s)
             return now_s_ - start;  // dead environment
+        if (now_s_ - pass_start_s >= pass_len_s) {
+            if (cap.storedEnergy() <= pass_start_e)
+                return now_s_ - start;  // zero-gain pass: dead
+            pass_start_s = now_s_;
+            pass_start_e = cap.storedEnergy();
+        }
         double left = period - pos_in_sample_;
         if (left <= 0.0) {
             stepSample();

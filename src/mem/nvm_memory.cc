@@ -128,6 +128,16 @@ NvmMemory::peekInt(Addr addr, unsigned bytes) const
     return v;
 }
 
+std::vector<std::uint8_t>
+NvmMemory::snapshotRange(Addr addr, std::size_t bytes) const
+{
+    wlc_assert(addr + bytes <= data_.size(),
+               "NVM snapshot out of range: addr=0x%llx size=%zu",
+               static_cast<unsigned long long>(addr), bytes);
+    return { data_.begin() + static_cast<std::ptrdiff_t>(addr),
+             data_.begin() + static_cast<std::ptrdiff_t>(addr + bytes) };
+}
+
 std::uint64_t
 NvmMemory::numReads() const
 {

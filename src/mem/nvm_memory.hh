@@ -83,6 +83,17 @@ class NvmMemory
     /** Read a little-endian integer of @p bytes functionally. */
     std::uint64_t peekInt(Addr addr, unsigned bytes) const;
 
+    /** Configured capacity in bytes. */
+    std::size_t sizeBytes() const { return data_.size(); }
+
+    /**
+     * Functional snapshot of [@p addr, @p addr + @p bytes): a copy of
+     * the persistent contents for golden-model differencing. Bounds
+     * checked like every other access.
+     */
+    std::vector<std::uint8_t> snapshotRange(Addr addr,
+                                            std::size_t bytes) const;
+
     // --- Statistics -------------------------------------------------------
 
     stats::StatGroup &statGroup() { return stat_group_; }

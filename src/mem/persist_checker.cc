@@ -1,5 +1,6 @@
 #include "mem/persist_checker.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "mem/nvm_memory.hh"
@@ -41,6 +42,37 @@ PersistChecker::compare(const NvmMemory &nvm,
         }
     }
     return out;
+}
+
+StateDiff
+PersistChecker::diffState(
+    const NvmMemory &nvm,
+    const std::unordered_map<Addr, std::uint8_t> &overlay,
+    const std::function<bool(Addr)> &skip,
+    std::size_t max_mismatches) const
+{
+    StateDiff diff;
+    for (const auto &[addr, expected] : shadow_) {
+        if (skip && skip(addr))
+            continue;
+        std::uint8_t actual = 0;
+        const auto it = overlay.find(addr);
+        if (it != overlay.end())
+            actual = it->second;
+        else
+            nvm.peek(addr, 1, &actual);
+        if (actual != expected) {
+            ++diff.total_mismatched_bytes;
+            diff.mismatches.push_back({ addr, expected, actual });
+        }
+    }
+    std::sort(diff.mismatches.begin(), diff.mismatches.end(),
+              [](const PersistMismatch &a, const PersistMismatch &b) {
+                  return a.addr < b.addr;
+              });
+    if (diff.mismatches.size() > max_mismatches)
+        diff.mismatches.resize(max_mismatches);
+    return diff;
 }
 
 std::uint8_t

@@ -31,6 +31,20 @@ struct PersistMismatch
 };
 
 /**
+ * Result of diffing the expected persistent image against the actual
+ * state (NVM plus a design's persistent overlay). `mismatches` holds
+ * the lowest-addressed divergences so the first entry is a stable,
+ * deterministic "first divergence" regardless of hash-map order.
+ */
+struct StateDiff
+{
+    std::vector<PersistMismatch> mismatches; //!< Sorted by address.
+    std::uint64_t total_mismatched_bytes = 0;
+
+    bool consistent() const { return total_mismatched_bytes == 0; }
+};
+
+/**
  * Shadow image of expected persistent memory. Byte granular; only
  * bytes ever stored (or explicitly initialized) are tracked, so a
  * comparison touches exactly the workload's write footprint.
@@ -51,6 +65,21 @@ class PersistChecker
      */
     std::vector<PersistMismatch>
     compare(const NvmMemory &nvm, std::size_t max_mismatches = 16) const;
+
+    /**
+     * Diff every tracked byte against the actual persistent state: a
+     * design's persistent @p overlay where present, @p nvm otherwise.
+     * @param skip When non-null, bytes for which it returns true are
+     *        excluded (e.g.\ ReplayCache's in-flight region, which is
+     *        rewritten on re-execution).
+     * @param max_mismatches Lowest-addressed divergences to retain in
+     *        the diff (the total count is always exact).
+     */
+    StateDiff diffState(
+        const NvmMemory &nvm,
+        const std::unordered_map<Addr, std::uint8_t> &overlay,
+        const std::function<bool(Addr)> &skip = nullptr,
+        std::size_t max_mismatches = 16) const;
 
     /** Visit every tracked byte with its expected value. */
     void forEach(

@@ -5,12 +5,19 @@
 namespace wlcache {
 namespace nvp {
 
-RunResult
-runExperiment(const ExperimentSpec &spec)
+SystemConfig
+resolveConfig(const ExperimentSpec &spec)
 {
     SystemConfig cfg = SystemConfig::forDesign(spec.design);
     if (spec.tweak)
         spec.tweak(cfg);
+    return cfg;
+}
+
+RunResult
+runExperiment(const ExperimentSpec &spec)
+{
+    const SystemConfig cfg = resolveConfig(spec);
 
     const workloads::BuiltTrace &trace =
         workloads::getTrace(spec.workload, spec.scale,

@@ -37,6 +37,13 @@ struct ExperimentSpec
     std::function<void(SystemConfig &)> tweak;
 };
 
+/**
+ * The SystemConfig a spec actually runs with: the design preset with
+ * the tweak hook applied. Shared by runExperiment() and the runner's
+ * content-addressed cache key so they can never disagree.
+ */
+SystemConfig resolveConfig(const ExperimentSpec &spec);
+
 /** Run one experiment to completion. */
 RunResult runExperiment(const ExperimentSpec &spec);
 

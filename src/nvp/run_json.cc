@@ -41,6 +41,7 @@ void
 writeRunResultJson(std::ostream &os, const RunResult &r)
 {
     os << "{\n";
+    os << "  \"record_version\": " << kRunRecordVersion << ",\n";
     os << "  \"workload\": \"" << jsonEscape(r.workload) << "\",\n";
     os << "  \"design\": \"" << designKindName(r.design) << "\",\n";
     os << "  \"completed\": " << (r.completed ? "true" : "false")
@@ -84,6 +85,24 @@ writeRunResultJson(std::ostream &os, const RunResult &r)
        << ",\n";
     os << "    \"final_state_correct\": "
        << (r.final_state_correct ? "true" : "false") << "\n  },\n";
+    os << "  \"verify\": {\n";
+    os << "    \"forced_outages\": " << r.forced_outages << ",\n";
+    os << "    \"register_restore_mismatches\": "
+       << r.register_restore_mismatches << ",\n";
+    os << "    \"divergence\": " << (r.divergence ? "true" : "false")
+       << ",\n";
+    os << "    \"has_first_divergence\": "
+       << (r.has_first_divergence ? "true" : "false") << ",\n";
+    os << "    \"first_divergence_kind\": \""
+       << jsonEscape(r.first_divergence_kind) << "\",\n";
+    os << "    \"first_divergence_addr\": " << r.first_divergence_addr
+       << ",\n";
+    os << "    \"first_divergence_cycle\": "
+       << r.first_divergence_cycle << ",\n";
+    os << "    \"first_divergence_outage\": "
+       << r.first_divergence_outage << ",\n";
+    os << "    \"final_state_digest\": \""
+       << jsonEscape(r.final_state_digest) << "\"\n  },\n";
     os << "  \"energy_j\": {\n";
     for (std::size_t c = 0; c < energy::EnergyMeter::kNumCategories;
          ++c) {
@@ -191,6 +210,17 @@ readRunResultJson(std::istream &is, RunResult &out, std::string *err)
     Reader rd{ root, err };
     RunResult r;
 
+    // Version gate first: a record written by a different binary
+    // generation is a cache miss, not a parse attempt.
+    std::uint64_t version = 0;
+    if (!rd.getU64(root, "record_version", version))
+        return false;
+    if (version != kRunRecordVersion) {
+        return rd.fail("record_version " + std::to_string(version) +
+                       " != expected " +
+                       std::to_string(kRunRecordVersion));
+    }
+
     const util::JsonValue *wv =
         rd.want(root, "workload", util::JsonValue::Kind::String);
     if (!wv)
@@ -255,6 +285,35 @@ readRunResultJson(std::istream &is, RunResult &out, std::string *err)
                    r.load_value_mismatches) ||
         !rd.getBool(*oracle, "final_state_correct",
                     r.final_state_correct))
+        return false;
+
+    const util::JsonValue *verify =
+        rd.want(root, "verify", util::JsonValue::Kind::Object);
+    if (!verify)
+        return rd.fail("missing object 'verify'");
+    const util::JsonValue *kind = rd.want(
+        *verify, "first_divergence_kind",
+        util::JsonValue::Kind::String);
+    if (!kind)
+        return rd.fail("missing string 'first_divergence_kind'");
+    r.first_divergence_kind = kind->asString();
+    const util::JsonValue *digest = rd.want(
+        *verify, "final_state_digest", util::JsonValue::Kind::String);
+    if (!digest)
+        return rd.fail("missing string 'final_state_digest'");
+    r.final_state_digest = digest->asString();
+    if (!rd.getU64(*verify, "forced_outages", r.forced_outages) ||
+        !rd.getU64(*verify, "register_restore_mismatches",
+                   r.register_restore_mismatches) ||
+        !rd.getBool(*verify, "divergence", r.divergence) ||
+        !rd.getBool(*verify, "has_first_divergence",
+                    r.has_first_divergence) ||
+        !rd.getU64(*verify, "first_divergence_addr",
+                   r.first_divergence_addr) ||
+        !rd.getU64(*verify, "first_divergence_cycle",
+                   r.first_divergence_cycle) ||
+        !rd.getU64(*verify, "first_divergence_outage",
+                   r.first_divergence_outage))
         return false;
 
     const util::JsonValue *energy =

@@ -9,6 +9,7 @@
 #ifndef WLCACHE_NVP_RUN_JSON_HH
 #define WLCACHE_NVP_RUN_JSON_HH
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -17,6 +18,18 @@
 
 namespace wlcache {
 namespace nvp {
+
+/**
+ * Format version of the run record. Bump whenever the RunResult
+ * schema (or the meaning of an existing field) changes: the strict
+ * reader rejects records carrying any other version, so a result
+ * cache written by an old binary is invalidated rather than silently
+ * reused with missing/reinterpreted fields.
+ *
+ * History: 1 = PR-1 runner cache; 2 = verification-campaign fields
+ * (forced outages, divergence record, final-state digest).
+ */
+inline constexpr std::uint64_t kRunRecordVersion = 2;
 
 /**
  * Write @p r as a single JSON object (pretty-printed, stable key

@@ -12,6 +12,7 @@
 #include "cpu/register_file.hh"
 #include "sim/logging.hh"
 #include "sim/trace_log.hh"
+#include "util/strings.hh"
 
 #include <ostream>
 
@@ -259,26 +260,35 @@ SystemSim::accountPassage(Cycle from, Cycle to)
 }
 
 void
+SystemSim::recordDivergence(const char *kind, std::uint64_t addr)
+{
+    res_.divergence = true;
+    if (res_.has_first_divergence)
+        return;
+    res_.has_first_divergence = true;
+    res_.first_divergence_kind = kind;
+    res_.first_divergence_addr = addr;
+    res_.first_divergence_cycle = now_;
+    res_.first_divergence_outage = res_.outages;
+}
+
+void
 SystemSim::checkConsistency()
 {
     ++res_.consistency_checks;
     std::unordered_map<Addr, std::uint8_t> overlay;
     dcache_->collectPersistentOverlay(overlay);
-    std::uint64_t mismatched_bytes = 0;
-    checker_.forEach([&](Addr addr, std::uint8_t expected) {
-        if (replay_ && region_dirty_bytes_.count(addr))
-            return;  // in-flight region: rewritten on re-execution
-        std::uint8_t actual = 0;
-        const auto it = overlay.find(addr);
-        if (it != overlay.end())
-            actual = it->second;
-        else
-            nvm_->peek(addr, 1, &actual);
-        if (actual != expected)
-            ++mismatched_bytes;
-    });
-    if (mismatched_bytes > 0)
+    std::function<bool(Addr)> skip;
+    if (replay_)
+        // In-flight region: rewritten on re-execution.
+        skip = [this](Addr a) {
+            return region_dirty_bytes_.count(a) != 0;
+        };
+    const mem::StateDiff diff = checker_.diffState(*nvm_, overlay, skip);
+    if (!diff.consistent()) {
         ++res_.consistency_violations;
+        recordDivergence("nvm", diff.mismatches.front().addr);
+    }
 }
 
 void
@@ -296,8 +306,11 @@ SystemSim::powerFail()
     Cycle ckpt_done = cfg_.inject_checkpoint_skip
         ? now_ : dcache_->checkpoint(now_);
     const auto regs = core_->regs().snapshot();
-    ckpt_done += nvff_->checkpoint(
-        regs.data(), cpu::RegisterFile::sizeBytes());
+    last_ckpt_regs_ = regs;      // what a correct restore must produce
+    has_ckpt_regs_ = true;
+    if (!cfg_.inject_register_skip)
+        ckpt_done += nvff_->checkpoint(
+            regs.data(), cpu::RegisterFile::sizeBytes());
     if (cfg_.design == DesignKind::WL && runtime_) {
         const std::uint8_t thresholds[2] = {
             static_cast<std::uint8_t>(wl_->maxline()),
@@ -377,6 +390,18 @@ SystemSim::bootAndRestore()
     std::array<std::uint32_t, cpu::RegisterFile::kNumRegs> regs{};
     t += nvff_->restore(regs.data(), cpu::RegisterFile::sizeBytes());
     core_->regs().restore(regs);
+
+    // Register-file differential: whatever the NVFF bank hands back
+    // must equal the snapshot taken at the failure. Only this check
+    // can see a lost register checkpoint — the NVM oracle cannot.
+    if (has_ckpt_regs_) {
+        for (unsigned i = 0; i < cpu::RegisterFile::kNumRegs; ++i) {
+            if (regs[i] != last_ckpt_regs_[i]) {
+                ++res_.register_restore_mismatches;
+                recordDivergence("register", i);
+            }
+        }
+    }
     meter_.add(energy::EnergyCategory::Leakage,
                leak_watts_ * cyclesToSeconds(t - boot_start));
     now_ = t;
@@ -395,11 +420,44 @@ SystemSim::finalCheck()
             std::min<std::size_t>(sizeof(buf), size - off));
         nvm_->peek(trace_.image_base + off, chunk, buf);
         if (std::memcmp(buf, trace_.final_image.data() + off, chunk) !=
-            0)
+            0) {
+            for (unsigned i = 0; i < chunk; ++i) {
+                if (buf[i] != trace_.final_image[off + i]) {
+                    recordDivergence("final",
+                                     trace_.image_base + off + i);
+                    break;
+                }
+            }
             return false;
+        }
         off += chunk;
     }
     return true;
+}
+
+void
+SystemSim::computeFinalDigest()
+{
+    // Digest the image region as the *persistent* state sees it: raw
+    // NVM with the design's surviving overlay (e.g.\ NV cache lines)
+    // applied on top. An interrupted run digests whatever state a
+    // next boot would observe.
+    const std::size_t size = std::max(trace_.initial_image.size(),
+                                      trace_.final_image.size());
+    if (size == 0 || trace_.image_base + size > nvm_->sizeBytes()) {
+        res_.final_state_digest = util::fnv1a128Hex(nullptr, 0);
+        return;
+    }
+    std::vector<std::uint8_t> img =
+        nvm_->snapshotRange(trace_.image_base, size);
+    std::unordered_map<Addr, std::uint8_t> overlay;
+    dcache_->collectPersistentOverlay(overlay);
+    for (const auto &[addr, byte] : overlay) {
+        if (addr >= trace_.image_base &&
+            addr < trace_.image_base + size)
+            img[addr - trace_.image_base] = byte;
+    }
+    res_.final_state_digest = util::fnv1a128Hex(img.data(), img.size());
 }
 
 RunResult
@@ -423,6 +481,8 @@ SystemSim::run()
     boot_cycle_ = now_ = 0;
     idx_ = 0;
     region_start_idx_ = 0;
+    forced_idx_ = 0;
+    has_ckpt_regs_ = false;
     if (replay_)
         region_stream_snapshot_ = std::make_unique<cpu::ICacheStream>(
             core_->streamSnapshot());
@@ -439,8 +499,10 @@ SystemSim::run()
             // Mask to the access width before comparing.
             const std::uint64_t mask = ev.size >= 8
                 ? ~0ull : ((1ull << (8 * ev.size)) - 1);
-            if ((load_val & mask) != (ev.value & mask))
+            if ((load_val & mask) != (ev.value & mask)) {
                 ++res_.load_value_mismatches;
+                recordDivergence("load", ev.addr);
+            }
         }
         if (cfg_.validate_consistency && ev.op == MemOp::Store) {
             checker_.applyStore(ev.addr, ev.size, ev.value);
@@ -468,8 +530,21 @@ SystemSim::run()
             region_dirty_bytes_.clear();
         }
 
-        if (failures_possible &&
-            cap_.storedEnergy() <= backup_energy_level_) {
+        // Power failure: either the capacitor drained to Vbackup or a
+        // forced-outage schedule point was reached. Forced points
+        // fire exactly once each, at the first event boundary at or
+        // after the requested cycle — they work under infinite power
+        // too, which is how verification campaigns make the forced
+        // point the only outage of a run.
+        bool want_fail = failures_possible &&
+            cap_.storedEnergy() <= backup_energy_level_;
+        if (forced_idx_ < cfg_.forced_outage_cycles.size() &&
+            now_ >= cfg_.forced_outage_cycles[forced_idx_]) {
+            ++forced_idx_;
+            ++res_.forced_outages;
+            want_fail = true;
+        }
+        if (want_fail) {
             powerFail();
             if (res_.outages >= cfg_.max_outages ||
                 environment_dead_) {
@@ -488,6 +563,7 @@ SystemSim::run()
         res_.completed = true;
         res_.final_state_correct = finalCheck();
     }
+    computeFinalDigest();
 
     // --- Collect statistics ---
     res_.on_cycles = now_;

@@ -13,6 +13,7 @@
 #ifndef WLCACHE_NVP_SYSTEM_HH
 #define WLCACHE_NVP_SYSTEM_HH
 
+#include <array>
 #include <memory>
 #include <unordered_set>
 
@@ -81,6 +82,29 @@ struct RunResult
     std::uint64_t consistency_violations = 0;
     std::uint64_t load_value_mismatches = 0;
     bool final_state_correct = false;
+
+    // --- Verification campaigns (src/verify/) ---
+    /** Forced-outage schedule points that actually fired. */
+    std::uint64_t forced_outages = 0;
+    /** Registers whose post-boot value differed from the snapshot. */
+    std::uint64_t register_restore_mismatches = 0;
+    /** Any oracle (NVM diff, load value, register, final image) fired. */
+    bool divergence = false;
+    bool has_first_divergence = false;
+    /** Oracle that saw the first divergence: nvm/load/register/final. */
+    std::string first_divergence_kind;
+    /** Byte address (or register index for kind=register) of it. */
+    std::uint64_t first_divergence_addr = 0;
+    std::uint64_t first_divergence_cycle = 0;
+    /** Outage count when the first divergence was observed. */
+    std::uint64_t first_divergence_outage = 0;
+    /**
+     * FNV-1a-128 digest of the persistent image region (NVM with the
+     * design's persistent overlay applied) at end of run. Two runs
+     * ending in the same persistent state produce equal digests, so a
+     * campaign can diff faulted runs against the golden run cheaply.
+     */
+    std::string final_state_digest;
 };
 
 /** One simulated system instance bound to a workload and a trace. */
@@ -130,6 +154,8 @@ class SystemSim
     void bootAndRestore();
     void checkConsistency();
     bool finalCheck();
+    void recordDivergence(const char *kind, std::uint64_t addr);
+    void computeFinalDigest();
 
     const SystemConfig cfg_;
     const workloads::BuiltTrace &trace_;
@@ -157,6 +183,12 @@ class SystemSim
     double leak_watts_ = 0.0;
     bool environment_dead_ = false;
     bool warned_reserve_ = false;
+
+    // Forced-outage schedule and register-differential state.
+    std::size_t forced_idx_ = 0;       //!< Next forced point to fire.
+    std::array<std::uint32_t, cpu::RegisterFile::kNumRegs>
+        last_ckpt_regs_{};             //!< Regs at last power failure.
+    bool has_ckpt_regs_ = false;
 
     // ReplayCache region rollback state.
     std::size_t idx_ = 0;

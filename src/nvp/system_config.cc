@@ -255,8 +255,14 @@ dumpConfigKey(std::ostream &os, const SystemConfig &cfg)
     os << "validate_consistency=" << cfg.validate_consistency << '\n'
        << "inject_checkpoint_skip=" << cfg.inject_checkpoint_skip
        << '\n'
+       << "inject_register_skip=" << cfg.inject_register_skip << '\n'
        << "check_load_values=" << cfg.check_load_values << '\n'
        << "max_outages=" << cfg.max_outages << '\n';
+
+    os << "forced_outage_cycles=";
+    for (std::size_t i = 0; i < cfg.forced_outage_cycles.size(); ++i)
+        os << (i ? "," : "") << cfg.forced_outage_cycles[i];
+    os << '\n';
 }
 
 } // namespace nvp

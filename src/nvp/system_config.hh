@@ -8,8 +8,10 @@
 #ifndef WLCACHE_NVP_SYSTEM_CONFIG_HH
 #define WLCACHE_NVP_SYSTEM_CONFIG_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "cache/cache_params.hh"
 #include "cache/nvsram_cache.hh"
@@ -115,8 +117,25 @@ struct SystemConfig
      * checkpoint (NVSRAM, WL-Cache).
      */
     bool inject_checkpoint_skip = false;
+    /**
+     * Fault injection: skip the NVFF register checkpoint at every
+     * power failure, so the boot-time restore hands the core stale
+     * register state. Only the register-file differential check can
+     * see this — the NVM oracle cannot.
+     */
+    bool inject_register_skip = false;
     /** Check every load's value against the recorded trace. */
     bool check_load_values = false;
+
+    /**
+     * Forced-outage schedule (verification campaigns, §3.2/§5.3):
+     * sorted cycle points at which a power failure is forced
+     * regardless of the stored energy — each point fires exactly once,
+     * at the first event boundary at or after the requested cycle.
+     * Works in infinite-power runs too, which is how the verify
+     * campaign engine makes the forced point the *only* outage.
+     */
+    std::vector<std::uint64_t> forced_outage_cycles;
 
     /** Give up after this many outages (dead-environment guard). */
     std::uint64_t max_outages = 2'000'000;

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <thread>
 
+#include "nvp/run_json.hh"
 #include "runner/progress.hh"
 #include "runner/result_cache.hh"
 #include "runner/spec_key.hh"
@@ -131,6 +132,7 @@ Runner::writeManifest(const JobSet &set) const
     std::snprintf(wall, sizeof(wall), "%.6f", stats_.wall_seconds);
     out << "{\n"
         << "  \"schema\": " << kResultSchemaVersion << ",\n"
+        << "  \"record_version\": " << nvp::kRunRecordVersion << ",\n"
         << "  \"jobs\": " << stats_.jobs << ",\n"
         << "  \"total\": " << stats_.total << ",\n"
         << "  \"cache_hits\": " << stats_.cache_hits << ",\n"

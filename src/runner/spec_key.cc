@@ -1,7 +1,8 @@
 #include "runner/spec_key.hh"
 
-#include <cstdio>
 #include <sstream>
+
+#include "util/strings.hh"
 
 namespace wlcache {
 namespace runner {
@@ -11,9 +12,7 @@ specKeyText(const nvp::ExperimentSpec &spec)
 {
     // Resolve the configuration the run would actually use: design
     // preset plus the caller's tweak hook.
-    nvp::SystemConfig cfg = nvp::SystemConfig::forDesign(spec.design);
-    if (spec.tweak)
-        spec.tweak(cfg);
+    const nvp::SystemConfig cfg = nvp::resolveConfig(spec);
 
     std::ostringstream os;
     os << "schema=" << kResultSchemaVersion << '\n'
@@ -30,21 +29,7 @@ specKeyText(const nvp::ExperimentSpec &spec)
 std::string
 hashKeyText(const std::string &text)
 {
-    // Two independent 64-bit FNV-1a streams (distinct offset bases)
-    // give a 128-bit key; collisions across a result cache of any
-    // realistic size are then negligible.
-    constexpr std::uint64_t kPrime = 0x100000001b3ull;
-    std::uint64_t h0 = 0xcbf29ce484222325ull;
-    std::uint64_t h1 = 0x9ae16a3b2f90404full;
-    for (const unsigned char c : text) {
-        h0 = (h0 ^ c) * kPrime;
-        h1 = (h1 ^ (c + 0x5bu)) * kPrime;
-    }
-    char buf[33];
-    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
-                  static_cast<unsigned long long>(h0),
-                  static_cast<unsigned long long>(h1));
-    return buf;
+    return util::fnv1a128Hex(text.data(), text.size());
 }
 
 std::string

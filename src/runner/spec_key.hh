@@ -23,9 +23,14 @@ namespace runner {
 /**
  * Result-record schema version. Bump when RunResult serialization,
  * SystemConfig fields, or simulator semantics change so stale cache
- * entries miss instead of resurfacing.
+ * entries miss instead of resurfacing. Kept in lockstep with
+ * nvp::kRunRecordVersion (the serialized record carries that version
+ * explicitly, so even a hand-copied old record is rejected).
+ *
+ * History: 1 = PR-1; 2 = verification campaigns (forced outages,
+ * register differential, per-run divergence record and digest).
  */
-constexpr unsigned kResultSchemaVersion = 1;
+constexpr unsigned kResultSchemaVersion = 2;
 
 /**
  * Canonical text describing everything that determines a run's

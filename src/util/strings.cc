@@ -112,5 +112,23 @@ toLower(std::string s)
     return s;
 }
 
+std::string
+fnv1a128Hex(const void *data, std::size_t bytes)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    std::uint64_t h0 = 0xcbf29ce484222325ull;
+    std::uint64_t h1 = 0x9ae16a3b2f90404full;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h0 = (h0 ^ p[i]) * kPrime;
+        h1 = (h1 ^ (p[i] + 0x5bu)) * kPrime;
+    }
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(h0),
+                  static_cast<unsigned long long>(h1));
+    return buf;
+}
+
 } // namespace util
 } // namespace wlcache

@@ -45,6 +45,15 @@ std::string fmtSeconds(double seconds);
 /** Split @p s on the single-character delimiter @p delim. */
 std::vector<std::string> split(const std::string &s, char delim);
 
+/**
+ * 128-bit FNV-1a digest of @p bytes as 32 lowercase hex digits (two
+ * independent 64-bit streams with distinct offset bases). Used for
+ * content-addressed cache keys and persistent-state digests, where
+ * accidental collisions must be negligible but cryptographic
+ * strength is not required.
+ */
+std::string fnv1a128Hex(const void *data, std::size_t bytes);
+
 /** True if @p s starts with @p prefix. */
 bool startsWith(const std::string &s, const std::string &prefix);
 

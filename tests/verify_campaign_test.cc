@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Acceptance tests for the fault-injection campaign engine
+ * (src/verify/): the golden-model differential oracle must flag every
+ * injected fault (zero false negatives), stay silent on clean runs
+ * (zero false positives), bisect to a stable minimal failing cycle,
+ * and reuse the content-addressed result cache across re-runs. Also
+ * pins the run-record version gate that invalidates old-binary cache
+ * entries.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nvp/run_json.hh"
+#include "verify/campaign.hh"
+
+using namespace wlcache;
+
+namespace {
+
+/** Small campaign skeleton: sha under infinite power, two workers. */
+verify::CampaignConfig
+baseCampaign(nvp::DesignKind design)
+{
+    verify::CampaignConfig cc;
+    cc.base.design = design;
+    cc.base.workload = "sha";
+    cc.base.power = energy::TraceKind::Constant;
+    cc.base.no_failure = true;
+    cc.jobs = 2;
+    return cc;
+}
+
+TEST(VerifyCampaign, CleanSweepHasNoFalsePositives)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WL);
+    cc.points = { 500, 5000, 50000 };
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    ASSERT_TRUE(rep.golden_clean);
+    ASSERT_EQ(rep.points.size(), 3u);
+    EXPECT_EQ(rep.num_divergent, 0u);
+    EXPECT_EQ(rep.num_clean, 3u);
+    EXPECT_TRUE(rep.allClean());
+    for (const auto &p : rep.points) {
+        EXPECT_EQ(p.verdict, verify::Verdict::Clean);
+        EXPECT_TRUE(p.completed);
+        EXPECT_TRUE(p.final_state_correct);
+        EXPECT_EQ(p.final_state_digest, rep.golden.final_state_digest);
+    }
+}
+
+/** Under infinite power the forced point is the run's only outage and
+ *  fires exactly once, so a divergence is attributable to it. */
+TEST(VerifyCampaign, ForcedOutageFiresExactlyOnce)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WL);
+    cc.points = { 10000 };
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    ASSERT_EQ(rep.points.size(), 1u);
+    EXPECT_EQ(rep.points[0].forced_outages, 1u);
+    EXPECT_EQ(rep.points[0].outages, 1u);
+}
+
+/** Zero false negatives: a dropped JIT checkpoint at any forced
+ *  outage must be caught by the NVM state diff, on both checkpointing
+ *  designs. */
+TEST(VerifyCampaign, CheckpointSkipDetectedOnCheckpointingDesigns)
+{
+    for (const auto design :
+         { nvp::DesignKind::WL, nvp::DesignKind::NvsramWB }) {
+        verify::CampaignConfig cc = baseCampaign(design);
+        cc.points = { 1000, 20000, 80000 };
+        cc.inject_checkpoint_skip = true;
+        const verify::CampaignReport rep = verify::runCampaign(cc);
+
+        ASSERT_TRUE(rep.golden_clean) << rep.design;
+        EXPECT_EQ(rep.num_divergent, rep.points.size()) << rep.design;
+        for (const auto &p : rep.points) {
+            EXPECT_EQ(p.verdict, verify::Verdict::Divergent)
+                << rep.design << " point " << p.point;
+            EXPECT_TRUE(p.has_first_divergence);
+        }
+    }
+}
+
+/** A write-through cache keeps NVM current at all times, so dropping
+ *  its (empty) checkpoint is harmless — the oracle must not cry wolf. */
+TEST(VerifyCampaign, WriteThroughImmuneToCheckpointSkip)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::VCacheWT);
+    cc.points = { 1000, 20000 };
+    cc.inject_checkpoint_skip = true;
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    ASSERT_TRUE(rep.golden_clean);
+    EXPECT_EQ(rep.num_divergent, 0u);
+    EXPECT_EQ(rep.num_clean, rep.points.size());
+}
+
+/** Dropping the NVFF register checkpoint must surface through the
+ *  register-file differential. */
+TEST(VerifyCampaign, RegisterSkipDetected)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WL);
+    cc.points = { 20000 };
+    cc.inject_register_skip = true;
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    ASSERT_TRUE(rep.golden_clean);
+    ASSERT_EQ(rep.points.size(), 1u);
+    EXPECT_EQ(rep.points[0].verdict, verify::Verdict::Divergent);
+    EXPECT_GT(rep.points[0].register_restore_mismatches, 0u);
+    EXPECT_TRUE(rep.points[0].has_first_divergence);
+    EXPECT_EQ(rep.points[0].first_divergence_kind, "register");
+}
+
+/** A point beyond the end of execution is reported NotReached, not
+ *  silently counted as clean coverage. */
+TEST(VerifyCampaign, PointBeyondRunEndIsNotReached)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WL);
+    const verify::CampaignReport probe = verify::runCampaign(cc);
+    ASSERT_TRUE(probe.golden_clean);
+
+    cc.points = { probe.golden.on_cycles * 10 };
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+    ASSERT_EQ(rep.points.size(), 1u);
+    EXPECT_EQ(rep.points[0].verdict, verify::Verdict::NotReached);
+    EXPECT_EQ(rep.points[0].forced_outages, 0u);
+    EXPECT_EQ(rep.num_not_reached, 1u);
+}
+
+/** Bisection tightens the sweep's first divergent point down to a
+ *  deterministic minimal failing cycle. */
+TEST(VerifyCampaign, BisectFindsMinimalFailingCycle)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WL);
+    cc.points = { 100000 };
+    cc.inject_checkpoint_skip = true;
+    cc.bisect = true;
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    ASSERT_TRUE(rep.golden_clean);
+    ASSERT_TRUE(rep.bisect.ran);
+    EXPECT_EQ(rep.bisect.first_fail, 100000u);
+    EXPECT_GT(rep.bisect.probes, 0u);
+    EXPECT_LE(rep.bisect.minimal_fail, rep.bisect.first_fail);
+    EXPECT_GT(rep.bisect.minimal_fail, rep.bisect.clean_low);
+
+    // Deterministic: a second campaign lands on the same cycle.
+    const verify::CampaignReport rep2 = verify::runCampaign(cc);
+    ASSERT_TRUE(rep2.bisect.ran);
+    EXPECT_EQ(rep2.bisect.minimal_fail, rep.bisect.minimal_fail);
+}
+
+/** Re-running a campaign against the same cache directory must hit
+ *  the content-addressed cache for every run, including the golden. */
+TEST(VerifyCampaign, RerunHitsResultCache)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "wlcache_verify_cache_test";
+    std::filesystem::remove_all(dir);
+
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WL);
+    cc.points = { 1000, 30000 };
+    cc.cache_dir = dir.string();
+
+    const verify::CampaignReport cold = verify::runCampaign(cc);
+    EXPECT_EQ(cold.cache_hits, 0u);
+    EXPECT_EQ(cold.executed, cold.runs);
+
+    const verify::CampaignReport warm = verify::runCampaign(cc);
+    EXPECT_EQ(warm.runs, cold.runs);
+    EXPECT_EQ(warm.cache_hits, warm.runs);
+    EXPECT_EQ(warm.executed, 0u);
+
+    // Cached verdicts are byte-identical to the cold ones.
+    ASSERT_EQ(warm.points.size(), cold.points.size());
+    for (std::size_t i = 0; i < warm.points.size(); ++i) {
+        EXPECT_EQ(warm.points[i].verdict, cold.points[i].verdict);
+        EXPECT_EQ(warm.points[i].final_state_digest,
+                  cold.points[i].final_state_digest);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+/** The JSON report is well-formed enough for downstream tooling: it
+ *  mentions the verdict of every point and the golden digest. */
+TEST(VerifyCampaign, ReportJsonCarriesVerdicts)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WL);
+    cc.points = { 2000 };
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    std::ostringstream os;
+    writeCampaignReportJson(os, rep);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"report_version\""), std::string::npos);
+    EXPECT_NE(json.find("\"golden\""), std::string::npos);
+    EXPECT_NE(json.find(rep.golden.final_state_digest),
+              std::string::npos);
+    EXPECT_NE(json.find("\"verdict\": \"clean\""), std::string::npos);
+}
+
+// --- Run-record versioning (cache invalidation) -------------------
+
+/** The verification fields survive a serialize/parse round trip. */
+TEST(RunRecordVersion, VerifyFieldsRoundTrip)
+{
+    nvp::RunResult r;
+    r.completed = true;
+    r.forced_outages = 3;
+    r.register_restore_mismatches = 2;
+    r.divergence = true;
+    r.has_first_divergence = true;
+    r.first_divergence_kind = "nvm";
+    r.first_divergence_addr = 0xdeadbeef;
+    r.first_divergence_cycle = 1234567;
+    r.first_divergence_outage = 4;
+    r.final_state_digest = "0123456789abcdef0123456789abcdef";
+
+    std::ostringstream os;
+    nvp::writeRunResultJson(os, r);
+
+    nvp::RunResult back;
+    std::istringstream is(os.str());
+    std::string err;
+    ASSERT_TRUE(nvp::readRunResultJson(is, back, &err)) << err;
+    EXPECT_EQ(back.forced_outages, r.forced_outages);
+    EXPECT_EQ(back.register_restore_mismatches,
+              r.register_restore_mismatches);
+    EXPECT_EQ(back.divergence, r.divergence);
+    EXPECT_EQ(back.has_first_divergence, r.has_first_divergence);
+    EXPECT_EQ(back.first_divergence_kind, r.first_divergence_kind);
+    EXPECT_EQ(back.first_divergence_addr, r.first_divergence_addr);
+    EXPECT_EQ(back.first_divergence_cycle, r.first_divergence_cycle);
+    EXPECT_EQ(back.first_divergence_outage, r.first_divergence_outage);
+    EXPECT_EQ(back.final_state_digest, r.final_state_digest);
+}
+
+/** A record stamped with an older version — i.e. written by an old
+ *  binary into a shared cache — must be rejected, not reinterpreted. */
+TEST(RunRecordVersion, OldVersionRejected)
+{
+    nvp::RunResult r;
+    std::ostringstream os;
+    nvp::writeRunResultJson(os, r);
+    std::string json = os.str();
+
+    const std::string tag = "\"record_version\": " +
+        std::to_string(nvp::kRunRecordVersion);
+    const std::size_t at = json.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    json.replace(at, tag.size(), "\"record_version\": 1");
+
+    nvp::RunResult back;
+    std::istringstream is(json);
+    std::string err;
+    EXPECT_FALSE(nvp::readRunResultJson(is, back, &err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+}
+
+/** A record with the version field missing entirely is also invalid
+ *  (strict reader: pre-versioning caches are unreadable). */
+TEST(RunRecordVersion, MissingVersionRejected)
+{
+    nvp::RunResult r;
+    std::ostringstream os;
+    nvp::writeRunResultJson(os, r);
+    std::string json = os.str();
+
+    const std::string tag = "\"record_version\": " +
+        std::to_string(nvp::kRunRecordVersion) + ",";
+    const std::size_t at = json.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    json.erase(at, tag.size());
+
+    nvp::RunResult back;
+    std::istringstream is(json);
+    EXPECT_FALSE(nvp::readRunResultJson(is, back));
+}
+
+} // namespace

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Fault-injection campaign driver: systematically force power
+ * failures at chosen cycle points of a (design x workload) run and
+ * diff the post-recovery persistent state against a golden
+ * uninterrupted execution (src/verify/).
+ *
+ * Examples:
+ *   # Stride-sample the whole run, 1000 points apart:
+ *   wlcache_verify --design wl --workload sha --stride 1000
+ *
+ *   # Exhaustive window around a suspect region, then bisect:
+ *   wlcache_verify --design wl --workload sha \
+ *                  --window 40000:42000:10 --bisect
+ *
+ *   # Oracle self-test: a dropped JIT checkpoint must be detected
+ *   # (exit status fails unless a divergence is found):
+ *   wlcache_verify --design wl --workload sha --stride 500 \
+ *                  --inject checkpoint-skip --expect divergent
+ *
+ * Campaigns fan out over the parallel runner; point --cache-dir at a
+ * directory to make re-runs (and bisection probes) nearly free.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "util/arg_parser.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "verify/campaign.hh"
+#include "workloads/workloads.hh"
+
+using namespace wlcache;
+
+namespace {
+
+bool
+parseDesign(const std::string &name, nvp::DesignKind &out)
+{
+    const std::string n = util::toLower(name);
+    if (n == "nocache")
+        out = nvp::DesignKind::NoCache;
+    else if (n == "wt" || n == "vcache-wt")
+        out = nvp::DesignKind::VCacheWT;
+    else if (n == "nvcache" || n == "nvc")
+        out = nvp::DesignKind::NVCacheWB;
+    else if (n == "nvsram")
+        out = nvp::DesignKind::NvsramWB;
+    else if (n == "nvsram-full")
+        out = nvp::DesignKind::NvsramFull;
+    else if (n == "nvsram-practical" || n == "nvsram-prac")
+        out = nvp::DesignKind::NvsramPractical;
+    else if (n == "replay")
+        out = nvp::DesignKind::Replay;
+    else if (n == "wtbuf" || n == "wt-buffer")
+        out = nvp::DesignKind::WtBuffered;
+    else if (n == "wl")
+        out = nvp::DesignKind::WL;
+    else
+        return false;
+    return true;
+}
+
+bool
+parseTrace(const std::string &name, energy::TraceKind &out,
+           bool &ambient)
+{
+    const std::string n = util::toLower(name);
+    ambient = true;
+    if (n == "none" || n == "infinite") {
+        ambient = false;
+        out = energy::TraceKind::Constant;
+    } else if (n == "trace1") {
+        out = energy::TraceKind::RfHome;
+    } else if (n == "trace2") {
+        out = energy::TraceKind::RfOffice;
+    } else if (n == "trace3") {
+        out = energy::TraceKind::RfMementos;
+    } else if (n == "solar") {
+        out = energy::TraceKind::Solar;
+    } else if (n == "thermal") {
+        out = energy::TraceKind::Thermal;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::uint64_t>
+parsePoints(const std::string &arg)
+{
+    std::vector<std::uint64_t> out;
+    for (const auto &tok : util::split(arg, ','))
+        if (!tok.empty())
+            out.push_back(std::stoull(tok));
+    return out;
+}
+
+/** Parse "begin:end[:step]". */
+bool
+parseWindow(const std::string &arg, verify::CampaignConfig &cfg)
+{
+    const auto parts = util::split(arg, ':');
+    if (parts.size() < 2 || parts.size() > 3)
+        return false;
+    cfg.has_window = true;
+    cfg.window_begin = std::stoull(parts[0]);
+    cfg.window_end = std::stoull(parts[1]);
+    cfg.window_step = parts.size() == 3 ? std::stoull(parts[2]) : 1;
+    return cfg.window_end > cfg.window_begin && cfg.window_step > 0;
+}
+
+std::vector<std::string>
+expandList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    for (const auto &item : util::split(arg, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "wlcache_verify",
+        "forced-outage fault-injection campaigns with a golden-model "
+        "differential oracle");
+    args.option("design", "wl",
+                "comma list: nocache|wt|nvcache|nvsram|nvsram-full|"
+                "nvsram-practical|replay|wtbuf|wl")
+        .option("workload", "sha", "comma list of benchmark kernels")
+        .option("trace", "none",
+                "none (infinite power, forced point is the only "
+                "outage) or trace1|trace2|trace3|solar|thermal "
+                "(ambient outages in addition)")
+        .option("points", "", "explicit outage cycles, comma list")
+        .option("stride", "0",
+                "stride-sample the run every N cycles")
+        .option("window", "",
+                "exhaustive window begin:end[:step] in cycles")
+        .flag("bisect",
+              "bisect below the first divergent point for the "
+              "minimal failing cycle")
+        .option("inject", "",
+                "oracle self-test faults: comma list of "
+                "checkpoint-skip,register-skip")
+        .option("expect", "clean",
+                "exit status checks campaigns are clean|divergent")
+        .option("scale", "1", "workload input scale factor")
+        .option("seed", "42", "workload input seed")
+        .option("power-seed", "7", "power trace seed")
+        .option("jobs", "0",
+                "worker threads; 0 = WLCACHE_JOBS env or all cores")
+        .option("cache-dir", "",
+                "result-cache directory (empty = no cache)")
+        .option("json", "", "write the campaign report JSON here");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    energy::TraceKind kind = energy::TraceKind::Constant;
+    bool ambient = false;
+    if (!parseTrace(args.get("trace"), kind, ambient))
+        fatal("unknown trace '%s'", args.get("trace").c_str());
+
+    bool inject_ckpt = false, inject_regs = false;
+    for (const auto &f : expandList(util::toLower(args.get("inject")))) {
+        if (f == "checkpoint-skip")
+            inject_ckpt = true;
+        else if (f == "register-skip")
+            inject_regs = true;
+        else
+            fatal("unknown fault '%s' (checkpoint-skip, "
+                  "register-skip)", f.c_str());
+    }
+
+    const std::string expect = util::toLower(args.get("expect"));
+    if (expect != "clean" && expect != "divergent")
+        fatal("--expect must be clean or divergent");
+
+    const auto designs = expandList(args.get("design"));
+    const auto apps = expandList(args.get("workload"));
+    if (designs.empty() || apps.empty())
+        fatal("need at least one design and one workload");
+
+    std::vector<verify::CampaignReport> reports;
+    bool all_ok = true;
+
+    for (const auto &design_name : designs) {
+        nvp::DesignKind design;
+        if (!parseDesign(design_name, design))
+            fatal("unknown design '%s'", design_name.c_str());
+        for (const auto &app : apps) {
+            if (!workloads::findWorkload(app))
+                fatal("unknown workload '%s'", app.c_str());
+
+            verify::CampaignConfig cc;
+            cc.base.design = design;
+            cc.base.workload = app;
+            cc.base.power = kind;
+            cc.base.no_failure = !ambient;
+            cc.base.scale =
+                static_cast<unsigned>(args.getInt("scale"));
+            cc.base.workload_seed =
+                static_cast<std::uint64_t>(args.getInt("seed"));
+            cc.base.power_seed =
+                static_cast<std::uint64_t>(args.getInt("power-seed"));
+            cc.ambient = ambient;
+            cc.points = parsePoints(args.get("points"));
+            cc.stride =
+                static_cast<std::uint64_t>(args.getInt("stride"));
+            if (!args.get("window").empty() &&
+                !parseWindow(args.get("window"), cc))
+                fatal("bad --window '%s' (begin:end[:step])",
+                      args.get("window").c_str());
+            cc.bisect = args.getFlag("bisect");
+            cc.inject_checkpoint_skip = inject_ckpt;
+            cc.inject_register_skip = inject_regs;
+            cc.jobs = static_cast<unsigned>(args.getInt("jobs"));
+            cc.cache_dir = args.get("cache-dir");
+
+            const verify::CampaignReport rep =
+                verify::runCampaign(cc);
+
+            std::cout << rep.design << "/" << rep.workload << ": ";
+            if (!rep.golden_clean) {
+                std::cout << "GOLDEN RUN BROKEN (completed="
+                          << (rep.golden.completed ? "yes" : "no")
+                          << ", final "
+                          << (rep.golden.final_state_correct
+                                  ? "correct" : "WRONG")
+                          << ")\n";
+                all_ok = false;
+                reports.push_back(rep);
+                continue;
+            }
+            std::cout << rep.points.size() << " points: "
+                      << rep.num_clean << " clean, "
+                      << rep.num_divergent << " divergent, "
+                      << rep.num_incomplete << " incomplete, "
+                      << rep.num_not_reached << " not reached ("
+                      << rep.cache_hits << "/" << rep.runs
+                      << " cached)\n";
+
+            if (rep.num_divergent > 0) {
+                util::TextTable t;
+                t.header({ "point", "verdict", "kind", "addr",
+                           "cycle", "outage" });
+                for (const auto &p : rep.points) {
+                    if (p.verdict != verify::Verdict::Divergent)
+                        continue;
+                    t.row({ std::to_string(p.point),
+                            verdictName(p.verdict),
+                            p.has_first_divergence
+                                ? p.first_divergence_kind : "digest",
+                            std::to_string(p.first_divergence_addr),
+                            std::to_string(p.first_divergence_cycle),
+                            std::to_string(
+                                p.first_divergence_outage) });
+                }
+                t.print(std::cout);
+            }
+            if (rep.bisect.ran) {
+                std::cout << "  bisect: minimal failing cycle "
+                          << rep.bisect.minimal_fail << " (clean "
+                          << rep.bisect.clean_low << ", first fail "
+                          << rep.bisect.first_fail << ", "
+                          << rep.bisect.probes << " probes)\n";
+            }
+
+            const bool want_divergent = expect == "divergent";
+            if (want_divergent != (rep.num_divergent > 0))
+                all_ok = false;
+            reports.push_back(rep);
+        }
+    }
+
+    if (!args.get("json").empty()) {
+        std::ofstream out(args.get("json"));
+        if (!out)
+            fatal("cannot write '%s'", args.get("json").c_str());
+        out << "{\n  \"campaigns\": [\n";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            writeCampaignReportJson(out, reports[i]);
+            if (i + 1 < reports.size())
+                out << ",\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "campaign report written to "
+                  << args.get("json") << "\n";
+    }
+
+    if (!all_ok)
+        std::cout << "FAILED: expectation '" << expect
+                  << "' not met by every campaign\n";
+    return all_ok ? 0 : 2;
+}

@@ -17,6 +17,7 @@
 #include "mem/nvm_memory.hh"
 #include "nvp/experiment.hh"
 #include "sim/rng.hh"
+#include "telemetry/timeline.hh"
 #include "workloads/workloads.hh"
 
 using namespace wlcache;
@@ -99,6 +100,61 @@ BM_WlCacheStoreHit(benchmark::State &state)
     }
 }
 BENCHMARK(BM_WlCacheStoreHit);
+
+void
+BM_TimelineRecord(benchmark::State &state)
+{
+    // Cost of one enabled timeline record on a hot path (steady-state
+    // ring overwrite once the buffer has wrapped).
+    telemetry::TimelineBuffer tl(1024);
+    telemetry::TimelineBuffer *tlp = &tl;
+    Cycle t = 0;
+    for (auto _ : state) {
+        WLC_TIMELINE(tlp, DqInsert, t, "wl_cache", 0x1000, 3);
+        ++t;
+    }
+    benchmark::DoNotOptimize(tl.totalRecorded());
+}
+BENCHMARK(BM_TimelineRecord);
+
+void
+BM_TimelineDisabled(benchmark::State &state)
+{
+    // The disabled path must stay one predictable branch: this is the
+    // per-call-site overhead every untraced simulation pays.
+    telemetry::TimelineBuffer *tlp = nullptr;
+    benchmark::DoNotOptimize(tlp);
+    Cycle t = 0;
+    for (auto _ : state) {
+        WLC_TIMELINE(tlp, DqInsert, t, "wl_cache", 0x1000, 3);
+        ++t;
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_TimelineDisabled);
+
+void
+BM_TraceReplayTraced(benchmark::State &state)
+{
+    // End-to-end overhead of a fully-instrumented run vs
+    // BM_TraceReplayWithOutages (same spec, no timeline).
+    const auto &trace = workloads::getTrace("sha");
+    for (auto _ : state) {
+        telemetry::TimelineBuffer tl(1u << 16);
+        nvp::ExperimentSpec s;
+        s.workload = "sha";
+        s.power = energy::TraceKind::RfMementos;
+        s.design = nvp::DesignKind::WL;
+        s.tweak = [&tl](nvp::SystemConfig &c) { c.timeline = &tl; };
+        const auto r = nvp::runExperiment(s);
+        benchmark::DoNotOptimize(r.outages);
+        benchmark::DoNotOptimize(tl.totalRecorded());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.events.size()));
+}
+BENCHMARK(BM_TraceReplayTraced)->Unit(benchmark::kMillisecond);
 
 void
 BM_TraceReplayNoFailure(benchmark::State &state)

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace cache {
@@ -63,6 +64,9 @@ BaseTagCache::fillLine(Addr addr, Cycle now)
     Cycle t = now;
     if (tags_.valid(victim)) {
         ++stats_.evictions;
+        WLC_TIMELINE(tl_, Eviction, now, designName(),
+                     tags_.lineAddr(victim),
+                     tags_.dirty(victim) ? 1 : 0);
         if (tags_.dirty(victim)) {
             ++stats_.dirty_evictions;
             onDirtyEviction(tags_.lineAddr(victim));

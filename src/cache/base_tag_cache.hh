@@ -32,6 +32,16 @@ class BaseTagCache : public DataCache
         return params_.leakage_watts;
     }
 
+    unsigned dirtyHighWater() const override
+    {
+        return tags_.dirtyHighWater();
+    }
+
+    void resetDirtyHighWater() override
+    {
+        tags_.resetDirtyHighWater();
+    }
+
   protected:
     /** Charge cache-array read energy for a word-sized access. */
     void chargeArrayRead();

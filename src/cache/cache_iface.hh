@@ -19,6 +19,9 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+namespace telemetry { class TimelineBuffer; }
+
 namespace cache {
 
 /** Outcome of a timed cache access. */
@@ -156,9 +159,28 @@ class DataCache
     const CacheStats &stats() const { return stats_; }
     CacheStats &stats() { return stats_; }
 
+    /**
+     * Attach a telemetry timeline (null detaches). Observational
+     * only: recording must never change timing or energy.
+     */
+    void setTimeline(telemetry::TimelineBuffer *tl) { tl_ = tl; }
+    telemetry::TimelineBuffer *timeline() const { return tl_; }
+
+    /**
+     * Peak concurrently-dirty line count since the last
+     * resetDirtyHighWater(); designs without a dirty-line notion
+     * report 0.
+     */
+    virtual unsigned dirtyHighWater() const { return 0; }
+    virtual void resetDirtyHighWater() {}
+
+    /** Total asynchronous cleanings issued (WL designs; else 0). */
+    virtual std::uint64_t cleaningsIssued() const { return 0; }
+
   protected:
     stats::StatGroup stat_group_;
     CacheStats stats_;
+    telemetry::TimelineBuffer *tl_ = nullptr;
 };
 
 } // namespace cache

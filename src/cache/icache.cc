@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace cache {
@@ -131,6 +132,8 @@ InstrCache::powerRestore(Cycle now)
             meter_->add(energy::EnergyCategory::Restore,
                         restore_line_energy_);
     }
+    WLC_TIMELINE(tl_, Restore, now, "icache", warm_image_.size(),
+                 t - now);
     warm_image_.clear();
     return t;
 }

@@ -23,6 +23,9 @@
 #include "sim/stats.hh"
 
 namespace wlcache {
+
+namespace telemetry { class TimelineBuffer; }
+
 namespace cache {
 
 /** How the instruction path behaves across power failures. */
@@ -69,6 +72,10 @@ class InstrCache
 
     ICacheKind kind() const { return kind_; }
     stats::StatGroup &statGroup() { return stat_group_; }
+
+    /** Attach a telemetry timeline (null detaches); observational. */
+    void setTimeline(telemetry::TimelineBuffer *tl) { tl_ = tl; }
+
     std::uint64_t fetches() const
     {
         return static_cast<std::uint64_t>(stat_fetches_.value());
@@ -91,6 +98,7 @@ class InstrCache
     ICacheKind kind_;
     mem::NvmMemory &nvm_;
     energy::EnergyMeter *meter_;
+    telemetry::TimelineBuffer *tl_ = nullptr;
     std::unique_ptr<TagArray> tags_;
     double restore_line_energy_;
     Cycle restore_line_latency_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace cache {
@@ -84,6 +85,8 @@ NvsramCacheWB::checkpoint(Cycle now)
     });
     stats_.checkpoint_lines += dirty_lines;
     has_backup_ = true;
+    WLC_TIMELINE(tl_, Checkpoint, now, "nvsram_wb", dirty_lines,
+                 t - now);
     return t;
 }
 
@@ -111,6 +114,8 @@ NvsramCacheWB::powerRestore(Cycle now)
             meter_->add(energy::EnergyCategory::Restore,
                         nvsram_.restore_line_energy);
     }
+    WLC_TIMELINE(tl_, Restore, now, "nvsram_wb", backup_.size(),
+                 t - now);
     return t;
 }
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace cache {
@@ -263,6 +264,7 @@ NvsramPracticalCache::checkpoint(Cycle now)
         }
     });
     stats_.checkpoint_lines += moved;
+    WLC_TIMELINE(tl_, Checkpoint, now, "nvsram_prac", moved, t - now);
     return t;
 }
 

@@ -119,9 +119,11 @@ TagArray::setDirty(LineRef ref, bool dirty)
     if (l.dirty == dirty)
         return;
     l.dirty = dirty;
-    if (dirty)
+    if (dirty) {
         ++dirty_count_;
-    else {
+        if (dirty_count_ > dirty_high_water_)
+            dirty_high_water_ = dirty_count_;
+    } else {
         wlc_assert(dirty_count_ > 0);
         --dirty_count_;
     }

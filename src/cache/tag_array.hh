@@ -95,6 +95,12 @@ class TagArray
     /** Number of currently dirty lines (O(1)). */
     unsigned dirtyCount() const { return dirty_count_; }
 
+    /** Peak dirtyCount() since the last resetDirtyHighWater(). */
+    unsigned dirtyHighWater() const { return dirty_high_water_; }
+
+    /** Restart high-water tracking (e.g.\ at each power-on boot). */
+    void resetDirtyHighWater() { dirty_high_water_ = dirty_count_; }
+
     // --- Functional helpers -------------------------------------------------
 
     /**
@@ -132,6 +138,7 @@ class TagArray
     std::vector<std::uint8_t> bytes_;
     std::uint64_t seq_ = 0;
     unsigned dirty_count_ = 0;
+    unsigned dirty_high_water_ = 0;
 };
 
 } // namespace cache

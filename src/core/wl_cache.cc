@@ -4,6 +4,7 @@
 
 #include "sim/logging.hh"
 #include "sim/trace_log.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace core {
@@ -47,6 +48,8 @@ WLCache::cleanOne(Cycle now)
         WLC_DPRINTF(trace::kQueue, now, "wl_cache",
                     "stale DQ entry 0x%llx dropped",
                     static_cast<unsigned long long>(laddr));
+        WLC_TIMELINE(tl_, DqStale, now, "wl_cache", laddr,
+                     tags_.dirtyCount());
         dq_.remove(*slot);
         ++wl_stats_.stale_drops;
         return true;
@@ -65,6 +68,8 @@ WLCache::cleanOne(Cycle now)
                 static_cast<unsigned long long>(laddr),
                 tags_.dirtyCount(), wl_.maxline,
                 static_cast<unsigned long long>(res.ready));
+    WLC_TIMELINE(tl_, DqClean, now, "wl_cache", laddr,
+                 tags_.dirtyCount());
     // Steps 3-4 complete via tick()/completeInFlight at the ACK.
     dq_.markInFlight(*slot, res.ready);
     return true;
@@ -201,6 +206,8 @@ WLCache::access(MemOp op, Addr addr, unsigned bytes, std::uint64_t value,
                    "DirtyQueue full after capacity check");
         chargeDqAccess();
         tags_.setDirty(*ref, true);
+        WLC_TIMELINE(tl_, DqInsert, t, "wl_cache", laddr,
+                     tags_.dirtyCount());
     } else if (wl_.dq_repl == cache::ReplPolicy::LRU) {
         // DQ-LRU needs per-store recency updates, which is exactly
         // the search cost §6.4 blames for LRU losing to FIFO.
@@ -253,6 +260,8 @@ WLCache::checkpoint(Cycle now)
     WLC_DPRINTF(trace::kPower, now, "wl_cache",
                 "JIT checkpoint persisted %u line(s), done@%llu",
                 persisted, static_cast<unsigned long long>(t));
+    WLC_TIMELINE(tl_, Checkpoint, now, "wl_cache", persisted,
+                 t - now);
     wlc_assert(persisted <= wl_.maxline,
                "JIT checkpoint exceeded the maxline bound");
     dq_.clear();

@@ -108,6 +108,11 @@ class WLCache : public cache::BaseTagCache
     double leakageWatts() const override;
     const char *designName() const override { return "WL-Cache"; }
 
+    std::uint64_t cleaningsIssued() const override
+    {
+        return static_cast<std::uint64_t>(wl_stats_.cleanings.value());
+    }
+
     // --- Threshold management (boot-time, §4/§5.5) ---
 
     /** Reconfigure maxline (waterline follows at the configured gap). */

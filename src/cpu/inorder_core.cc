@@ -1,6 +1,7 @@
 #include "cpu/inorder_core.hh"
 
 #include "sim/logging.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace cpu {
@@ -43,6 +44,11 @@ InOrderCore::executeEvent(const MemAccess &ev, Cycle now,
     instret_ += insns;
     stat_insns_ += static_cast<double>(insns);
     ++stat_mem_insns_;
+    if (tl_ && instret_ >= next_progress_) {
+        tl_->record(telemetry::EventType::CoreProgress, t, "core",
+                    instret_);
+        next_progress_ = instret_ + kProgressStride;
+    }
 
     // Data access; in-order commit waits for the cache's answer.
     const auto res = dcache_.access(ev.op, ev.addr, ev.size, ev.value,

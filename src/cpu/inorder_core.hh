@@ -25,6 +25,9 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+namespace telemetry { class TimelineBuffer; }
+
 namespace cpu {
 
 /** Core timing/energy parameters. */
@@ -68,12 +71,20 @@ class InOrderCore
 
     stats::StatGroup &statGroup() { return stat_group_; }
 
+    /** Attach a telemetry timeline (null detaches); observational. */
+    void setTimeline(telemetry::TimelineBuffer *tl) { tl_ = tl; }
+
+    /** Instructions between CoreProgress timeline markers. */
+    static constexpr std::uint64_t kProgressStride = 1u << 16;
+
   private:
     CoreParams params_;
     cache::InstrCache &icache_;
     cache::DataCache &dcache_;
     ICacheStream stream_;
     energy::EnergyMeter *meter_;
+    telemetry::TimelineBuffer *tl_ = nullptr;
+    std::uint64_t next_progress_ = kProgressStride;
     RegisterFile regs_;
     std::uint64_t instret_ = 0;
 

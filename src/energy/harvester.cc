@@ -40,6 +40,7 @@ Harvester::advance(double dt_s, Capacitor &cap)
         now_s_ += dt_s;
         const double before = cap.storedEnergy();
         cap.setVoltage(cap.vmax());
+        total_harvested_j_ += cap.storedEnergy() - before;
         return cap.storedEnergy() - before;
     }
 
@@ -59,6 +60,7 @@ Harvester::advance(double dt_s, Capacitor &cap)
         now_s_ += step;
         remaining -= step;
     }
+    total_harvested_j_ += deposited;
     return deposited;
 }
 
@@ -67,7 +69,9 @@ Harvester::chargeUntil(Capacitor &cap, double v_target, double max_wait_s)
 {
     wlc_assert(v_target <= cap.vmax() + 1e-12);
     if (infinite_) {
+        const double before = cap.storedEnergy();
         cap.setVoltage(cap.vmax());
+        total_harvested_j_ += cap.storedEnergy() - before;
         return 0.0;
     }
 
@@ -108,7 +112,7 @@ Harvester::chargeUntil(Capacitor &cap, double v_target, double max_wait_s)
         }
         const double needed = target_e - cap.storedEnergy();
         const double dt = std::min(needed / p, left);
-        cap.addEnergy(p * dt);
+        total_harvested_j_ += cap.addEnergy(p * dt);
         pos_in_sample_ += dt;
         now_s_ += dt;
     }
@@ -119,6 +123,7 @@ void
 Harvester::reset()
 {
     now_s_ = 0.0;
+    total_harvested_j_ = 0.0;
     sample_idx_ = 0;
     pos_in_sample_ = 0.0;
 }

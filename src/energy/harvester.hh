@@ -47,6 +47,9 @@ class Harvester
     /** Absolute simulated wall-clock time, seconds. */
     double now() const { return now_s_; }
 
+    /** Energy deposited into the capacitor since reset(), joules. */
+    double totalHarvested() const { return total_harvested_j_; }
+
     /** Reset the clock and trace position (new experiment). */
     void reset();
 
@@ -64,6 +67,7 @@ class Harvester
     double efficiency_;
     bool infinite_;
     double now_s_ = 0.0;
+    double total_harvested_j_ = 0.0;
     std::size_t sample_idx_ = 0;
     double pos_in_sample_ = 0.0;
 };

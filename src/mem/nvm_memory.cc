@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace mem {
@@ -74,6 +75,7 @@ NvmMemory::read(Addr addr, unsigned bytes, Cycle now, void *out)
     if (meter_)
         meter_->add(energy::EnergyCategory::MemRead,
                     params_.readEnergy(bytes));
+    WLC_TIMELINE(tl_, NvmRead, now, "nvm", addr, bytes);
     return { start, ready };
 }
 
@@ -93,6 +95,7 @@ NvmMemory::write(Addr addr, unsigned bytes, const void *data, Cycle now)
     if (meter_)
         meter_->add(energy::EnergyCategory::MemWrite,
                     params_.writeEnergy(bytes));
+    WLC_TIMELINE(tl_, NvmWrite, now, "nvm", addr, bytes);
     return { start, ready };
 }
 

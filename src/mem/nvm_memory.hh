@@ -19,6 +19,9 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+namespace telemetry { class TimelineBuffer; }
+
 namespace mem {
 
 /** Result of a timed NVM access. */
@@ -104,6 +107,9 @@ class NvmMemory
     /** Reset only the statistics (not contents). */
     void resetStats();
 
+    /** Attach a telemetry timeline (null detaches); observational. */
+    void setTimeline(telemetry::TimelineBuffer *tl) { tl_ = tl; }
+
   private:
     void checkRange(Addr addr, unsigned bytes) const;
 
@@ -120,6 +126,7 @@ class NvmMemory
 
     NvmParams params_;
     energy::EnergyMeter *meter_;
+    telemetry::TimelineBuffer *tl_ = nullptr;
     std::vector<std::uint8_t> data_;
     Cycle channel_busy_until_ = 0;
     std::vector<Cycle> bank_busy_until_;

@@ -103,6 +103,27 @@ writeRunResultJson(std::ostream &os, const RunResult &r)
        << r.first_divergence_outage << ",\n";
     os << "    \"final_state_digest\": \""
        << jsonEscape(r.final_state_digest) << "\"\n  },\n";
+    // Embedded verbatim: stats_json is always a compact JSON object
+    // (StatGroup::dumpJson or "{}"), so splicing it in keeps the
+    // record well-formed and the reader round-trips it byte-exactly.
+    os << "  \"stats\": "
+       << (r.stats_json.empty() ? "{}" : r.stats_json) << ",\n";
+    os << "  \"intervals_dropped\": " << r.intervals_dropped << ",\n";
+    os << "  \"intervals\": [";
+    for (std::size_t i = 0; i < r.intervals.size(); ++i) {
+        const telemetry::IntervalRollup &iv = r.intervals[i];
+        os << (i ? ",\n    " : "\n    ");
+        os << "{\"index\":" << iv.index
+           << ",\"start_cycle\":" << iv.start_cycle
+           << ",\"end_cycle\":" << iv.end_cycle
+           << ",\"instructions\":" << iv.instructions
+           << ",\"nvm_writes\":" << iv.nvm_writes
+           << ",\"cleans\":" << iv.cleans
+           << ",\"dirty_high_water\":" << iv.dirty_high_water
+           << ",\"checkpoint_j\":" << num(iv.checkpoint_j)
+           << ",\"harvested_j\":" << num(iv.harvested_j) << '}';
+    }
+    os << (r.intervals.empty() ? "],\n" : "\n  ],\n");
     os << "  \"energy_j\": {\n";
     for (std::size_t c = 0; c < energy::EnergyMeter::kNumCategories;
          ++c) {
@@ -315,6 +336,40 @@ readRunResultJson(std::istream &is, RunResult &out, std::string *err)
         !rd.getU64(*verify, "first_divergence_outage",
                    r.first_divergence_outage))
         return false;
+
+    const util::JsonValue *stats =
+        rd.want(root, "stats", util::JsonValue::Kind::Object);
+    if (!stats)
+        return rd.fail("missing object 'stats'");
+    {
+        std::ostringstream compact;
+        util::writeJsonCompact(compact, *stats);
+        r.stats_json = compact.str();
+    }
+
+    if (!rd.getU64(root, "intervals_dropped", r.intervals_dropped))
+        return false;
+    const util::JsonValue *ivs =
+        rd.want(root, "intervals", util::JsonValue::Kind::Array);
+    if (!ivs)
+        return rd.fail("missing array 'intervals'");
+    for (const util::JsonValue &e : ivs->items()) {
+        if (!e.isObject())
+            return rd.fail("'intervals' element is not an object");
+        telemetry::IntervalRollup iv;
+        if (!rd.getU64(e, "index", iv.index) ||
+            !rd.getU64(e, "start_cycle", iv.start_cycle) ||
+            !rd.getU64(e, "end_cycle", iv.end_cycle) ||
+            !rd.getU64(e, "instructions", iv.instructions) ||
+            !rd.getU64(e, "nvm_writes", iv.nvm_writes) ||
+            !rd.getU64(e, "cleans", iv.cleans) ||
+            !rd.getUnsigned(e, "dirty_high_water",
+                            iv.dirty_high_water) ||
+            !rd.getDouble(e, "checkpoint_j", iv.checkpoint_j) ||
+            !rd.getDouble(e, "harvested_j", iv.harvested_j))
+            return false;
+        r.intervals.push_back(iv);
+    }
 
     const util::JsonValue *energy =
         rd.want(root, "energy_j", util::JsonValue::Kind::Object);

@@ -27,9 +27,10 @@ namespace nvp {
  * reused with missing/reinterpreted fields.
  *
  * History: 1 = PR-1 runner cache; 2 = verification-campaign fields
- * (forced outages, divergence record, final-state digest).
+ * (forced outages, divergence record, final-state digest); 3 =
+ * telemetry fields (embedded stats tree, per-power-interval rollups).
  */
-inline constexpr std::uint64_t kRunRecordVersion = 2;
+inline constexpr std::uint64_t kRunRecordVersion = 3;
 
 /**
  * Write @p r as a single JSON object (pretty-printed, stable key

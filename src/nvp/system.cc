@@ -12,9 +12,11 @@
 #include "cpu/register_file.hh"
 #include "sim/logging.hh"
 #include "sim/trace_log.hh"
+#include "telemetry/timeline.hh"
 #include "util/strings.hh"
 
 #include <ostream>
+#include <sstream>
 
 namespace wlcache {
 namespace nvp {
@@ -85,7 +87,18 @@ SystemSim::SystemSim(const SystemConfig &cfg,
 
     leak_watts_ = cfg_.core.leakage_watts + dcache_->leakageWatts() +
         icache_->leakageWatts();
+    tl_ = cfg_.timeline;
+    attachTimeline();
     recomputeThresholds();
+}
+
+void
+SystemSim::attachTimeline()
+{
+    nvm_->setTimeline(tl_);
+    dcache_->setTimeline(tl_);
+    icache_->setTimeline(tl_);
+    core_->setTimeline(tl_);
 }
 
 SystemSim::~SystemSim() = default;
@@ -224,6 +237,9 @@ SystemSim::recomputeThresholds()
     const double c = cfg_.platform.capacitance_f;
     backup_energy_level_ = 0.5 * c * vbackup_now_ * vbackup_now_;
 
+    WLC_TIMELINE(tl_, CapThreshold, now_, "system", 0, 0, vbackup_now_);
+    WLC_TIMELINE(tl_, CapThreshold, now_, "system", 1, 0, von_now_);
+
     // Sanity: the reserved slice must cover the worst-case JIT
     // checkpoint. With voltage-divider thresholds this can become
     // infeasible for tiny capacitors (Figure 10b's left edge).
@@ -257,6 +273,57 @@ SystemSim::accountPassage(Cycle from, Cycle to)
     const double dt_s = cyclesToSeconds(to - from);
     meter_.add(energy::EnergyCategory::Leakage, leak_watts_ * dt_s);
     harvester_.advance(dt_s, cap_);
+}
+
+void
+SystemSim::beginInterval()
+{
+    interval_start_cycle_ = now_;
+    interval_instret_base_ = core_->instructionsRetired();
+    interval_nvm_writes_base_ = nvm_->numWrites();
+    interval_cleans_base_ = dcache_->cleaningsIssued();
+    interval_harvest_base_ = harvester_.totalHarvested();
+    dcache_->resetDirtyHighWater();
+}
+
+void
+SystemSim::endInterval(double checkpoint_j)
+{
+    if (res_.intervals.size() <
+        static_cast<std::size_t>(cfg_.max_interval_rollups)) {
+        telemetry::IntervalRollup r;
+        r.index = interval_index_;
+        r.start_cycle = interval_start_cycle_;
+        r.end_cycle = now_;
+        r.instructions =
+            core_->instructionsRetired() - interval_instret_base_;
+        r.nvm_writes = nvm_->numWrites() - interval_nvm_writes_base_;
+        r.cleans = dcache_->cleaningsIssued() - interval_cleans_base_;
+        r.dirty_high_water = dcache_->dirtyHighWater();
+        r.checkpoint_j = checkpoint_j;
+        r.harvested_j =
+            harvester_.totalHarvested() - interval_harvest_base_;
+        res_.intervals.push_back(r);
+    } else {
+        ++res_.intervals_dropped;
+    }
+    ++interval_index_;
+}
+
+void
+SystemSim::collectStatsJson()
+{
+    std::ostringstream ss;
+    ss << "{\"dcache\":";
+    dcache_->statGroup().dumpJson(ss);
+    ss << ",\"icache\":";
+    icache_->statGroup().dumpJson(ss);
+    ss << ",\"core\":";
+    core_->statGroup().dumpJson(ss);
+    ss << ",\"nvm\":";
+    nvm_->statGroup().dumpJson(ss);
+    ss << '}';
+    res_.stats_json = ss.str();
 }
 
 void
@@ -299,6 +366,9 @@ SystemSim::powerFail()
                 "voltage hit Vbackup=%.3fV: outage #%llu",
                 vbackup_now_,
                 static_cast<unsigned long long>(res_.outages));
+    WLC_TIMELINE(tl_, OutageBegin, now_, "system", res_.outages, 0,
+                 cap_.voltage());
+    const double ckpt_e0 = meter_.total();
 
     // JIT checkpoint: the design persists its bounded state, then the
     // registers (and, for WL-Cache, the runtime thresholds and the
@@ -328,6 +398,7 @@ SystemSim::powerFail()
     drawConsumedEnergy();
     if (cap_.voltage() < cfg_.platform.vmin - 1e-6)
         ++res_.reserve_violations;
+    endInterval(meter_.total() - ckpt_e0);
 
     const double t_on = cyclesToSeconds(now_ - boot_cycle_);
 
@@ -357,6 +428,8 @@ SystemSim::powerFail()
             WLC_DPRINTF(trace::kAdapt, now_, "runtime",
                         "T=%.1fus: maxline %u -> %u", t_on * 1e6,
                         before, m);
+        WLC_TIMELINE(tl_, AdaptDecision, now_, "runtime", before, m,
+                     t_on);
         if (cfg_.adaptive.enabled)
             wl_->setMaxline(m);
         else
@@ -375,6 +448,7 @@ SystemSim::powerFail()
         environment_dead_ = true;  // chargeUntil gave up
         return;
     }
+    WLC_TIMELINE(tl_, OutageEnd, now_, "system", res_.outages, 0, off);
     nvm_->resetChannel();
 
     bootAndRestore();
@@ -390,6 +464,8 @@ SystemSim::bootAndRestore()
     std::array<std::uint32_t, cpu::RegisterFile::kNumRegs> regs{};
     t += nvff_->restore(regs.data(), cpu::RegisterFile::sizeBytes());
     core_->regs().restore(regs);
+    WLC_TIMELINE(tl_, Restore, t, "nvff",
+                 cpu::RegisterFile::sizeBytes(), t - boot_start);
 
     // Register-file differential: whatever the NVFF bank hands back
     // must equal the snapshot taken at the failure. Only this check
@@ -407,6 +483,7 @@ SystemSim::bootAndRestore()
     now_ = t;
     drawConsumedEnergy();
     boot_cycle_ = now_;
+    beginInterval();
 }
 
 bool
@@ -483,6 +560,8 @@ SystemSim::run()
     region_start_idx_ = 0;
     forced_idx_ = 0;
     has_ckpt_regs_ = false;
+    interval_index_ = 0;
+    beginInterval();
     if (replay_)
         region_stream_snapshot_ = std::make_unique<cpu::ICacheStream>(
             core_->streamSnapshot());
@@ -560,6 +639,7 @@ SystemSim::run()
         accountPassage(now_, t);
         now_ = t;
         drawConsumedEnergy();
+        endInterval(0.0);
         res_.completed = true;
         res_.final_state_correct = finalCheck();
     }
@@ -573,6 +653,7 @@ SystemSim::run()
     res_.nvm_writes = nvm_->numWrites();
     res_.nvm_reads = nvm_->numReads();
     res_.nvm_bytes_written = nvm_->bytesWritten();
+    collectStatsJson();
 
     const auto &cs = dcache_->stats();
     const double loads = std::max(1.0, cs.loads.value());

@@ -29,6 +29,7 @@
 #include "mem/persist_checker.hh"
 #include "nvp/nvff.hh"
 #include "nvp/system_config.hh"
+#include "telemetry/rollup.hh"
 #include "workloads/workloads.hh"
 
 namespace wlcache {
@@ -105,6 +106,22 @@ struct RunResult
      * campaign can diff faulted runs against the golden run cheaply.
      */
     std::string final_state_digest;
+
+    // --- Telemetry (src/telemetry/) ---
+    /**
+     * Compact-JSON dump of every component StatGroup (scalars plus
+     * distribution buckets), as produced by stats::StatGroup::dumpJson.
+     * Always a valid JSON object; "{}" until a run fills it.
+     */
+    std::string stats_json = "{}";
+    /**
+     * Per-power-interval rollups, one per completed power-on interval
+     * (including the final, gracefully-completed one), capped at
+     * SystemConfig::max_interval_rollups.
+     */
+    std::vector<telemetry::IntervalRollup> intervals;
+    /** Intervals not stored because the rollup cap was hit. */
+    std::uint64_t intervals_dropped = 0;
 };
 
 /** One simulated system instance bound to a workload and a trace. */
@@ -156,6 +173,10 @@ class SystemSim
     bool finalCheck();
     void recordDivergence(const char *kind, std::uint64_t addr);
     void computeFinalDigest();
+    void attachTimeline();
+    void beginInterval();
+    void endInterval(double checkpoint_j);
+    void collectStatsJson();
 
     const SystemConfig cfg_;
     const workloads::BuiltTrace &trace_;
@@ -183,6 +204,15 @@ class SystemSim
     double leak_watts_ = 0.0;
     bool environment_dead_ = false;
     bool warned_reserve_ = false;
+
+    // Telemetry: interval-rollup baselines captured at each boot.
+    telemetry::TimelineBuffer *tl_ = nullptr;  //!< == cfg_.timeline.
+    std::uint64_t interval_index_ = 0;
+    Cycle interval_start_cycle_ = 0;
+    std::uint64_t interval_instret_base_ = 0;
+    std::uint64_t interval_nvm_writes_base_ = 0;
+    std::uint64_t interval_cleans_base_ = 0;
+    double interval_harvest_base_ = 0.0;
 
     // Forced-outage schedule and register-differential state.
     std::size_t forced_idx_ = 0;       //!< Next forced point to fire.

@@ -257,7 +257,8 @@ dumpConfigKey(std::ostream &os, const SystemConfig &cfg)
        << '\n'
        << "inject_register_skip=" << cfg.inject_register_skip << '\n'
        << "check_load_values=" << cfg.check_load_values << '\n'
-       << "max_outages=" << cfg.max_outages << '\n';
+       << "max_outages=" << cfg.max_outages << '\n'
+       << "max_interval_rollups=" << cfg.max_interval_rollups << '\n';
 
     os << "forced_outage_cycles=";
     for (std::size_t i = 0; i < cfg.forced_outage_cycles.size(); ++i)

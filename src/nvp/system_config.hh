@@ -24,6 +24,9 @@
 #include "mem/nvm_params.hh"
 
 namespace wlcache {
+
+namespace telemetry { class TimelineBuffer; }
+
 namespace nvp {
 
 /** The cache designs the paper compares (Figure 1, Table 1). */
@@ -139,6 +142,26 @@ struct SystemConfig
 
     /** Give up after this many outages (dead-environment guard). */
     std::uint64_t max_outages = 2'000'000;
+
+    /**
+     * Optional telemetry timeline (non-owning, may be null). When set,
+     * the system and every component it builds record cycle-stamped
+     * events into it. Purely observational — attaching a timeline
+     * never changes timing, energy, or results — so this pointer is
+     * deliberately NOT part of dumpConfigKey(): cached results remain
+     * valid whether or not a run was traced.
+     */
+    telemetry::TimelineBuffer *timeline = nullptr;
+
+    /**
+     * Cap on the per-power-interval rollups a run accumulates into
+     * RunResult::intervals (dirty-line high water, cleanings,
+     * checkpoint energy per interval). Intervals past the cap are
+     * counted in RunResult::intervals_dropped but not stored, so a
+     * million-outage run cannot balloon its result record. 0 disables
+     * rollup collection entirely.
+     */
+    unsigned max_interval_rollups = 256;
 
     /**
      * Preset for a given design: cache technology (SRAM vs NV array),

@@ -58,6 +58,7 @@ Runner::runAll(const JobSet &set)
     // land in per-job slots, so completion order never matters.
     std::atomic<std::size_t> next{ 0 };
     std::atomic<std::size_t> executed{ 0 };
+    const auto batch_t0 = std::chrono::steady_clock::now();
 
     auto work = [&]() {
         for (;;) {
@@ -71,6 +72,8 @@ Runner::runAll(const JobSet &set)
             JobRecord &rec = stats_.records[i];
             rec.id = job.id;
             rec.key = job.key;
+            rec.t_start_s =
+                std::chrono::duration<double>(t0 - batch_t0).count();
             rec.cached = cache.load(job.key, results[i]);
             if (!rec.cached) {
                 results[i] = nvp::runExperiment(job.spec);
@@ -78,8 +81,11 @@ Runner::runAll(const JobSet &set)
                 executed.fetch_add(1, std::memory_order_relaxed);
             }
             rec.completed = results[i].completed;
-            rec.wall_seconds = std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0).count();
+            const auto t1 = std::chrono::steady_clock::now();
+            rec.wall_seconds =
+                std::chrono::duration<double>(t1 - t0).count();
+            rec.t_end_s =
+                std::chrono::duration<double>(t1 - batch_t0).count();
             progress.jobDone(job.id, rec.cached, rec.wall_seconds);
         }
     };
@@ -143,9 +149,11 @@ Runner::writeManifest(const JobSet &set) const
     for (std::size_t i = 0; i < stats_.records.size(); ++i) {
         const JobRecord &rec = stats_.records[i];
         const Job &job = set[i];
-        char ms[32];
+        char ms[32], ts[32], te[32];
         std::snprintf(ms, sizeof(ms), "%.3f",
                       1e3 * rec.wall_seconds);
+        std::snprintf(ts, sizeof(ts), "%.6f", rec.t_start_s);
+        std::snprintf(te, sizeof(te), "%.6f", rec.t_end_s);
         out << "    {\"id\": \"" << esc(rec.id) << "\", \"key\": \""
             << rec.key << "\", \"workload\": \""
             << esc(job.spec.workload) << "\", \"design\": \""
@@ -153,7 +161,9 @@ Runner::writeManifest(const JobSet &set) const
             << "\", \"cached\": " << (rec.cached ? "true" : "false")
             << ", \"completed\": "
             << (rec.completed ? "true" : "false")
-            << ", \"wall_ms\": " << ms << '}'
+            << ", \"wall_ms\": " << ms
+            << ", \"t_start\": " << ts
+            << ", \"t_end\": " << te << '}'
             << (i + 1 < stats_.records.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";

@@ -53,6 +53,13 @@ struct JobRecord
     bool cached = false;
     bool completed = false;
     double wall_seconds = 0.0;
+    /**
+     * Wall-clock span of this job relative to batch start, seconds.
+     * Spans from concurrent workers overlap; plotting them yields a
+     * utilization timeline of the batch (manifest "t_start"/"t_end").
+     */
+    double t_start_s = 0.0;
+    double t_end_s = 0.0;
 };
 
 /** Batch-level outcome bookkeeping. */

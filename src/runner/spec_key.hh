@@ -28,9 +28,11 @@ namespace runner {
  * explicitly, so even a hand-copied old record is rejected).
  *
  * History: 1 = PR-1; 2 = verification campaigns (forced outages,
- * register differential, per-run divergence record and digest).
+ * register differential, per-run divergence record and digest);
+ * 3 = telemetry (stats tree + interval rollups in run records,
+ * max_interval_rollups in the config key).
  */
-constexpr unsigned kResultSchemaVersion = 2;
+constexpr unsigned kResultSchemaVersion = 3;
 
 /**
  * Canonical text describing everything that determines a run's

@@ -1,6 +1,8 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "sim/logging.hh"
 #include "util/strings.hh"
@@ -8,14 +10,55 @@
 namespace wlcache {
 namespace stats {
 
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** A double as a JSON number token (shortest exact form). */
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
 std::string
 Scalar::render() const
 {
-    // Integers render without a fraction; everything else with 6
-    // significant digits.
-    if (value_ == static_cast<double>(static_cast<std::int64_t>(value_)))
-        return std::to_string(static_cast<std::int64_t>(value_));
-    return util::fmtDouble(value_, 6);
+    // The pure-integer path renders the exact accumulator; mixed or
+    // fractional values render like before (integers without a
+    // fraction, everything else with 6 significant digits).
+    if (value_ == 0.0)
+        return std::to_string(u64_);
+    const double total = value();
+    if (total == static_cast<double>(static_cast<std::int64_t>(total)))
+        return std::to_string(static_cast<std::int64_t>(total));
+    return util::fmtDouble(total, 6);
+}
+
+void
+Scalar::writeJson(std::ostream &os) const
+{
+    os << "{\"type\":\"scalar\",\"value\":";
+    if (value_ == 0.0)
+        os << u64_;   // Exact past 2^53.
+    else
+        os << jsonNum(value());
+    os << ",\"desc\":\"" << jsonEscape(desc()) << "\"}";
 }
 
 void
@@ -28,6 +71,17 @@ Distribution::sample(double v)
         min_ = v;
     if (v > max_)
         max_ = v;
+    ++buckets_[bucketIndex(v)];
+}
+
+std::size_t
+Distribution::bucketIndex(double v)
+{
+    if (!(v >= 1.0))
+        return 0;   // Sub-unit, zero, and negative samples.
+    const int l = std::ilogb(v);
+    return std::min<std::size_t>(kNumBuckets - 1,
+                                 static_cast<std::size_t>(l) + 1);
 }
 
 double
@@ -40,6 +94,11 @@ double
 Distribution::stddev() const
 {
     if (count_ < 2)
+        return 0.0;
+    // All-equal samples have zero variance by definition; computing
+    // it would amplify catastrophic cancellation in sum_sq_ - sum_^2/n
+    // into a spurious nonzero stddev for large magnitudes.
+    if (min_ == max_)
         return 0.0;
     const double n = static_cast<double>(count_);
     const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
@@ -57,6 +116,28 @@ Distribution::render() const
 }
 
 void
+Distribution::writeJson(std::ostream &os) const
+{
+    os << "{\"type\":\"distribution\",\"count\":" << count_
+       << ",\"sum\":" << jsonNum(sum_)
+       << ",\"min\":" << jsonNum(min())
+       << ",\"max\":" << jsonNum(max())
+       << ",\"mean\":" << jsonNum(mean())
+       << ",\"stddev\":" << jsonNum(stddev())
+       << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << '[' << i << ',' << buckets_[i] << ']';
+    }
+    os << "],\"desc\":\"" << jsonEscape(desc()) << "\"}";
+}
+
+void
 Distribution::reset()
 {
     count_ = 0;
@@ -64,6 +145,7 @@ Distribution::reset()
     sum_sq_ = 0.0;
     min_ = std::numeric_limits<double>::infinity();
     max_ = -std::numeric_limits<double>::infinity();
+    buckets_.fill(0);
 }
 
 Scalar &
@@ -114,6 +196,28 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     }
     for (const auto *c : children_)
         c->dump(os, full);
+}
+
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    os << '{';
+    bool first = true;
+    for (const auto &s : owned_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(s->name()) << "\":";
+        s->writeJson(os);
+    }
+    for (const auto *c : children_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << jsonEscape(c->name()) << "\":";
+        c->dumpJson(os);
+    }
+    os << '}';
 }
 
 const Statistic *

@@ -9,11 +9,13 @@
 #ifndef WLCACHE_SIM_STATS_HH
 #define WLCACHE_SIM_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <ostream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace wlcache {
@@ -34,6 +36,9 @@ class Statistic
     /** Render the current value for dumping. */
     virtual std::string render() const = 0;
 
+    /** Write the value as one compact JSON object. */
+    virtual void writeJson(std::ostream &os) const = 0;
+
     /** Reset to the initial value. */
     virtual void reset() = 0;
 
@@ -42,23 +47,47 @@ class Statistic
     std::string desc_;
 };
 
-/** Simple accumulating scalar (counter or gauge). */
+/**
+ * Simple accumulating scalar (counter or gauge). Unsigned integral
+ * increments accumulate into a dedicated 64-bit integer so hot
+ * counters stay exact past 2^53 (doubles silently lose low bits
+ * there); the rendered/reported value is the sum of both halves.
+ */
 class Scalar : public Statistic
 {
   public:
     using Statistic::Statistic;
 
     Scalar &operator+=(double v) { value_ += v; return *this; }
-    Scalar &operator++() { value_ += 1.0; return *this; }
-    void set(double v) { value_ = v; }
 
-    double value() const { return value_; }
+    /** Overflow-safe increment for unsigned integral counters. */
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T> &&
+                               std::is_unsigned_v<T>, int> = 0>
+    Scalar &operator+=(T v)
+    {
+        u64_ += static_cast<std::uint64_t>(v);
+        return *this;
+    }
+
+    Scalar &operator++() { ++u64_; return *this; }
+    void set(double v) { value_ = v; u64_ = 0; }
+
+    double value() const
+    {
+        return value_ + static_cast<double>(u64_);
+    }
+
+    /** Exact integer half (the unsigned-increment accumulator). */
+    std::uint64_t valueU64() const { return u64_; }
 
     std::string render() const override;
-    void reset() override { value_ = 0.0; }
+    void writeJson(std::ostream &os) const override;
+    void reset() override { value_ = 0.0; u64_ = 0; }
 
   private:
     double value_ = 0.0;
+    std::uint64_t u64_ = 0;
 };
 
 /**
@@ -69,6 +98,9 @@ class Scalar : public Statistic
 class Distribution : public Statistic
 {
   public:
+    /** Power-of-two histogram buckets (bucket i holds [2^(i-1), 2^i)). */
+    static constexpr std::size_t kNumBuckets = 64;
+
     using Statistic::Statistic;
 
     void sample(double v);
@@ -80,7 +112,14 @@ class Distribution : public Statistic
     double mean() const;
     double stddev() const;
 
+    /** Samples in log2 bucket @p i (0 = everything below 1). */
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+    /** Log2 bucket index a sample value falls in. */
+    static std::size_t bucketIndex(double v);
+
     std::string render() const override;
+    void writeJson(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -89,6 +128,7 @@ class Distribution : public Statistic
     double sum_sq_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    std::array<std::uint64_t, kNumBuckets> buckets_{};
 };
 
 /**
@@ -118,6 +158,14 @@ class StatGroup
 
     /** Dump "group.stat value # desc" lines recursively. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Dump the group as one compact JSON object: each statistic is a
+     * member (see Scalar/Distribution::writeJson), each child group a
+     * nested object keyed by its name. Machine-readable counterpart
+     * of dump(); lands in RunResult::stats_json.
+     */
+    void dumpJson(std::ostream &os) const;
 
     /** Find a statistic by name in this group only; null if absent. */
     const Statistic *find(const std::string &name) const;

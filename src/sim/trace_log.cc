@@ -42,30 +42,42 @@ enabled()
     return enabled_categories;
 }
 
-std::uint32_t
-parseCategories(const std::string &spec)
+const char *
+validCategoryNames()
 {
-    std::uint32_t mask = kNone;
+    return "cache, queue, power, nvm, adapt, all";
+}
+
+bool
+parseCategories(const std::string &spec, std::uint32_t &mask,
+                std::string *err)
+{
+    std::uint32_t out = kNone;
     for (const auto &name : util::split(spec, ',')) {
         const std::string n = util::toLower(name);
         if (n.empty())
             continue;
         if (n == "all")
-            mask |= kAll;
+            out |= kAll;
         else if (n == "cache")
-            mask |= kCache;
+            out |= kCache;
         else if (n == "queue")
-            mask |= kQueue;
+            out |= kQueue;
         else if (n == "power")
-            mask |= kPower;
+            out |= kPower;
         else if (n == "nvm")
-            mask |= kNvm;
+            out |= kNvm;
         else if (n == "adapt")
-            mask |= kAdapt;
-        else
-            warn("unknown trace category '%s'", n.c_str());
+            out |= kAdapt;
+        else {
+            if (err)
+                *err = "unknown trace category '" + n +
+                    "' (valid: " + validCategoryNames() + ")";
+            return false;
+        }
     }
-    return mask;
+    mask = out;
+    return true;
 }
 
 void

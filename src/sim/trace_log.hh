@@ -44,9 +44,18 @@ isOn(Category cat)
 
 /**
  * Parse a comma-separated category list ("cache,power", "all").
- * @return bitmask; unknown names are reported via warn() and skipped.
+ *
+ * @param spec Comma-separated names; empty items are ignored.
+ * @param mask Receives the bitmask on success; untouched on failure.
+ * @param err Optional; on failure receives a one-line diagnostic that
+ *            names the offending token and lists every valid category.
+ * @return true when every name is known; false on the first unknown.
  */
-std::uint32_t parseCategories(const std::string &spec);
+bool parseCategories(const std::string &spec, std::uint32_t &mask,
+                     std::string *err = nullptr);
+
+/** All valid category names, comma-separated (for diagnostics). */
+const char *validCategoryNames();
 
 /** Backend for WLC_DPRINTF; printf-style. */
 void print(Category cat, Cycle when, const char *component,

@@ -1,7 +1,9 @@
 #include "util/json.hh"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <ostream>
 
 #include "sim/logging.hh"
 
@@ -32,6 +34,13 @@ JsonValue::asU64() const
         !scalar_.empty() && scalar_[0] != '-')
         return std::strtoull(scalar_.c_str(), nullptr, 10);
     return static_cast<std::uint64_t>(asDouble());
+}
+
+const std::string &
+JsonValue::numberToken() const
+{
+    wlc_assert(isNumber());
+    return scalar_;
 }
 
 const std::string &
@@ -392,6 +401,81 @@ parseJson(const std::string &text, JsonValue &out, std::string *err)
 {
     Parser p(text, err);
     return p.parseDocument(out);
+}
+
+namespace {
+
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // anonymous namespace
+
+void
+writeJsonCompact(std::ostream &os, const JsonValue &v)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        os << "null";
+        break;
+      case JsonValue::Kind::Bool:
+        os << (v.asBool() ? "true" : "false");
+        break;
+      case JsonValue::Kind::Number:
+        // The source token verbatim: integers above 2^53 and exact
+        // decimal representations survive the round-trip.
+        os << v.numberToken();
+        break;
+      case JsonValue::Kind::String:
+        writeEscaped(os, v.asString());
+        break;
+      case JsonValue::Kind::Array: {
+        os << '[';
+        bool first = true;
+        for (const JsonValue &item : v.items()) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJsonCompact(os, item);
+        }
+        os << ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, member] : v.members()) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeEscaped(os, key);
+            os << ':';
+            writeJsonCompact(os, member);
+        }
+        os << '}';
+        break;
+      }
+    }
 }
 
 } // namespace util

@@ -12,6 +12,7 @@
 #define WLCACHE_UTIL_JSON_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <utility>
@@ -51,6 +52,8 @@ class JsonValue
      * token so values above 2^53 survive (asserts isNumber()).
      */
     std::uint64_t asU64() const;
+    /** Raw number source token (asserts isNumber()). */
+    const std::string &numberToken() const;
     /** String payload (asserts isString()). */
     const std::string &asString() const;
 
@@ -91,6 +94,14 @@ class JsonValue
  */
 bool parseJson(const std::string &text, JsonValue &out,
                std::string *err = nullptr);
+
+/**
+ * Serialize @p v compactly (no whitespace). Object member order and
+ * number source tokens are preserved, so parse -> write round-trips a
+ * compactly-written document byte-for-byte — which lets run_json
+ * re-embed nested documents (e.g. the stats tree) without loss.
+ */
+void writeJsonCompact(std::ostream &os, const JsonValue &v);
 
 } // namespace util
 } // namespace wlcache

@@ -184,7 +184,41 @@ runCampaign(const CampaignConfig &cfg)
         }
     }
 
-    // --- 4. Bisect down to the minimal failing cycle. ---
+    // --- 4. Divergence context: re-run the first divergent point
+    // with a timeline attached and keep the window of events leading
+    // up to the first divergence. Direct runExperiment, not the
+    // runner: a result-cache hit would skip the simulation entirely
+    // and record nothing. ---
+    if (cfg.timeline_window > 0 && rep.num_divergent > 0) {
+        std::uint64_t fail_point = 0;
+        for (const PointResult &pr : rep.points) {
+            if (pr.verdict == Verdict::Divergent) {
+                fail_point = pr.point;
+                break;
+            }
+        }
+        telemetry::TimelineBuffer tl(1u << 16);
+        nvp::ExperimentSpec spec = pointSpec(cfg, fail_point);
+        const auto point_tweak = spec.tweak;
+        telemetry::TimelineBuffer *tlp = &tl;
+        spec.tweak = [point_tweak, tlp](nvp::SystemConfig &c) {
+            point_tweak(c);
+            c.timeline = tlp;
+        };
+        const nvp::RunResult rr = nvp::runExperiment(spec);
+        ++rep.runs;
+        ++rep.executed;
+        // Digest-only divergences carry no first-divergence cycle;
+        // fall back to the end of the run.
+        const Cycle upto = rr.has_first_divergence
+            ? rr.first_divergence_cycle : ~static_cast<Cycle>(0);
+        rep.divergence_window =
+            tl.lastBefore(upto, cfg.timeline_window);
+        rep.has_divergence_window = true;
+        rep.divergence_window_point = fail_point;
+    }
+
+    // --- 5. Bisect down to the minimal failing cycle. ---
     if (cfg.bisect && rep.num_divergent > 0) {
         std::uint64_t first_fail = 0;
         std::uint64_t clean_low = 0;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "nvp/experiment.hh"
+#include "telemetry/timeline.hh"
 
 namespace wlcache {
 namespace verify {
@@ -81,6 +82,16 @@ struct CampaignConfig
 
     unsigned jobs = 0;          //!< Worker threads (0 = default).
     std::string cache_dir;      //!< Result cache; empty disables.
+
+    /**
+     * After a divergent sweep, re-run the first divergent point with a
+     * telemetry timeline attached and keep the last this-many events
+     * at or before the first divergence cycle (the "what led up to
+     * it" window in the report). 0 disables the extra run. The re-run
+     * bypasses the result cache on purpose: a cached result skips the
+     * simulation, so it can never carry a timeline.
+     */
+    std::size_t timeline_window = 64;
 };
 
 /** One point's outcome (divergence detail copied from the run). */
@@ -132,6 +143,17 @@ struct CampaignReport
     std::size_t num_not_reached = 0;
 
     BisectResult bisect;
+
+    /**
+     * Timeline window around the first divergence: the last
+     * CampaignConfig::timeline_window events recorded at or before
+     * the divergence cycle of the first divergent point's re-run
+     * (chronological order). Empty unless a point diverged and
+     * timeline_window > 0.
+     */
+    bool has_divergence_window = false;
+    std::uint64_t divergence_window_point = 0;
+    std::vector<telemetry::TimelineEvent> divergence_window;
 
     // Runner economics (sweep + bisect probes + golden).
     std::size_t runs = 0;

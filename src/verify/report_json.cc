@@ -1,3 +1,4 @@
+#include <cstdio>
 #include <ostream>
 
 #include "verify/campaign.hh"
@@ -32,7 +33,7 @@ void
 writeCampaignReportJson(std::ostream &os, const CampaignReport &r)
 {
     os << "{\n";
-    os << "  \"report_version\": 1,\n";
+    os << "  \"report_version\": 2,\n";
     os << "  \"workload\": \"" << esc(r.workload) << "\",\n";
     os << "  \"design\": \"" << esc(r.design) << "\",\n";
 
@@ -84,6 +85,30 @@ writeCampaignReportJson(std::ostream &os, const CampaignReport &r)
         os << '}' << (i + 1 < r.points.size() ? ",\n" : "\n");
     }
     os << "  ],\n";
+
+    if (r.has_divergence_window) {
+        os << "  \"divergence_window\": {\n";
+        os << "    \"point\": " << r.divergence_window_point << ",\n";
+        os << "    \"schema_version\": "
+           << telemetry::kTimelineSchemaVersion << ",\n";
+        os << "    \"events\": [\n";
+        for (std::size_t i = 0; i < r.divergence_window.size(); ++i) {
+            const telemetry::TimelineEvent &e = r.divergence_window[i];
+            char v[48];
+            std::snprintf(v, sizeof(v), "%.17g", e.v);
+            os << "      {\"seq\": " << e.seq << ", \"cycle\": "
+               << e.cycle << ", \"type\": \""
+               << telemetry::eventTypeName(e.type) << "\", \"track\": \""
+               << telemetry::trackName(telemetry::eventTrack(e.type))
+               << "\", \"comp\": \"" << esc(e.comp) << "\", \"a0\": "
+               << e.a0 << ", \"a1\": " << e.a1 << ", \"v\": " << v
+               << '}'
+               << (i + 1 < r.divergence_window.size() ? ",\n" : "\n");
+        }
+        os << "    ]\n  },\n";
+    } else {
+        os << "  \"divergence_window\": null,\n";
+    }
 
     if (r.bisect.ran) {
         os << "  \"bisect\": {\n";

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 
 #include "util/json.hh"
@@ -128,6 +129,24 @@ TEST(Json, DepthLimit)
     for (int i = 0; i < 20; ++i)
         ok = "[" + ok + "]";
     EXPECT_TRUE(parseOk(ok).isArray());
+}
+
+TEST(Json, CompactWriteRoundTripsByteExactly)
+{
+    // run_json splices nested documents (the stats tree) verbatim, so
+    // parse -> writeJsonCompact of a compact document must reproduce
+    // it byte for byte: member order kept, number tokens untouched.
+    const std::string doc =
+        R"({"a":18446744073709551615,"b":[1,2.50,{"c":"x\"y"}],)"
+        R"("z":null,"t":true,"neg":-0.125e2})";
+    std::ostringstream os;
+    writeJsonCompact(os, parseOk(doc));
+    EXPECT_EQ(os.str(), doc);
+
+    // And re-parsing the rewrite agrees too (full fixed point).
+    std::ostringstream os2;
+    writeJsonCompact(os2, parseOk(os.str()));
+    EXPECT_EQ(os2.str(), doc);
 }
 
 TEST(Json, ErrorMessageProvided)

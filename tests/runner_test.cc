@@ -284,6 +284,40 @@ TEST(Runner, ManifestWritten)
     ASSERT_EQ(v.get("results")->items().size(), 2u);
     EXPECT_EQ(v.get("results")->items()[0].get("workload")->asString(),
               "sha");
+
+    // Wall-clock spans: every record carries [t_start, t_end] relative
+    // to batch start, so a consumer can reconstruct worker occupancy.
+    for (const util::JsonValue &rec : v.get("results")->items()) {
+        ASSERT_NE(rec.get("t_start"), nullptr);
+        ASSERT_NE(rec.get("t_end"), nullptr);
+        const double t0 = rec.get("t_start")->asDouble();
+        const double t1 = rec.get("t_end")->asDouble();
+        EXPECT_GE(t0, 0.0);
+        EXPECT_GE(t1, t0);
+        EXPECT_NEAR(t1 - t0,
+                    rec.get("wall_ms")->asDouble() / 1000.0, 1e-4);
+    }
+}
+
+TEST(Runner, JobRecordsCarrySpans)
+{
+    setQuiet(true);
+    JobSet set;
+    set.add(makeSpec(nvp::DesignKind::WL, "sha"));
+    set.add(makeSpec(nvp::DesignKind::WL, "dijkstra"));
+
+    RunnerConfig cfg;
+    cfg.jobs = 2;
+    Runner run(cfg);
+    run.runAll(set);
+
+    ASSERT_EQ(run.stats().records.size(), 2u);
+    for (const auto &rec : run.stats().records) {
+        EXPECT_GE(rec.t_start_s, 0.0);
+        EXPECT_GE(rec.t_end_s, rec.t_start_s);
+        EXPECT_NEAR(rec.t_end_s - rec.t_start_s, rec.wall_seconds,
+                    1e-6);
+    }
 }
 
 TEST(Runner, RunResultJsonRoundTrip)
@@ -299,4 +333,25 @@ TEST(Runner, RunResultJsonRoundTrip)
     std::string err;
     ASSERT_TRUE(nvp::readRunResultJson(ss, back, &err)) << err;
     EXPECT_EQ(resultJson(r), resultJson(back));
+
+    // The v3 telemetry fields must survive: the embedded stats tree
+    // byte for byte, and the per-interval rollups field by field.
+    EXPECT_NE(r.stats_json, "{}");
+    EXPECT_EQ(back.stats_json, r.stats_json);
+    ASSERT_EQ(back.intervals.size(), r.intervals.size());
+    ASSERT_FALSE(r.intervals.empty());
+    EXPECT_EQ(back.intervals_dropped, r.intervals_dropped);
+    for (std::size_t i = 0; i < r.intervals.size(); ++i) {
+        const auto &a = r.intervals[i];
+        const auto &b = back.intervals[i];
+        EXPECT_EQ(b.index, a.index);
+        EXPECT_EQ(b.start_cycle, a.start_cycle);
+        EXPECT_EQ(b.end_cycle, a.end_cycle);
+        EXPECT_EQ(b.instructions, a.instructions);
+        EXPECT_EQ(b.nvm_writes, a.nvm_writes);
+        EXPECT_EQ(b.cleans, a.cleans);
+        EXPECT_EQ(b.dirty_high_water, a.dirty_high_water);
+        EXPECT_DOUBLE_EQ(b.checkpoint_j, a.checkpoint_j);
+        EXPECT_DOUBLE_EQ(b.harvested_j, a.harvested_j);
+    }
 }

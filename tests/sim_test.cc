@@ -9,6 +9,7 @@
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "util/json.hh"
 
 using namespace wlcache;
 
@@ -185,6 +186,85 @@ TEST(Stats, FindLocatesStat)
     g.addScalar("a", "");
     EXPECT_NE(g.find("a"), nullptr);
     EXPECT_EQ(g.find("b"), nullptr);
+}
+
+TEST(Stats, ScalarU64AccumulatorIsExactPastDoublePrecision)
+{
+    stats::StatGroup g("g");
+    auto &s = g.addScalar("x", "");
+    // 2^53 + 1 is not representable as a double; the integer
+    // accumulator must render it exactly anyway.
+    s += std::uint64_t((1ull << 53) + 1);
+    EXPECT_EQ(s.valueU64(), (1ull << 53) + 1);
+    EXPECT_EQ(s.render(), "9007199254740993");
+    // ++ stays on the integer path.
+    ++s;
+    EXPECT_EQ(s.render(), "9007199254740994");
+    // Mixing in a fractional double moves rendering to the float
+    // path, but the combined value() is still the sum.
+    s += 0.5;
+    EXPECT_DOUBLE_EQ(s.value(), 9007199254740994.5);
+}
+
+TEST(Stats, DistributionZeroVarianceIsExactlyZero)
+{
+    stats::StatGroup g("g");
+    auto &d = g.addDistribution("d", "");
+    // All-equal samples: naive sum-of-squares cancellation can yield
+    // a tiny negative variance and a NaN stddev; the min==max guard
+    // must force exactly zero.
+    for (int i = 0; i < 1000; ++i)
+        d.sample(0.1);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_FALSE(std::isnan(d.stddev()));
+}
+
+TEST(Stats, DistributionBucketIndexLog2)
+{
+    using stats::Distribution;
+    EXPECT_EQ(Distribution::bucketIndex(0.0), 0u);
+    EXPECT_EQ(Distribution::bucketIndex(0.5), 0u);
+    EXPECT_EQ(Distribution::bucketIndex(1.0), 1u);
+    EXPECT_EQ(Distribution::bucketIndex(2.0), 2u);
+    EXPECT_EQ(Distribution::bucketIndex(3.0), 2u);
+    EXPECT_EQ(Distribution::bucketIndex(4.0), 3u);
+    EXPECT_EQ(Distribution::bucketIndex(1e300),
+              Distribution::kNumBuckets - 1);
+}
+
+TEST(Stats, DumpJsonIsParseable)
+{
+    stats::StatGroup root("root");
+    auto &s = root.addScalar("hits", "cache hits");
+    s += 41u;
+    ++s;
+    auto &d = root.addDistribution("lat", "latency");
+    d.sample(1.0);
+    d.sample(100.0);
+    stats::StatGroup child("child");
+    root.addChild(&child);
+    child.addScalar("misses", "") += 7u;
+
+    std::ostringstream os;
+    root.dumpJson(os);
+
+    util::JsonValue v;
+    std::string err;
+    ASSERT_TRUE(util::parseJson(os.str(), v, &err)) << err;
+    ASSERT_TRUE(v.isObject());
+    const util::JsonValue *hits = v.get("hits");
+    ASSERT_NE(hits, nullptr);
+    EXPECT_EQ(hits->get("type")->asString(), "scalar");
+    EXPECT_EQ(hits->get("value")->asU64(), 42u);
+    const util::JsonValue *lat = v.get("lat");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->get("type")->asString(), "distribution");
+    EXPECT_EQ(lat->get("count")->asU64(), 2u);
+    ASSERT_NE(lat->get("buckets"), nullptr);
+    EXPECT_TRUE(lat->get("buckets")->isArray());
+    const util::JsonValue *child_v = v.get("child");
+    ASSERT_NE(child_v, nullptr);
+    EXPECT_EQ(child_v->get("misses")->get("value")->asU64(), 7u);
 }
 
 TEST(Csv, BasicRow)

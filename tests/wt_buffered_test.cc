@@ -131,13 +131,33 @@ TEST_F(WtBufFixture, SystemLevelCrashConsistency)
 TEST(TraceLog, ParseCategories)
 {
     using namespace wlcache::trace;
-    EXPECT_EQ(parseCategories("cache"), kCache);
-    EXPECT_EQ(parseCategories("cache,power"), kCache | kPower);
-    EXPECT_EQ(parseCategories("all"), kAll);
-    EXPECT_EQ(parseCategories(""), kNone);
-    setQuiet(true);
-    EXPECT_EQ(parseCategories("bogus,queue"), kQueue);
-    setQuiet(false);
+    std::uint32_t mask = 0;
+    EXPECT_TRUE(parseCategories("cache", mask));
+    EXPECT_EQ(mask, kCache);
+    EXPECT_TRUE(parseCategories("cache,power", mask));
+    EXPECT_EQ(mask, kCache | kPower);
+    EXPECT_TRUE(parseCategories("all", mask));
+    EXPECT_EQ(mask, kAll);
+    EXPECT_TRUE(parseCategories("", mask));
+    EXPECT_EQ(mask, kNone);
+    // Case-insensitive, empty items skipped.
+    EXPECT_TRUE(parseCategories("QUEUE,,nvm", mask));
+    EXPECT_EQ(mask, kQueue | kNvm);
+}
+
+TEST(TraceLog, ParseCategoriesRejectsUnknown)
+{
+    using namespace wlcache::trace;
+    std::uint32_t mask = kAdapt;
+    std::string err;
+    EXPECT_FALSE(parseCategories("bogus,queue", mask, &err));
+    // The mask is untouched on failure and the diagnostic names the
+    // offending token plus every valid category.
+    EXPECT_EQ(mask, kAdapt);
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+    EXPECT_NE(err.find(validCategoryNames()), std::string::npos);
+    EXPECT_FALSE(parseCategories("queue,bogus", mask, &err));
+    EXPECT_EQ(mask, kAdapt);
 }
 
 TEST(TraceLog, EnableDisable)

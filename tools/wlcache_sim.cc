@@ -22,6 +22,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@
 #include "nvp/system.hh"
 #include "runner/runner.hh"
 #include "sim/trace_log.hh"
+#include "telemetry/exporters.hh"
+#include "telemetry/timeline.hh"
 #include "util/arg_parser.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -261,6 +264,14 @@ main(int argc, char **argv)
         .option("debug", "",
                 "debug categories: cache,queue,power,nvm,adapt,all")
         .option("json", "", "write the run record as JSON to a file")
+        .option("timeline", "",
+                "record a cycle-stamped event timeline and write it "
+                "to this file")
+        .option("timeline-format", "perfetto",
+                "timeline export format: perfetto|csv")
+        .option("timeline-capacity", "65536",
+                "timeline ring-buffer slots (oldest events are "
+                "dropped past this)")
         .flag("batch",
               "sweep design/workload/trace lists (or 'all') through "
               "the parallel runner")
@@ -274,8 +285,13 @@ main(int argc, char **argv)
     if (!args.parse(argc, argv))
         return 1;
 
-    if (!args.get("debug").empty())
-        trace::setEnabled(trace::parseCategories(args.get("debug")));
+    if (!args.get("debug").empty()) {
+        std::uint32_t mask = 0;
+        std::string err;
+        if (!trace::parseCategories(args.get("debug"), mask, &err))
+            fatal("--debug: %s", err.c_str());
+        trace::setEnabled(mask);
+    }
 
     if (args.getFlag("batch"))
         return runBatch(args);
@@ -293,6 +309,22 @@ main(int argc, char **argv)
 
     nvp::SystemConfig cfg = nvp::SystemConfig::forDesign(design);
     applyCliConfig(args, cfg);
+
+    const std::string tl_path = args.get("timeline");
+    const std::string tl_format =
+        util::toLower(args.get("timeline-format"));
+    if (tl_format != "perfetto" && tl_format != "csv")
+        fatal("--timeline-format must be perfetto or csv, got '%s'",
+              args.get("timeline-format").c_str());
+    std::unique_ptr<telemetry::TimelineBuffer> timeline;
+    if (!tl_path.empty()) {
+        const long cap = args.getInt("timeline-capacity");
+        if (cap < 1)
+            fatal("--timeline-capacity must be >= 1");
+        timeline = std::make_unique<telemetry::TimelineBuffer>(
+            static_cast<std::size_t>(cap));
+        cfg.timeline = timeline.get();
+    }
 
     const auto &trace = workloads::getTrace(
         args.get("workload"),
@@ -356,6 +388,21 @@ main(int argc, char **argv)
         nvp::writeRunResultJson(out, r);
         std::cout << "run record written to " << args.get("json")
                   << "\n";
+    }
+    if (timeline) {
+        std::ofstream out(tl_path);
+        if (!out)
+            fatal("cannot write '%s'", tl_path.c_str());
+        telemetry::ExportMeta meta;
+        meta.design = nvp::designKindName(design);
+        meta.workload = r.workload;
+        if (tl_format == "csv")
+            telemetry::writeTimelineCsv(out, *timeline);
+        else
+            telemetry::writePerfettoJson(out, *timeline, meta);
+        std::cout << "timeline (" << timeline->size() << " events, "
+                  << timeline->droppedTotal()
+                  << " dropped) written to " << tl_path << "\n";
     }
     return r.completed ? 0 : 2;
 }

@@ -161,6 +161,9 @@ main(int argc, char **argv)
                 "worker threads; 0 = WLCACHE_JOBS env or all cores")
         .option("cache-dir", "",
                 "result-cache directory (empty = no cache)")
+        .option("timeline-window", "64",
+                "timeline events to attach around the first "
+                "divergence (0 disables the extra traced re-run)")
         .option("json", "", "write the campaign report JSON here");
     if (!args.parse(argc, argv))
         return 1;
@@ -225,6 +228,8 @@ main(int argc, char **argv)
             cc.inject_register_skip = inject_regs;
             cc.jobs = static_cast<unsigned>(args.getInt("jobs"));
             cc.cache_dir = args.get("cache-dir");
+            cc.timeline_window = static_cast<std::size_t>(
+                args.getInt("timeline-window"));
 
             const verify::CampaignReport rep =
                 verify::runCampaign(cc);
@@ -266,6 +271,14 @@ main(int argc, char **argv)
                                 p.first_divergence_outage) });
                 }
                 t.print(std::cout);
+            }
+            if (rep.has_divergence_window) {
+                std::cout << "  timeline window: "
+                          << rep.divergence_window.size()
+                          << " events leading up to the divergence "
+                             "at point "
+                          << rep.divergence_window_point
+                          << " (full detail in --json)\n";
             }
             if (rep.bisect.ran) {
                 std::cout << "  bisect: minimal failing cycle "

@@ -187,5 +187,23 @@ runBench(const nvp::ExperimentSpec &spec)
     return runBenchBatch({ spec }).front();
 }
 
+std::vector<nvp::RunResult>
+runBenchSweep(const explore::SweepSpec &spec,
+              std::vector<explore::DesignPoint> *points)
+{
+    std::vector<explore::DesignPoint> expanded;
+    std::string err;
+    if (!explore::expandPoints(spec, expanded, &err))
+        fatal("bad bench sweep '%s': %s", spec.name.c_str(),
+              err.c_str());
+    std::vector<nvp::ExperimentSpec> specs;
+    specs.reserve(expanded.size());
+    for (const auto &p : expanded)
+        specs.push_back(p.spec);
+    if (points)
+        *points = std::move(expanded);
+    return runBenchBatch(specs);
+}
+
 } // namespace bench
 } // namespace wlcache

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/sweep_spec.hh"
 #include "nvp/experiment.hh"
 
 namespace wlcache {
@@ -85,6 +86,22 @@ runBenchBatch(const std::vector<nvp::ExperimentSpec> &specs);
 
 /** Run an experiment with bench-standard seeds (batch of one). */
 nvp::RunResult runBench(const nvp::ExperimentSpec &spec);
+
+/**
+ * Expand a declarative sweep (explore axis-expansion API) and run
+ * every point through the bench runner. Results come back in
+ * expansion order — the cartesian product with the first axis
+ * varying slowest — so a figure indexes results by axis position
+ * instead of re-nesting the sweep loops. fatal() on an invalid
+ * sweep (benches are compiled-in specs, so invalid means a bug).
+ *
+ * @param spec The sweep to expand.
+ * @param points Optional; receives the expanded points (ids/specs)
+ *               aligned with the result vector.
+ */
+std::vector<nvp::RunResult>
+runBenchSweep(const explore::SweepSpec &spec,
+              std::vector<explore::DesignPoint> *points = nullptr);
 
 } // namespace bench
 } // namespace wlcache

@@ -4,7 +4,9 @@
  * NVSRAM(ideal) *of the same cache size*, sweeping the L1 D/I size
  * from 128 B to 4 KB under Power Trace 1. The paper's observation:
  * the WL-vs-NVSRAM gap narrows as the cache shrinks (less state to
- * back up) and widens as it grows.
+ * back up) and widens as it grows. One declarative sweep — the
+ * I-cache size rides the D-cache axis as a derived constraint — so
+ * the whole figure is a single runner batch.
  */
 
 #include <iostream>
@@ -17,47 +19,6 @@
 using namespace wlcache;
 using namespace wlcache::bench;
 
-namespace {
-
-void
-setCacheSize(nvp::SystemConfig &cfg, std::size_t bytes)
-{
-    cfg.dcache.size_bytes = bytes;
-    cfg.icache.size_bytes = bytes;
-}
-
-double
-gmeanSpeedup(nvp::DesignKind design, std::size_t bytes)
-{
-    std::vector<nvp::ExperimentSpec> specs;
-    for (const auto &app : appNames()) {
-        nvp::ExperimentSpec base;
-        base.workload = app;
-        base.power = energy::TraceKind::RfHome;
-
-        nvp::ExperimentSpec nvsram = base;
-        nvsram.design = nvp::DesignKind::NvsramWB;
-        nvsram.tweak = [bytes](nvp::SystemConfig &cfg) {
-            setCacheSize(cfg, bytes);
-        };
-        specs.push_back(nvsram);
-
-        nvp::ExperimentSpec s = base;
-        s.design = design;
-        s.tweak = nvsram.tweak;
-        specs.push_back(s);
-    }
-    const auto results = runBenchBatch(specs);
-
-    std::vector<double> speedups;
-    for (std::size_t i = 0; i < results.size(); i += 2)
-        speedups.push_back(
-            nvp::speedupVs(results[i + 1], results[i]));
-    return util::geoMean(speedups);
-}
-
-} // namespace
-
 int
 main()
 {
@@ -65,15 +26,51 @@ main()
     std::cout << "=== Figure 10a: cache size sweep "
                  "(gmean speedup vs same-size NVSRAM ideal), "
                  "Power Trace 1 ===\n";
+
+    const std::vector<double> sizes = { 128, 256, 512, 1024, 2048,
+                                        4096 };
+    // NVSRAM first: each design's baseline shares its cache size.
+    const std::vector<std::string> designs = { "nvsram", "wt",
+                                               "replay", "wl" };
+    const auto apps = appNames();
+
+    explore::SweepSpec sweep;
+    sweep.name = "fig10a-cache-size";
+    sweep.base = { { "power", explore::strValue("trace1") } };
+    explore::Axis size_axis{ "dcache.size_bytes", {} };
+    for (const double bytes : sizes)
+        size_axis.values.push_back(explore::numValue(bytes));
+    explore::Axis design_axis{ "design", {} };
+    for (const auto &d : designs)
+        design_axis.values.push_back(explore::strValue(d));
+    explore::Axis app_axis{ "workload", {} };
+    for (const auto &app : apps)
+        app_axis.values.push_back(explore::strValue(app));
+    sweep.axes = { size_axis, design_axis, app_axis };
+    sweep.derived = { { "icache.size_bytes", "dcache.size_bytes",
+                        1.0, 0.0 } };
+
+    const auto results = runBenchSweep(sweep);
+
+    // Expansion order: size-major, then design, then app.
+    const auto at = [&](std::size_t s, std::size_t d,
+                        std::size_t a) -> const nvp::RunResult & {
+        return results[(s * designs.size() + d) * apps.size() + a];
+    };
+
     util::TextTable t;
     t.header({ "size", "VCache-WT", "ReplayCache", "WL-Cache" });
-    for (const std::size_t bytes :
-         { 128u, 256u, 512u, 1024u, 2048u, 4096u }) {
-        t.rowDoubles(
-            std::to_string(bytes) + "B",
-            { gmeanSpeedup(nvp::DesignKind::VCacheWT, bytes),
-              gmeanSpeedup(nvp::DesignKind::Replay, bytes),
-              gmeanSpeedup(nvp::DesignKind::WL, bytes) });
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::vector<double> row;
+        for (std::size_t d = 1; d < designs.size(); ++d) {
+            std::vector<double> speedups;
+            for (std::size_t a = 0; a < apps.size(); ++a)
+                speedups.push_back(
+                    nvp::speedupVs(at(s, d, a), at(s, 0, a)));
+            row.push_back(util::geoMean(speedups));
+        }
+        t.rowDoubles(explore::numValue(sizes[s]).display() + "B",
+                     row);
     }
     t.print(std::cout);
     return 0;

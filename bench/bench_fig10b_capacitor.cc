@@ -4,7 +4,9 @@
  * design as the capacitor grows from 100 nF to 1 mF, under Power
  * Trace 1. All schemes perform best around 1 uF; larger capacitors
  * pay ever longer (re)charging times, and for the smallest capacitor
- * the fixed checkpoint reservations squeeze the usable energy.
+ * the fixed checkpoint reservations squeeze the usable energy. The
+ * whole grid is one declarative sweep — capacitance x design x app —
+ * run as a single runner batch.
  */
 
 #include <iostream>
@@ -18,69 +20,72 @@
 using namespace wlcache;
 using namespace wlcache::bench;
 
-namespace {
-
-double
-gmeanTime(nvp::DesignKind design, double farads)
-{
-    std::vector<nvp::ExperimentSpec> specs;
-    for (const auto &app : appNames()) {
-        nvp::ExperimentSpec s;
-        s.workload = app;
-        s.power = energy::TraceKind::RfHome;
-        s.design = design;
-        s.tweak = [farads](nvp::SystemConfig &cfg) {
-            cfg.platform.capacitance_f = farads;
-            // Undersized capacitors thrash through six-digit outage
-            // counts; bound the sweep's cost and extrapolate.
-            cfg.max_outages = 30'000;
-        };
-        specs.push_back(std::move(s));
-    }
-    const auto results = runBenchBatch(specs);
-
-    std::vector<double> times;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto &r = results[i];
-        double t = r.total_seconds;
-        if (!r.completed) {
-            const auto &trace =
-                workloads::getTrace(specs[i].workload, benchScale());
-            const double progress =
-                static_cast<double>(r.instructions) /
-                static_cast<double>(trace.totalInstructions());
-            t = progress > 1e-6 ? t / progress : 1.0e6;
-        }
-        times.push_back(t);
-    }
-    return util::geoMean(times);
-}
-
-} // namespace
-
 int
 main()
 {
     setQuiet(true);
     std::cout << "=== Figure 10b: capacitor size sweep "
                  "(gmean execution time), Power Trace 1 ===\n";
+
+    const std::vector<double> sizes = { 100e-9, 344e-9, 1e-6, 10e-6,
+                                        100e-6, 500e-6, 1e-3 };
+    const std::vector<std::string> labels = { "100nF", "344nF", "1uF",
+                                              "10uF",  "100uF",
+                                              "500uF", "1mF" };
+    const std::vector<std::string> designs = { "wt", "replay",
+                                               "nvsram", "wl" };
+    const auto apps = appNames();
+
+    explore::SweepSpec sweep;
+    sweep.name = "fig10b-capacitor";
+    // Undersized capacitors thrash through six-digit outage counts;
+    // bound the sweep's cost and extrapolate from progress below.
+    sweep.base = { { "power", explore::strValue("trace1") },
+                   { "max_outages", explore::numValue(30'000) } };
+    explore::Axis cap_axis{ "platform.capacitance_f", {} };
+    for (const double farads : sizes)
+        cap_axis.values.push_back(explore::numValue(farads));
+    explore::Axis design_axis{ "design", {} };
+    for (const auto &d : designs)
+        design_axis.values.push_back(explore::strValue(d));
+    explore::Axis app_axis{ "workload", {} };
+    for (const auto &app : apps)
+        app_axis.values.push_back(explore::strValue(app));
+    sweep.axes = { cap_axis, design_axis, app_axis };
+
+    std::vector<explore::DesignPoint> points;
+    const auto results = runBenchSweep(sweep, &points);
+
+    // Expansion order: capacitance-major, then design, then app.
+    const auto timeAt = [&](std::size_t c, std::size_t d,
+                            std::size_t a) {
+        const std::size_t i =
+            (c * designs.size() + d) * apps.size() + a;
+        const auto &r = results[i];
+        double t = r.total_seconds;
+        if (!r.completed) {
+            const auto &trace = workloads::getTrace(
+                points[i].spec.workload, benchScale());
+            const double progress =
+                static_cast<double>(r.instructions) /
+                static_cast<double>(trace.totalInstructions());
+            t = progress > 1e-6 ? t / progress : 1.0e6;
+        }
+        return t;
+    };
+
     util::TextTable t;
     t.header({ "capacitor", "VCache-WT", "ReplayCache", "NVSRAM-WB",
                "WL-Cache" });
-    const double sizes[] = { 100e-9, 344e-9, 1e-6, 10e-6,
-                             100e-6, 500e-6, 1e-3 };
-    const char *labels[] = { "100nF", "344nF", "1uF", "10uF",
-                             "100uF", "500uF", "1mF" };
-    for (unsigned i = 0; i < 7; ++i) {
-        t.row({ labels[i],
-                util::fmtSeconds(
-                    gmeanTime(nvp::DesignKind::VCacheWT, sizes[i])),
-                util::fmtSeconds(
-                    gmeanTime(nvp::DesignKind::Replay, sizes[i])),
-                util::fmtSeconds(
-                    gmeanTime(nvp::DesignKind::NvsramWB, sizes[i])),
-                util::fmtSeconds(
-                    gmeanTime(nvp::DesignKind::WL, sizes[i])) });
+    for (std::size_t c = 0; c < sizes.size(); ++c) {
+        std::vector<std::string> row{ labels[c] };
+        for (std::size_t d = 0; d < designs.size(); ++d) {
+            std::vector<double> times;
+            for (std::size_t a = 0; a < apps.size(); ++a)
+                times.push_back(timeAt(c, d, a));
+            row.push_back(util::fmtSeconds(util::geoMean(times)));
+        }
+        t.row(row);
     }
     t.print(std::cout);
     return 0;

@@ -4,7 +4,9 @@
  * to the maxline threshold (2/4/6/8) under both FIFO and LRU *cache*
  * replacement, normalized to NVSRAM(ideal), Power Trace 1. Static
  * thresholds (adaptive management off), DQ-FIFO, as in the paper's
- * sweep.
+ * sweep. The sweep itself is two declarative axis expansions through
+ * the explore subsystem — the baseline over workloads, the WL grid
+ * over (workload x replacement x maxline).
  */
 
 #include <iostream>
@@ -22,52 +24,54 @@ main()
     SpeedupTable table(
         "Figure 9: WL-Cache maxline sweep x cache replacement "
         "(speedup vs NVSRAM ideal), Power Trace 1");
+
+    const std::vector<std::string> policies = { "FIFO", "LRU" };
+    const std::vector<double> maxlines = { 2, 4, 6, 8 };
+    const auto apps = appNames();
+
     std::vector<std::string> series;
-    for (const char *pol : { "FIFO", "LRU" })
-        for (unsigned ml : { 2u, 4u, 6u, 8u })
-            series.push_back(std::string(pol) + "@" +
-                             std::to_string(ml));
+    for (const auto &pol : policies)
+        for (const double ml : maxlines)
+            series.push_back(pol + "@" +
+                             explore::numValue(ml).display());
     table.seriesOrder(series);
 
-    constexpr cache::ReplPolicy kPolicies[] = {
-        cache::ReplPolicy::FIFO, cache::ReplPolicy::LRU
-    };
-    constexpr unsigned kMaxlines[] = { 2u, 4u, 6u, 8u };
+    explore::SweepSpec baseline;
+    baseline.name = "fig9-baseline";
+    baseline.base = { { "power", explore::strValue("trace1") },
+                      { "design", explore::strValue("nvsram") } };
+    explore::Axis app_axis{ "workload", {} };
+    for (const auto &app : apps)
+        app_axis.values.push_back(explore::strValue(app));
+    baseline.axes = { app_axis };
 
-    std::vector<nvp::ExperimentSpec> specs;
-    for (const auto &app : appNames()) {
-        nvp::ExperimentSpec base;
-        base.workload = app;
-        base.power = energy::TraceKind::RfHome;
+    explore::SweepSpec wl;
+    wl.name = "fig9-wl-grid";
+    wl.base = { { "power", explore::strValue("trace1") },
+                { "design", explore::strValue("wl") },
+                { "adaptive.enabled", explore::boolValue(false) } };
+    explore::Axis pol_axis{ "dcache.repl", {} };
+    for (const auto &pol : policies)
+        pol_axis.values.push_back(explore::strValue(pol));
+    explore::Axis ml_axis{ "wl.maxline", {} };
+    for (const double ml : maxlines)
+        ml_axis.values.push_back(explore::numValue(ml));
+    wl.axes = { app_axis, pol_axis, ml_axis };
 
-        nvp::ExperimentSpec nvsram = base;
-        nvsram.design = nvp::DesignKind::NvsramWB;
-        specs.push_back(nvsram);
+    const auto base_results = runBenchSweep(baseline);
+    const auto wl_results = runBenchSweep(wl);
 
-        for (const auto pol : kPolicies) {
-            for (const unsigned ml : kMaxlines) {
-                nvp::ExperimentSpec wl = base;
-                wl.design = nvp::DesignKind::WL;
-                wl.tweak = [pol, ml](nvp::SystemConfig &cfg) {
-                    cfg.dcache.repl = pol;
-                    cfg.wl.maxline = ml;
-                    cfg.adaptive.enabled = false;  // static sweep
-                };
-                specs.push_back(wl);
-            }
-        }
-    }
-    const auto results = runBenchBatch(specs);
-
+    // Expansion order: first axis slowest — app-major, then policy,
+    // then maxline.
     std::size_t i = 0;
-    for (const auto &app : appNames()) {
-        const auto &rb = results[i++];
-        for (const auto pol : kPolicies) {
-            for (const unsigned ml : kMaxlines) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (const auto &pol : policies) {
+            for (const double ml : maxlines) {
                 const std::string name =
-                    std::string(cache::replPolicyName(pol)) + "@" +
-                    std::to_string(ml);
-                table.set(name, app, nvp::speedupVs(results[i++], rb));
+                    pol + "@" + explore::numValue(ml).display();
+                table.set(name, apps[a],
+                          nvp::speedupVs(wl_results[i++],
+                                         base_results[a]));
             }
         }
     }

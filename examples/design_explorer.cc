@@ -3,7 +3,13 @@
  * Example: explore how each cache design behaves for one workload in
  * one energy environment. Prints execution time, outage counts,
  * energy breakdown, and cache behaviour side by side — the fastest
- * way to understand the trade-off space the paper's Table 1 sketches.
+ * way to understand the trade-off space the paper's Table 1 sketches
+ * — then the Pareto frontier over (time, NVM writes, hardware area).
+ *
+ * A thin wrapper over the explore subsystem: the design comparison is
+ * one sweep with a single "design" axis, run through runExploration.
+ * For sweeps over more dimensions, use tools/wlcache_explore with a
+ * JSON spec instead.
  *
  * Usage: design_explorer [workload] [trace1|trace2|trace3|solar|
  *                        thermal|none] [scale]
@@ -13,8 +19,7 @@
 #include <iostream>
 #include <string>
 
-#include "energy/power_trace.hh"
-#include "nvp/experiment.hh"
+#include "explore/explorer.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 #include "workloads/workloads.hh"
@@ -29,23 +34,28 @@ main(int argc, char **argv)
     const unsigned scale =
         argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 1;
 
-    nvp::ExperimentSpec spec;
-    spec.workload = workload;
-    spec.scale = scale;
-    if (env_name == "none") {
-        spec.no_failure = true;
-    } else if (env_name == "trace1") {
-        spec.power = energy::TraceKind::RfHome;
-    } else if (env_name == "trace2") {
-        spec.power = energy::TraceKind::RfOffice;
-    } else if (env_name == "trace3") {
-        spec.power = energy::TraceKind::RfMementos;
-    } else if (env_name == "solar") {
-        spec.power = energy::TraceKind::Solar;
-    } else if (env_name == "thermal") {
-        spec.power = energy::TraceKind::Thermal;
-    } else {
-        std::cerr << "unknown environment '" << env_name << "'\n";
+    explore::SweepSpec sweep;
+    sweep.name = "design-explorer";
+    sweep.base = { { "workload", explore::strValue(workload) },
+                   { "power", explore::strValue(env_name) },
+                   { "scale", explore::numValue(scale) } };
+    explore::Axis designs{ "design", {} };
+    for (const char *d :
+         { "nocache", "wt", "wtbuf", "nvcache", "nvsram-full",
+           "nvsram", "nvsram-practical", "replay", "wl" })
+        designs.values.push_back(explore::strValue(d));
+    sweep.axes = { designs };
+    sweep.objectives = { "time", "nvm_writes", "hw_area" };
+
+    explore::ExploreConfig cfg;
+    cfg.sweep = sweep;
+    if (const char *jobs = std::getenv("WLCACHE_BENCH_JOBS"))
+        cfg.jobs = static_cast<unsigned>(std::atoi(jobs));
+
+    explore::ExploreReport report;
+    std::string err;
+    if (!explore::runExploration(cfg, report, &err)) {
+        std::cerr << "design_explorer: " << err << '\n';
         return 1;
     }
 
@@ -57,24 +67,14 @@ main(int argc, char **argv)
               << "% stores, image "
               << util::fmtBytes(trace.initial_image.size()) << "\n\n";
 
-    const nvp::DesignKind designs[] = {
-        nvp::DesignKind::NoCache,         nvp::DesignKind::VCacheWT,
-        nvp::DesignKind::WtBuffered,      nvp::DesignKind::NVCacheWB,
-        nvp::DesignKind::NvsramFull,      nvp::DesignKind::NvsramWB,
-        nvp::DesignKind::NvsramPractical, nvp::DesignKind::Replay,
-        nvp::DesignKind::WL,
-    };
-
     util::TextTable table;
     table.header({ "design", "time", "on-cycles", "outages",
                    "energy", "nvm-wr", "ld-hit%", "st-stall",
                    "final-ok" });
-    for (auto d : designs) {
-        nvp::ExperimentSpec s = spec;
-        s.design = d;
-        const auto r = nvp::runExperiment(s);
+    for (const auto &o : report.outcomes) {
+        const auto &r = o.result;
         table.row({
-            nvp::designKindName(d),
+            nvp::designKindName(o.point.spec.design),
             util::fmtSeconds(r.total_seconds),
             std::to_string(r.on_cycles),
             std::to_string(r.outages),
@@ -87,5 +87,12 @@ main(int argc, char **argv)
         });
     }
     table.print(std::cout);
+
+    std::cout << "\nPareto frontier (min time, NVM writes, area):\n";
+    for (const std::size_t i : report.frontier)
+        std::cout << "  "
+                  << nvp::designKindName(
+                         report.outcomes[i].point.spec.design)
+                  << '\n';
     return 0;
 }

@@ -1,0 +1,190 @@
+#include "explore/explorer.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "explore/objectives.hh"
+#include "explore/pareto.hh"
+#include "runner/runner.hh"
+#include "runner/spec_key.hh"
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace explore {
+
+namespace {
+
+/** Evaluate @p points at @p scale through the runner. */
+std::vector<nvp::RunResult>
+runPoints(const ExploreConfig &cfg,
+          const std::vector<const DesignPoint *> &points,
+          unsigned scale, ExploreReport &report, bool full_scale)
+{
+    runner::JobSet set;
+    for (const DesignPoint *p : points) {
+        nvp::ExperimentSpec spec = p->spec;
+        spec.scale = scale;
+        set.add(std::move(spec), p->id + "@x" +
+                                     std::to_string(scale));
+    }
+    runner::RunnerConfig rc;
+    rc.jobs = cfg.jobs;
+    rc.cache_dir = cfg.cache_dir;
+    rc.progress = cfg.progress;
+    runner::Runner runner(rc);
+    auto results = runner.runAll(set);
+    const auto &stats = runner.stats();
+    report.cache_hits += stats.cache_hits;
+    report.executed += stats.executed;
+    (full_scale ? report.full_runs : report.triage_runs) +=
+        stats.total;
+    return results;
+}
+
+/** Objective vectors for @p points at the scale they just ran. */
+std::vector<std::vector<double>>
+evalAll(const std::vector<std::string> &names,
+        const std::vector<const DesignPoint *> &points,
+        const std::vector<nvp::RunResult> &results, unsigned scale)
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        nvp::ExperimentSpec spec = points[i]->spec;
+        spec.scale = scale;
+        out.push_back(evalObjectives(names, results[i],
+                                     nvp::resolveConfig(spec), spec));
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+bool
+runExploration(const ExploreConfig &cfg, ExploreReport &out,
+               std::string *err)
+{
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+
+    // Resolve objectives: config overrides sweep, default otherwise.
+    std::vector<std::string> objectives =
+        !cfg.objectives.empty() ? cfg.objectives
+        : !cfg.sweep.objectives.empty()
+            ? cfg.sweep.objectives
+            : std::vector<std::string>{ "time", "nvm_writes" };
+    for (const auto &name : objectives)
+        if (!findObjective(name))
+            return fail("unknown objective '" + name + "'");
+
+    std::vector<DesignPoint> points;
+    if (!expandPoints(cfg.sweep, points, err))
+        return false;
+    if (points.empty())
+        return fail("sweep expands to zero points");
+
+    // The full scale every point shares. Halving owns the scale
+    // dimension, so a swept/per-point scale is rejected up front.
+    const unsigned full_scale = points.front().spec.scale;
+    if (cfg.sweep.mode == SearchMode::Halving) {
+        for (const auto &p : points)
+            if (p.spec.scale != full_scale)
+                return fail("halving cannot sweep 'scale' (it owns "
+                            "the scale dimension; bind scale in "
+                            "$.base)");
+    }
+
+    ExploreReport report;
+    report.name = cfg.sweep.name;
+    report.mode = cfg.sweep.mode;
+    report.objective_names = objectives;
+    report.expanded_points = points.size();
+    report.full_scale = full_scale;
+
+    // Survivors, as indices into `points`, kept in expansion order.
+    std::vector<std::size_t> alive(points.size());
+    std::iota(alive.begin(), alive.end(), 0);
+
+    std::vector<nvp::RunResult> final_results;
+    std::vector<std::vector<double>> final_objs;
+
+    if (cfg.sweep.mode == SearchMode::Halving &&
+        cfg.sweep.min_scale < full_scale && points.size() > 1) {
+        // Triage rungs: min_scale, x eta, ... strictly below full.
+        for (unsigned scale = cfg.sweep.min_scale;
+             scale < full_scale && alive.size() > 1;
+             scale *= cfg.sweep.eta) {
+            std::vector<const DesignPoint *> entrants;
+            for (const std::size_t i : alive)
+                entrants.push_back(&points[i]);
+            const auto results =
+                runPoints(cfg, entrants, scale, report, false);
+            const auto objs =
+                evalAll(objectives, entrants, results, scale);
+
+            // Promote ceil(n/eta) by non-dominated rank, then
+            // objective vector, then id — whole Pareto fronts
+            // survive while they fit the quota.
+            const auto ranks = paretoRanks(objs);
+            std::vector<std::size_t> order(alive.size());
+            std::iota(order.begin(), order.end(), 0);
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          if (ranks[a] != ranks[b])
+                              return ranks[a] < ranks[b];
+                          if (objs[a] != objs[b])
+                              return objs[a] < objs[b];
+                          return entrants[a]->id < entrants[b]->id;
+                      });
+            const std::size_t keep =
+                (alive.size() + cfg.sweep.eta - 1) / cfg.sweep.eta;
+            std::vector<std::size_t> promoted;
+            for (std::size_t k = 0; k < keep; ++k)
+                promoted.push_back(alive[order[k]]);
+            std::sort(promoted.begin(), promoted.end());
+
+            report.rungs.push_back(
+                { scale, alive.size(), promoted.size() });
+            alive = std::move(promoted);
+        }
+    }
+
+    // Final rung: survivors at full scale.
+    {
+        std::vector<const DesignPoint *> entrants;
+        for (const std::size_t i : alive)
+            entrants.push_back(&points[i]);
+        final_results =
+            runPoints(cfg, entrants, full_scale, report, true);
+        final_objs =
+            evalAll(objectives, entrants, final_results, full_scale);
+        if (cfg.sweep.mode == SearchMode::Halving)
+            report.rungs.push_back(
+                { full_scale, alive.size(), alive.size() });
+    }
+
+    std::vector<std::string> ids;
+    for (std::size_t k = 0; k < alive.size(); ++k) {
+        PointOutcome o;
+        o.point = points[alive[k]];
+        o.point.spec.scale = full_scale;
+        o.result = final_results[k];
+        o.objectives = final_objs[k];
+        o.run_key = runner::specKey(o.point.spec);
+        ids.push_back(o.point.id);
+        report.outcomes.push_back(std::move(o));
+    }
+
+    report.frontier = paretoFrontier(final_objs, ids);
+    for (const std::size_t i : report.frontier)
+        report.outcomes[i].on_frontier = true;
+
+    out = std::move(report);
+    return true;
+}
+
+} // namespace explore
+} // namespace wlcache

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The exploration engine: expand a SweepSpec into concrete design
+ * points, evaluate them through the parallel runner (every run lands
+ * in the content-addressed result cache, so explorations are
+ * resumable and warm re-runs execute nothing), and extract the
+ * Pareto frontier over the chosen objectives. Two search modes:
+ * exhaustive evaluation of every point at full scale, and budgeted
+ * successive halving that triages the whole space on short-scale
+ * runs and promotes only the most promising configurations (by
+ * non-dominated rank) to the full-scale rung.
+ */
+
+#ifndef WLCACHE_EXPLORE_EXPLORER_HH
+#define WLCACHE_EXPLORE_EXPLORER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "explore/sweep_spec.hh"
+#include "nvp/system.hh"
+
+namespace wlcache {
+namespace explore {
+
+/** Everything one exploration needs beyond the sweep itself. */
+struct ExploreConfig
+{
+    SweepSpec sweep;
+
+    /**
+     * Objective names (see objectives.hh). Overrides the sweep's own
+     * list when non-empty; the engine falls back to the sweep's, and
+     * then to {"time", "nvm_writes"}.
+     */
+    std::vector<std::string> objectives;
+
+    unsigned jobs = 0;          //!< Worker threads (0 = default).
+    std::string cache_dir;      //!< Result cache; empty disables.
+    bool progress = false;      //!< Per-job progress lines (stderr).
+};
+
+/** One fully-evaluated point (at full scale). */
+struct PointOutcome
+{
+    DesignPoint point;
+    nvp::RunResult result;
+    /** Objective values, in report objective order (all minimize). */
+    std::vector<double> objectives;
+    /**
+     * Content-addressed key of the full-scale run — the name of the
+     * run-record JSON in the result cache, which carries the full
+     * stats tree and per-interval rollups for this point.
+     */
+    std::string run_key;
+    bool on_frontier = false;
+};
+
+/** One successive-halving rung. */
+struct RungStats
+{
+    unsigned scale = 1;          //!< Workload scale of this rung.
+    std::size_t entrants = 0;    //!< Points evaluated.
+    std::size_t promoted = 0;    //!< Points advanced to the next rung.
+};
+
+/** Everything an exploration learned. */
+struct ExploreReport
+{
+    std::string name;
+    SearchMode mode = SearchMode::Exhaustive;
+    std::vector<std::string> objective_names;
+
+    /**
+     * Full-scale-evaluated points in expansion order (every point
+     * for exhaustive search; the final-rung survivors for halving).
+     */
+    std::vector<PointOutcome> outcomes;
+    /**
+     * Frontier as indices into @c outcomes, ordered by objective
+     * vector with point ids breaking ties (deterministic).
+     */
+    std::vector<std::size_t> frontier;
+
+    std::size_t expanded_points = 0;  //!< Points in the sweep.
+    unsigned full_scale = 1;          //!< Scale of the final rung.
+
+    // --- Run economics (all rungs) ---
+    std::size_t full_runs = 0;    //!< Jobs at full scale.
+    std::size_t triage_runs = 0;  //!< Jobs at reduced scale.
+    std::size_t cache_hits = 0;   //!< Served from the result cache.
+    std::size_t executed = 0;     //!< Actual simulator executions.
+
+    std::vector<RungStats> rungs; //!< Halving schedule (empty when
+                                  //!< exhaustive).
+};
+
+/**
+ * Run one exploration.
+ * @return true on success; false fills @p err (bad objective name,
+ *         halving over a swept "scale" parameter, expansion failure).
+ */
+bool runExploration(const ExploreConfig &cfg, ExploreReport &out,
+                    std::string *err = nullptr);
+
+} // namespace explore
+} // namespace wlcache
+
+#endif // WLCACHE_EXPLORE_EXPLORER_HH

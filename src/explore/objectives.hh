@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Objective registry for design-space exploration: named scalar
+ * figures of merit extracted from a finished run (and its resolved
+ * configuration), each with an optimization direction. The Pareto
+ * machinery minimizes internally; maximizing objectives are negated
+ * at extraction so callers never branch on direction.
+ */
+
+#ifndef WLCACHE_EXPLORE_OBJECTIVES_HH
+#define WLCACHE_EXPLORE_OBJECTIVES_HH
+
+#include <string>
+#include <vector>
+
+#include "nvp/experiment.hh"
+#include "nvp/system.hh"
+
+namespace wlcache {
+namespace explore {
+
+/** One named figure of merit. */
+struct ObjectiveDef
+{
+    const char *name;
+    const char *help;
+    /**
+     * Extract the raw value. @p spec identifies the workload (for
+     * progress extrapolation of runs that did not finish); @p cfg is
+     * the resolved configuration the run executed with.
+     */
+    double (*eval)(const nvp::RunResult &r,
+                   const nvp::SystemConfig &cfg,
+                   const nvp::ExperimentSpec &spec);
+};
+
+/** Every registered objective. */
+const std::vector<ObjectiveDef> &allObjectives();
+
+/** Lookup by name; null when unknown. */
+const ObjectiveDef *findObjective(const std::string &name);
+
+/**
+ * Evaluate @p names for one run, in order. Every registered
+ * objective minimizes, so smaller is better across the board.
+ * Asserts each name is registered (validate with findObjective
+ * first at the API boundary).
+ */
+std::vector<double> evalObjectives(
+    const std::vector<std::string> &names, const nvp::RunResult &r,
+    const nvp::SystemConfig &cfg, const nvp::ExperimentSpec &spec);
+
+/**
+ * The JIT-checkpoint energy reserve a configuration sets aside
+ * between Vbackup and Vmin (joules). For WL-Cache this follows the
+ * maxline-indexed threshold schedule of §5.5; for every other design
+ * it is the static platform Vbackup. The quantity WL-Cache's maxline
+ * bound trades against write-back efficiency — the paper's central
+ * axis.
+ */
+double checkpointReserveJ(const nvp::SystemConfig &cfg);
+
+/**
+ * First-order silicon cost of a configuration (mm^2 at 90 nm from
+ * CACTI-lite): D- and I-cache arrays plus, for WL-Cache, the
+ * DirtyQueue.
+ */
+double hardwareAreaMm2(const nvp::SystemConfig &cfg);
+
+} // namespace explore
+} // namespace wlcache
+
+#endif // WLCACHE_EXPLORE_OBJECTIVES_HH

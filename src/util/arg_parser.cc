@@ -34,6 +34,17 @@ ArgParser::flag(const std::string &name, const std::string &help)
     return *this;
 }
 
+ArgParser &
+ArgParser::listOption(const std::string &name, const std::string &help)
+{
+    wlc_assert(find(name) == nullptr, "duplicate option --%s",
+               name.c_str());
+    Option opt{ name, "", help, false };
+    opt.is_list = true;
+    options_.push_back(std::move(opt));
+    return *this;
+}
+
 ArgParser::Option *
 ArgParser::find(const std::string &name)
 {
@@ -97,7 +108,13 @@ ArgParser::parse(int argc, char **argv)
             }
             value = argv[++i];
         }
-        opt->value = value;
+        if (opt->is_list) {
+            for (const auto &item : split(value, ','))
+                if (!item.empty())
+                    opt->values.push_back(item);
+        } else {
+            opt->value = value;
+        }
     }
     return true;
 }
@@ -129,6 +146,17 @@ ArgParser::getFlag(const std::string &name) const
     return get(name) == "1";
 }
 
+const std::vector<std::string> &
+ArgParser::getList(const std::string &name) const
+{
+    const Option *opt = find(name);
+    if (!opt)
+        fatal("unknown option '%s'", name.c_str());
+    if (!opt->is_list)
+        fatal("option '%s' is not a list option", name.c_str());
+    return opt->values;
+}
+
 std::string
 ArgParser::usage() const
 {
@@ -138,7 +166,9 @@ ArgParser::usage() const
         if (!o.is_flag)
             left += " <v>";
         out += padRight(left, 28) + o.help;
-        if (!o.is_flag && !o.value.empty())
+        if (o.is_list)
+            out += " (repeatable)";
+        else if (!o.is_flag && !o.value.empty())
             out += " (default: " + o.value + ")";
         out += "\n";
     }

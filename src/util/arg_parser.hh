@@ -36,6 +36,17 @@ class ArgParser
     ArgParser &flag(const std::string &name, const std::string &help);
 
     /**
+     * Declare a list-valued option: every occurrence appends, and a
+     * value may itself carry a comma-separated list, so
+     * `--objective time --objective nvm,energy` collects
+     * {time, nvm, energy}. Scalar options silently keep the last
+     * occurrence; list options exist for the flags where all
+     * occurrences matter.
+     */
+    ArgParser &listOption(const std::string &name,
+                          const std::string &help);
+
+    /**
      * Parse argv. Returns false (after printing usage or an error)
      * when the caller should exit; `--help` is handled here.
      */
@@ -46,6 +57,9 @@ class ArgParser
     long getInt(const std::string &name) const;
     double getDouble(const std::string &name) const;
     bool getFlag(const std::string &name) const;
+    /** Collected values of a list option (empty when never given). */
+    const std::vector<std::string> &
+    getList(const std::string &name) const;
 
     /** Positional arguments left after option parsing. */
     const std::vector<std::string> &positional() const
@@ -63,6 +77,8 @@ class ArgParser
         std::string value;
         std::string help;
         bool is_flag;
+        bool is_list = false;
+        std::vector<std::string> values;  //!< List-option payload.
     };
 
     Option *find(const std::string &name);

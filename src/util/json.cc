@@ -283,23 +283,30 @@ class Parser
         const std::size_t start = pos_;
         if (pos_ < text_.size() && text_[pos_] == '-')
             ++pos_;
-        bool digits = false;
+        // Integer part: one digit, or a nonzero digit followed by
+        // more — JSON forbids leading zeros ("0123") and a bare
+        // fraction (".5").
+        const std::size_t int_start = pos_;
         while (pos_ < text_.size() &&
-               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
             ++pos_;
-            digits = true;
-        }
+        if (pos_ == int_start)
+            return fail("malformed number");
+        if (text_[int_start] == '0' && pos_ - int_start > 1)
+            return fail("leading zero in number");
         if (pos_ < text_.size() && text_[pos_] == '.') {
             ++pos_;
+            bool frac_digits = false;
             while (pos_ < text_.size() &&
                    std::isdigit(
                        static_cast<unsigned char>(text_[pos_]))) {
                 ++pos_;
-                digits = true;
+                frac_digits = true;
             }
+            // "1." is not a JSON number either.
+            if (!frac_digits)
+                return fail("malformed fraction");
         }
-        if (!digits)
-            return fail("malformed number");
         if (pos_ < text_.size() &&
             (text_[pos_] == 'e' || text_[pos_] == 'E')) {
             ++pos_;

@@ -117,3 +117,74 @@ TEST(ArgParser, UsageListsOptions)
     EXPECT_NE(u.find("--verbose"), std::string::npos);
     EXPECT_NE(u.find("default: 3"), std::string::npos);
 }
+
+TEST(ArgParser, ListOptionCollectsRepeats)
+{
+    ArgParser p("prog", "test");
+    p.listOption("objective", "figures of merit");
+    ASSERT_TRUE(parse(p, { "--objective", "time", "--objective",
+                           "energy" }));
+    const auto &vals = p.getList("objective");
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0], "time");
+    EXPECT_EQ(vals[1], "energy");
+}
+
+TEST(ArgParser, ListOptionSplitsCommas)
+{
+    ArgParser p("prog", "test");
+    p.listOption("objective", "figures of merit");
+    ASSERT_TRUE(parse(p, { "--objective", "time", "--objective",
+                           "nvm,energy" }));
+    const auto &vals = p.getList("objective");
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_EQ(vals[0], "time");
+    EXPECT_EQ(vals[1], "nvm");
+    EXPECT_EQ(vals[2], "energy");
+}
+
+TEST(ArgParser, ListOptionEqualsForm)
+{
+    ArgParser p("prog", "test");
+    p.listOption("tag", "labels");
+    ASSERT_TRUE(parse(p, { "--tag=a,b", "--tag=c" }));
+    const auto &vals = p.getList("tag");
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_EQ(vals[2], "c");
+}
+
+TEST(ArgParser, ListOptionDefaultsEmpty)
+{
+    ArgParser p("prog", "test");
+    p.listOption("tag", "labels");
+    ASSERT_TRUE(parse(p, {}));
+    EXPECT_TRUE(p.getList("tag").empty());
+}
+
+TEST(ArgParser, ListOptionIgnoresEmptyItems)
+{
+    ArgParser p("prog", "test");
+    p.listOption("tag", "labels");
+    ASSERT_TRUE(parse(p, { "--tag", "a,,b", "--tag", "" }));
+    const auto &vals = p.getList("tag");
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0], "a");
+    EXPECT_EQ(vals[1], "b");
+}
+
+TEST(ArgParser, ListOptionMixesWithScalars)
+{
+    ArgParser p("prog", "test");
+    p.option("count", "3", "a count").listOption("tag", "labels");
+    ASSERT_TRUE(parse(p, { "--count", "1", "--tag", "x", "--count",
+                           "2" }));
+    EXPECT_EQ(p.getInt("count"), 2); // scalar: last write wins
+    ASSERT_EQ(p.getList("tag").size(), 1u);
+}
+
+TEST(ArgParser, ListOptionUsageMarksRepeatable)
+{
+    ArgParser p("prog", "test");
+    p.listOption("objective", "figures of merit");
+    EXPECT_NE(p.usage().find("(repeatable)"), std::string::npos);
+}

@@ -56,6 +56,43 @@ TEST(Json, LargeIntegersSurviveExactly)
     EXPECT_EQ(parseOk("9007199254740993").asU64(),
               9007199254740993ull); // 2^53 + 1
     EXPECT_EQ(parseOk("0").asU64(), 0u);
+
+    // The u64 boundary also survives a compact rewrite untouched —
+    // the number token, not a double, is what gets printed.
+    std::ostringstream os;
+    writeJsonCompact(os, parseOk("18446744073709551615"));
+    EXPECT_EQ(os.str(), "18446744073709551615");
+}
+
+TEST(Json, NumberEdgeCases)
+{
+    // Negative exponents, signed exponents, exponent-only magnitudes.
+    EXPECT_DOUBLE_EQ(parseOk("1e-3").asDouble(), 0.001);
+    EXPECT_DOUBLE_EQ(parseOk("2.5E-2").asDouble(), 0.025);
+    EXPECT_DOUBLE_EQ(parseOk("-1.25e-1").asDouble(), -0.125);
+    EXPECT_DOUBLE_EQ(parseOk("5e+2").asDouble(), 500.0);
+    EXPECT_DOUBLE_EQ(parseOk("-0").asDouble(), 0.0);
+
+    // Zero may start a number only as the whole integer part.
+    EXPECT_DOUBLE_EQ(parseOk("0.125").asDouble(), 0.125);
+    EXPECT_DOUBLE_EQ(parseOk("0e0").asDouble(), 0.0);
+    EXPECT_DOUBLE_EQ(parseOk("0.0e-2").asDouble(), 0.0);
+}
+
+TEST(Json, RejectsNonJsonNumberForms)
+{
+    // RFC 8259: no leading zeros, no bare '.' forms. A lenient
+    // strtod-based reader accepts all of these; ours must not.
+    EXPECT_TRUE(parseFails("0123"));
+    EXPECT_TRUE(parseFails("-01"));
+    EXPECT_TRUE(parseFails("00"));
+    EXPECT_TRUE(parseFails("01.5"));
+    EXPECT_TRUE(parseFails(".5"));
+    EXPECT_TRUE(parseFails("-.5"));
+    EXPECT_TRUE(parseFails("1."));
+    EXPECT_TRUE(parseFails("1.e3"));
+    EXPECT_TRUE(parseFails("[1, 02]"));
+    EXPECT_TRUE(parseFails("{\"a\": 1.}"));
 }
 
 TEST(Json, StringEscapes)

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "telemetry/timeline.hh"
 
 namespace wlcache {
@@ -115,6 +116,20 @@ BaseTagCache::readLineData(LineRef ref, Addr addr, unsigned bytes) const
     std::uint64_t v = 0;
     std::memcpy(&v, tags_.data(ref) + off, bytes);
     return v;
+}
+
+void
+BaseTagCache::saveState(SnapshotWriter &w) const
+{
+    DataCache::saveState(w);
+    tags_.saveState(w);
+}
+
+void
+BaseTagCache::restoreState(SnapshotReader &r)
+{
+    DataCache::restoreState(r);
+    tags_.restoreState(r);
 }
 
 } // namespace cache

@@ -42,6 +42,9 @@ class BaseTagCache : public DataCache
         tags_.resetDirtyHighWater();
     }
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
   protected:
     /** Charge cache-array read energy for a word-sized access. */
     void chargeArrayRead();

@@ -2,7 +2,24 @@
 
 // Interface out-of-line anchor (vtable) lives here.
 
+#include "sim/snapshot.hh"
+
 namespace wlcache {
 namespace cache {
+
+void
+DataCache::saveState(SnapshotWriter &w) const
+{
+    w.section("DC  ");
+    stat_group_.saveState(w);
+}
+
+void
+DataCache::restoreState(SnapshotReader &r)
+{
+    r.section("DC  ");
+    stat_group_.restoreState(r);
+}
+
 } // namespace cache
 } // namespace wlcache

@@ -20,6 +20,9 @@
 
 namespace wlcache {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace telemetry { class TimelineBuffer; }
 
 namespace cache {
@@ -176,6 +179,18 @@ class DataCache
 
     /** Total asynchronous cleanings issued (WL designs; else 0). */
     virtual std::uint64_t cleaningsIssued() const { return 0; }
+
+    /**
+     * Serialize the design's complete mutable state (tags, data,
+     * dirty bits, backup images, in-flight queues, statistics) for a
+     * deterministic simulation snapshot. The base implementation
+     * covers the shared statistics block; overrides must call it
+     * first and then append their own state.
+     */
+    virtual void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    virtual void restoreState(SnapshotReader &r);
 
   protected:
     stats::StatGroup stat_group_;

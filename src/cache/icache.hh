@@ -24,6 +24,9 @@
 
 namespace wlcache {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace telemetry { class TimelineBuffer; }
 
 namespace cache {
@@ -84,6 +87,12 @@ class InstrCache
     {
         return static_cast<std::uint64_t>(stat_misses_.value());
     }
+
+    /** Serialize tags (when present), warm image, and statistics. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     struct SavedLine

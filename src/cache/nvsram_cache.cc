@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "telemetry/timeline.hh"
 
 namespace wlcache {
@@ -170,6 +171,38 @@ NvsramCacheWB::collectPersistentOverlay(
             continue;
         for (unsigned i = 0; i < tags_.lineBytes(); ++i)
             overlay[bl.addr + i] = bl.data[i];
+    }
+}
+
+void
+NvsramCacheWB::saveState(SnapshotWriter &w) const
+{
+    BaseTagCache::saveState(w);
+    w.section("NVSR");
+    w.b(has_backup_);
+    w.u64(backup_.size());
+    for (const auto &bl : backup_) {
+        w.u64(bl.addr);
+        w.b(bl.dirty);
+        w.vecU8(bl.data);
+    }
+}
+
+void
+NvsramCacheWB::restoreState(SnapshotReader &r)
+{
+    BaseTagCache::restoreState(r);
+    r.section("NVSR");
+    has_backup_ = r.b();
+    backup_.clear();
+    const std::uint64_t n = r.u64();
+    backup_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        BackupLine bl;
+        bl.addr = r.u64();
+        bl.dirty = r.b();
+        bl.data = r.vecU8();
+        backup_.push_back(std::move(bl));
     }
 }
 

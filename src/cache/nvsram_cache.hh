@@ -78,6 +78,9 @@ class NvsramCacheWB : public BaseTagCache
 
     const NvsramParams &nvsramParams() const { return nvsram_; }
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
   private:
     /** One backed-up line in the counterpart image. */
     struct BackupLine

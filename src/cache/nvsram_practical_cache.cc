@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "telemetry/timeline.hh"
 
 namespace wlcache {
@@ -321,6 +322,36 @@ double
 NvsramPracticalCache::leakageWatts() const
 {
     return sram_params_.leakage_watts + nv_params_.leakage_watts;
+}
+
+void
+NvsramPracticalCache::saveState(SnapshotWriter &w) const
+{
+    DataCache::saveState(w);
+    w.section("NVSP");
+    sram_.saveState(w);
+    nv_.saveState(w);
+    w.u64(inflight_.size());
+    for (const auto &[addr, ready] : inflight_) {
+        w.u64(addr);
+        w.u64(ready);
+    }
+}
+
+void
+NvsramPracticalCache::restoreState(SnapshotReader &r)
+{
+    DataCache::restoreState(r);
+    r.section("NVSP");
+    sram_.restoreState(r);
+    nv_.restoreState(r);
+    inflight_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr addr = r.u64();
+        const Cycle ready = r.u64();
+        inflight_.emplace_back(addr, ready);
+    }
 }
 
 } // namespace cache

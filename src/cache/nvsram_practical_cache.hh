@@ -82,6 +82,9 @@ class NvsramPracticalCache : public DataCache
     const TagArray &sramTags() const { return sram_; }
     const TagArray &nvTags() const { return nv_; }
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
   private:
     /** Write a full line image from @p tags to NVM main memory. */
     Cycle writeBackLine(TagArray &tags, LineRef ref, Cycle now);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace cache {
@@ -139,6 +140,39 @@ ReplayCacheModel::drainAndFlush(Cycle now)
 {
     // All stores were persisted through the queue; just drain it.
     return regionBoundary(now);
+}
+
+void
+ReplayCacheModel::saveState(SnapshotWriter &w) const
+{
+    BaseTagCache::saveState(w);
+    w.section("RPLY");
+    w.u64(inflight_.size());
+    for (const Persist &p : inflight_) {
+        w.u64(p.word_addr);
+        w.u64(p.ready);
+    }
+    w.u64(coalesced_);
+    w.u32(region_counter_);
+    w.u64(pending_drain_);
+}
+
+void
+ReplayCacheModel::restoreState(SnapshotReader &r)
+{
+    BaseTagCache::restoreState(r);
+    r.section("RPLY");
+    inflight_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Persist p;
+        p.word_addr = r.u64();
+        p.ready = r.u64();
+        inflight_.push_back(p);
+    }
+    coalesced_ = r.u64();
+    region_counter_ = r.u32();
+    pending_drain_ = r.u64();
 }
 
 } // namespace cache

@@ -75,6 +75,9 @@ class ReplayCacheModel : public BaseTagCache
     /** Persists coalesced into an in-flight word (testing). */
     std::uint64_t coalescedPersists() const { return coalesced_; }
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
   private:
     /** One outstanding word persist. */
     struct Persist

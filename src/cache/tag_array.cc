@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "util/stat_math.hh"
 
 namespace wlcache {
@@ -193,6 +194,46 @@ TagArray::forEachValidLine(
                 fn(ref, l.addr, l.dirty);
         }
     }
+}
+
+void
+TagArray::saveState(SnapshotWriter &w) const
+{
+    w.section("TAGS");
+    w.u64(lines_.size());
+    for (const Line &l : lines_) {
+        w.u64(l.addr);
+        w.b(l.valid);
+        w.b(l.dirty);
+        w.u64(l.touch_seq);
+        w.u64(l.install_seq);
+    }
+    w.vecU8(bytes_);
+    w.u64(seq_);
+    w.u32(dirty_count_);
+    w.u32(dirty_high_water_);
+}
+
+void
+TagArray::restoreState(SnapshotReader &r)
+{
+    r.section("TAGS");
+    const std::uint64_t n = r.u64();
+    wlc_assert(n == lines_.size(),
+               "tag-array snapshot geometry mismatch");
+    for (Line &l : lines_) {
+        l.addr = r.u64();
+        l.valid = r.b();
+        l.dirty = r.b();
+        l.touch_seq = r.u64();
+        l.install_seq = r.u64();
+    }
+    const auto bytes = r.vecU8();
+    wlc_assert(bytes.size() == bytes_.size());
+    bytes_ = bytes;
+    seq_ = r.u64();
+    dirty_count_ = r.u32();
+    dirty_high_water_ = r.u32();
 }
 
 } // namespace cache

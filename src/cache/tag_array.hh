@@ -17,6 +17,10 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace cache {
 
 /** Index of a line inside a TagArray. */
@@ -112,6 +116,16 @@ class TagArray
     /** Invoke @p fn for every valid line. */
     void forEachValidLine(
         const std::function<void(LineRef, Addr, bool dirty)> &fn) const;
+
+    /**
+     * Serialize tags, data bytes, replacement sequences, and dirty
+     * accounting. Geometry is not stored: restore requires an array
+     * built from the same CacheParams.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     struct Line

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace cache {
@@ -151,6 +152,35 @@ double
 WtBufferedCache::leakageWatts() const
 {
     return params_.leakage_watts + wb_.buffer_leakage_watts;
+}
+
+void
+WtBufferedCache::saveState(SnapshotWriter &w) const
+{
+    BaseTagCache::saveState(w);
+    w.section("WTBF");
+    w.u64(buffer_.size());
+    for (const Pending &p : buffer_) {
+        w.u64(p.word_addr);
+        w.u64(p.ready);
+    }
+    w.u64(coalesced_);
+}
+
+void
+WtBufferedCache::restoreState(SnapshotReader &r)
+{
+    BaseTagCache::restoreState(r);
+    r.section("WTBF");
+    buffer_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Pending p;
+        p.word_addr = r.u64();
+        p.ready = r.u64();
+        buffer_.push_back(p);
+    }
+    coalesced_ = r.u64();
 }
 
 } // namespace cache

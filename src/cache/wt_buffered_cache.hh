@@ -54,6 +54,9 @@ class WtBufferedCache : public BaseTagCache
     std::size_t bufferDepth() const { return buffer_.size(); }
     std::uint64_t coalescedWrites() const { return coalesced_; }
 
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
   private:
     struct Pending
     {

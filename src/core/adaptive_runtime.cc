@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace core {
@@ -128,6 +129,42 @@ AdaptiveRuntime::reset(unsigned initial_maxline)
     have_pending_prediction_ = false;
     predictions_ = 0;
     correct_predictions_ = 0;
+}
+
+void
+AdaptiveRuntime::saveState(SnapshotWriter &w) const
+{
+    w.section("ADPT");
+    w.u32(maxline_);
+    w.u32(t_n2_);
+    w.u32(t_n1_);
+    w.u32(boots_);
+    w.u32(reconfigs_);
+    w.u32(observed_min_);
+    w.u32(observed_max_);
+    w.u8(static_cast<std::uint8_t>(last_decision_));
+    w.b(cooldown_);
+    w.b(have_pending_prediction_);
+    w.u32(predictions_);
+    w.u32(correct_predictions_);
+}
+
+void
+AdaptiveRuntime::restoreState(SnapshotReader &r)
+{
+    r.section("ADPT");
+    maxline_ = r.u32();
+    t_n2_ = static_cast<std::uint16_t>(r.u32());
+    t_n1_ = static_cast<std::uint16_t>(r.u32());
+    boots_ = r.u32();
+    reconfigs_ = r.u32();
+    observed_min_ = r.u32();
+    observed_max_ = r.u32();
+    last_decision_ = static_cast<AdaptDecision>(r.u8());
+    cooldown_ = r.b();
+    have_pending_prediction_ = r.b();
+    predictions_ = r.u32();
+    correct_predictions_ = r.u32();
 }
 
 } // namespace core

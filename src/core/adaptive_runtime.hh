@@ -19,6 +19,10 @@
 #include "sim/stats.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace core {
 
 /** Adaptive-management tunables. */
@@ -79,6 +83,12 @@ class AdaptiveRuntime
 
     /** Reset history and statistics (new experiment). */
     void reset(unsigned initial_maxline);
+
+    /** Serialize the controller's mutable state. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     AdaptDecision decide(std::uint16_t t_prev2,

@@ -1,6 +1,7 @@
 #include "core/dirty_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace core {
@@ -137,6 +138,40 @@ DirtyQueue::clear()
     for (auto &e : slots_)
         e.state = DqEntryState::Free;
     occupied_ = 0;
+}
+
+void
+DirtyQueue::saveState(SnapshotWriter &w) const
+{
+    w.section("DQ  ");
+    w.u64(slots_.size());
+    for (const DqEntry &e : slots_) {
+        w.u8(static_cast<std::uint8_t>(e.state));
+        w.u64(e.line_addr);
+        w.u64(e.insert_seq);
+        w.u64(e.touch_seq);
+        w.u64(e.wb_ready);
+    }
+    w.u64(seq_);
+    w.u32(occupied_);
+}
+
+void
+DirtyQueue::restoreState(SnapshotReader &r)
+{
+    r.section("DQ  ");
+    const std::uint64_t n = r.u64();
+    wlc_assert(n == slots_.size(),
+               "dirty-queue snapshot capacity mismatch");
+    for (DqEntry &e : slots_) {
+        e.state = static_cast<DqEntryState>(r.u8());
+        e.line_addr = r.u64();
+        e.insert_seq = r.u64();
+        e.touch_seq = r.u64();
+        e.wb_ready = r.u64();
+    }
+    seq_ = r.u64();
+    occupied_ = r.u32();
 }
 
 } // namespace core

@@ -22,6 +22,10 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace core {
 
 /** Lifecycle state of a DirtyQueue entry. */
@@ -104,6 +108,12 @@ class DirtyQueue
 
     /** Drop all entries (power loss / post-checkpoint). */
     void clear();
+
+    /** Serialize every slot plus the sequence/occupancy counters. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     unsigned capacity_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "sim/trace_log.hh"
 #include "telemetry/timeline.hh"
 
@@ -346,6 +347,24 @@ WLCache::onDirtyEviction(Addr line_addr)
             return;
         }
     }
+}
+
+void
+WLCache::saveState(SnapshotWriter &w) const
+{
+    BaseTagCache::saveState(w);
+    w.section("WLC ");
+    w.u32(wl_.maxline);
+    dq_.saveState(w);
+}
+
+void
+WLCache::restoreState(SnapshotReader &r)
+{
+    BaseTagCache::restoreState(r);
+    r.section("WLC ");
+    setMaxline(r.u32());
+    dq_.restoreState(r);
 }
 
 } // namespace core

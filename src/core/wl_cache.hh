@@ -145,6 +145,14 @@ class WLCache : public cache::BaseTagCache
     using ProbeFn = std::function<void(Cycle now)>;
     void setAccessProbe(ProbeFn fn) { probe_ = std::move(fn); }
 
+    /**
+     * Serialize tags/stats (base), the DirtyQueue, and the current
+     * maxline. The reserve/probe callbacks are reattached by the
+     * owning system, not serialized.
+     */
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
+
   protected:
     void onDirtyEviction(Addr line_addr) override;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace cpu {
@@ -53,6 +54,28 @@ ICacheStream::take(unsigned max_insns)
             newRegion();
     }
     return run;
+}
+
+void
+ICacheStream::saveState(SnapshotWriter &w) const
+{
+    w.section("STRM");
+    rng_.saveState(w);
+    w.u64(body_start_);
+    w.u32(body_len_);
+    w.u32(pos_);
+    w.u32(iters_left_);
+}
+
+void
+ICacheStream::restoreState(SnapshotReader &r)
+{
+    r.section("STRM");
+    rng_.restoreState(r);
+    body_start_ = r.u64();
+    body_len_ = r.u32();
+    pos_ = r.u32();
+    iters_left_ = r.u32();
 }
 
 } // namespace cpu

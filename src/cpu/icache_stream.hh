@@ -21,6 +21,10 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace cpu {
 
 /** Loop-model parameters, seeded per application. */
@@ -55,6 +59,12 @@ class ICacheStream
     FetchRun take(unsigned max_insns);
 
     const ICacheStreamParams &params() const { return params_; }
+
+    /** Serialize the PC-walk cursor and its RNG. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     void newRegion();

@@ -1,6 +1,7 @@
 #include "cpu/inorder_core.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "telemetry/timeline.hh"
 
 namespace wlcache {
@@ -69,6 +70,33 @@ InOrderCore::executeEvent(const MemAccess &ev, Cycle now,
 
     stat_cycles_ += static_cast<double>(res.ready - now);
     return res.ready;
+}
+
+void
+InOrderCore::saveState(SnapshotWriter &w) const
+{
+    w.section("CORE");
+    stream_.saveState(w);
+    w.u64(next_progress_);
+    const auto snap = regs_.snapshot();
+    for (const std::uint32_t v : snap)
+        w.u32(v);
+    w.u64(instret_);
+    stat_group_.saveState(w);
+}
+
+void
+InOrderCore::restoreState(SnapshotReader &r)
+{
+    r.section("CORE");
+    stream_.restoreState(r);
+    next_progress_ = r.u64();
+    std::array<std::uint32_t, RegisterFile::kNumRegs> snap;
+    for (auto &v : snap)
+        v = r.u32();
+    regs_.restore(snap);
+    instret_ = r.u64();
+    stat_group_.restoreState(r);
 }
 
 } // namespace cpu

@@ -26,6 +26,9 @@
 
 namespace wlcache {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace telemetry { class TimelineBuffer; }
 
 namespace cpu {
@@ -76,6 +79,12 @@ class InOrderCore
 
     /** Instructions between CoreProgress timeline markers. */
     static constexpr std::uint64_t kProgressStride = 1u << 16;
+
+    /** Serialize stream, registers, retire count, and statistics. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     CoreParams params_;

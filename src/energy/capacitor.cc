@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace energy {
@@ -51,23 +52,36 @@ double
 Capacitor::addEnergy(double joules)
 {
     wlc_assert(joules >= 0.0);
+    // The returned deposit must equal the actual change in energy_j_:
+    // computing `absorbed` first and then adding it would let
+    // fl(energy_j_ + absorbed) differ from energy_j_ + absorbed by one
+    // rounding, so a harvester integrating the return values drifts
+    // from the buffer level, and at the Vmax rail the level could sit
+    // one ulp below cap_e forever while adds keep "absorbing" denormal
+    // amounts.
     const double cap_e = energyForVoltage(vmax_v_);
-    const double room = std::max(0.0, cap_e - energy_j_);
-    const double absorbed = std::min(room, joules);
-    energy_j_ += absorbed;
-    return absorbed;
+    if (energy_j_ >= cap_e)
+        return 0.0;
+    const double before = energy_j_;
+    if (joules >= cap_e - energy_j_) {
+        energy_j_ = cap_e;  // Snap exactly to the rail.
+        return cap_e - before;
+    }
+    energy_j_ += joules;
+    return energy_j_ - before;
 }
 
-bool
+double
 Capacitor::drawEnergy(double joules)
 {
     wlc_assert(joules >= 0.0);
-    if (joules > energy_j_) {
-        energy_j_ = 0.0;
-        return false;
+    const double before = energy_j_;
+    if (joules >= energy_j_) {
+        energy_j_ = 0.0;   // Bottomed out at the 0 V rail.
+        return before;
     }
     energy_j_ -= joules;
-    return true;
+    return before - energy_j_;
 }
 
 bool
@@ -90,6 +104,20 @@ Capacitor::voltageForEnergyAbove(double v_floor, double joules) const
     const double e = energyForVoltage(v_floor) + joules;
     const double v = std::sqrt(2.0 * e / capacitance_f_);
     return std::min(v, vmax_v_);
+}
+
+void
+Capacitor::saveState(SnapshotWriter &w) const
+{
+    w.section("CAP ");
+    w.f64(energy_j_);
+}
+
+void
+Capacitor::restoreState(SnapshotReader &r)
+{
+    r.section("CAP ");
+    energy_j_ = r.f64();
 }
 
 } // namespace energy

@@ -10,6 +10,10 @@
 #define WLCACHE_ENERGY_CAPACITOR_HH
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace energy {
 
 /**
@@ -48,16 +52,23 @@ class Capacitor
     /**
      * Add harvested energy; the level clamps at Vmax (excess ambient
      * energy is discarded, as in a real regulator).
-     * @return energy actually absorbed.
+     * @return energy actually absorbed — always exactly the change in
+     * storedEnergy(), so integrating the return value cannot drift
+     * from the buffer level even when the deposit saturates at the
+     * rail (the level snaps to the Vmax energy rather than
+     * accumulating one rounded add per step).
      */
     double addEnergy(double joules);
 
     /**
-     * Draw energy for computation/IO.
-     * @return true if the full amount was available (possibly dipping
-     * below Vmin); the caller decides what a brown-out means.
+     * Draw energy for computation/IO; the level clamps at 0 J when
+     * the demand exceeds the store (possibly dipping below Vmin —
+     * the caller decides what a brown-out means).
+     * @return energy actually drawn — exactly the change in
+     * storedEnergy(), which is less than @p joules when the draw
+     * bottoms out at the 0 V rail.
      */
-    bool drawEnergy(double joules);
+    double drawEnergy(double joules);
 
     /** True when voltage() < vmin(). */
     bool brownedOut() const;
@@ -70,6 +81,12 @@ class Capacitor
      * available before falling to @p v_floor. Clamped to Vmax.
      */
     double voltageForEnergyAbove(double v_floor, double joules) const;
+
+    /** Serialize the stored-energy level. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     double energyForVoltage(double v) const;

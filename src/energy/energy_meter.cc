@@ -1,6 +1,7 @@
 #include "energy/energy_meter.hh"
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace energy {
@@ -50,6 +51,22 @@ void
 EnergyMeter::reset()
 {
     joules_.fill(0.0);
+}
+
+void
+EnergyMeter::saveState(SnapshotWriter &w) const
+{
+    w.section("METR");
+    for (const double j : joules_)
+        w.f64(j);
+}
+
+void
+EnergyMeter::restoreState(SnapshotReader &r)
+{
+    r.section("METR");
+    for (double &j : joules_)
+        j = r.f64();
 }
 
 } // namespace energy

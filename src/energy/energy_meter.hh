@@ -13,6 +13,10 @@
 #include <cstddef>
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace energy {
 
 /** Consumption category for the Fig. 13(b) breakdown. */
@@ -50,6 +54,12 @@ class EnergyMeter
 
     /** Zero every category. */
     void reset();
+
+    /** Serialize every category's accumulator. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     std::array<double, kNumCategories> joules_{};

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace energy {
@@ -47,18 +48,28 @@ Harvester::advance(double dt_s, Capacitor &cap)
     const double period = trace_.samplePeriod();
     double deposited = 0.0;
     double remaining = dt_s;
+    // Invariant: pos_in_sample_ < period. Sample boundaries rebase
+    // the phase to exactly 0 (stepSample) instead of accumulating
+    // `pos += step` residue, so millions of sub-steps cannot drift
+    // the cursor against the trace; and the cursor steps *when* the
+    // boundary is reached, so a call that ends exactly on a boundary
+    // leaves currentPower() reading the next sample rather than the
+    // stale one until the next advance().
     while (remaining > 0.0) {
-        double left = period - pos_in_sample_;
-        if (left <= 0.0) {
+        const double left = period - pos_in_sample_;
+        if (remaining >= left) {
+            deposited +=
+                cap.addEnergy(currentPower() * efficiency_ * left);
+            now_s_ += left;
+            remaining -= left;
             stepSample();
-            left = period;
+        } else {
+            deposited +=
+                cap.addEnergy(currentPower() * efficiency_ * remaining);
+            pos_in_sample_ += remaining;
+            now_s_ += remaining;
+            remaining = 0.0;
         }
-        const double step = std::min(remaining, left);
-        deposited +=
-            cap.addEnergy(currentPower() * efficiency_ * step);
-        pos_in_sample_ += step;
-        now_s_ += step;
-        remaining -= step;
     }
     total_harvested_j_ += deposited;
     return deposited;
@@ -99,22 +110,27 @@ Harvester::chargeUntil(Capacitor &cap, double v_target, double max_wait_s)
             pass_start_s = now_s_;
             pass_start_e = cap.storedEnergy();
         }
-        double left = period - pos_in_sample_;
-        if (left <= 0.0) {
-            stepSample();
-            left = period;
-        }
+        // Same exact-phase stepping as advance(): boundaries rebase
+        // to 0 via stepSample() and the cursor moves as soon as a
+        // sample is exhausted.
+        const double left = period - pos_in_sample_;
         const double p = currentPower() * efficiency_;
         if (p <= 0.0) {
-            pos_in_sample_ += left;
             now_s_ += left;
+            stepSample();
             continue;
         }
         const double needed = target_e - cap.storedEnergy();
-        const double dt = std::min(needed / p, left);
-        total_harvested_j_ += cap.addEnergy(p * dt);
-        pos_in_sample_ += dt;
-        now_s_ += dt;
+        const double dt = needed / p;
+        if (dt >= left) {
+            total_harvested_j_ += cap.addEnergy(p * left);
+            now_s_ += left;
+            stepSample();
+        } else {
+            total_harvested_j_ += cap.addEnergy(p * dt);
+            pos_in_sample_ += dt;
+            now_s_ += dt;
+        }
     }
     return now_s_ - start;
 }
@@ -126,6 +142,26 @@ Harvester::reset()
     total_harvested_j_ = 0.0;
     sample_idx_ = 0;
     pos_in_sample_ = 0.0;
+}
+
+void
+Harvester::saveState(SnapshotWriter &w) const
+{
+    w.section("HARV");
+    w.f64(now_s_);
+    w.f64(total_harvested_j_);
+    w.u64(sample_idx_);
+    w.f64(pos_in_sample_);
+}
+
+void
+Harvester::restoreState(SnapshotReader &r)
+{
+    r.section("HARV");
+    now_s_ = r.f64();
+    total_harvested_j_ = r.f64();
+    sample_idx_ = r.u64();
+    pos_in_sample_ = r.f64();
 }
 
 } // namespace energy

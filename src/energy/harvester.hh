@@ -12,6 +12,10 @@
 #include "energy/power_trace.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace energy {
 
 /**
@@ -58,6 +62,12 @@ class Harvester
 
     /** Ambient power of the sample the cursor is in, watts. */
     double currentPower() const;
+
+    /** Serialize clock, trace cursor, and harvest accumulator. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     /** Move the cursor to the start of the next trace sample. */

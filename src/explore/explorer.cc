@@ -1,35 +1,47 @@
 #include "explore/explorer.hh"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "explore/objectives.hh"
 #include "explore/pareto.hh"
+#include "nvp/snapshot.hh"
 #include "runner/runner.hh"
 #include "runner/spec_key.hh"
 #include "sim/logging.hh"
+#include "workloads/workloads.hh"
 
 namespace wlcache {
 namespace explore {
 
 namespace {
 
-/** Evaluate @p points at @p scale through the runner. */
+/** Evaluate @p points at @p scale through the runner. Each point may
+    carry a resume snapshot (snapshot_extend's final rung) — a pure
+    accelerator that never changes results or cache keys. */
 std::vector<nvp::RunResult>
 runPoints(const ExploreConfig &cfg,
           const std::vector<const DesignPoint *> &points,
-          unsigned scale, ExploreReport &report, bool full_scale)
+          unsigned scale, ExploreReport &report, bool full_scale,
+          const std::vector<std::shared_ptr<nvp::SystemSnapshot>>
+              *resumes = nullptr)
 {
     runner::JobSet set;
-    for (const DesignPoint *p : points) {
+    for (std::size_t k = 0; k < points.size(); ++k) {
+        const DesignPoint *p = points[k];
         nvp::ExperimentSpec spec = p->spec;
         spec.scale = scale;
-        set.add(std::move(spec), p->id + "@x" +
-                                     std::to_string(scale));
+        const std::size_t j =
+            set.add(std::move(spec), p->id + "@x" +
+                                         std::to_string(scale));
+        if (resumes && (*resumes)[k] && (*resumes)[k]->valid())
+            set.setResume(j, (*resumes)[k]);
     }
     runner::RunnerConfig rc;
     rc.jobs = cfg.jobs;
     rc.cache_dir = cfg.cache_dir;
+    rc.snapshot_dir = cfg.snapshot_dir;
     rc.progress = cfg.progress;
     runner::Runner runner(rc);
     auto results = runner.runAll(set);
@@ -38,6 +50,56 @@ runPoints(const ExploreConfig &cfg,
     report.executed += stats.executed;
     (full_scale ? report.full_runs : report.triage_runs) +=
         stats.total;
+    return results;
+}
+
+/**
+ * One snapshot_extend triage rung: every entrant runs the
+ * *full-scale* trace truncated at an event budget proportional to
+ * @p scale, resuming from its previous rung's cut snapshot and
+ * cutting a new one at the budget. @p cuts is parallel to
+ * @p entrants: consumed as resume points, overwritten with the new
+ * cuts. @p max_budget reports the rung's largest budget.
+ */
+std::vector<nvp::RunResult>
+runExtendRung(const ExploreConfig &cfg,
+              const std::vector<const DesignPoint *> &entrants,
+              unsigned scale, unsigned full_scale,
+              std::vector<std::shared_ptr<nvp::SystemSnapshot>> &cuts,
+              std::uint64_t &max_budget, ExploreReport &report)
+{
+    runner::JobSet set;
+    std::vector<std::shared_ptr<nvp::SystemSnapshot>> next(
+        entrants.size());
+    max_budget = 0;
+    for (std::size_t k = 0; k < entrants.size(); ++k) {
+        nvp::ExperimentSpec spec = entrants[k]->spec;
+        const std::uint64_t total =
+            workloads::getTrace(spec.workload, spec.scale,
+                                spec.workload_seed)
+                .events.size();
+        std::uint64_t budget = total * scale / full_scale;
+        if (budget == 0)
+            budget = 1;
+        max_budget = std::max(max_budget, budget);
+        next[k] = std::make_shared<nvp::SystemSnapshot>();
+        const std::size_t j =
+            set.add(std::move(spec), entrants[k]->id + "@e" +
+                                         std::to_string(budget));
+        set.setBudget(j, budget, cuts[k], next[k]);
+    }
+    runner::RunnerConfig rc;
+    rc.jobs = cfg.jobs;
+    rc.cache_dir = cfg.cache_dir;
+    rc.snapshot_dir = cfg.snapshot_dir;
+    rc.progress = cfg.progress;
+    runner::Runner runner(rc);
+    auto results = runner.runAll(set);
+    const auto &stats = runner.stats();
+    report.cache_hits += stats.cache_hits;
+    report.executed += stats.executed;
+    report.triage_runs += stats.total;
+    cuts = std::move(next);
     return results;
 }
 
@@ -111,6 +173,13 @@ runExploration(const ExploreConfig &cfg, ExploreReport &out,
     std::vector<nvp::RunResult> final_results;
     std::vector<std::vector<double>> final_objs;
 
+    // snapshot_extend: per-point cut snapshots, carried rung to rung
+    // (indexed like `points`; null until the point's first rung).
+    const bool extend = cfg.sweep.mode == SearchMode::Halving &&
+                        cfg.sweep.snapshot_extend;
+    std::vector<std::shared_ptr<nvp::SystemSnapshot>> cuts(
+        extend ? points.size() : 0);
+
     if (cfg.sweep.mode == SearchMode::Halving &&
         cfg.sweep.min_scale < full_scale && points.size() > 1) {
         // Triage rungs: min_scale, x eta, ... strictly below full.
@@ -120,10 +189,29 @@ runExploration(const ExploreConfig &cfg, ExploreReport &out,
             std::vector<const DesignPoint *> entrants;
             for (const std::size_t i : alive)
                 entrants.push_back(&points[i]);
-            const auto results =
-                runPoints(cfg, entrants, scale, report, false);
-            const auto objs =
-                evalAll(objectives, entrants, results, scale);
+            std::vector<nvp::RunResult> results;
+            std::vector<std::vector<double>> objs;
+            std::uint64_t budget = 0;
+            if (extend) {
+                std::vector<std::shared_ptr<nvp::SystemSnapshot>>
+                    rung_cuts;
+                rung_cuts.reserve(alive.size());
+                for (const std::size_t i : alive)
+                    rung_cuts.push_back(cuts[i]);
+                results = runExtendRung(cfg, entrants, scale,
+                                        full_scale, rung_cuts,
+                                        budget, report);
+                for (std::size_t k = 0; k < alive.size(); ++k)
+                    cuts[alive[k]] = rung_cuts[k];
+                // Budgeted rungs run the full-scale trace, so the
+                // objectives resolve at full scale.
+                objs = evalAll(objectives, entrants, results,
+                               full_scale);
+            } else {
+                results =
+                    runPoints(cfg, entrants, scale, report, false);
+                objs = evalAll(objectives, entrants, results, scale);
+            }
 
             // Promote ceil(n/eta) by non-dominated rank, then
             // objective vector, then id — whole Pareto fronts
@@ -147,18 +235,28 @@ runExploration(const ExploreConfig &cfg, ExploreReport &out,
             std::sort(promoted.begin(), promoted.end());
 
             report.rungs.push_back(
-                { scale, alive.size(), promoted.size() });
+                { scale, alive.size(), promoted.size(), budget });
             alive = std::move(promoted);
         }
     }
 
-    // Final rung: survivors at full scale.
+    // Final rung: survivors at full scale. Under snapshot_extend the
+    // survivors fast-forward from their last cut; the cache key stays
+    // the plain full-run key, so the result is interchangeable with a
+    // cold full-scale run.
     {
         std::vector<const DesignPoint *> entrants;
         for (const std::size_t i : alive)
             entrants.push_back(&points[i]);
+        std::vector<std::shared_ptr<nvp::SystemSnapshot>> resumes;
+        if (extend) {
+            resumes.reserve(alive.size());
+            for (const std::size_t i : alive)
+                resumes.push_back(cuts[i]);
+        }
         final_results =
-            runPoints(cfg, entrants, full_scale, report, true);
+            runPoints(cfg, entrants, full_scale, report, true,
+                      extend ? &resumes : nullptr);
         final_objs =
             evalAll(objectives, entrants, final_results, full_scale);
         if (cfg.sweep.mode == SearchMode::Halving)

@@ -15,6 +15,7 @@
 #define WLCACHE_EXPLORE_EXPLORER_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,13 @@ struct ExploreConfig
 
     unsigned jobs = 0;          //!< Worker threads (0 = default).
     std::string cache_dir;      //!< Result cache; empty disables.
+    /**
+     * Snapshot-store directory for snapshot_extend halving: rung cut
+     * snapshots persist here (keyed like the result cache) so a warm
+     * re-exploration can still extend cached rungs. Empty keeps cuts
+     * in memory for this exploration only.
+     */
+    std::string snapshot_dir;
     bool progress = false;      //!< Per-job progress lines (stderr).
 };
 
@@ -63,6 +71,12 @@ struct RungStats
     unsigned scale = 1;          //!< Workload scale of this rung.
     std::size_t entrants = 0;    //!< Points evaluated.
     std::size_t promoted = 0;    //!< Points advanced to the next rung.
+    /**
+     * Largest per-point event budget of a snapshot_extend rung (the
+     * full-scale trace truncated proportionally); 0 on scale-based
+     * rungs and the final full rung.
+     */
+    std::uint64_t budget_events = 0;
 };
 
 /** Everything an exploration learned. */

@@ -686,7 +686,8 @@ parseSweepSpec(const std::string &json_text, SweepSpec &out,
             if (!jv.isObject()) {
                 if (err)
                     *err = path + ": expected an object "
-                                  "{mode, eta?, min_scale?}";
+                                  "{mode, eta?, min_scale?, "
+                                  "snapshot_extend?}";
                 return false;
             }
             for (const auto &[skey, sv] : jv.members()) {
@@ -716,6 +717,14 @@ parseSweepSpec(const std::string &json_text, SweepSpec &out,
                     }
                     (skey == "eta" ? spec.eta : spec.min_scale) =
                         static_cast<unsigned>(sv.asDouble());
+                } else if (skey == "snapshot_extend") {
+                    if (!sv.isBool()) {
+                        if (err)
+                            *err = path + ".snapshot_extend: "
+                                          "expected a boolean";
+                        return false;
+                    }
+                    spec.snapshot_extend = sv.asBool();
                 } else {
                     if (err)
                         *err = path + "." + skey +

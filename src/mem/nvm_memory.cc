@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "telemetry/timeline.hh"
 
 namespace wlcache {
@@ -90,6 +91,7 @@ NvmMemory::write(Addr addr, unsigned bytes, const void *data, Cycle now)
     release(addr, bytes, start + beats * params_.t_burst,
             ready + params_.writeRecovery());
     std::memcpy(data_.data() + addr, data, bytes);
+    touchPages(addr, bytes);
     ++stat_writes_;
     stat_bytes_written_ += bytes;
     if (meter_)
@@ -120,6 +122,7 @@ NvmMemory::poke(Addr addr, unsigned bytes, const void *data)
     checkRange(addr, bytes);
     wlc_assert(data != nullptr);
     std::memcpy(data_.data() + addr, data, bytes);
+    touchPages(addr, bytes);
 }
 
 std::uint64_t
@@ -163,6 +166,69 @@ void
 NvmMemory::resetStats()
 {
     stat_group_.resetAll();
+}
+
+void
+NvmMemory::touchPages(Addr addr, unsigned bytes)
+{
+    const std::uint64_t first = addr / kJournalPageBytes;
+    const std::uint64_t last = (addr + bytes - 1) / kJournalPageBytes;
+    for (std::uint64_t p = first; p <= last; ++p)
+        touched_pages_.insert(p);
+}
+
+void
+NvmMemory::clearJournal()
+{
+    touched_pages_.clear();
+}
+
+void
+NvmMemory::saveState(SnapshotWriter &w) const
+{
+    w.section("NVM ");
+    w.u64(channel_busy_until_);
+    w.u64(bank_busy_until_.size());
+    for (const Cycle b : bank_busy_until_)
+        w.u64(b);
+    stat_group_.saveState(w);
+
+    std::vector<std::uint64_t> pages(touched_pages_.begin(),
+                                     touched_pages_.end());
+    std::sort(pages.begin(), pages.end());
+    w.u64(pages.size());
+    for (const std::uint64_t p : pages) {
+        const std::size_t off = p * kJournalPageBytes;
+        const std::size_t n =
+            std::min(kJournalPageBytes, data_.size() - off);
+        w.u64(p);
+        w.u64(n);
+        w.bytes(data_.data() + off, n);
+    }
+}
+
+void
+NvmMemory::restoreState(SnapshotReader &r)
+{
+    r.section("NVM ");
+    channel_busy_until_ = r.u64();
+    const std::uint64_t n_banks = r.u64();
+    wlc_assert(n_banks == bank_busy_until_.size());
+    for (Cycle &b : bank_busy_until_)
+        b = r.u64();
+    stat_group_.restoreState(r);
+
+    touched_pages_.clear();
+    const std::uint64_t n_pages = r.u64();
+    for (std::uint64_t i = 0; i < n_pages; ++i) {
+        const std::uint64_t p = r.u64();
+        const std::uint64_t n = r.u64();
+        const std::size_t off = p * kJournalPageBytes;
+        wlc_assert(off + n <= data_.size(),
+                   "snapshot journal page out of range");
+        r.bytes(data_.data() + off, n);
+        touched_pages_.insert(p);
+    }
 }
 
 } // namespace mem

@@ -11,6 +11,7 @@
 #define WLCACHE_MEM_NVM_MEMORY_HH
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "energy/energy_meter.hh"
@@ -19,6 +20,9 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
 
 namespace telemetry { class TimelineBuffer; }
 
@@ -110,6 +114,37 @@ class NvmMemory
     /** Attach a telemetry timeline (null detaches); observational. */
     void setTimeline(telemetry::TimelineBuffer *tl) { tl_ = tl; }
 
+    // --- Snapshot support -------------------------------------------------
+
+    /** Bytes per copy-on-write journal page. */
+    static constexpr std::size_t kJournalPageBytes = 4096;
+
+    /**
+     * Forget which pages have been modified. Called once after the
+     * initial program image is poked in, so the journal tracks only
+     * pages the *run* dirtied — a snapshot then stores those pages
+     * instead of the whole array (restore starts from a freshly
+     * constructed memory holding the same initial image).
+     */
+    void clearJournal();
+
+    /** Pages currently in the copy-on-write journal. */
+    std::size_t journalPages() const { return touched_pages_.size(); }
+
+    /**
+     * Serialize timing cursors, statistics, and the journal pages
+     * (sorted by page index for a deterministic byte stream).
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /**
+     * Restore onto a memory holding the pristine initial image:
+     * journal pages overwrite their page contents and become the new
+     * journal (so a later snapshot of the resumed run still covers
+     * every page dirtied since construction).
+     */
+    void restoreState(SnapshotReader &r);
+
   private:
     void checkRange(Addr addr, unsigned bytes) const;
 
@@ -124,12 +159,16 @@ class NvmMemory
     void release(Addr addr, unsigned bytes, Cycle channel_until,
                  Cycle bank_until);
 
+    /** Record [@p addr, @p addr + @p bytes) in the COW journal. */
+    void touchPages(Addr addr, unsigned bytes);
+
     NvmParams params_;
     energy::EnergyMeter *meter_;
     telemetry::TimelineBuffer *tl_ = nullptr;
     std::vector<std::uint8_t> data_;
     Cycle channel_busy_until_ = 0;
     std::vector<Cycle> bank_busy_until_;
+    std::unordered_set<std::uint64_t> touched_pages_;
 
     stats::StatGroup stat_group_;
     stats::Scalar &stat_reads_;

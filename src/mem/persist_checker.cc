@@ -5,6 +5,7 @@
 
 #include "mem/nvm_memory.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace mem {
@@ -112,6 +113,33 @@ PersistChecker::describe(const std::vector<PersistMismatch> &ms)
         out += buf;
     }
     return out;
+}
+
+void
+PersistChecker::saveState(SnapshotWriter &w) const
+{
+    w.section("CHK ");
+    std::vector<std::pair<Addr, std::uint8_t>> entries(shadow_.begin(),
+                                                       shadow_.end());
+    std::sort(entries.begin(), entries.end());
+    w.u64(entries.size());
+    for (const auto &[addr, expected] : entries) {
+        w.u64(addr);
+        w.u8(expected);
+    }
+}
+
+void
+PersistChecker::restoreState(SnapshotReader &r)
+{
+    r.section("CHK ");
+    shadow_.clear();
+    const std::uint64_t n = r.u64();
+    shadow_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr addr = r.u64();
+        shadow_[addr] = r.u8();
+    }
 }
 
 } // namespace mem

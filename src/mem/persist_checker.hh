@@ -18,6 +18,10 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace mem {
 
 class NvmMemory;
@@ -103,6 +107,12 @@ class PersistChecker
 
     /** Render a short human-readable mismatch report. */
     static std::string describe(const std::vector<PersistMismatch> &ms);
+
+    /** Serialize the shadow image (sorted for determinism). */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     std::unordered_map<Addr, std::uint8_t> shadow_;

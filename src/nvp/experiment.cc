@@ -17,6 +17,12 @@ resolveConfig(const ExperimentSpec &spec)
 RunResult
 runExperiment(const ExperimentSpec &spec)
 {
+    return runExperimentEx(spec, RunOptions{});
+}
+
+RunResult
+runExperimentEx(const ExperimentSpec &spec, const RunOptions &opts)
+{
     const SystemConfig cfg = resolveConfig(spec);
 
     const workloads::BuiltTrace &trace =
@@ -31,7 +37,7 @@ runExperiment(const ExperimentSpec &spec)
                           tg);
 
     SystemSim sim(cfg, trace, power, spec.no_failure);
-    return sim.run();
+    return sim.run(opts);
 }
 
 double

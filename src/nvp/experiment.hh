@@ -47,6 +47,13 @@ SystemConfig resolveConfig(const ExperimentSpec &spec);
 /** Run one experiment to completion. */
 RunResult runExperiment(const ExperimentSpec &spec);
 
+/**
+ * Run one experiment with snapshot/resume/budget controls (see
+ * RunOptions). runExperiment(spec) == runExperimentEx(spec, {}).
+ */
+RunResult runExperimentEx(const ExperimentSpec &spec,
+                          const RunOptions &opts);
+
 /** Execution-time speedup of @p x relative to @p baseline (>1 means
  *  @p x is faster). */
 double speedupVs(const RunResult &x, const RunResult &baseline);

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 namespace nvp {
@@ -49,6 +50,27 @@ NvffStore::restore(void *data, unsigned bytes, unsigned offset) const
                     read_energy_per_byte_ * bytes);
     return static_cast<Cycle>(
         std::ceil(write_latency_per_byte_ * bytes * 0.5));
+}
+
+void
+NvffStore::saveState(SnapshotWriter &w) const
+{
+    w.section("NVFF");
+    w.vecU8(data_);
+    w.b(has_image_);
+    w.u64(checkpoints_);
+}
+
+void
+NvffStore::restoreState(SnapshotReader &r)
+{
+    r.section("NVFF");
+    const auto bytes = r.vecU8();
+    wlc_assert(bytes.size() == data_.size(),
+               "NVFF snapshot capacity mismatch");
+    data_ = bytes;
+    has_image_ = r.b();
+    checkpoints_ = r.u64();
 }
 
 } // namespace nvp

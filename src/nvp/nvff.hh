@@ -19,6 +19,10 @@
 #include "sim/types.hh"
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace nvp {
 
 /** A small bank of non-volatile flip-flops. */
@@ -57,6 +61,12 @@ class NvffStore
 
     /** Total checkpoints performed (statistics). */
     std::uint64_t checkpointCount() const { return checkpoints_; }
+
+    /** Serialize the bank contents and checkpoint bookkeeping. */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     std::vector<std::uint8_t> data_;

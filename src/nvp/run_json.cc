@@ -1,6 +1,7 @@
 #include "nvp/run_json.hh"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -28,6 +29,13 @@ jsonEscape(const std::string &s)
 std::string
 num(double v)
 {
+    // JSON has no Inf/NaN literal: "%.17g" would print "inf" and the
+    // strict reader would reject the record forever after (a poisoned
+    // cache entry). Clamp non-finite values to 0 — every producer is
+    // expected to have guarded its ratios already, this is the last
+    // line of defence.
+    if (!std::isfinite(v))
+        v = 0.0;
     // 17 significant digits: enough for exact double round-trips
     // through the result cache.
     char buf[48];

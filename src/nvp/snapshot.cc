@@ -1,0 +1,97 @@
+#include "nvp/snapshot.hh"
+
+#include <cstring>
+
+#include "sim/snapshot.hh"
+
+namespace wlcache {
+namespace nvp {
+
+namespace {
+
+/** Store-blob magic: "WLSN" little-endian. */
+constexpr std::uint32_t kBlobMagic = 0x4e534c57u;
+
+} // namespace
+
+const SystemSnapshot *
+SnapshotSet::bestBefore(Cycle c) const
+{
+    const SystemSnapshot *best = nullptr;
+    for (const SystemSnapshot &s : snaps) {
+        if (s.cycle >= c)
+            break;
+        best = &s;
+    }
+    return best;
+}
+
+std::vector<std::uint8_t>
+encodeSnapshot(const SystemSnapshot &s)
+{
+    SnapshotWriter w;
+    w.u32(kBlobMagic);
+    w.u32(SystemSnapshot::kFormatVersion);
+    w.str(s.compat_key);
+    w.u64(s.cycle);
+    w.u64(s.event_index);
+    w.vecU8(s.state);
+    return w.take();
+}
+
+bool
+decodeSnapshot(const std::vector<std::uint8_t> &blob, SystemSnapshot &out)
+{
+    // Hand-rolled cursor: a corrupt store entry must read as a miss,
+    // not trip SnapshotReader's panic-on-underflow contract.
+    std::size_t pos = 0;
+    auto avail = [&](std::size_t n) { return blob.size() - pos >= n; };
+    auto rd_u32 = [&](std::uint32_t &v) {
+        if (!avail(4))
+            return false;
+        v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(blob[pos++]) << (8 * i);
+        return true;
+    };
+    auto rd_u64 = [&](std::uint64_t &v) {
+        if (!avail(8))
+            return false;
+        v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(blob[pos++]) << (8 * i);
+        return true;
+    };
+
+    std::uint32_t magic = 0, version = 0;
+    if (!rd_u32(magic) || magic != kBlobMagic)
+        return false;
+    if (!rd_u32(version) || version != SystemSnapshot::kFormatVersion)
+        return false;
+
+    std::uint64_t key_len = 0;
+    if (!rd_u64(key_len) || !avail(key_len))
+        return false;
+    SystemSnapshot s;
+    s.compat_key.assign(reinterpret_cast<const char *>(blob.data() + pos),
+                        static_cast<std::size_t>(key_len));
+    pos += static_cast<std::size_t>(key_len);
+
+    if (!rd_u64(s.cycle) || !rd_u64(s.event_index))
+        return false;
+    std::uint64_t state_len = 0;
+    if (!rd_u64(state_len) || !avail(state_len))
+        return false;
+    s.state.assign(blob.begin() + static_cast<std::ptrdiff_t>(pos),
+                   blob.begin() +
+                       static_cast<std::ptrdiff_t>(pos + state_len));
+    pos += static_cast<std::size_t>(state_len);
+    if (pos != blob.size() || s.state.empty())
+        return false;
+
+    out = std::move(s);
+    return true;
+}
+
+} // namespace nvp
+} // namespace wlcache

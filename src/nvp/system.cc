@@ -1,6 +1,7 @@
 #include "nvp/system.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "cache/no_cache.hh"
@@ -11,6 +12,7 @@
 #include "cache/wt_buffered_cache.hh"
 #include "cpu/register_file.hh"
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "sim/trace_log.hh"
 #include "telemetry/timeline.hh"
 #include "util/strings.hh"
@@ -30,11 +32,15 @@ SystemSim::SystemSim(const SystemConfig &cfg,
            cfg.platform.vmax),
       harvester_(power, cfg.platform.harvest_efficiency, infinite_power)
 {
-    // Load the program's initial data image into NVM.
+    // Load the program's initial data image into NVM. The write
+    // journal starts empty afterwards: every system built from the
+    // same trace shares this baseline, so snapshots only need the
+    // pages a run actually mutated.
     if (!trace_.initial_image.empty())
         nvm_->poke(trace_.image_base,
                    static_cast<unsigned>(trace_.initial_image.size()),
                    trace_.initial_image.data());
+    nvm_->clearJournal();
 
     buildCaches();
 
@@ -90,6 +96,33 @@ SystemSim::SystemSim(const SystemConfig &cfg,
     tl_ = cfg_.timeline;
     attachTimeline();
     recomputeThresholds();
+
+    // Resume-compatibility key: every configuration knob the captured
+    // state depends on. The forced-outage schedule and the injection
+    // flags are neutralized deliberately — they only *trigger* extra
+    // behaviour at or after a scheduled point, so a golden run's
+    // prefix snapshot resumes correctly into a point run. max_outages
+    // is likewise prefix-invariant (it only decides when to give up).
+    SystemConfig keyed = cfg_;
+    keyed.forced_outage_cycles.clear();
+    keyed.inject_checkpoint_skip = false;
+    keyed.inject_register_skip = false;
+    keyed.max_outages = 0;
+    keyed.timeline = nullptr;
+    std::ostringstream ks;
+    dumpConfigKey(ks, keyed);
+    ks << "trace=" << trace_.name << '\n'
+       << "trace_seed=" << trace_.seed << '\n'
+       << "trace_events=" << trace_.events.size() << '\n'
+       << "infinite_power=" << (harvester_.infinite() ? 1 : 0) << '\n'
+       << "power_period=" << power.samplePeriod() << '\n'
+       << "power_hash="
+       << util::fnv1a128Hex(power.samples().data(),
+                            power.samples().size() * sizeof(double))
+       << '\n'
+       << "snapshot_format=" << SystemSnapshot::kFormatVersion << '\n';
+    const std::string key_text = ks.str();
+    snapshot_key_ = util::fnv1a128Hex(key_text.data(), key_text.size());
 }
 
 void
@@ -537,39 +570,332 @@ SystemSim::computeFinalDigest()
     res_.final_state_digest = util::fnv1a128Hex(img.data(), img.size());
 }
 
+namespace {
+
+/** Serialize every RunResult field ("RES " section). */
+void
+saveRunResult(SnapshotWriter &w, const RunResult &res)
+{
+    w.section("RES ");
+    w.str(res.workload);
+    w.u8(static_cast<std::uint8_t>(res.design));
+    w.b(res.completed);
+    w.u64(res.on_cycles);
+    w.f64(res.off_seconds);
+    w.f64(res.total_seconds);
+    w.u64(res.instructions);
+    w.u64(res.trace_events);
+    w.u64(res.replayed_events);
+    w.u64(res.outages);
+    w.u64(res.reserve_violations);
+    res.meter.saveState(w);
+    w.u64(res.nvm_writes);
+    w.u64(res.nvm_bytes_written);
+    w.u64(res.nvm_reads);
+    w.f64(res.dcache_load_hit_rate);
+    w.f64(res.dcache_store_hit_rate);
+    w.u64(res.store_stall_cycles);
+    w.u32(res.reconfigurations);
+    w.u32(res.maxline_min_seen);
+    w.u32(res.maxline_max_seen);
+    w.f64(res.prediction_accuracy);
+    w.f64(res.avg_dirty_at_ckpt);
+    w.f64(res.writebacks_per_on_period);
+    w.u64(res.dyn_maxline_raises);
+    w.u64(res.consistency_checks);
+    w.u64(res.consistency_violations);
+    w.u64(res.load_value_mismatches);
+    w.b(res.final_state_correct);
+    w.u64(res.forced_outages);
+    w.u64(res.register_restore_mismatches);
+    w.b(res.divergence);
+    w.b(res.has_first_divergence);
+    w.str(res.first_divergence_kind);
+    w.u64(res.first_divergence_addr);
+    w.u64(res.first_divergence_cycle);
+    w.u64(res.first_divergence_outage);
+    w.str(res.final_state_digest);
+    w.str(res.stats_json);
+    w.u64(res.intervals.size());
+    for (const telemetry::IntervalRollup &iv : res.intervals) {
+        w.u64(iv.index);
+        w.u64(iv.start_cycle);
+        w.u64(iv.end_cycle);
+        w.u64(iv.instructions);
+        w.u64(iv.nvm_writes);
+        w.u64(iv.cleans);
+        w.u32(iv.dirty_high_water);
+        w.f64(iv.checkpoint_j);
+        w.f64(iv.harvested_j);
+    }
+    w.u64(res.intervals_dropped);
+}
+
+/** Mirror of saveRunResult(). */
+void
+restoreRunResult(SnapshotReader &r, RunResult &res)
+{
+    r.section("RES ");
+    res.workload = r.str();
+    res.design = static_cast<DesignKind>(r.u8());
+    res.completed = r.b();
+    res.on_cycles = r.u64();
+    res.off_seconds = r.f64();
+    res.total_seconds = r.f64();
+    res.instructions = r.u64();
+    res.trace_events = r.u64();
+    res.replayed_events = r.u64();
+    res.outages = r.u64();
+    res.reserve_violations = r.u64();
+    res.meter.restoreState(r);
+    res.nvm_writes = r.u64();
+    res.nvm_bytes_written = r.u64();
+    res.nvm_reads = r.u64();
+    res.dcache_load_hit_rate = r.f64();
+    res.dcache_store_hit_rate = r.f64();
+    res.store_stall_cycles = r.u64();
+    res.reconfigurations = r.u32();
+    res.maxline_min_seen = r.u32();
+    res.maxline_max_seen = r.u32();
+    res.prediction_accuracy = r.f64();
+    res.avg_dirty_at_ckpt = r.f64();
+    res.writebacks_per_on_period = r.f64();
+    res.dyn_maxline_raises = r.u64();
+    res.consistency_checks = r.u64();
+    res.consistency_violations = r.u64();
+    res.load_value_mismatches = r.u64();
+    res.final_state_correct = r.b();
+    res.forced_outages = r.u64();
+    res.register_restore_mismatches = r.u64();
+    res.divergence = r.b();
+    res.has_first_divergence = r.b();
+    res.first_divergence_kind = r.str();
+    res.first_divergence_addr = r.u64();
+    res.first_divergence_cycle = r.u64();
+    res.first_divergence_outage = r.u64();
+    res.final_state_digest = r.str();
+    res.stats_json = r.str();
+    const std::uint64_t n_iv = r.u64();
+    res.intervals.clear();
+    res.intervals.reserve(n_iv);
+    for (std::uint64_t i = 0; i < n_iv; ++i) {
+        telemetry::IntervalRollup iv;
+        iv.index = r.u64();
+        iv.start_cycle = r.u64();
+        iv.end_cycle = r.u64();
+        iv.instructions = r.u64();
+        iv.nvm_writes = r.u64();
+        iv.cleans = r.u64();
+        iv.dirty_high_water = r.u32();
+        iv.checkpoint_j = r.f64();
+        iv.harvested_j = r.f64();
+        res.intervals.push_back(iv);
+    }
+    res.intervals_dropped = r.u64();
+}
+
+} // namespace
+
+SystemSnapshot
+SystemSim::takeSnapshot() const
+{
+    SnapshotWriter w;
+    w.section("SYSH");
+    w.u32(SystemSnapshot::kFormatVersion);
+    w.u64(now_);
+    w.u64(idx_);
+    saveRunResult(w, res_);
+    meter_.saveState(w);
+    cap_.saveState(w);
+    harvester_.saveState(w);
+    nvm_->saveState(w);
+    dcache_->saveState(w);
+    icache_->saveState(w);
+    core_->saveState(w);
+    w.b(runtime_ != nullptr);
+    if (runtime_)
+        runtime_->saveState(w);
+    nvff_->saveState(w);
+    checker_.saveState(w);
+    w.section("SYS2");
+    w.u64(now_);
+    w.u64(boot_cycle_);
+    w.f64(last_meter_total_);
+    w.f64(backup_energy_level_);
+    w.f64(vbackup_now_);
+    w.f64(von_now_);
+    w.b(environment_dead_);
+    w.b(warned_reserve_);
+    w.u64(interval_index_);
+    w.u64(interval_start_cycle_);
+    w.u64(interval_instret_base_);
+    w.u64(interval_nvm_writes_base_);
+    w.u64(interval_cleans_base_);
+    w.f64(interval_harvest_base_);
+    w.u64(forced_idx_);
+    for (const std::uint32_t v : last_ckpt_regs_)
+        w.u32(v);
+    w.b(has_ckpt_regs_);
+    w.u64(idx_);
+    w.u64(region_start_idx_);
+    w.b(region_stream_snapshot_ != nullptr);
+    if (region_stream_snapshot_)
+        region_stream_snapshot_->saveState(w);
+    std::vector<Addr> dirty(region_dirty_bytes_.begin(),
+                            region_dirty_bytes_.end());
+    std::sort(dirty.begin(), dirty.end());
+    w.u64(dirty.size());
+    for (const Addr a : dirty)
+        w.u64(a);
+
+    SystemSnapshot snap;
+    snap.compat_key = snapshot_key_;
+    snap.cycle = now_;
+    snap.event_index = idx_;
+    snap.state = w.take();
+    return snap;
+}
+
+void
+SystemSim::restoreSnapshot(const SystemSnapshot &snap)
+{
+    wlc_assert(snap.valid(), "cannot restore an empty snapshot");
+    wlc_assert(snap.compat_key == snapshot_key_,
+               "snapshot resume-compatibility key mismatch "
+               "(%s vs this system's %s)",
+               snap.compat_key.c_str(), snapshot_key_.c_str());
+    SnapshotReader r(snap.state);
+    r.section("SYSH");
+    const std::uint32_t ver = r.u32();
+    wlc_assert(ver == SystemSnapshot::kFormatVersion,
+               "unsupported snapshot format version %u", ver);
+    const Cycle header_cycle = r.u64();
+    const std::uint64_t header_idx = r.u64();
+    wlc_assert(header_cycle == snap.cycle &&
+                   header_idx == snap.event_index,
+               "snapshot header disagrees with its metadata");
+    restoreRunResult(r, res_);
+    meter_.restoreState(r);
+    cap_.restoreState(r);
+    harvester_.restoreState(r);
+    nvm_->restoreState(r);
+    dcache_->restoreState(r);
+    icache_->restoreState(r);
+    core_->restoreState(r);
+    const bool has_rt = r.b();
+    wlc_assert(has_rt == (runtime_ != nullptr),
+               "snapshot adaptive-runtime presence mismatch");
+    if (runtime_)
+        runtime_->restoreState(r);
+    nvff_->restoreState(r);
+    checker_.restoreState(r);
+    r.section("SYS2");
+    now_ = r.u64();
+    boot_cycle_ = r.u64();
+    last_meter_total_ = r.f64();
+    backup_energy_level_ = r.f64();
+    vbackup_now_ = r.f64();
+    von_now_ = r.f64();
+    environment_dead_ = r.b();
+    warned_reserve_ = r.b();
+    interval_index_ = r.u64();
+    interval_start_cycle_ = r.u64();
+    interval_instret_base_ = r.u64();
+    interval_nvm_writes_base_ = r.u64();
+    interval_cleans_base_ = r.u64();
+    interval_harvest_base_ = r.f64();
+    forced_idx_ = static_cast<std::size_t>(r.u64());
+    for (std::uint32_t &v : last_ckpt_regs_)
+        v = r.u32();
+    has_ckpt_regs_ = r.b();
+    idx_ = static_cast<std::size_t>(r.u64());
+    region_start_idx_ = static_cast<std::size_t>(r.u64());
+    if (r.b()) {
+        if (!region_stream_snapshot_)
+            region_stream_snapshot_ =
+                std::make_unique<cpu::ICacheStream>(
+                    core_->streamSnapshot());
+        region_stream_snapshot_->restoreState(r);
+    } else {
+        region_stream_snapshot_.reset();
+    }
+    region_dirty_bytes_.clear();
+    const std::uint64_t n_dirty = r.u64();
+    region_dirty_bytes_.reserve(n_dirty);
+    for (std::uint64_t i = 0; i < n_dirty; ++i)
+        region_dirty_bytes_.insert(r.u64());
+    wlc_assert(r.atEnd(), "trailing bytes after snapshot restore");
+}
+
 RunResult
 SystemSim::run()
 {
-    res_ = RunResult{};
-    res_.workload = trace_.name;
-    res_.design = cfg_.design;
-    res_.trace_events = trace_.events.size();
+    return run(RunOptions{});
+}
 
-    // Initial charge-up to the restore voltage.
-    if (harvester_.infinite()) {
-        cap_.setVoltage(cfg_.platform.vmax);
+RunResult
+SystemSim::run(const RunOptions &opts)
+{
+    if (opts.resume) {
+        restoreSnapshot(*opts.resume);
+        WLC_TIMELINE(tl_, SnapshotResume, now_, "system", idx_,
+                     res_.outages);
     } else {
-        res_.off_seconds += harvester_.chargeUntil(cap_, von_now_);
-        if (cap_.voltage() < von_now_ * (1.0 - 1e-7)) {
-            res_.completed = false;
-            return res_;
+        res_ = RunResult{};
+        res_.workload = trace_.name;
+        res_.design = cfg_.design;
+        res_.trace_events = trace_.events.size();
+
+        // Initial charge-up to the restore voltage.
+        if (harvester_.infinite()) {
+            cap_.setVoltage(cfg_.platform.vmax);
+        } else {
+            res_.off_seconds += harvester_.chargeUntil(cap_, von_now_);
+            if (cap_.voltage() < von_now_ * (1.0 - 1e-7)) {
+                res_.completed = false;
+                return res_;
+            }
         }
+        boot_cycle_ = now_ = 0;
+        idx_ = 0;
+        region_start_idx_ = 0;
+        forced_idx_ = 0;
+        has_ckpt_regs_ = false;
+        interval_index_ = 0;
+        beginInterval();
+        if (replay_)
+            region_stream_snapshot_ =
+                std::make_unique<cpu::ICacheStream>(
+                    core_->streamSnapshot());
     }
-    boot_cycle_ = now_ = 0;
-    idx_ = 0;
-    region_start_idx_ = 0;
-    forced_idx_ = 0;
-    has_ckpt_regs_ = false;
-    interval_index_ = 0;
-    beginInterval();
-    if (replay_)
-        region_stream_snapshot_ = std::make_unique<cpu::ICacheStream>(
-            core_->streamSnapshot());
 
     const std::size_t n = trace_.events.size();
     const bool failures_possible = !harvester_.infinite();
+    const std::uint64_t stop_idx =
+        opts.max_events ? opts.max_events : ~std::uint64_t{0};
+    Cycle next_snap = 0;
+    if (opts.snapshot_interval)
+        next_snap = (now_ / opts.snapshot_interval + 1) *
+            opts.snapshot_interval;
 
     while (idx_ < n) {
+        if (idx_ >= stop_idx) {
+            // Event budget exhausted: capture the cut state so a
+            // later run can resume exactly here, then finalize as an
+            // interrupted run (completed stays false).
+            if (opts.cut)
+                *opts.cut = takeSnapshot();
+            break;
+        }
+        if (opts.snapshot_interval && now_ >= next_snap) {
+            SystemSnapshot s = takeSnapshot();
+            WLC_TIMELINE(tl_, SnapshotTaken, now_, "system", idx_,
+                         s.state.size());
+            if (opts.snapshot_sink)
+                opts.snapshot_sink(std::move(s));
+            next_snap = (now_ / opts.snapshot_interval + 1) *
+                opts.snapshot_interval;
+        }
         const MemAccess &ev = trace_.events[idx_];
         std::uint64_t load_val = 0;
         const Cycle end = core_->executeEvent(ev, now_, &load_val);
@@ -655,11 +981,20 @@ SystemSim::run()
     res_.nvm_bytes_written = nvm_->bytesWritten();
     collectStatsJson();
 
+    // Derived ratios must stay finite: a dead trace or a zero-outage
+    // run can hand back 0/0 or x/0 here, and a NaN/Inf would poison
+    // the run's JSON record (and through it the result cache).
+    const auto finite_or = [](double v, double fallback) {
+        return std::isfinite(v) ? v : fallback;
+    };
+
     const auto &cs = dcache_->stats();
     const double loads = std::max(1.0, cs.loads.value());
     const double stores = std::max(1.0, cs.stores.value());
-    res_.dcache_load_hit_rate = cs.load_hits.value() / loads;
-    res_.dcache_store_hit_rate = cs.store_hits.value() / stores;
+    res_.dcache_load_hit_rate =
+        finite_or(cs.load_hits.value() / loads, 0.0);
+    res_.dcache_store_hit_rate =
+        finite_or(cs.store_hits.value() / stores, 0.0);
     res_.store_stall_cycles =
         static_cast<std::uint64_t>(cs.stall_cycles.value());
 
@@ -667,14 +1002,17 @@ SystemSim::run()
         res_.reconfigurations = runtime_->reconfigurations();
         res_.maxline_min_seen = runtime_->observedMaxlineMin();
         res_.maxline_max_seen = runtime_->observedMaxlineMax();
-        res_.prediction_accuracy = runtime_->predictionAccuracy();
-        res_.avg_dirty_at_ckpt = wl_->wlStats().dirty_at_ckpt.mean();
+        res_.prediction_accuracy =
+            finite_or(runtime_->predictionAccuracy(), 1.0);
+        res_.avg_dirty_at_ckpt =
+            finite_or(wl_->wlStats().dirty_at_ckpt.mean(), 0.0);
         res_.dyn_maxline_raises = static_cast<std::uint64_t>(
             wl_->wlStats().dyn_maxline_raises.value());
         if (res_.outages > 0)
-            res_.writebacks_per_on_period =
+            res_.writebacks_per_on_period = finite_or(
                 wl_->wlStats().cleanings.value() /
-                static_cast<double>(res_.outages);
+                    static_cast<double>(res_.outages),
+                0.0);
     }
     return res_;
 }

@@ -14,7 +14,9 @@
 #define WLCACHE_NVP_SYSTEM_HH
 
 #include <array>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_set>
 
 #include "cache/cache_iface.hh"
@@ -28,6 +30,7 @@
 #include "mem/nvm_memory.hh"
 #include "mem/persist_checker.hh"
 #include "nvp/nvff.hh"
+#include "nvp/snapshot.hh"
 #include "nvp/system_config.hh"
 #include "telemetry/rollup.hh"
 #include "workloads/workloads.hh"
@@ -124,6 +127,35 @@ struct RunResult
     std::uint64_t intervals_dropped = 0;
 };
 
+/** Optional run-loop controls: snapshot capture, resume, budgets. */
+struct RunOptions
+{
+    /**
+     * Resume from this snapshot instead of booting cold (null runs
+     * cold). The snapshot's compat_key must match this system's.
+     */
+    const SystemSnapshot *resume = nullptr;
+
+    /**
+     * Stop once this many trace events have been consumed since run
+     * start (0 = run to completion). The budget is an absolute event
+     * index, so resumed runs count their fast-forwarded prefix.
+     */
+    std::uint64_t max_events = 0;
+
+    /** Receives the cut state when max_events stops the run early. */
+    SystemSnapshot *cut = nullptr;
+
+    /**
+     * Capture a snapshot at the first event boundary at or past every
+     * multiple of this many cycles (0 = never).
+     */
+    Cycle snapshot_interval = 0;
+
+    /** Receives each interval snapshot (unset discards them). */
+    std::function<void(SystemSnapshot &&)> snapshot_sink;
+};
+
 /** One simulated system instance bound to a workload and a trace. */
 class SystemSim
 {
@@ -143,6 +175,27 @@ class SystemSim
 
     /** Run the workload to completion (or until max_outages). */
     RunResult run();
+
+    /** Run with snapshot/resume/budget controls. */
+    RunResult run(const RunOptions &opts);
+
+    /**
+     * Capture the complete deterministic run state. Only meaningful
+     * at an event-loop boundary (between executed trace events);
+     * resuming from the result is observationally identical to cold
+     * execution of the same prefix.
+     */
+    SystemSnapshot takeSnapshot() const;
+
+    /**
+     * Restore a state captured by takeSnapshot() on a system built
+     * from a resume-compatible configuration and the same trace.
+     * Panics on a compat-key or format mismatch.
+     */
+    void restoreSnapshot(const SystemSnapshot &snap);
+
+    /** Resume-compatibility key of this configuration + trace. */
+    const std::string &snapshotKey() const { return snapshot_key_; }
 
     /** Access the data cache (tests). */
     cache::DataCache &dcache() { return *dcache_; }
@@ -180,6 +233,7 @@ class SystemSim
 
     const SystemConfig cfg_;
     const workloads::BuiltTrace &trace_;
+    std::string snapshot_key_;
 
     energy::EnergyMeter meter_;
     std::unique_ptr<mem::NvmMemory> nvm_;

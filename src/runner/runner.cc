@@ -10,6 +10,7 @@
 #include "nvp/run_json.hh"
 #include "runner/progress.hh"
 #include "runner/result_cache.hh"
+#include "runner/snapshot_store.hh"
 #include "runner/spec_key.hh"
 #include "sim/logging.hh"
 
@@ -49,6 +50,7 @@ Runner::runAll(const JobSet &set)
         return results;
 
     const ResultCache cache(cfg_.cache_dir);
+    const SnapshotStore snaps(cfg_.snapshot_dir);
     std::ostream *pout = nullptr;
     if (cfg_.progress)
         pout = cfg_.progress_out ? cfg_.progress_out : &std::cerr;
@@ -58,6 +60,7 @@ Runner::runAll(const JobSet &set)
     // land in per-job slots, so completion order never matters.
     std::atomic<std::size_t> next{ 0 };
     std::atomic<std::size_t> executed{ 0 };
+    std::atomic<std::uint64_t> sim_cycles{ 0 };
     const auto batch_t0 = std::chrono::steady_clock::now();
 
     auto work = [&]() {
@@ -75,10 +78,29 @@ Runner::runAll(const JobSet &set)
             rec.t_start_s =
                 std::chrono::duration<double>(t0 - batch_t0).count();
             rec.cached = cache.load(job.key, results[i]);
-            if (!rec.cached) {
-                results[i] = nvp::runExperiment(job.spec);
+            if (rec.cached) {
+                // A warm partial job still needs its cut snapshot so
+                // a later rung can resume from it.
+                if (job.max_events && job.cut && !job.cut->valid())
+                    snaps.load(job.key, *job.cut);
+            } else {
+                nvp::RunOptions ro;
+                ro.max_events = job.max_events;
+                if (job.resume && job.resume->valid())
+                    ro.resume = job.resume.get();
+                ro.cut = job.cut.get();
+                results[i] = nvp::runExperimentEx(job.spec, ro);
                 cache.store(job.key, results[i]);
+                if (job.max_events && job.cut && job.cut->valid())
+                    snaps.store(job.key, *job.cut);
                 executed.fetch_add(1, std::memory_order_relaxed);
+                const std::uint64_t skipped =
+                    ro.resume ? ro.resume->cycle : 0;
+                sim_cycles.fetch_add(
+                    results[i].on_cycles > skipped
+                        ? results[i].on_cycles - skipped
+                        : 0,
+                    std::memory_order_relaxed);
             }
             rec.completed = results[i].completed;
             const auto t1 = std::chrono::steady_clock::now();
@@ -106,6 +128,7 @@ Runner::runAll(const JobSet &set)
 
     stats_.cache_hits = progress.cacheHits();
     stats_.executed = executed.load();
+    stats_.simulated_cycles = sim_cycles.load();
     stats_.wall_seconds = progress.elapsedSeconds();
 
     if (!cfg_.manifest_path.empty())

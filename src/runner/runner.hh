@@ -36,6 +36,15 @@ struct RunnerConfig
     /** Result-cache directory; empty disables caching. */
     std::string cache_dir;
 
+    /**
+     * Snapshot-store directory; empty disables it. When set, a job
+     * that cuts at an event budget has its cut snapshot stored under
+     * the job's (partial) key, and a cache-hit partial job gets its
+     * cut snapshot loaded back — so a warm explorer rung can still be
+     * resumed instead of re-simulated.
+     */
+    std::string snapshot_dir;
+
     /** Emit per-job progress lines to @c progress_out (stderr). */
     bool progress = false;
     /** Progress sink; null falls back to std::cerr. */
@@ -70,6 +79,13 @@ struct BatchStats
     std::size_t executed = 0;
     unsigned jobs = 0;             //!< Worker threads actually used.
     double wall_seconds = 0.0;
+    /**
+     * On-cycles actually simulated by executed jobs: each job's
+     * on_cycles minus the fast-forwarded prefix of its resume
+     * snapshot. Cache hits contribute nothing. This is the economics
+     * of snapshot resume — the acceptance metric for campaigns.
+     */
+    std::uint64_t simulated_cycles = 0;
     std::vector<JobRecord> records; //!< Submission order.
 };
 

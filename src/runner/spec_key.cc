@@ -38,5 +38,37 @@ specKey(const nvp::ExperimentSpec &spec)
     return hashKeyText(specKeyText(spec));
 }
 
+std::string
+resumeKey(const nvp::ExperimentSpec &spec)
+{
+    const nvp::SystemConfig cfg = nvp::resolveConfig(spec);
+    nvp::SystemConfig keyed = cfg;
+    keyed.forced_outage_cycles.clear();
+    keyed.inject_checkpoint_skip = false;
+    keyed.inject_register_skip = false;
+    keyed.max_outages = 0;
+    keyed.timeline = nullptr;
+
+    std::ostringstream os;
+    os << "schema=" << kResultSchemaVersion << '\n'
+       << "resume\n"
+       << "workload=" << spec.workload << '\n'
+       << "scale=" << spec.scale << '\n'
+       << "workload_seed=" << spec.workload_seed << '\n'
+       << "power=" << energy::traceKindName(spec.power) << '\n'
+       << "power_seed=" << spec.power_seed << '\n'
+       << "no_failure=" << spec.no_failure << '\n';
+    nvp::dumpConfigKey(os, keyed);
+    return hashKeyText(os.str());
+}
+
+std::string
+partialKey(const nvp::ExperimentSpec &spec, std::uint64_t max_events)
+{
+    std::ostringstream os;
+    os << specKeyText(spec) << "partial_events=" << max_events << '\n';
+    return hashKeyText(os.str());
+}
+
 } // namespace runner
 } // namespace wlcache

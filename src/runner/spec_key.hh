@@ -30,9 +30,11 @@ namespace runner {
  * History: 1 = PR-1; 2 = verification campaigns (forced outages,
  * register differential, per-run divergence record and digest);
  * 3 = telemetry (stats tree + interval rollups in run records,
- * max_interval_rollups in the config key).
+ * max_interval_rollups in the config key); 4 = energy-math fixes
+ * (harvester phase rebase, capacitor rail clamping) changed every
+ * numeric result, plus deterministic snapshots.
  */
-constexpr unsigned kResultSchemaVersion = 3;
+constexpr unsigned kResultSchemaVersion = 4;
 
 /**
  * Canonical text describing everything that determines a run's
@@ -46,6 +48,25 @@ std::string hashKeyText(const std::string &text);
 
 /** Cache key for @p spec: hashKeyText(specKeyText(spec)). */
 std::string specKey(const nvp::ExperimentSpec &spec);
+
+/**
+ * Snapshot resume-compatibility key for @p spec: like specKey() but
+ * with the forced-outage schedule and fault-injection flags
+ * neutralized, because they only alter behaviour at or after their
+ * trigger point — the execution *prefix* (what a snapshot captures)
+ * is identical. A golden run and its fault-injection point runs share
+ * this key, which is what lets the campaign engine reuse the golden
+ * run's interval snapshots across every injection point.
+ */
+std::string resumeKey(const nvp::ExperimentSpec &spec);
+
+/**
+ * Cache key for a budget-truncated run of @p spec that stops after
+ * @p max_events trace events. A partial run's record must never alias
+ * the full run's, so the event budget is folded into the key.
+ */
+std::string partialKey(const nvp::ExperimentSpec &spec,
+                       std::uint64_t max_events);
 
 } // namespace runner
 } // namespace wlcache

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace wlcache {
 
@@ -113,6 +114,26 @@ Rng::nextExponential(double mean_value)
     while (u <= 1e-300)
         u = nextDouble();
     return -mean_value * std::log(u);
+}
+
+void
+Rng::saveState(SnapshotWriter &w) const
+{
+    w.section("RNG ");
+    for (const std::uint64_t s : s_)
+        w.u64(s);
+    w.b(have_cached_gaussian_);
+    w.f64(cached_gaussian_);
+}
+
+void
+Rng::restoreState(SnapshotReader &r)
+{
+    r.section("RNG ");
+    for (std::uint64_t &s : s_)
+        s = r.u64();
+    have_cached_gaussian_ = r.b();
+    cached_gaussian_ = r.f64();
 }
 
 } // namespace wlcache

@@ -12,6 +12,9 @@
 
 namespace wlcache {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /**
  * xoshiro256** PRNG seeded via SplitMix64. Small, fast, and fully
  * deterministic across platforms (no libstdc++ distribution use).
@@ -48,6 +51,12 @@ class Rng
      * (inter-arrival times for bursty power traces).
      */
     double nextExponential(double mean_value);
+
+    /** Serialize the generator state (stream + cached gaussian). */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sectioned binary serializer for deterministic simulation snapshots.
+ * Every field is written individually (no struct memcpy, so padding
+ * bytes never leak into the stream) and doubles travel as their exact
+ * IEEE-754 bit pattern, making the encoding bit-stable across runs.
+ * Four-character section tags frame each component's state; a reader
+ * that drifts out of sync panics on the first tag mismatch instead of
+ * silently misinterpreting bytes.
+ */
+
+#ifndef WLCACHE_SIM_SNAPSHOT_HH
+#define WLCACHE_SIM_SNAPSHOT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wlcache {
+
+/** Append-only little-endian byte-stream writer. */
+class SnapshotWriter
+{
+  public:
+    /** Frame the fields that follow with a 4-character tag. */
+    void section(const char *tag);
+
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** Exact IEEE-754 bit pattern; NaN payloads round-trip. */
+    void f64(double v);
+    void b(bool v) { u8(v ? 1 : 0); }
+    /** Length-prefixed UTF-8 bytes. */
+    void str(const std::string &s);
+    /** Raw bytes, no length prefix (caller knows the size). */
+    void bytes(const void *p, std::size_t n);
+    /** Length-prefixed byte vector. */
+    void vecU8(const std::vector<std::uint8_t> &v);
+
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Mirror-image reader. Any mismatch — wrong section tag, stream
+ * underflow — is a fatal error: a snapshot either restores exactly or
+ * not at all.
+ */
+class SnapshotReader
+{
+  public:
+    explicit SnapshotReader(const std::vector<std::uint8_t> &buf)
+        : buf_(buf)
+    {}
+
+    /** Consume and verify a 4-character section tag. */
+    void section(const char *tag);
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    bool b() { return u8() != 0; }
+    std::string str();
+    void bytes(void *p, std::size_t n);
+    std::vector<std::uint8_t> vecU8();
+
+    /** True once every byte has been consumed. */
+    bool atEnd() const { return pos_ == buf_.size(); }
+
+  private:
+    void need(std::size_t n) const;
+
+    const std::vector<std::uint8_t> &buf_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace wlcache
+
+#endif // WLCACHE_SIM_SNAPSHOT_HH

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "sim/logging.hh"
+#include "sim/snapshot.hh"
 #include "util/strings.hh"
 
 namespace wlcache {
@@ -148,6 +149,44 @@ Distribution::reset()
     buckets_.fill(0);
 }
 
+void
+Scalar::saveState(SnapshotWriter &w) const
+{
+    w.f64(value_);
+    w.u64(u64_);
+}
+
+void
+Scalar::restoreState(SnapshotReader &r)
+{
+    value_ = r.f64();
+    u64_ = r.u64();
+}
+
+void
+Distribution::saveState(SnapshotWriter &w) const
+{
+    w.u64(count_);
+    w.f64(sum_);
+    w.f64(sum_sq_);
+    w.f64(min_);
+    w.f64(max_);
+    for (const std::uint64_t b : buckets_)
+        w.u64(b);
+}
+
+void
+Distribution::restoreState(SnapshotReader &r)
+{
+    count_ = r.u64();
+    sum_ = r.f64();
+    sum_sq_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+    for (std::uint64_t &b : buckets_)
+        b = r.u64();
+}
+
 Scalar &
 StatGroup::addScalar(const std::string &name, const std::string &desc)
 {
@@ -218,6 +257,42 @@ StatGroup::dumpJson(std::ostream &os) const
         c->dumpJson(os);
     }
     os << '}';
+}
+
+void
+StatGroup::saveState(SnapshotWriter &w) const
+{
+    w.section("STAT");
+    w.u64(owned_.size());
+    for (const auto &s : owned_)
+        s->saveState(w);
+    w.u64(children_.size());
+    for (const auto *c : children_)
+        c->saveState(w);
+}
+
+void
+StatGroup::restoreState(SnapshotReader &r)
+{
+    r.section("STAT");
+    const std::uint64_t n_owned = r.u64();
+    wlc_assert(n_owned == owned_.size(),
+               "stat group '%s': snapshot has %llu statistics, "
+               "group has %zu",
+               name_.c_str(),
+               static_cast<unsigned long long>(n_owned),
+               owned_.size());
+    for (auto &s : owned_)
+        s->restoreState(r);
+    const std::uint64_t n_children = r.u64();
+    wlc_assert(n_children == children_.size(),
+               "stat group '%s': snapshot has %llu children, "
+               "group has %zu",
+               name_.c_str(),
+               static_cast<unsigned long long>(n_children),
+               children_.size());
+    for (auto *c : children_)
+        c->restoreState(r);
 }
 
 const Statistic *

@@ -19,6 +19,10 @@
 #include <vector>
 
 namespace wlcache {
+
+class SnapshotWriter;
+class SnapshotReader;
+
 namespace stats {
 
 /** Abstract named statistic. */
@@ -41,6 +45,12 @@ class Statistic
 
     /** Reset to the initial value. */
     virtual void reset() = 0;
+
+    /** Serialize the accumulator state for a simulation snapshot. */
+    virtual void saveState(SnapshotWriter &w) const = 0;
+
+    /** Restore a state saved with saveState(). */
+    virtual void restoreState(SnapshotReader &r) = 0;
 
   private:
     std::string name_;
@@ -84,6 +94,8 @@ class Scalar : public Statistic
     std::string render() const override;
     void writeJson(std::ostream &os) const override;
     void reset() override { value_ = 0.0; u64_ = 0; }
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
 
   private:
     double value_ = 0.0;
@@ -121,6 +133,8 @@ class Distribution : public Statistic
     std::string render() const override;
     void writeJson(std::ostream &os) const override;
     void reset() override;
+    void saveState(SnapshotWriter &w) const override;
+    void restoreState(SnapshotReader &r) override;
 
   private:
     std::uint64_t count_ = 0;
@@ -169,6 +183,17 @@ class StatGroup
 
     /** Find a statistic by name in this group only; null if absent. */
     const Statistic *find(const std::string &name) const;
+
+    /**
+     * Serialize every owned statistic and child group in registration
+     * order. Restore requires the identical group structure (the same
+     * component built from the same configuration), which snapshots
+     * guarantee via their compatibility key.
+     */
+    void saveState(SnapshotWriter &w) const;
+
+    /** Restore a state saved with saveState(). */
+    void restoreState(SnapshotReader &r);
 
     const std::string &name() const { return name_; }
 

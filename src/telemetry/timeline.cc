@@ -24,6 +24,8 @@ eventTypeName(EventType t)
       case EventType::AdaptDecision: return "adapt_decision";
       case EventType::CapThreshold:  return "cap_threshold";
       case EventType::CoreProgress:  return "core_progress";
+      case EventType::SnapshotTaken:  return "snapshot_taken";
+      case EventType::SnapshotResume: return "snapshot_resume";
     }
     panic("unknown EventType %d", static_cast<int>(t));
 }
@@ -37,6 +39,8 @@ eventTrack(EventType t)
       case EventType::Checkpoint:
       case EventType::Restore:
       case EventType::CapThreshold:
+      case EventType::SnapshotTaken:
+      case EventType::SnapshotResume:
         return Track::Power;
       case EventType::DqInsert:
       case EventType::DqClean:

@@ -1,8 +1,14 @@
 #include "verify/campaign.hh"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
+#include "nvp/snapshot.hh"
+#include "runner/result_cache.hh"
 #include "runner/runner.hh"
+#include "runner/snapshot_store.hh"
+#include "runner/spec_key.hh"
 #include "sim/logging.hh"
 
 namespace wlcache {
@@ -121,6 +127,7 @@ absorbStats(CampaignReport &rep, const runner::BatchStats &st)
     rep.runs += st.total;
     rep.cache_hits += st.cache_hits;
     rep.executed += st.executed;
+    rep.simulated_cycles += st.simulated_cycles;
 }
 
 } // anonymous namespace
@@ -137,8 +144,55 @@ runCampaign(const CampaignConfig &cfg)
     rc.cache_dir = cfg.cache_dir;
     runner::Runner runner(rc);
 
+    // Snapshot resume only makes sense under the infinite-power
+    // fault model: under ambient power the point runs live in the
+    // spec's harvesting environment while the golden run does not,
+    // so they share no common prefix to fast-forward through.
+    std::uint64_t snap_interval = cfg.snapshot_interval;
+    if (snap_interval && cfg.ambient) {
+        warn("campaign: snapshot resume requires the infinite-power "
+             "fault model; ignoring snapshot_interval under ambient");
+        snap_interval = 0;
+    }
+
     // --- 1. Golden reference: uninterrupted, fault-free. ---
-    {
+    //
+    // With snapshots enabled the golden run doubles as the ladder
+    // recorder: it executes directly (a result-cache hit would skip
+    // the simulation and record nothing) with a snapshot sink, and
+    // the ladder is persisted to the snapshot store so later
+    // campaigns skip even that. Taking snapshots never perturbs the
+    // run, so the RunResult is identical either way.
+    nvp::SnapshotSet ladder;
+    bool have_ladder = false;
+    const runner::SnapshotStore snaps(cfg.snapshot_dir);
+    bool golden_done = false;
+    if (snap_interval) {
+        const nvp::ExperimentSpec gspec = goldenSpec(cfg);
+        const std::string rkey = runner::resumeKey(gspec);
+        if (snaps.loadSet(rkey, ladder) &&
+            ladder.interval == snap_interval) {
+            have_ladder = true;
+        } else {
+            ladder = nvp::SnapshotSet{};
+            ladder.interval = snap_interval;
+            nvp::RunOptions ro;
+            ro.snapshot_interval = snap_interval;
+            ro.snapshot_sink = [&ladder](nvp::SystemSnapshot s) {
+                ladder.snaps.push_back(std::move(s));
+            };
+            rep.golden = nvp::runExperimentEx(gspec, ro);
+            ++rep.runs;
+            ++rep.executed;
+            rep.simulated_cycles += rep.golden.on_cycles;
+            have_ladder = true;
+            golden_done = true;
+            snaps.storeSet(rkey, ladder);
+            const runner::ResultCache cache(cfg.cache_dir);
+            cache.store(runner::specKey(gspec), rep.golden);
+        }
+    }
+    if (!golden_done) {
         runner::JobSet set;
         set.add(goldenSpec(cfg), "golden");
         rep.golden = runner.runAll(set).at(0);
@@ -169,11 +223,37 @@ runCampaign(const CampaignConfig &cfg)
     std::sort(pts.begin(), pts.end());
     pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
 
+    // Shared holders so every point resuming from the same ladder
+    // rung references one snapshot instead of copying it.
+    std::vector<std::shared_ptr<const nvp::SystemSnapshot>> rungs;
+    if (have_ladder) {
+        rungs.reserve(ladder.snaps.size());
+        for (const nvp::SystemSnapshot &s : ladder.snaps)
+            rungs.push_back(
+                std::make_shared<const nvp::SystemSnapshot>(s));
+    }
+    auto resumeFor = [&](std::uint64_t point)
+        -> std::shared_ptr<const nvp::SystemSnapshot> {
+        if (!have_ladder)
+            return nullptr;
+        // Strictly before the point: a snapshot taken AT the outage
+        // cycle was captured after the forced-outage check passed.
+        const nvp::SystemSnapshot *s = ladder.bestBefore(point);
+        if (!s || !s->valid())
+            return nullptr;
+        return rungs[static_cast<std::size_t>(
+            s - ladder.snaps.data())];
+    };
+
     // --- 3. Sweep: one run per point, fanned over the pool. ---
     if (!pts.empty()) {
         runner::JobSet set;
-        for (const std::uint64_t p : pts)
-            set.add(pointSpec(cfg, p), "p" + std::to_string(p));
+        for (const std::uint64_t p : pts) {
+            const std::size_t i =
+                set.add(pointSpec(cfg, p), "p" + std::to_string(p));
+            if (auto r = resumeFor(p))
+                set.setResume(i, std::move(r));
+        }
         const std::vector<nvp::RunResult> runs = runner.runAll(set);
         absorbStats(rep, runner.stats());
         rep.points.reserve(pts.size());
@@ -208,6 +288,7 @@ runCampaign(const CampaignConfig &cfg)
         const nvp::RunResult rr = nvp::runExperiment(spec);
         ++rep.runs;
         ++rep.executed;
+        rep.simulated_cycles += rr.on_cycles;
         // Digest-only divergences carry no first-divergence cycle;
         // fall back to the end of the run.
         const Cycle upto = rr.has_first_divergence
@@ -249,6 +330,8 @@ runCampaign(const CampaignConfig &cfg)
             runner::JobSet probe;
             probe.add(pointSpec(cfg, mid),
                       "bisect" + std::to_string(mid));
+            if (auto r = resumeFor(mid))
+                probe.setResume(0, std::move(r));
             const nvp::RunResult run = runner.runAll(probe).at(0);
             absorbStats(rep, runner.stats());
             ++b.probes;

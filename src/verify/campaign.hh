@@ -84,6 +84,25 @@ struct CampaignConfig
     std::string cache_dir;      //!< Result cache; empty disables.
 
     /**
+     * Golden-run snapshot ladder interval in cycles; 0 disables.
+     * When set, the golden run records a snapshot every this-many
+     * cycles and every point (and bisect-probe) run fast-forwards
+     * from the nearest snapshot strictly before its outage point
+     * instead of re-simulating the shared prefix. Resume is purely an
+     * accelerator — the report is byte-identical either way. Only
+     * valid with the default infinite-power fault model: under
+     * @c ambient the point runs do not share the golden run's prefix,
+     * so the interval is ignored (with a warning).
+     */
+    std::uint64_t snapshot_interval = 0;
+    /**
+     * Snapshot-store directory for persisting the golden ladder
+     * across campaigns (keyed like the result cache). Empty keeps
+     * the ladder in memory for this campaign only.
+     */
+    std::string snapshot_dir;
+
+    /**
      * After a divergent sweep, re-run the first divergent point with a
      * telemetry timeline attached and keep the last this-many events
      * at or before the first divergence cycle (the "what led up to
@@ -159,6 +178,14 @@ struct CampaignReport
     std::size_t runs = 0;
     std::size_t cache_hits = 0;
     std::size_t executed = 0;
+    /**
+     * On-cycles actually simulated across every executed run, with
+     * each snapshot-resumed run counting only the cycles past its
+     * resume point. Deliberately NOT serialized into the JSON report:
+     * a snapshot-accelerated campaign must produce a byte-identical
+     * report to a cold one, and this is the one field that differs.
+     */
+    std::uint64_t simulated_cycles = 0;
 
     /** No divergence anywhere (bisect probes included). */
     bool allClean() const { return num_divergent == 0; }

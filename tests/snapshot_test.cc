@@ -1,0 +1,482 @@
+/**
+ * @file
+ * Deterministic-snapshot tests: the sectioned serializer round-trips
+ * every field kind, snapshot blobs survive encode/decode and reject
+ * corruption, and — the load-bearing property — a run resumed from
+ * any interval snapshot is observationally identical to the cold run
+ * (byte-identical run-record JSON, same final-image digest), fuzzed
+ * across designs, workloads, and power environments. Also pins the
+ * fault-campaign fast-forward path: a snapshot-accelerated campaign
+ * must produce a byte-identical report to a cold one while
+ * simulating several times fewer cycles.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nvp/experiment.hh"
+#include "nvp/run_json.hh"
+#include "nvp/snapshot.hh"
+#include "nvp/system.hh"
+#include "runner/snapshot_store.hh"
+#include "sim/snapshot.hh"
+#include "telemetry/timeline.hh"
+#include "verify/campaign.hh"
+#include "workloads/workloads.hh"
+
+using namespace wlcache;
+
+namespace {
+
+std::string
+resultJson(const nvp::RunResult &r)
+{
+    std::ostringstream os;
+    nvp::writeRunResultJson(os, r);
+    return os.str();
+}
+
+} // namespace
+
+// --- Serializer primitives ---
+
+TEST(SnapshotIo, WriterReaderRoundTrip)
+{
+    SnapshotWriter w;
+    w.section("TST ");
+    w.u8(0xab);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefull);
+    w.f64(-1.5e-300);
+    w.f64(0.1);  // not exactly representable; must bit-round-trip
+    w.b(true);
+    w.b(false);
+    w.str("hello snapshot");
+    w.vecU8({ 1, 2, 3, 255 });
+    const std::uint8_t raw[3] = { 9, 8, 7 };
+    w.bytes(raw, sizeof(raw));
+
+    SnapshotReader r(w.data());
+    r.section("TST ");
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_DOUBLE_EQ(r.f64(), -1.5e-300);
+    EXPECT_DOUBLE_EQ(r.f64(), 0.1);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.str(), "hello snapshot");
+    EXPECT_EQ(r.vecU8(), (std::vector<std::uint8_t>{ 1, 2, 3, 255 }));
+    std::uint8_t got[3] = {};
+    r.bytes(got, sizeof(got));
+    EXPECT_EQ(got[0], 9);
+    EXPECT_EQ(got[2], 7);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(SnapshotIo, SectionMismatchIsFatal)
+{
+    SnapshotWriter w;
+    w.section("AAAA");
+    w.u32(1);
+    SnapshotReader r(w.data());
+    EXPECT_DEATH(r.section("BBBB"), "");
+}
+
+TEST(SnapshotIo, UnderflowIsFatal)
+{
+    SnapshotWriter w;
+    w.u8(1);
+    SnapshotReader r(w.data());
+    r.u8();
+    EXPECT_DEATH(r.u32(), "");
+}
+
+// --- Blob encode/decode ---
+
+TEST(SnapshotBlob, EncodeDecodeRoundTrip)
+{
+    nvp::SystemSnapshot s;
+    s.compat_key = "0123456789abcdef0123456789abcdef";
+    s.cycle = 123456789;
+    s.event_index = 4242;
+    s.state = { 0xde, 0xad, 0xbe, 0xef, 0x00, 0x42 };
+
+    nvp::SystemSnapshot out;
+    ASSERT_TRUE(nvp::decodeSnapshot(nvp::encodeSnapshot(s), out));
+    EXPECT_EQ(out.compat_key, s.compat_key);
+    EXPECT_EQ(out.cycle, s.cycle);
+    EXPECT_EQ(out.event_index, s.event_index);
+    EXPECT_EQ(out.state, s.state);
+    EXPECT_TRUE(out.valid());
+}
+
+TEST(SnapshotBlob, DecodeRejectsCorruption)
+{
+    nvp::SystemSnapshot s;
+    s.compat_key = "k";
+    s.cycle = 7;
+    s.event_index = 3;
+    s.state = { 1, 2, 3 };
+    const std::vector<std::uint8_t> good = nvp::encodeSnapshot(s);
+
+    nvp::SystemSnapshot out;
+    // Bad magic.
+    auto bad = good;
+    bad[0] ^= 0xff;
+    EXPECT_FALSE(nvp::decodeSnapshot(bad, out));
+    // Truncation at every prefix length.
+    for (std::size_t n = 0; n < good.size(); ++n) {
+        const std::vector<std::uint8_t> cut(good.begin(),
+                                            good.begin() + n);
+        EXPECT_FALSE(nvp::decodeSnapshot(cut, out)) << n;
+    }
+    // Trailing garbage.
+    bad = good;
+    bad.push_back(0);
+    EXPECT_FALSE(nvp::decodeSnapshot(bad, out));
+    // Unknown format version.
+    bad = good;
+    bad[4] ^= 0x40;
+    EXPECT_FALSE(nvp::decodeSnapshot(bad, out));
+}
+
+TEST(SnapshotBlob, BestBeforeIsStrictlyBefore)
+{
+    nvp::SnapshotSet set;
+    set.interval = 100;
+    for (std::uint64_t c : { 100u, 200u, 300u }) {
+        nvp::SystemSnapshot s;
+        s.compat_key = "k";
+        s.cycle = c;
+        s.event_index = c / 10;
+        s.state = { 1 };
+        set.snaps.push_back(s);
+    }
+    EXPECT_EQ(set.bestBefore(50), nullptr);
+    EXPECT_EQ(set.bestBefore(100), nullptr);  // AT the point is too late
+    ASSERT_NE(set.bestBefore(101), nullptr);
+    EXPECT_EQ(set.bestBefore(101)->cycle, 100u);
+    EXPECT_EQ(set.bestBefore(300)->cycle, 200u);
+    EXPECT_EQ(set.bestBefore(100000)->cycle, 300u);
+}
+
+// --- On-disk snapshot store ---
+
+TEST(SnapshotStore, RoundTripAndCorruptionAsMiss)
+{
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         "wlc_snapstore_test")
+            .string();
+    std::filesystem::remove_all(dir);
+    const runner::SnapshotStore store(dir);
+
+    nvp::SystemSnapshot s;
+    s.compat_key = "key";
+    s.cycle = 10;
+    s.event_index = 1;
+    s.state = { 5, 6 };
+    store.store("aa", s);
+    nvp::SystemSnapshot got;
+    ASSERT_TRUE(store.load("aa", got));
+    EXPECT_EQ(got.cycle, 10u);
+    EXPECT_FALSE(store.load("missing", got));
+
+    nvp::SnapshotSet set;
+    set.interval = 64;
+    set.snaps = { s, s };
+    store.storeSet("bb", set);
+    nvp::SnapshotSet gotset;
+    ASSERT_TRUE(store.loadSet("bb", gotset));
+    EXPECT_EQ(gotset.interval, 64u);
+    ASSERT_EQ(gotset.snaps.size(), 2u);
+    EXPECT_EQ(gotset.snaps[1].state, s.state);
+
+    // A corrupted entry reads as a miss and is removed.
+    {
+        std::ofstream trash(store.entryPath("aa"),
+                            std::ios::binary | std::ios::trunc);
+        trash << "not a snapshot";
+    }
+    EXPECT_FALSE(store.load("aa", got));
+    EXPECT_FALSE(std::filesystem::exists(store.entryPath("aa")));
+
+    std::filesystem::remove_all(dir);
+}
+
+// --- Resume-equivalence fuzz ---
+
+namespace {
+
+struct FuzzCase
+{
+    nvp::DesignKind design;
+    const char *app;
+    bool no_failure;
+    energy::TraceKind power;
+};
+
+const FuzzCase kFuzzCases[] = {
+    { nvp::DesignKind::WL, "sha", true, energy::TraceKind::Constant },
+    { nvp::DesignKind::WL, "dijkstra", false,
+      energy::TraceKind::RfHome },
+    { nvp::DesignKind::VCacheWT, "sha", false,
+      energy::TraceKind::RfHome },
+    { nvp::DesignKind::NVCacheWB, "adpcmdecode", false,
+      energy::TraceKind::RfOffice },
+    { nvp::DesignKind::NvsramWB, "sha", false,
+      energy::TraceKind::Solar },
+    { nvp::DesignKind::Replay, "dijkstra", true,
+      energy::TraceKind::Constant },
+    { nvp::DesignKind::WtBuffered, "adpcmdecode", false,
+      energy::TraceKind::RfHome },
+    { nvp::DesignKind::NoCache, "sha", false,
+      energy::TraceKind::Thermal },
+};
+
+nvp::ExperimentSpec
+fuzzSpec(const FuzzCase &c)
+{
+    nvp::ExperimentSpec s;
+    s.design = c.design;
+    s.workload = c.app;
+    s.no_failure = c.no_failure;
+    s.power = c.power;
+    s.tweak = [](nvp::SystemConfig &cfg) {
+        cfg.validate_consistency = true;
+        cfg.check_load_values = true;
+    };
+    return s;
+}
+
+} // namespace
+
+TEST(SnapshotResume, FuzzObservationalIdentity)
+{
+    std::mt19937 rng(20260807u);
+    std::size_t total_points = 0;
+
+    for (const FuzzCase &c : kFuzzCases) {
+        const nvp::ExperimentSpec spec = fuzzSpec(c);
+        SCOPED_TRACE(std::string(nvp::designKindName(c.design)) +
+                     "/" + c.app);
+
+        // Cold baseline, no snapshot machinery at all.
+        const nvp::RunResult cold = nvp::runExperiment(spec);
+        const std::string cold_json = resultJson(cold);
+        ASSERT_TRUE(cold.on_cycles > 0);
+
+        // Same run with interval captures: taking snapshots must not
+        // perturb the simulation in any observable way.
+        std::vector<nvp::SystemSnapshot> snaps;
+        nvp::RunOptions ro;
+        ro.snapshot_interval =
+            std::max<Cycle>(1, cold.on_cycles / 18);
+        ro.snapshot_sink = [&snaps](nvp::SystemSnapshot &&s) {
+            snaps.push_back(std::move(s));
+        };
+        const nvp::RunResult with_caps =
+            nvp::runExperimentEx(spec, ro);
+        EXPECT_EQ(resultJson(with_caps), cold_json);
+        ASSERT_FALSE(snaps.empty());
+
+        // Resume from up to 13 random capture points; every resumed
+        // run must be byte-identical to the cold record.
+        std::vector<std::size_t> order(snaps.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::shuffle(order.begin(), order.end(), rng);
+        const std::size_t n_resume =
+            std::min<std::size_t>(13, order.size());
+        for (std::size_t k = 0; k < n_resume; ++k) {
+            const nvp::SystemSnapshot &snap = snaps[order[k]];
+            ASSERT_TRUE(snap.valid());
+            nvp::RunOptions rr;
+            rr.resume = &snap;
+            const nvp::RunResult resumed =
+                nvp::runExperimentEx(spec, rr);
+            EXPECT_EQ(resultJson(resumed), cold_json)
+                << "resume at cycle " << snap.cycle;
+            EXPECT_EQ(resumed.final_state_digest,
+                      cold.final_state_digest);
+            ++total_points;
+        }
+    }
+    // The fuzz only counts if it actually covered enough points.
+    EXPECT_GE(total_points, 100u);
+}
+
+TEST(SnapshotResume, RoundTripsThroughDiskEncoding)
+{
+    // Same equivalence, but through encodeSnapshot/decodeSnapshot —
+    // the path campaign ladders and explorer rung cuts take.
+    const nvp::ExperimentSpec spec = fuzzSpec(kFuzzCases[1]);
+    const nvp::RunResult cold = nvp::runExperiment(spec);
+
+    std::vector<nvp::SystemSnapshot> snaps;
+    nvp::RunOptions ro;
+    ro.snapshot_interval = std::max<Cycle>(1, cold.on_cycles / 5);
+    ro.snapshot_sink = [&snaps](nvp::SystemSnapshot &&s) {
+        snaps.push_back(std::move(s));
+    };
+    nvp::runExperimentEx(spec, ro);
+    ASSERT_FALSE(snaps.empty());
+
+    nvp::SystemSnapshot mid;
+    ASSERT_TRUE(nvp::decodeSnapshot(
+        nvp::encodeSnapshot(snaps[snaps.size() / 2]), mid));
+    nvp::RunOptions rr;
+    rr.resume = &mid;
+    const nvp::RunResult resumed = nvp::runExperimentEx(spec, rr);
+    EXPECT_EQ(resultJson(resumed), resultJson(cold));
+}
+
+TEST(SnapshotResume, BudgetCutThenExtendMatchesCold)
+{
+    // Explorer-rung shape: cut at an event budget, then extend the
+    // cut to completion. The extended run must equal the cold run.
+    const nvp::ExperimentSpec spec = fuzzSpec(kFuzzCases[0]);
+    const nvp::RunResult cold = nvp::runExperiment(spec);
+    ASSERT_GT(cold.trace_events, 10u);
+
+    nvp::SystemSnapshot cut;
+    nvp::RunOptions budget;
+    budget.max_events = cold.trace_events / 3;
+    budget.cut = &cut;
+    const nvp::RunResult partial =
+        nvp::runExperimentEx(spec, budget);
+    EXPECT_FALSE(partial.completed);
+    ASSERT_TRUE(cut.valid());
+    EXPECT_EQ(cut.event_index, budget.max_events);
+
+    nvp::RunOptions extend;
+    extend.resume = &cut;
+    const nvp::RunResult full = nvp::runExperimentEx(spec, extend);
+    EXPECT_EQ(resultJson(full), resultJson(cold));
+}
+
+TEST(SnapshotResume, TimelineStampsSnapshotEvents)
+{
+    const FuzzCase c = kFuzzCases[0];
+    nvp::ExperimentSpec spec = fuzzSpec(c);
+    telemetry::TimelineBuffer tl(1u << 14);
+    spec.tweak = [&tl](nvp::SystemConfig &cfg) {
+        cfg.validate_consistency = true;
+        cfg.check_load_values = true;
+        cfg.timeline = &tl;
+    };
+
+    const nvp::RunResult probe = nvp::runExperiment(spec);
+    std::vector<nvp::SystemSnapshot> snaps;
+    nvp::RunOptions ro;
+    ro.snapshot_interval = std::max<Cycle>(1, probe.on_cycles / 4);
+    ro.snapshot_sink = [&snaps](nvp::SystemSnapshot &&s) {
+        snaps.push_back(std::move(s));
+    };
+    nvp::runExperimentEx(spec, ro);
+    std::size_t taken = 0;
+    tl.forEach([&](const telemetry::TimelineEvent &e) {
+        if (e.type == telemetry::EventType::SnapshotTaken)
+            ++taken;
+    });
+    EXPECT_EQ(taken, snaps.size());
+    ASSERT_FALSE(snaps.empty());
+
+    nvp::RunOptions rr;
+    rr.resume = &snaps.front();
+    nvp::runExperimentEx(spec, rr);
+    bool resumed_event = false;
+    tl.forEach([&](const telemetry::TimelineEvent &e) {
+        if (e.type == telemetry::EventType::SnapshotResume) {
+            resumed_event = true;
+            EXPECT_EQ(e.cycle, snaps.front().cycle);
+        }
+    });
+    EXPECT_TRUE(resumed_event);
+}
+
+// --- Finiteness of the run record (energy-math satellite) ---
+
+TEST(RunRecord, DeadTraceRecordStaysFinite)
+{
+    // A dead environment kills the run before the first checkpoint:
+    // every derived ratio (dirty-per-checkpoint, prediction accuracy,
+    // hit rates) has a zero denominator and must be guarded — one
+    // inf/nan in the record poisons its result-cache entry forever
+    // (written, then rejected by the strict reader on every load).
+    const workloads::BuiltTrace &trace =
+        workloads::getTrace("sha", 1, 42);
+    const energy::PowerTrace dead(1.0, { 0.0 });
+    const nvp::SystemConfig cfg =
+        nvp::SystemConfig::forDesign(nvp::DesignKind::WL);
+    nvp::SystemSim sim(cfg, trace, dead, /*no_failure=*/false);
+    const nvp::RunResult r = sim.run();
+    ASSERT_FALSE(r.completed);
+
+    EXPECT_TRUE(std::isfinite(r.prediction_accuracy));
+    EXPECT_TRUE(std::isfinite(r.avg_dirty_at_ckpt));
+    EXPECT_TRUE(std::isfinite(r.writebacks_per_on_period));
+    EXPECT_TRUE(std::isfinite(r.dcache_load_hit_rate));
+    EXPECT_TRUE(std::isfinite(r.dcache_store_hit_rate));
+
+    const std::string json = resultJson(r);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    // The record must survive the strict reader (cacheable).
+    std::istringstream is(json);
+    nvp::RunResult back;
+    std::string err;
+    EXPECT_TRUE(nvp::readRunResultJson(is, back, &err)) << err;
+}
+
+// --- Campaign fast-forward acceptance ---
+
+TEST(SnapshotCampaign, ByteIdenticalReportWithFewerCycles)
+{
+    // Probe the golden run length so the exhaustive window can sit
+    // near the end of execution, where fast-forward pays most.
+    nvp::ExperimentSpec probe;
+    probe.design = nvp::DesignKind::WL;
+    probe.workload = "sha";
+    probe.no_failure = true;
+    const std::uint64_t n = nvp::runExperiment(probe).on_cycles;
+    ASSERT_GT(n, 1000u);
+
+    verify::CampaignConfig cc;
+    cc.base = probe;
+    cc.base.power = energy::TraceKind::Constant;
+    cc.jobs = 2;
+    cc.has_window = true;
+    cc.window_begin = n - n / 16;
+    cc.window_end = n - n / 16 + 10 * (n / 256 + 1);
+    cc.window_step = n / 256 + 1;
+
+    const verify::CampaignReport cold = verify::runCampaign(cc);
+    ASSERT_TRUE(cold.golden_clean);
+    ASSERT_GE(cold.points.size(), 10u);
+
+    cc.snapshot_interval = n / 32 + 1;
+    const verify::CampaignReport fast = verify::runCampaign(cc);
+
+    // Byte-identical report...
+    std::ostringstream a, b;
+    verify::writeCampaignReportJson(a, cold);
+    verify::writeCampaignReportJson(b, fast);
+    EXPECT_EQ(a.str(), b.str());
+
+    // ...for >= 5x fewer simulated cycles.
+    ASSERT_GT(fast.simulated_cycles, 0u);
+    EXPECT_GE(cold.simulated_cycles,
+              5 * fast.simulated_cycles)
+        << "cold=" << cold.simulated_cycles
+        << " fast=" << fast.simulated_cycles;
+}

@@ -79,6 +79,9 @@ main(int argc, char **argv)
                 "worker threads; 0 = WLCACHE_JOBS env or all cores")
         .option("cache-dir", "",
                 "result-cache directory (empty = no cache)")
+        .option("snapshot-dir", "",
+                "snapshot-store directory for snapshot_extend "
+                "halving rung cuts (empty = in-memory only)")
         .option("csv", "", "write all evaluated points as CSV here")
         .option("report", "",
                 "write the Markdown frontier report here")
@@ -131,6 +134,7 @@ main(int argc, char **argv)
                   name.c_str());
     cfg.jobs = static_cast<unsigned>(args.getInt("jobs"));
     cfg.cache_dir = args.get("cache-dir");
+    cfg.snapshot_dir = args.get("snapshot-dir");
     cfg.progress = args.getFlag("progress");
 
     explore::ExploreReport report;

@@ -161,6 +161,14 @@ main(int argc, char **argv)
                 "worker threads; 0 = WLCACHE_JOBS env or all cores")
         .option("cache-dir", "",
                 "result-cache directory (empty = no cache)")
+        .option("snapshot-interval", "0",
+                "record a golden-run snapshot every N cycles and "
+                "fast-forward each point run from the nearest "
+                "preceding snapshot (0 disables; requires --trace "
+                "none)")
+        .option("snapshot-dir", "",
+                "snapshot-store directory persisting the golden "
+                "ladder across campaigns (empty = in-memory only)")
         .option("timeline-window", "64",
                 "timeline events to attach around the first "
                 "divergence (0 disables the extra traced re-run)")
@@ -228,6 +236,9 @@ main(int argc, char **argv)
             cc.inject_register_skip = inject_regs;
             cc.jobs = static_cast<unsigned>(args.getInt("jobs"));
             cc.cache_dir = args.get("cache-dir");
+            cc.snapshot_interval = static_cast<std::uint64_t>(
+                args.getInt("snapshot-interval"));
+            cc.snapshot_dir = args.get("snapshot-dir");
             cc.timeline_window = static_cast<std::size_t>(
                 args.getInt("timeline-window"));
 

@@ -16,6 +16,18 @@ replPolicyName(ReplPolicy p)
     panic("unknown ReplPolicy %d", static_cast<int>(p));
 }
 
+bool
+replPolicyFromName(const std::string &name, ReplPolicy &out)
+{
+    if (name == "LRU")
+        out = ReplPolicy::LRU;
+    else if (name == "FIFO")
+        out = ReplPolicy::FIFO;
+    else
+        return false;
+    return true;
+}
+
 void
 CacheParams::validate() const
 {

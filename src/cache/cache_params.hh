@@ -10,6 +10,7 @@
 #define WLCACHE_CACHE_CACHE_PARAMS_HH
 
 #include <cstddef>
+#include <string>
 
 #include "sim/types.hh"
 
@@ -25,6 +26,12 @@ enum class ReplPolicy
 
 /** Human-readable policy name. */
 const char *replPolicyName(ReplPolicy p);
+
+/**
+ * Inverse of replPolicyName(): parse "LRU"/"FIFO".
+ * @return true and set @p out on a match; false on an unknown name.
+ */
+bool replPolicyFromName(const std::string &name, ReplPolicy &out);
 
 /** Parameters shared by every cache design. */
 struct CacheParams

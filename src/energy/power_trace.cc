@@ -24,6 +24,22 @@ traceKindName(TraceKind kind)
     panic("unknown TraceKind %d", static_cast<int>(kind));
 }
 
+bool
+traceKindFromName(const std::string &name, TraceKind &out)
+{
+    static constexpr TraceKind kinds[] = {
+        TraceKind::RfHome, TraceKind::RfOffice, TraceKind::RfMementos,
+        TraceKind::Solar,  TraceKind::Thermal,  TraceKind::Constant,
+    };
+    for (const TraceKind k : kinds) {
+        if (name == traceKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
 PowerTrace::PowerTrace(double sample_period_s,
                        std::vector<double> samples_w)
     : sample_period_s_(sample_period_s), samples_w_(std::move(samples_w))

@@ -37,6 +37,13 @@ enum class TraceKind
 const char *traceKindName(TraceKind kind);
 
 /**
+ * Inverse of traceKindName(): parse "trace1".."trace3", "solar",
+ * "thermal", "constant".
+ * @return true and set @p out on a match; false on an unknown name.
+ */
+bool traceKindFromName(const std::string &name, TraceKind &out);
+
+/**
  * A piecewise-constant ambient power waveform. Sampled at a fixed
  * period; reads past the end wrap around, so a finite recording models
  * an arbitrarily long environment.

@@ -43,6 +43,8 @@ runPoints(const ExploreConfig &cfg,
     rc.cache_dir = cfg.cache_dir;
     rc.snapshot_dir = cfg.snapshot_dir;
     rc.progress = cfg.progress;
+    rc.progress_out = cfg.progress_out;
+    rc.executor = cfg.executor;
     runner::Runner runner(rc);
     auto results = runner.runAll(set);
     const auto &stats = runner.stats();
@@ -93,6 +95,8 @@ runExtendRung(const ExploreConfig &cfg,
     rc.cache_dir = cfg.cache_dir;
     rc.snapshot_dir = cfg.snapshot_dir;
     rc.progress = cfg.progress;
+    rc.progress_out = cfg.progress_out;
+    rc.executor = cfg.executor;
     runner::Runner runner(rc);
     auto results = runner.runAll(set);
     const auto &stats = runner.stats();

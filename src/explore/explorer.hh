@@ -19,8 +19,11 @@
 #include <string>
 #include <vector>
 
+#include <iosfwd>
+
 #include "explore/sweep_spec.hh"
 #include "nvp/system.hh"
+#include "runner/runner.hh"
 
 namespace wlcache {
 namespace explore {
@@ -46,7 +49,15 @@ struct ExploreConfig
      * in memory for this exploration only.
      */
     std::string snapshot_dir;
-    bool progress = false;      //!< Per-job progress lines (stderr).
+    bool progress = false;      //!< Per-job progress lines.
+    /** Progress sink; null falls back to std::cerr. */
+    std::ostream *progress_out = nullptr;
+    /**
+     * Remote execution hook passed through to every runner batch
+     * (cache-miss jobs go to the wlcached fleet instead of local
+     * threads). Null executes locally.
+     */
+    runner::RemoteExecutor executor;
 };
 
 /** One fully-evaluated point (at full scale). */

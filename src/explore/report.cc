@@ -6,6 +6,7 @@
 
 #include "sim/csv.hh"
 #include "util/strings.hh"
+#include "util/table.hh"
 
 namespace wlcache {
 namespace explore {
@@ -131,6 +132,44 @@ writeFrontierMarkdown(std::ostream &os, const ExploreReport &report,
           "from the cache, and `wlcache_sim --timeline` on a "
           "frontier point's parameters captures its event "
           "timeline.\n";
+}
+
+void
+writeSummaryText(std::ostream &os, const ExploreReport &report)
+{
+    os << "=== " << report.name << ": " << report.expanded_points
+       << " points, " << report.outcomes.size()
+       << " at full scale, " << report.frontier.size()
+       << " on the frontier (" << searchModeName(report.mode)
+       << ") ===\n";
+    util::TextTable t;
+    std::vector<std::string> header{ "#", "point" };
+    for (const auto &name : report.objective_names)
+        header.push_back(name);
+    t.header(header);
+    std::size_t n = 0;
+    for (const std::size_t idx : report.frontier) {
+        const PointOutcome &o = report.outcomes[idx];
+        std::vector<std::string> row{ std::to_string(++n),
+                                      o.point.id };
+        for (const double v : o.objectives) {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.9g", v);
+            row.push_back(buf);
+        }
+        t.row(row);
+    }
+    t.print(os);
+    if (!report.rungs.empty()) {
+        os << "rungs:";
+        for (const auto &r : report.rungs)
+            os << " x" << r.scale << ":" << r.entrants << "->"
+               << r.promoted;
+        os << "\n";
+    }
+    os << "runs: " << report.full_runs << " full-scale + "
+       << report.triage_runs << " triage, " << report.cache_hits
+       << " cached, " << report.executed << " executed\n";
 }
 
 } // namespace explore

@@ -38,6 +38,15 @@ void writeFrontierMarkdown(std::ostream &os,
                            const ExploreReport &report,
                            const std::string &cache_dir);
 
+/**
+ * Write the human-readable frontier summary (the one-shot CLI's
+ * stdout block: header, frontier table, rung schedule, run
+ * economics). Shared by wlcache_explore and the wlcached sweep
+ * handler so a served exploration renders byte-identically to a
+ * local one.
+ */
+void writeSummaryText(std::ostream &os, const ExploreReport &report);
+
 } // namespace explore
 } // namespace wlcache
 

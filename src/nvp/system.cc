@@ -836,8 +836,14 @@ SystemSim::run()
 RunResult
 SystemSim::run(const RunOptions &opts)
 {
-    if (opts.resume) {
-        restoreSnapshot(*opts.resume);
+    const SystemSnapshot *resume = opts.resume;
+    if (resume && opts.resume_best_effort &&
+        resume->compat_key != snapshot_key_) {
+        warn("ignoring incompatible resume snapshot (cold start)");
+        resume = nullptr;
+    }
+    if (resume) {
+        restoreSnapshot(*resume);
         WLC_TIMELINE(tl_, SnapshotResume, now_, "system", idx_,
                      res_.outages);
     } else {
@@ -879,10 +885,13 @@ SystemSim::run(const RunOptions &opts)
             opts.snapshot_interval;
 
     while (idx_ < n) {
-        if (idx_ >= stop_idx) {
-            // Event budget exhausted: capture the cut state so a
-            // later run can resume exactly here, then finalize as an
-            // interrupted run (completed stays false).
+        if (idx_ >= stop_idx ||
+            (opts.cut_request &&
+             opts.cut_request->load(std::memory_order_relaxed))) {
+            // Event budget exhausted (or an external cut requested):
+            // capture the cut state so a later run can resume exactly
+            // here, then finalize as an interrupted run (completed
+            // stays false).
             if (opts.cut)
                 *opts.cut = takeSnapshot();
             break;

@@ -14,6 +14,7 @@
 #define WLCACHE_NVP_SYSTEM_HH
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -132,9 +133,19 @@ struct RunOptions
 {
     /**
      * Resume from this snapshot instead of booting cold (null runs
-     * cold). The snapshot's compat_key must match this system's.
+     * cold). The snapshot's compat_key must match this system's,
+     * unless resume_best_effort is set.
      */
     const SystemSnapshot *resume = nullptr;
+
+    /**
+     * Treat an incompatible resume snapshot as absent (cold start)
+     * instead of a fatal error. A resume is purely an accelerator, so
+     * falling back is always observationally safe; daemon workers use
+     * this when re-offering drain checkpoints that may have been
+     * written by an older binary.
+     */
+    bool resume_best_effort = false;
 
     /**
      * Stop once this many trace events have been consumed since run
@@ -145,6 +156,15 @@ struct RunOptions
 
     /** Receives the cut state when max_events stops the run early. */
     SystemSnapshot *cut = nullptr;
+
+    /**
+     * Cooperative early-cut request (may be null). Checked at every
+     * event boundary; once it reads true the run stops exactly as if
+     * max_events had been reached there, capturing *cut when set.
+     * Signal handlers can flip it — this is how a draining wlcached
+     * worker checkpoints an in-flight job mid-run.
+     */
+    const std::atomic<bool> *cut_request = nullptr;
 
     /**
      * Capture a snapshot at the first event boundary at or past every

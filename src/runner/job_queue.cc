@@ -1,0 +1,247 @@
+#include "runner/job_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace runner {
+
+const JobOutcome &
+JobTicket::wait()
+{
+    wlc_assert(w_, "wait() on an invalid JobTicket");
+    std::unique_lock<std::mutex> lock(w_->m);
+    w_->cv.wait(lock, [this] { return w_->done; });
+    return w_->outcome;
+}
+
+bool
+JobTicket::done() const
+{
+    if (!w_)
+        return false;
+    std::lock_guard<std::mutex> lock(w_->m);
+    return w_->done;
+}
+
+void
+JobQueue::fulfill(const std::shared_ptr<JobTicket::Waiter> &w,
+                  const JobOutcome &o)
+{
+    {
+        std::lock_guard<std::mutex> lock(w->m);
+        w->outcome = o;
+        w->done = true;
+    }
+    w->cv.notify_all();
+}
+
+JobQueue::JobQueue(unsigned max_retries) : max_retries_(max_retries)
+{}
+
+JobTicket
+JobQueue::submit(QueueJob job)
+{
+    JobTicket t;
+    t.w_ = std::make_shared<JobTicket::Waiter>();
+    t.key_ = job.key;
+
+    std::unique_lock<std::mutex> lock(m_);
+    ++ctr_.submitted;
+
+    if (draining_) {
+        JobOutcome o;
+        o.error = "draining";
+        lock.unlock();
+        fulfill(t.w_, o);
+        return t;
+    }
+
+    auto it = entries_.find(job.key);
+    if (it != entries_.end()) {
+        // Dedupe: same content key already queued or in flight —
+        // join it; one execution will fan out to every waiter.
+        ++ctr_.coalesced;
+        it->second.waiters.push_back(t.w_);
+        return t;
+    }
+
+    Entry e;
+    e.job = std::move(job);
+    e.waiters.push_back(t.w_);
+    const std::string &key = t.key_;
+    entries_.emplace(key, std::move(e));
+    fifo_.push_back(key);
+    ++ctr_.queued;
+    lock.unlock();
+    cv_steal_.notify_one();
+    return t;
+}
+
+bool
+JobQueue::steal(QueueJob &out)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    cv_steal_.wait(lock,
+                   [this] { return draining_ || !fifo_.empty(); });
+    if (draining_)
+        return false;
+    const std::string key = fifo_.front();
+    fifo_.pop_front();
+    auto it = entries_.find(key);
+    wlc_assert(it != entries_.end(), "queued key without entry");
+    it->second.in_flight = true;
+    --ctr_.queued;
+    ++ctr_.in_flight;
+    out = it->second.job;
+    return true;
+}
+
+void
+JobQueue::finishLocked(const std::string &key, const JobOutcome &o)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return;
+    if (it->second.in_flight)
+        --ctr_.in_flight;
+    else
+        --ctr_.queued;
+    if (o.ok)
+        ++ctr_.completed;
+    else
+        ++ctr_.failed;
+    if (o.executed) {
+        const std::size_t n = ++executions_[key];
+        ctr_.max_executions_per_key =
+            std::max(ctr_.max_executions_per_key, n);
+        ++ctr_.executed;
+    }
+    // Entries leave the map on completion: a later submission of the
+    // same key finds the shared result cache warm instead of waiting
+    // here, so the map stays bounded by concurrent work.
+    std::vector<std::shared_ptr<JobTicket::Waiter>> waiters =
+        std::move(it->second.waiters);
+    entries_.erase(it);
+    // Queued (non-in-flight) entries may still sit in fifo_.
+    fifo_.erase(std::remove(fifo_.begin(), fifo_.end(), key),
+                fifo_.end());
+    // Waiter mutexes nest strictly inside m_ (waiters never call
+    // back into the queue), so fulfilling under m_ is safe.
+    for (const auto &w : waiters)
+        fulfill(w, o);
+}
+
+void
+JobQueue::complete(const std::string &key, JobOutcome outcome)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    finishLocked(key, outcome);
+}
+
+void
+JobQueue::requeue(const std::string &key, const std::string &reason)
+{
+    std::unique_lock<std::mutex> lock(m_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return;
+    ++ctr_.requeued;
+
+    if (draining_) {
+        // The drain already persisted the unstarted queue; a cut
+        // in-flight job joins the pending list for the next daemon
+        // instance, and its waiters learn the truth now.
+        drained_.push_back(it->second.job);
+        JobOutcome o;
+        o.error = "draining";
+        finishLocked(key, o);
+        return;
+    }
+
+    if (it->second.retries >= max_retries_) {
+        JobOutcome o;
+        o.error = "gave up after " +
+            std::to_string(it->second.retries + 1) +
+            " attempts: " + reason;
+        finishLocked(key, o);
+        return;
+    }
+
+    ++it->second.retries;
+    it->second.in_flight = false;
+    --ctr_.in_flight;
+    ++ctr_.queued;
+    fifo_.push_back(key);
+    lock.unlock();
+    cv_steal_.notify_one();
+}
+
+void
+JobQueue::cancel(JobTicket &ticket)
+{
+    if (!ticket.valid())
+        return;
+    std::unique_lock<std::mutex> lock(m_);
+    auto it = entries_.find(ticket.key_);
+    if (it == entries_.end())
+        return;
+    auto &ws = it->second.waiters;
+    ws.erase(std::remove(ws.begin(), ws.end(), ticket.w_), ws.end());
+    if (ws.empty() && !it->second.in_flight) {
+        // Last submitter left before any worker stole it: unqueue.
+        ++ctr_.cancelled;
+        --ctr_.queued;
+        fifo_.erase(std::remove(fifo_.begin(), fifo_.end(),
+                                ticket.key_),
+                    fifo_.end());
+        entries_.erase(it);
+    }
+    lock.unlock();
+    JobOutcome o;
+    o.error = "cancelled";
+    fulfill(ticket.w_, o);
+    ticket.w_.reset();
+}
+
+std::vector<QueueJob>
+JobQueue::shutdownAndDrain()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    draining_ = true;
+    std::vector<QueueJob> pending;
+    std::vector<std::string> queued_keys(fifo_.begin(), fifo_.end());
+    for (const auto &key : queued_keys) {
+        auto it = entries_.find(key);
+        if (it == entries_.end())
+            continue;
+        pending.push_back(it->second.job);
+        JobOutcome o;
+        o.error = "draining";
+        finishLocked(key, o);
+    }
+    fifo_.clear();
+    lock.unlock();
+    cv_steal_.notify_all();
+    return pending;
+}
+
+std::vector<QueueJob>
+JobQueue::takeDrained()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<QueueJob> out = std::move(drained_);
+    drained_.clear();
+    return out;
+}
+
+JobQueue::Counters
+JobQueue::counters() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return ctr_;
+}
+
+} // namespace runner
+} // namespace wlcache

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Content-addressed job queue for the wlcached worker fleet. Clients
+ * submit jobs keyed by the runner's spec keys; identical keys from
+ * different clients coalesce into ONE queue entry whose eventual
+ * outcome fans out to every waiter — the dedupe guarantee the daemon
+ * advertises ("overlapping sweeps execute shared points once").
+ * Workers steal entries in FIFO order; a stolen entry stays tracked
+ * as in-flight so a dying or draining worker can hand it back via
+ * requeue() without losing any waiter.
+ */
+
+#ifndef WLCACHE_RUNNER_JOB_QUEUE_HH
+#define WLCACHE_RUNNER_JOB_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wlcache {
+namespace runner {
+
+/** One schedulable unit as it crosses the wire. */
+struct QueueJob
+{
+    std::string key;       //!< Content-addressed identity (dedupe).
+    std::string id;        //!< Human-readable label (first submitter).
+    std::string spec_text; //!< runner::specKeyText() payload.
+    std::uint64_t max_events = 0; //!< Event budget (0 = full run).
+};
+
+/** Terminal outcome of a queue entry, fanned out to every waiter. */
+struct JobOutcome
+{
+    bool ok = false;
+    /** True when a worker actually simulated (false = served from
+     *  the shared result cache or another client's execution). */
+    bool executed = false;
+    std::string result_json; //!< Serialized nvp::RunResult record.
+    std::string error;       //!< Set when !ok.
+};
+
+/**
+ * Handle for one submitter of one job. wait() blocks until the
+ * entry completes (or the queue drains/fails it).
+ */
+class JobTicket
+{
+  public:
+    JobTicket() = default;
+
+    bool valid() const { return static_cast<bool>(w_); }
+
+    /** Block until the outcome is known. */
+    const JobOutcome &wait();
+
+    /** Non-blocking: true once the outcome is known. */
+    bool done() const;
+
+  private:
+    friend class JobQueue;
+
+    struct Waiter
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        JobOutcome outcome;
+    };
+
+    std::shared_ptr<Waiter> w_;
+    std::string key_;
+};
+
+class JobQueue
+{
+  public:
+    struct Counters
+    {
+        std::size_t submitted = 0;   //!< submit() calls.
+        std::size_t coalesced = 0;   //!< Submissions merged into an
+                                     //!< existing entry (dedupe hits).
+        std::size_t completed = 0;   //!< Entries finished ok.
+        std::size_t failed = 0;      //!< Entries finished in error.
+        std::size_t executed = 0;    //!< Outcomes that simulated.
+        std::size_t requeued = 0;    //!< In-flight entries handed back.
+        std::size_t cancelled = 0;   //!< Entries dropped by cancel().
+        /** Highest per-key execution count over the queue's lifetime.
+         *  The dedupe acceptance check: must be 1 under overlap. */
+        std::size_t max_executions_per_key = 0;
+        std::size_t queued = 0;      //!< Currently waiting for a worker.
+        std::size_t in_flight = 0;   //!< Currently on a worker.
+    };
+
+    /** @param max_retries requeues before an entry fails its waiters. */
+    explicit JobQueue(unsigned max_retries = 2);
+
+    /**
+     * Add a job (or join the existing entry with the same key).
+     * After shutdownAndDrain() every submission fails immediately
+     * with a "draining" outcome.
+     */
+    JobTicket submit(QueueJob job);
+
+    /**
+     * Worker side: block for the next queued entry. Returns false
+     * once the queue is draining and will never produce again.
+     */
+    bool steal(QueueJob &out);
+
+    /** Worker side: deliver the outcome for a stolen entry. */
+    void complete(const std::string &key, JobOutcome outcome);
+
+    /**
+     * Worker side: hand a stolen entry back (worker died or was cut
+     * mid-run by a drain). Until the retry cap the entry rejoins the
+     * queue tail keeping all waiters; past it, waiters fail with
+     * @p reason.
+     */
+    void requeue(const std::string &key, const std::string &reason);
+
+    /**
+     * Detach one submitter (client disconnected). The entry itself
+     * is removed only if this was its last waiter and it has not
+     * been stolen yet.
+     */
+    void cancel(JobTicket &ticket);
+
+    /**
+     * Stop producing work: steal() returns false, queued-but-unstolen
+     * jobs are returned for persistence and their waiters fail with
+     * "draining". In-flight entries stay tracked so late complete()/
+     * requeue() calls still resolve; a post-drain requeue lands in
+     * the pending list retrievable via takeDrained().
+     */
+    std::vector<QueueJob> shutdownAndDrain();
+
+    /** Jobs re-offered after the drain started (cut checkpoints). */
+    std::vector<QueueJob> takeDrained();
+
+    Counters counters() const;
+
+  private:
+    struct Entry
+    {
+        QueueJob job;
+        bool in_flight = false;
+        unsigned retries = 0;
+        std::vector<std::shared_ptr<JobTicket::Waiter>> waiters;
+    };
+
+    void finishLocked(const std::string &key, const JobOutcome &o);
+    static void fulfill(const std::shared_ptr<JobTicket::Waiter> &w,
+                        const JobOutcome &o);
+
+    const unsigned max_retries_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_steal_;
+    bool draining_ = false;
+    std::map<std::string, Entry> entries_;
+    std::deque<std::string> fifo_; //!< Keys of queued entries.
+    std::vector<QueueJob> drained_;
+    Counters ctr_;
+    std::map<std::string, std::size_t> executions_; //!< Per key.
+};
+
+} // namespace runner
+} // namespace wlcache
+
+#endif // WLCACHE_RUNNER_JOB_QUEUE_HH

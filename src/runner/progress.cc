@@ -62,7 +62,26 @@ ProgressReporter::jobDone(const std::string &id, bool cached,
     char tail[48];
     std::snprintf(tail, sizeof(tail), "  %.0f ms%s",
                   1e3 * wall_seconds, cached ? " (cached)" : "");
-    *out_ << head << id << tail << std::endl;
+
+    // Single-writer line discipline: assemble the whole line first
+    // and emit it with one write.  Several processes sharing one
+    // terminal (daemon workers, parallel CLI invocations) then
+    // interleave at line granularity instead of mid-line.
+    std::string line;
+    line.reserve(sizeof(head) + id.size() + sizeof(tail) + 1);
+    line += head;
+    line += id;
+    line += tail;
+    line += '\n';
+    emitLine(line);
+}
+
+void
+ProgressReporter::emitLine(const std::string &line)
+{
+    out_->write(line.data(),
+                static_cast<std::streamsize>(line.size()));
+    out_->flush();
 }
 
 void
@@ -71,11 +90,12 @@ ProgressReporter::finish()
     const std::lock_guard<std::mutex> lock(mutex_);
     if (!out_)
         return;
-    *out_ << "batch done: " << done_ << " job"
-          << (done_ == 1 ? "" : "s") << " in "
-          << fmtShortTime(elapsedSeconds()) << ", " << cache_hits_
-          << " cache hit" << (cache_hits_ == 1 ? "" : "s")
-          << std::endl;
+    std::string line = "batch done: " + std::to_string(done_) +
+        " job" + (done_ == 1 ? "" : "s") + " in " +
+        fmtShortTime(elapsedSeconds()) + ", " +
+        std::to_string(cache_hits_) + " cache hit" +
+        (cache_hits_ == 1 ? "" : "s") + "\n";
+    emitLine(line);
 }
 
 } // namespace runner

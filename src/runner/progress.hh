@@ -47,6 +47,10 @@ class ProgressReporter
     double elapsedSeconds() const;
 
   private:
+    /** One-shot line write so concurrent writers interleave whole
+     * lines, never fragments (callers hold mutex_). */
+    void emitLine(const std::string &line);
+
     const std::size_t total_;
     std::ostream *out_;
     const std::chrono::steady_clock::time_point start_;

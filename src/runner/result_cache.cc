@@ -4,10 +4,10 @@
 #include <fstream>
 #include <sstream>
 #include <system_error>
-#include <thread>
 
 #include "nvp/run_json.hh"
 #include "sim/logging.hh"
+#include "util/fs.hh"
 
 namespace wlcache {
 namespace runner {
@@ -51,34 +51,15 @@ ResultCache::store(const std::string &key,
 {
     if (!enabled())
         return;
-    std::error_code ec;
-    fs::create_directories(dir_, ec);
-    if (ec) {
-        warn("result cache: cannot create '%s': %s", dir_.c_str(),
-             ec.message().c_str());
-        return;
-    }
+    std::ostringstream ss;
+    nvp::writeRunResultJson(ss, r);
 
-    // Unique temp name per writer, atomically renamed into place so
-    // a concurrent reader only ever sees complete records.
-    std::ostringstream tmp_name;
-    tmp_name << key << ".tmp." << std::this_thread::get_id();
-    const fs::path tmp = fs::path(dir_) / tmp_name.str();
-    {
-        std::ofstream outf(tmp);
-        if (!outf) {
-            warn("result cache: cannot write '%s'",
-                 tmp.string().c_str());
-            return;
-        }
-        nvp::writeRunResultJson(outf, r);
-    }
-    fs::rename(tmp, entryPath(key), ec);
-    if (ec) {
-        warn("result cache: rename into '%s' failed: %s",
-             entryPath(key).c_str(), ec.message().c_str());
-        fs::remove(tmp, ec);
-    }
+    // Atomic publish keeps the read path lock-free: concurrent
+    // readers only ever see complete records; a concurrent writer of
+    // the same key replaces ours with identical content.
+    std::string err;
+    if (!util::writeFileAtomic(dir_, entryPath(key), ss.str(), &err))
+        warn("result cache: %s", err.c_str());
 }
 
 } // namespace runner

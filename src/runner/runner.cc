@@ -3,8 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
-#include <fstream>
+#include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include "nvp/run_json.hh"
@@ -13,6 +14,7 @@
 #include "runner/snapshot_store.hh"
 #include "runner/spec_key.hh"
 #include "sim/logging.hh"
+#include "util/fs.hh"
 
 namespace wlcache {
 namespace runner {
@@ -83,6 +85,31 @@ Runner::runAll(const JobSet &set)
                 // a later rung can resume from it.
                 if (job.max_events && job.cut && !job.cut->valid())
                     snaps.load(job.key, *job.cut);
+            } else if (cfg_.executor) {
+                bool remote_executed = false;
+                std::string err;
+                if (cfg_.executor(job, results[i], remote_executed,
+                                  &err)) {
+                    if (remote_executed) {
+                        executed.fetch_add(
+                            1, std::memory_order_relaxed);
+                        sim_cycles.fetch_add(
+                            results[i].on_cycles,
+                            std::memory_order_relaxed);
+                    } else {
+                        rec.cached = true;
+                    }
+                    // The fleet publishes partial-job cut snapshots
+                    // to the shared store; pick ours up from there.
+                    if (job.max_events && job.cut &&
+                        !job.cut->valid())
+                        snaps.load(job.key, *job.cut);
+                } else {
+                    // Remote failure (drain, dead worker): record an
+                    // incomplete result; never simulate locally.
+                    warn("remote job '%s' failed: %s", job.id.c_str(),
+                         err.c_str());
+                }
             } else {
                 nvp::RunOptions ro;
                 ro.max_events = job.max_events;
@@ -139,12 +166,7 @@ Runner::runAll(const JobSet &set)
 void
 Runner::writeManifest(const JobSet &set) const
 {
-    std::ofstream out(cfg_.manifest_path);
-    if (!out) {
-        warn("cannot write manifest '%s'",
-             cfg_.manifest_path.c_str());
-        return;
-    }
+    std::ostringstream out;
 
     auto esc = [](const std::string &s) {
         std::string o;
@@ -190,6 +212,20 @@ Runner::writeManifest(const JobSet &set) const
             << (i + 1 < stats_.records.size() ? ",\n" : "\n");
     }
     out << "  ]\n}\n";
+
+    // Serialize concurrent batches (daemon handler threads, parallel
+    // CLIs) writing the same manifest path, and publish atomically so
+    // a reader never sees a torn file.
+    const std::filesystem::path p(cfg_.manifest_path);
+    const std::string dir =
+        p.has_parent_path() ? p.parent_path().string() : ".";
+    util::FileLock lock;
+    lock.lockExclusive(cfg_.manifest_path + ".lock");
+    std::string err;
+    if (!util::writeFileAtomic(dir, cfg_.manifest_path, out.str(),
+                               &err))
+        warn("cannot write manifest '%s': %s",
+             cfg_.manifest_path.c_str(), err.c_str());
 }
 
 } // namespace runner

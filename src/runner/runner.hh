@@ -14,6 +14,7 @@
 #define WLCACHE_RUNNER_RUNNER_HH
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -22,6 +23,21 @@
 
 namespace wlcache {
 namespace runner {
+
+/**
+ * Delegate one cache-miss job to an external execution fabric (the
+ * wlcached worker fleet).  Contract:
+ *  - return true with @p out filled on success; set
+ *    @p remote_executed false when the remote side itself served the
+ *    job from the shared result cache (counts as a cache hit here).
+ *  - return false on failure (worker died, daemon draining); the job
+ *    is recorded as incomplete — there is no local fallback, so a
+ *    draining daemon never starts fresh simulations in its handler
+ *    threads.
+ */
+using RemoteExecutor = std::function<bool(
+    const Job &job, nvp::RunResult &out, bool &remote_executed,
+    std::string *err)>;
 
 /** Batch execution knobs. */
 struct RunnerConfig
@@ -52,6 +68,12 @@ struct RunnerConfig
 
     /** When non-empty, write a batch manifest JSON here. */
     std::string manifest_path;
+
+    /**
+     * When set, cache-miss jobs are submitted here instead of being
+     * simulated on the local worker threads (see RemoteExecutor).
+     */
+    RemoteExecutor executor;
 };
 
 /** Per-job outcome bookkeeping (manifest + tests). */

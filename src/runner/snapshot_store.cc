@@ -2,14 +2,12 @@
 
 #include <cstdint>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <system_error>
-#include <thread>
 #include <vector>
 
 #include "sim/logging.hh"
 #include "sim/snapshot.hh"
+#include "util/fs.hh"
 
 namespace wlcache {
 namespace runner {
@@ -22,48 +20,13 @@ namespace {
 constexpr std::uint32_t kSetMagic = 0x53534c57u;
 constexpr std::uint32_t kSetVersion = 1;
 
-bool
-readFile(const std::string &path, std::vector<std::uint8_t> &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return false;
-    out.assign(std::istreambuf_iterator<char>(in),
-               std::istreambuf_iterator<char>());
-    return in.good() || in.eof();
-}
-
 void
-writeFileAtomic(const std::string &dir, const std::string &final_path,
-                const std::vector<std::uint8_t> &bytes)
+writeAtomic(const std::string &dir, const std::string &final_path,
+            const std::vector<std::uint8_t> &bytes)
 {
-    std::error_code ec;
-    fs::create_directories(dir, ec);
-    if (ec) {
-        warn("snapshot store: cannot create '%s': %s", dir.c_str(),
-             ec.message().c_str());
-        return;
-    }
-    std::ostringstream tmp_name;
-    tmp_name << fs::path(final_path).filename().string() << ".tmp."
-             << std::this_thread::get_id();
-    const fs::path tmp = fs::path(dir) / tmp_name.str();
-    {
-        std::ofstream outf(tmp, std::ios::binary);
-        if (!outf) {
-            warn("snapshot store: cannot write '%s'",
-                 tmp.string().c_str());
-            return;
-        }
-        outf.write(reinterpret_cast<const char *>(bytes.data()),
-                   static_cast<std::streamsize>(bytes.size()));
-    }
-    fs::rename(tmp, final_path, ec);
-    if (ec) {
-        warn("snapshot store: rename into '%s' failed: %s",
-             final_path.c_str(), ec.message().c_str());
-        fs::remove(tmp, ec);
-    }
+    std::string err;
+    if (!util::writeFileAtomic(dir, final_path, bytes, &err))
+        warn("snapshot store: %s", err.c_str());
 }
 
 } // namespace
@@ -89,7 +52,7 @@ SnapshotStore::load(const std::string &key,
     if (!enabled())
         return false;
     std::vector<std::uint8_t> blob;
-    if (!readFile(entryPath(key), blob))
+    if (!util::readFileBytes(entryPath(key), blob))
         return false;
     if (!nvp::decodeSnapshot(blob, out)) {
         warn("snapshot store: discarding corrupted entry %s",
@@ -107,7 +70,7 @@ SnapshotStore::store(const std::string &key,
 {
     if (!enabled())
         return;
-    writeFileAtomic(dir_, entryPath(key), nvp::encodeSnapshot(snap));
+    writeAtomic(dir_, entryPath(key), nvp::encodeSnapshot(snap));
 }
 
 bool
@@ -117,7 +80,7 @@ SnapshotStore::loadSet(const std::string &key,
     if (!enabled())
         return false;
     std::vector<std::uint8_t> blob;
-    if (!readFile(setPath(key), blob))
+    if (!util::readFileBytes(setPath(key), blob))
         return false;
 
     // Tolerant cursor: any corruption reads as a miss.
@@ -193,7 +156,7 @@ SnapshotStore::storeSet(const std::string &key,
     w.u64(set.snaps.size());
     for (const nvp::SystemSnapshot &snap : set.snaps)
         w.vecU8(nvp::encodeSnapshot(snap));
-    writeFileAtomic(dir_, setPath(key), w.data());
+    writeAtomic(dir_, setPath(key), w.data());
 }
 
 } // namespace runner

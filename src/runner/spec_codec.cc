@@ -1,0 +1,348 @@
+#include "runner/spec_codec.hh"
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "runner/spec_key.hh"
+#include "util/strings.hh"
+
+namespace wlcache {
+namespace runner {
+
+namespace {
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno || end != s.c_str() + s.size())
+        return false;
+    out = static_cast<std::uint64_t>(v);
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &s, unsigned &out)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(s, v) || v > 0xffffffffull)
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "0")
+        out = false;
+    else if (s == "1")
+        out = true;
+    else
+        return false;
+    return true;
+}
+
+/**
+ * keyNum() renders doubles as %.17g, which strtod round-trips
+ * exactly; anything strtod fully consumes is accepted.
+ */
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno || end != s.c_str() + s.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+parseSpecText(const std::string &text, nvp::ExperimentSpec &out,
+              std::string *err)
+{
+    auto fail = [&](const std::string &what) {
+        if (err)
+            *err = what;
+        return false;
+    };
+    if (err)
+        err->clear();
+
+    nvp::ExperimentSpec spec;
+    nvp::SystemConfig cfg;
+    bool saw_schema = false, saw_design = false;
+
+    // Field table for everything dumpConfigKey() emits. The closing
+    // round-trip check proves the table is complete: a field missing
+    // here leaves a preset value that re-dumps differently.
+    using Setter = std::function<bool(const std::string &)>;
+    std::map<std::string, Setter> set;
+
+    auto u64 = [&](const char *k, std::uint64_t &f) {
+        set[k] = [&f](const std::string &v) {
+            return parseU64(v, f);
+        };
+    };
+    auto uns = [&](const char *k, unsigned &f) {
+        set[k] = [&f](const std::string &v) {
+            return parseUnsigned(v, f);
+        };
+    };
+    auto siz = [&](const char *k, std::size_t &f) {
+        set[k] = [&f](const std::string &v) {
+            std::uint64_t x = 0;
+            if (!parseU64(v, x))
+                return false;
+            f = static_cast<std::size_t>(x);
+            return true;
+        };
+    };
+    auto bol = [&](const char *k, bool &f) {
+        set[k] = [&f](const std::string &v) {
+            return parseBool(v, f);
+        };
+    };
+    auto dbl = [&](const char *k, double &f) {
+        set[k] = [&f](const std::string &v) {
+            return parseDouble(v, f);
+        };
+    };
+    auto rpl = [&](const char *k, cache::ReplPolicy &f) {
+        set[k] = [&f](const std::string &v) {
+            return cache::replPolicyFromName(v, f);
+        };
+    };
+    auto cacheFields = [&](const std::string &p,
+                           cache::CacheParams &c) {
+        siz((p + ".size_bytes").c_str(), c.size_bytes);
+        uns((p + ".assoc").c_str(), c.assoc);
+        uns((p + ".line_bytes").c_str(), c.line_bytes);
+        rpl((p + ".repl").c_str(), c.repl);
+        u64((p + ".hit_latency").c_str(), c.hit_latency);
+        u64((p + ".write_hit_latency").c_str(), c.write_hit_latency);
+        u64((p + ".miss_lookup_latency").c_str(),
+            c.miss_lookup_latency);
+        dbl((p + ".access_energy_read").c_str(),
+            c.access_energy_read);
+        dbl((p + ".access_energy_write").c_str(),
+            c.access_energy_write);
+        dbl((p + ".line_fill_energy").c_str(), c.line_fill_energy);
+        dbl((p + ".line_read_energy").c_str(), c.line_read_energy);
+        dbl((p + ".leakage_watts").c_str(), c.leakage_watts);
+        dbl((p + ".lru_update_energy").c_str(), c.lru_update_energy);
+    };
+
+    // --- Spec header ---
+    set["schema"] = [&](const std::string &v) {
+        unsigned s = 0;
+        if (!parseUnsigned(v, s))
+            return false;
+        if (s != kResultSchemaVersion) {
+            if (err)
+                *err = "spec schema " + v + " != expected " +
+                       std::to_string(kResultSchemaVersion);
+            return false;
+        }
+        saw_schema = true;
+        return true;
+    };
+    set["workload"] = [&](const std::string &v) {
+        spec.workload = v;
+        return !v.empty();
+    };
+    uns("scale", spec.scale);
+    u64("workload_seed", spec.workload_seed);
+    set["power"] = [&](const std::string &v) {
+        return energy::traceKindFromName(v, spec.power);
+    };
+    u64("power_seed", spec.power_seed);
+    bol("no_failure", spec.no_failure);
+
+    // --- Resolved configuration (dumpConfigKey order) ---
+    set["design"] = [&](const std::string &v) {
+        nvp::DesignKind kind;
+        if (!nvp::designKindFromName(v, kind))
+            return false;
+        // Start from the design preset so any field a future schema
+        // stops dumping keeps its preset default (the round-trip
+        // check still rejects genuine skew via the schema line).
+        cfg = nvp::SystemConfig::forDesign(kind);
+        spec.design = kind;
+        saw_design = true;
+        return true;
+    };
+    cacheFields("dcache", cfg.dcache);
+    cacheFields("icache", cfg.icache);
+
+    bol("nvsram.backup_full", cfg.nvsram.backup_full);
+    dbl("nvsram.backup_line_energy", cfg.nvsram.backup_line_energy);
+    dbl("nvsram.restore_line_energy",
+        cfg.nvsram.restore_line_energy);
+    u64("nvsram.backup_line_latency",
+        cfg.nvsram.backup_line_latency);
+    u64("nvsram.restore_line_latency",
+        cfg.nvsram.restore_line_latency);
+
+    dbl("nvsram_practical.migrate_line_energy",
+        cfg.nvsram_practical.migrate_line_energy);
+    u64("nvsram_practical.migrate_line_latency",
+        cfg.nvsram_practical.migrate_line_latency);
+
+    uns("replay.persist_queue_depth",
+        cfg.replay.persist_queue_depth);
+    uns("replay.region_events", cfg.replay.region_events);
+    u64("replay.commit_marker_addr",
+        cfg.replay.commit_marker_addr);
+
+    uns("wt_buffer.entries", cfg.wt_buffer.entries);
+    u64("wt_buffer.cam_search_latency",
+        cfg.wt_buffer.cam_search_latency);
+    dbl("wt_buffer.cam_search_energy",
+        cfg.wt_buffer.cam_search_energy);
+    dbl("wt_buffer.buffer_leakage_watts",
+        cfg.wt_buffer.buffer_leakage_watts);
+
+    uns("wl.dq_size", cfg.wl.dq_size);
+    uns("wl.maxline", cfg.wl.maxline);
+    uns("wl.waterline_gap", cfg.wl.waterline_gap);
+    rpl("wl.dq_repl", cfg.wl.dq_repl);
+    dbl("wl.dq_access_energy", cfg.wl.dq_access_energy);
+    dbl("wl.dq_leakage_watts", cfg.wl.dq_leakage_watts);
+    dbl("wl.dq_lru_search_energy", cfg.wl.dq_lru_search_energy);
+    bol("wl.eager_evict_cleanup", cfg.wl.eager_evict_cleanup);
+    dbl("wl.dq_cam_search_energy", cfg.wl.dq_cam_search_energy);
+
+    bol("adaptive.enabled", cfg.adaptive.enabled);
+    dbl("adaptive.delta", cfg.adaptive.delta);
+    uns("adaptive.maxline_min", cfg.adaptive.maxline_min);
+    uns("adaptive.maxline_max", cfg.adaptive.maxline_max);
+    dbl("adaptive.timer_resolution_s",
+        cfg.adaptive.timer_resolution_s);
+    bol("wl_dynamic", cfg.wl_dynamic);
+
+    siz("nvm.size_bytes", cfg.nvm.size_bytes);
+    uns("nvm.banks", cfg.nvm.banks);
+    u64("nvm.t_rcd", cfg.nvm.t_rcd);
+    u64("nvm.t_cl", cfg.nvm.t_cl);
+    u64("nvm.t_burst", cfg.nvm.t_burst);
+    u64("nvm.t_wr", cfg.nvm.t_wr);
+    u64("nvm.t_wtr", cfg.nvm.t_wtr);
+    dbl("nvm.read_energy_per_byte", cfg.nvm.read_energy_per_byte);
+    dbl("nvm.write_energy_per_byte", cfg.nvm.write_energy_per_byte);
+    dbl("nvm.activate_energy", cfg.nvm.activate_energy);
+
+    dbl("core.compute_energy_per_insn",
+        cfg.core.compute_energy_per_insn);
+    dbl("core.leakage_watts", cfg.core.leakage_watts);
+
+    dbl("platform.capacitance_f", cfg.platform.capacitance_f);
+    dbl("platform.vmin", cfg.platform.vmin);
+    dbl("platform.vmax", cfg.platform.vmax);
+    dbl("platform.von", cfg.platform.von);
+    dbl("platform.vbackup", cfg.platform.vbackup);
+    dbl("platform.harvest_efficiency",
+        cfg.platform.harvest_efficiency);
+    dbl("platform.wl_vbackup_base", cfg.platform.wl_vbackup_base);
+    dbl("platform.wl_vbackup_step", cfg.platform.wl_vbackup_step);
+    dbl("platform.wl_von_base", cfg.platform.wl_von_base);
+    dbl("platform.wl_von_step", cfg.platform.wl_von_step);
+    uns("platform.wl_threshold_anchor",
+        cfg.platform.wl_threshold_anchor);
+    dbl("platform.nvff_energy_per_byte",
+        cfg.platform.nvff_energy_per_byte);
+    dbl("platform.nvff_restore_energy_per_byte",
+        cfg.platform.nvff_restore_energy_per_byte);
+    u64("platform.reboot_latency_cycles",
+        cfg.platform.reboot_latency_cycles);
+
+    bol("validate_consistency", cfg.validate_consistency);
+    bol("inject_checkpoint_skip", cfg.inject_checkpoint_skip);
+    bol("inject_register_skip", cfg.inject_register_skip);
+    bol("check_load_values", cfg.check_load_values);
+    u64("max_outages", cfg.max_outages);
+    uns("max_interval_rollups", cfg.max_interval_rollups);
+
+    set["forced_outage_cycles"] = [&](const std::string &v) {
+        cfg.forced_outage_cycles.clear();
+        if (v.empty())
+            return true;
+        for (const auto &tok : util::split(v, ',')) {
+            std::uint64_t c = 0;
+            if (!parseU64(tok, c))
+                return false;
+            cfg.forced_outage_cycles.push_back(c);
+        }
+        return true;
+    };
+
+    // --- Drive the table over the text, line by line ---
+    std::size_t pos = 0, lineno = 0;
+    while (pos < text.size()) {
+        std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            return fail("line " + std::to_string(lineno + 1) +
+                        ": missing trailing newline");
+        const std::string line = text.substr(pos, nl - pos);
+        pos = nl + 1;
+        ++lineno;
+
+        const std::size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            return fail("line " + std::to_string(lineno) +
+                        ": no '=' in '" + line + "'");
+        const std::string key = line.substr(0, eq);
+        const std::string value = line.substr(eq + 1);
+
+        const auto it = set.find(key);
+        if (it == set.end())
+            return fail("line " + std::to_string(lineno) +
+                        ": unknown key '" + key + "'");
+        if (lineno == 1 && key != "schema")
+            return fail("spec text must start with a schema line");
+        // Config fields before the design line would be clobbered by
+        // the preset reset; dumpConfigKey never emits them that way.
+        if (err && !err->empty())
+            return false;
+        if (!it->second(value)) {
+            if (err && !err->empty())
+                return false;
+            return fail("line " + std::to_string(lineno) +
+                        ": bad value for '" + key + "': '" + value +
+                        "'");
+        }
+    }
+
+    if (!saw_schema)
+        return fail("spec text has no schema line");
+    if (!saw_design)
+        return fail("spec text has no design line");
+
+    spec.tweak = [cfg](nvp::SystemConfig &c) { c = cfg; };
+
+    // Round-trip proof: re-dumping the rebuilt spec must reproduce
+    // the input exactly, or the daemon and this binary disagree on
+    // what the key means.
+    const std::string echo = specKeyText(spec);
+    if (echo != text)
+        return fail("spec round-trip mismatch (version skew between "
+                    "daemon and worker binaries?)");
+
+    out = std::move(spec);
+    return true;
+}
+
+} // namespace runner
+} // namespace wlcache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wire codec for experiment specs. An ExperimentSpec's `tweak` hook
+ * is an opaque callable, so specs cross process boundaries as the
+ * canonical specKeyText() dump — the same text the cache key hashes.
+ * parseSpecText() rebuilds a spec whose resolved configuration
+ * reproduces that text byte-for-byte (verified internally), which
+ * guarantees the worker computes exactly the key the daemon
+ * scheduled, and turns any schema/version skew between daemon and
+ * worker binaries into a structured parse error instead of a silent
+ * wrong-key execution.
+ */
+
+#ifndef WLCACHE_RUNNER_SPEC_CODEC_HH
+#define WLCACHE_RUNNER_SPEC_CODEC_HH
+
+#include <string>
+
+#include "nvp/experiment.hh"
+
+namespace wlcache {
+namespace runner {
+
+/**
+ * Rebuild an ExperimentSpec from specKeyText() output.
+ *
+ * The rebuilt spec's tweak pins the entire resolved SystemConfig, and
+ * the function fails unless specKeyText(rebuilt) == @p text — i.e. a
+ * successful parse is a proof of key fidelity.
+ *
+ * @return true on success; false with @p *err describing the first
+ *         problem (unknown key, bad value, schema mismatch, missing
+ *         field, round-trip divergence).
+ */
+bool parseSpecText(const std::string &text, nvp::ExperimentSpec &out,
+                   std::string *err);
+
+} // namespace runner
+} // namespace wlcache
+
+#endif // WLCACHE_RUNNER_SPEC_CODEC_HH

@@ -1,0 +1,322 @@
+#include "serve/client.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "runner/spec_key.hh"
+#include "serve/messages.hh"
+#include "serve/net.hh"
+
+namespace wlcache {
+namespace serve {
+
+namespace {
+
+std::string
+getStr(const util::JsonValue &msg, const std::string &key,
+       const std::string &dflt = "")
+{
+    const util::JsonValue *v = msg.get(key);
+    return v && v->isString() ? v->asString() : dflt;
+}
+
+std::uint64_t
+getU64(const util::JsonValue &msg, const std::string &key,
+       std::uint64_t dflt = 0)
+{
+    const util::JsonValue *v = msg.get(key);
+    return v && v->isNumber() ? v->asU64() : dflt;
+}
+
+bool
+getBool(const util::JsonValue &msg, const std::string &key,
+        bool dflt = false)
+{
+    const util::JsonValue *v = msg.get(key);
+    return v && v->isBool() ? v->asBool() : dflt;
+}
+
+/** Run @p call and fail with the protocol error text on an error reply. */
+bool
+callChecked(Client &c, const std::string &payload,
+            util::JsonValue &reply, std::string *err,
+            const Client::ProgressFn &on_progress = nullptr)
+{
+    if (!c.call(payload, reply, err, on_progress))
+        return false;
+    if (Client::isError(reply)) {
+        if (err)
+            *err = Client::errorText(reply);
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        closeFd(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connect(const std::string &addr_spec, std::string *err)
+{
+    Address addr;
+    if (!parseAddress(addr_spec, addr, err))
+        return false;
+    fd_ = connectTo(addr, err);
+    if (fd_ < 0)
+        return false;
+
+    util::JsonValue reply;
+    if (!call(JObj()
+                  .str("type", "hello")
+                  .num("proto", kProtocolVersion)
+                  .text(),
+              reply, err)) {
+        close();
+        return false;
+    }
+    if (messageType(reply) != "hello_ok") {
+        if (err)
+            *err = isError(reply) ? errorText(reply)
+                                  : "unexpected handshake reply '" +
+                       messageType(reply) + "'";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::readFrame(std::string &payload, std::string *err)
+{
+    for (;;) {
+        const FrameReader::Status st = reader_.next(payload);
+        if (st == FrameReader::Status::Frame)
+            return true;
+        if (st == FrameReader::Status::Error) {
+            if (err)
+                *err = "corrupt frame from daemon: " +
+                       reader_.error();
+            return false;
+        }
+        std::string chunk;
+        const long n = recvSome(fd_, chunk);
+        if (n <= 0) {
+            if (err)
+                *err = "daemon closed the connection";
+            return false;
+        }
+        reader_.feed(chunk);
+    }
+}
+
+bool
+Client::call(const std::string &payload, util::JsonValue &reply,
+             std::string *err, const ProgressFn &on_progress)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    if (!sendAll(fd_, encodeFrame(payload))) {
+        if (err)
+            *err = "send to daemon failed";
+        return false;
+    }
+    for (;;) {
+        std::string frame;
+        if (!readFrame(frame, err))
+            return false;
+        util::JsonValue msg;
+        std::string perr;
+        if (!util::parseJson(frame, msg, &perr)) {
+            if (err)
+                *err = "bad JSON from daemon: " + perr;
+            return false;
+        }
+        if (messageType(msg) == "progress") {
+            if (on_progress)
+                on_progress(getStr(msg, "line"));
+            continue;
+        }
+        reply = std::move(msg);
+        return true;
+    }
+}
+
+bool
+Client::isError(const util::JsonValue &reply)
+{
+    return messageType(reply) == "error";
+}
+
+std::string
+Client::errorText(const util::JsonValue &reply)
+{
+    return getStr(reply, "code", "error") + ": " +
+           getStr(reply, "message", "(no message)");
+}
+
+// --- Typed submissions ------------------------------------------------
+
+bool
+submitSweep(Client &c, const SweepRequest &req, SweepReply &out,
+            std::string *err, const Client::ProgressFn &on_progress)
+{
+    JObj msg;
+    msg.str("type", "submit")
+        .str("kind", "sweep")
+        .str("spec", req.spec_json);
+    if (!req.objectives.empty()) {
+        std::vector<util::JsonValue> items;
+        for (const std::string &o : req.objectives)
+            items.push_back(util::JsonValue::makeString(o));
+        msg.add("objectives",
+                util::JsonValue::makeArray(std::move(items)));
+    }
+    if (!req.mode.empty())
+        msg.str("mode", req.mode);
+    msg.num("jobs", req.jobs).boolean("progress", req.progress);
+
+    util::JsonValue reply;
+    if (!callChecked(c, msg.text(), reply, err, on_progress))
+        return false;
+    out.summary = getStr(reply, "summary");
+    out.csv = getStr(reply, "csv");
+    out.report_md = getStr(reply, "report_md");
+    out.executed = getU64(reply, "executed");
+    out.cache_hits = getU64(reply, "cache_hits");
+    return true;
+}
+
+bool
+submitCampaign(Client &c, const CampaignRequest &req,
+               CampaignReply &out, std::string *err,
+               const Client::ProgressFn &on_progress)
+{
+    JObj msg;
+    msg.str("type", "submit")
+        .str("kind", "campaign")
+        .str("design", req.design)
+        .str("workload", req.workload)
+        .str("trace_kind", req.trace_kind)
+        .boolean("ambient", req.ambient)
+        .num("scale", req.scale)
+        .num("seed", req.seed)
+        .num("power_seed", req.power_seed);
+    if (!req.points.empty()) {
+        std::vector<util::JsonValue> items;
+        for (const std::uint64_t p : req.points)
+            items.push_back(
+                util::JsonValue::makeNumber(std::to_string(p)));
+        msg.add("points",
+                util::JsonValue::makeArray(std::move(items)));
+    }
+    msg.num("stride", req.stride);
+    if (req.has_window)
+        msg.add("window", JObj()
+                              .num("begin", req.window_begin)
+                              .num("end", req.window_end)
+                              .num("step", req.window_step)
+                              .build());
+    msg.boolean("bisect", req.bisect)
+        .boolean("inject_checkpoint_skip",
+                 req.inject_checkpoint_skip)
+        .boolean("inject_register_skip", req.inject_register_skip)
+        .num("jobs", req.jobs)
+        .num("snapshot_interval", req.snapshot_interval)
+        .num("timeline_window", req.timeline_window)
+        .boolean("progress", req.progress);
+
+    util::JsonValue reply;
+    if (!callChecked(c, msg.text(), reply, err, on_progress))
+        return false;
+    out.summary = getStr(reply, "summary");
+    out.report_json = getStr(reply, "report_json");
+    out.golden_clean = getBool(reply, "golden_clean");
+    out.num_divergent = getU64(reply, "num_divergent");
+    return true;
+}
+
+bool
+submitRun(Client &c, const nvp::ExperimentSpec &spec, RunReply &out,
+          std::string *err)
+{
+    const std::string spec_text = runner::specKeyText(spec);
+    const std::string key = runner::hashKeyText(spec_text);
+
+    util::JsonValue reply;
+    if (!callChecked(c,
+                     JObj()
+                         .str("type", "submit")
+                         .str("kind", "run")
+                         .str("key", key)
+                         .str("id", spec.workload)
+                         .str("spec_text", spec_text)
+                         .text(),
+                     reply, err))
+        return false;
+    out.executed = getBool(reply, "executed");
+    const util::JsonValue *res = reply.get("result");
+    if (res) {
+        std::ostringstream ss;
+        util::writeJsonCompact(ss, *res);
+        out.result_json = ss.str();
+    }
+    return true;
+}
+
+bool
+pingDaemon(Client &c, std::string *err)
+{
+    util::JsonValue reply;
+    if (!callChecked(c, JObj().str("type", "ping").text(), reply,
+                     err))
+        return false;
+    if (messageType(reply) != "pong") {
+        if (err)
+            *err = "unexpected ping reply '" + messageType(reply) +
+                   "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+fetchStats(Client &c, util::JsonValue &out, std::string *err)
+{
+    return callChecked(c, JObj().str("type", "stats").text(), out,
+                       err);
+}
+
+bool
+requestDrain(Client &c, std::string *err)
+{
+    util::JsonValue reply;
+    if (!callChecked(c, JObj().str("type", "drain").text(), reply,
+                     err))
+        return false;
+    if (messageType(reply) != "drain_ok") {
+        if (err)
+            *err = "unexpected drain reply '" + messageType(reply) +
+                   "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace serve
+} // namespace wlcache

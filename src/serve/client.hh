@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Client side of the wlcached protocol: a framed connection with the
+ * handshake baked in, plus typed submit helpers shared by
+ * wlcache_client and the --server paths of wlcache_explore /
+ * wlcache_verify — so every front end serializes requests (and
+ * interprets replies) identically.
+ */
+
+#ifndef WLCACHE_SERVE_CLIENT_HH
+#define WLCACHE_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nvp/experiment.hh"
+#include "serve/frame.hh"
+#include "util/json.hh"
+
+namespace wlcache {
+namespace serve {
+
+class Client
+{
+  public:
+    /** Receives each streamed progress line (without newline). */
+    using ProgressFn = std::function<void(const std::string &line)>;
+
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Connect to "unix:PATH" / "tcp:HOST:PORT" / bare path and
+     * perform the hello handshake.
+     */
+    bool connect(const std::string &addr_spec, std::string *err);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /**
+     * Send one request payload and read to its final reply,
+     * forwarding interleaved {"type":"progress"} frames to
+     * @p on_progress. An {"type":"error"} reply is returned as
+     * @p reply (not a transport failure); false means the connection
+     * itself broke.
+     */
+    bool call(const std::string &payload, util::JsonValue &reply,
+              std::string *err,
+              const ProgressFn &on_progress = nullptr);
+
+    /** True when @p reply is a protocol error frame. */
+    static bool isError(const util::JsonValue &reply);
+    /** "code: message" of an error reply. */
+    static std::string errorText(const util::JsonValue &reply);
+
+  private:
+    bool readFrame(std::string &payload, std::string *err);
+
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+// --- Typed submissions ------------------------------------------------
+
+struct SweepRequest
+{
+    std::string spec_json; //!< Raw sweep-spec file text.
+    std::vector<std::string> objectives;
+    std::string mode;      //!< ""|exhaustive|halving.
+    unsigned jobs = 0;
+    bool progress = false;
+};
+
+struct SweepReply
+{
+    std::string summary;   //!< writeSummaryText() bytes.
+    std::string csv;       //!< writeCsv() bytes.
+    std::string report_md; //!< writeFrontierMarkdown() bytes.
+    std::uint64_t executed = 0;
+    std::uint64_t cache_hits = 0;
+};
+
+bool submitSweep(Client &c, const SweepRequest &req, SweepReply &out,
+                 std::string *err,
+                 const Client::ProgressFn &on_progress = nullptr);
+
+struct CampaignRequest
+{
+    std::string design;    //!< Canonical nvp::designKindName().
+    std::string workload;
+    std::string trace_kind = "constant";
+    bool ambient = false;
+    unsigned scale = 1;
+    std::uint64_t seed = 42;
+    std::uint64_t power_seed = 7;
+
+    std::vector<std::uint64_t> points;
+    std::uint64_t stride = 0;
+    bool has_window = false;
+    std::uint64_t window_begin = 0;
+    std::uint64_t window_end = 0;
+    std::uint64_t window_step = 1;
+
+    bool bisect = false;
+    bool inject_checkpoint_skip = false;
+    bool inject_register_skip = false;
+
+    unsigned jobs = 0;
+    std::uint64_t snapshot_interval = 0;
+    std::uint64_t timeline_window = 64;
+    bool progress = false;
+};
+
+struct CampaignReply
+{
+    std::string summary;     //!< writeCampaignSummary() bytes.
+    std::string report_json; //!< writeCampaignReportJson() bytes.
+    bool golden_clean = false;
+    std::uint64_t num_divergent = 0;
+};
+
+bool submitCampaign(Client &c, const CampaignRequest &req,
+                    CampaignReply &out, std::string *err,
+                    const Client::ProgressFn &on_progress = nullptr);
+
+struct RunReply
+{
+    bool executed = false;
+    std::string result_json; //!< Serialized run record.
+};
+
+/**
+ * Submit one experiment. The client derives the content key and wire
+ * spec text locally (runner::specKey / specKeyText), so a version
+ * skew against the daemon is caught as a key mismatch.
+ */
+bool submitRun(Client &c, const nvp::ExperimentSpec &spec,
+               RunReply &out, std::string *err);
+
+/** {"type":"ping"} round trip. */
+bool pingDaemon(Client &c, std::string *err);
+/** Fetch the daemon's stats object. */
+bool fetchStats(Client &c, util::JsonValue &out, std::string *err);
+/** Ask the daemon to drain (graceful shutdown). */
+bool requestDrain(Client &c, std::string *err);
+
+} // namespace serve
+} // namespace wlcache
+
+#endif // WLCACHE_SERVE_CLIENT_HH

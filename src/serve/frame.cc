@@ -1,0 +1,77 @@
+#include "serve/frame.hh"
+
+namespace wlcache {
+namespace serve {
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    std::string out = std::to_string(payload.size());
+    out += '\n';
+    out += payload;
+    out += '\n';
+    return out;
+}
+
+void
+FrameReader::feed(const char *data, std::size_t len)
+{
+    if (poisoned_)
+        return;
+    buf_.append(data, len);
+}
+
+FrameReader::Status
+FrameReader::fail(const std::string &why)
+{
+    poisoned_ = true;
+    error_ = why;
+    buf_.clear();
+    return Status::Error;
+}
+
+FrameReader::Status
+FrameReader::next(std::string &payload)
+{
+    if (poisoned_)
+        return Status::Error;
+
+    // The length line: 1..20 decimal digits then '\n'. Reject junk
+    // before waiting for more bytes, so a garbage stream can't make
+    // the reader buffer forever.
+    std::size_t i = 0;
+    while (i < buf_.size() && buf_[i] >= '0' && buf_[i] <= '9')
+        ++i;
+    if (i == 0 && !buf_.empty())
+        return fail("frame length is not a decimal number");
+    if (i > 20)
+        return fail("frame length line too long");
+    if (i >= buf_.size())
+        return Status::NeedMore;
+    if (buf_[i] != '\n')
+        return fail("frame length line not terminated by newline");
+
+    unsigned long long n = 0;
+    for (std::size_t k = 0; k < i; ++k) {
+        if (n > (~0ull - 9) / 10)
+            return fail("frame length overflows");
+        n = n * 10 + static_cast<unsigned>(buf_[k] - '0');
+    }
+    if (n > max_payload_)
+        return fail("frame payload of " + std::to_string(n) +
+                    " bytes exceeds the " +
+                    std::to_string(max_payload_) + " byte limit");
+
+    const std::size_t need = i + 1 + static_cast<std::size_t>(n) + 1;
+    if (buf_.size() < need)
+        return Status::NeedMore;
+    if (buf_[need - 1] != '\n')
+        return fail("frame payload not terminated by newline");
+
+    payload.assign(buf_, i + 1, static_cast<std::size_t>(n));
+    buf_.erase(0, need);
+    return Status::Frame;
+}
+
+} // namespace serve
+} // namespace wlcache

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Length-framed NDJSON wire format for the wlcached protocol. Each
+ * frame is
+ *
+ *     <payload length, ASCII decimal>\n
+ *     <payload bytes>\n
+ *
+ * where the payload is one JSON document and the trailing newline is
+ * part of the frame (making captures of the stream valid NDJSON once
+ * the length lines are stripped). FrameReader consumes an arbitrary
+ * byte stream incrementally — partial reads, split frames, and
+ * multiple frames per chunk all work — and turns malformed input
+ * (non-digit length, oversized payload, missing terminator) into a
+ * sticky error instead of a crash or an unbounded buffer.
+ */
+
+#ifndef WLCACHE_SERVE_FRAME_HH
+#define WLCACHE_SERVE_FRAME_HH
+
+#include <cstddef>
+#include <string>
+
+namespace wlcache {
+namespace serve {
+
+/** Default ceiling on one frame's payload bytes. */
+constexpr std::size_t kDefaultMaxPayload = 64u << 20;
+
+/** Encode one payload as a wire frame. */
+std::string encodeFrame(const std::string &payload);
+
+class FrameReader
+{
+  public:
+    enum class Status
+    {
+        NeedMore, //!< No complete frame buffered yet.
+        Frame,    //!< One payload extracted.
+        Error,    //!< Stream corrupt; reader is poisoned.
+    };
+
+    explicit FrameReader(std::size_t max_payload = kDefaultMaxPayload)
+        : max_payload_(max_payload)
+    {}
+
+    /** Append raw bytes from the transport. */
+    void feed(const char *data, std::size_t len);
+    void feed(const std::string &chunk)
+    {
+        feed(chunk.data(), chunk.size());
+    }
+
+    /**
+     * Try to extract the next payload. Returns Frame and fills
+     * @p payload, NeedMore when the buffer holds no complete frame,
+     * or Error once the stream is unrecoverable (sticky: every later
+     * call keeps returning Error; error() describes the cause).
+     */
+    Status next(std::string &payload);
+
+    const std::string &error() const { return error_; }
+
+  private:
+    Status fail(const std::string &why);
+
+    const std::size_t max_payload_;
+    std::string buf_;
+    std::string error_;
+    bool poisoned_ = false;
+};
+
+} // namespace serve
+} // namespace wlcache
+
+#endif // WLCACHE_SERVE_FRAME_HH

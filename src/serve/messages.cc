@@ -1,0 +1,58 @@
+#include "serve/messages.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace serve {
+
+JObj &
+JObj::numD(const std::string &key, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return add(key, util::JsonValue::makeNumber(buf));
+}
+
+JObj &
+JObj::raw(const std::string &key, const std::string &json_text)
+{
+    util::JsonValue v;
+    std::string err;
+    if (!util::parseJson(json_text, v, &err))
+        panic("JObj::raw: embedded document is not JSON: %s",
+              err.c_str());
+    return add(key, std::move(v));
+}
+
+std::string
+JObj::text()
+{
+    std::ostringstream os;
+    util::writeJsonCompact(os, build());
+    return os.str();
+}
+
+std::string
+errorPayload(const std::string &code, const std::string &message)
+{
+    return JObj()
+        .str("type", "error")
+        .str("code", code)
+        .str("message", message)
+        .text();
+}
+
+std::string
+messageType(const util::JsonValue &v)
+{
+    if (!v.isObject())
+        return "";
+    const util::JsonValue *t = v.get("type");
+    return t && t->isString() ? t->asString() : "";
+}
+
+} // namespace serve
+} // namespace wlcache

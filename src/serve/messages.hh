@@ -1,0 +1,96 @@
+/**
+ * @file
+ * wlcached protocol vocabulary. Every frame payload is one JSON
+ * object with a "type" member. The session opens with a handshake:
+ *
+ *   client:  {"type":"hello", "proto": <kProtocolVersion>}
+ *   daemon:  {"type":"hello_ok", "proto":..., "schema":...}
+ *
+ * and any other frame before a successful handshake (or a version
+ * mismatch) yields a structured {"type":"error"} reply. JObj is a
+ * tiny fluent builder over util::JsonValue so replies are constructed
+ * and serialized through the same JSON layer the parser uses.
+ */
+
+#ifndef WLCACHE_SERVE_MESSAGES_HH
+#define WLCACHE_SERVE_MESSAGES_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace wlcache {
+namespace serve {
+
+/**
+ * Wire-protocol version. Independent of the result-record schema
+ * (runner::kResultSchemaVersion, also reported in the handshake):
+ * the protocol version gates message framing and vocabulary, the
+ * schema version gates cache-key compatibility.
+ */
+constexpr unsigned kProtocolVersion = 1;
+
+/** Machine-readable error codes carried by {"type":"error"}. */
+namespace errc {
+constexpr const char *kBadFrame = "bad_frame";
+constexpr const char *kBadJson = "bad_json";
+constexpr const char *kBadRequest = "bad_request";
+constexpr const char *kBadSpec = "bad_spec";
+constexpr const char *kNeedHello = "need_hello";
+constexpr const char *kVersionMismatch = "version_mismatch";
+constexpr const char *kUnknownType = "unknown_type";
+constexpr const char *kDraining = "draining";
+constexpr const char *kInternal = "internal";
+} // namespace errc
+
+/** Fluent JSON-object builder for protocol frames. */
+class JObj
+{
+  public:
+    JObj &add(const std::string &key, util::JsonValue v)
+    {
+        members_.emplace_back(key, std::move(v));
+        return *this;
+    }
+    JObj &str(const std::string &key, const std::string &v)
+    {
+        return add(key, util::JsonValue::makeString(v));
+    }
+    JObj &num(const std::string &key, std::uint64_t v)
+    {
+        return add(key,
+                   util::JsonValue::makeNumber(std::to_string(v)));
+    }
+    JObj &numD(const std::string &key, double v);
+    JObj &boolean(const std::string &key, bool v)
+    {
+        return add(key, util::JsonValue::makeBool(v));
+    }
+    /** Embed a pre-serialized JSON document verbatim. */
+    JObj &raw(const std::string &key, const std::string &json_text);
+
+    util::JsonValue build()
+    {
+        return util::JsonValue::makeObject(std::move(members_));
+    }
+    /** Serialize compactly (the frame payload). */
+    std::string text();
+
+  private:
+    std::vector<std::pair<std::string, util::JsonValue>> members_;
+};
+
+/** {"type":"error","code":...,"message":...} payload. */
+std::string errorPayload(const std::string &code,
+                         const std::string &message);
+
+/** Convenience: payload's "type" member, or "" when absent. */
+std::string messageType(const util::JsonValue &v);
+
+} // namespace serve
+} // namespace wlcache
+
+#endif // WLCACHE_SERVE_MESSAGES_HH

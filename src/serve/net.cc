@@ -1,0 +1,250 @@
+#include "serve/net.hh"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.hh"
+
+namespace wlcache {
+namespace serve {
+
+namespace {
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+bool
+fail(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what;
+    return false;
+}
+
+} // anonymous namespace
+
+std::string
+Address::describe() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool
+parseAddress(const std::string &spec, Address &out, std::string *err)
+{
+    if (spec.empty())
+        return fail(err, "empty address");
+    if (spec.rfind("unix:", 0) == 0) {
+        out.kind = Address::Kind::Unix;
+        out.path = spec.substr(5);
+        if (out.path.empty())
+            return fail(err, "unix: address needs a path");
+        return true;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        const std::string rest = spec.substr(4);
+        const std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= rest.size())
+            return fail(err, "tcp: address must be tcp:HOST:PORT");
+        out.kind = Address::Kind::Tcp;
+        out.host = rest.substr(0, colon);
+        const std::string port_s = rest.substr(colon + 1);
+        char *end = nullptr;
+        const unsigned long p = std::strtoul(port_s.c_str(), &end, 10);
+        if (!end || *end || p == 0 || p > 65535)
+            return fail(err, "bad tcp port '" + port_s + "'");
+        out.port = static_cast<unsigned short>(p);
+        return true;
+    }
+    // Bare path = Unix socket.
+    out.kind = Address::Kind::Unix;
+    out.path = spec;
+    return true;
+}
+
+namespace {
+
+bool
+fillUnixAddr(const std::string &path, sockaddr_un &sa,
+             std::string *err)
+{
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa.sun_path)) {
+        fail(err, "unix socket path too long: " + path);
+        return false;
+    }
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+bool
+resolveTcp(const Address &addr, sockaddr_in &sa, std::string *err)
+{
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(addr.port);
+    if (inet_pton(AF_INET, addr.host.c_str(), &sa.sin_addr) == 1)
+        return true;
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    if (getaddrinfo(addr.host.c_str(), nullptr, &hints, &res) != 0 ||
+        !res) {
+        fail(err, "cannot resolve host '" + addr.host + "'");
+        return false;
+    }
+    sa.sin_addr =
+        reinterpret_cast<sockaddr_in *>(res->ai_addr)->sin_addr;
+    freeaddrinfo(res);
+    return true;
+}
+
+} // anonymous namespace
+
+int
+listenOn(const Address &addr, std::string *err)
+{
+    int fd = -1;
+    if (addr.kind == Address::Kind::Unix) {
+        sockaddr_un sa;
+        if (!fillUnixAddr(addr.path, sa, err))
+            return -1;
+        fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            fail(err, "socket: " + errnoText());
+            return -1;
+        }
+        // Replace a stale socket file from a previous instance.
+        ::unlink(addr.path.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) < 0) {
+            fail(err, "bind " + addr.describe() + ": " + errnoText());
+            closeFd(fd);
+            return -1;
+        }
+    } else {
+        sockaddr_in sa;
+        if (!resolveTcp(addr, sa, err))
+            return -1;
+        fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            fail(err, "socket: " + errnoText());
+            return -1;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&sa),
+                   sizeof(sa)) < 0) {
+            fail(err, "bind " + addr.describe() + ": " + errnoText());
+            closeFd(fd);
+            return -1;
+        }
+    }
+    if (::listen(fd, 64) < 0) {
+        fail(err, "listen: " + errnoText());
+        closeFd(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectTo(const Address &addr, std::string *err)
+{
+    int fd = -1;
+    if (addr.kind == Address::Kind::Unix) {
+        sockaddr_un sa;
+        if (!fillUnixAddr(addr.path, sa, err))
+            return -1;
+        fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            fail(err, "socket: " + errnoText());
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) < 0) {
+            fail(err,
+                 "connect " + addr.describe() + ": " + errnoText());
+            closeFd(fd);
+            return -1;
+        }
+    } else {
+        sockaddr_in sa;
+        if (!resolveTcp(addr, sa, err))
+            return -1;
+        fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if (fd < 0) {
+            fail(err, "socket: " + errnoText());
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&sa),
+                      sizeof(sa)) < 0) {
+            fail(err,
+                 "connect " + addr.describe() + ": " + errnoText());
+            closeFd(fd);
+            return -1;
+        }
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + off, data.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+long
+recvSome(int fd, std::string &out, std::size_t cap)
+{
+    std::string buf(cap, '\0');
+    ssize_t n;
+    do {
+        n = ::recv(fd, buf.data(), cap, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0)
+        return n == 0 ? 0 : -1;
+    out.append(buf.data(), static_cast<std::size_t>(n));
+    return n;
+}
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+} // namespace serve
+} // namespace wlcache

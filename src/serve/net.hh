@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal socket plumbing for wlcached: address parsing
+ * ("unix:/path", "tcp:host:port", or a bare filesystem path),
+ * listening/connecting, and whole-buffer send/recv helpers. All
+ * blocking; the server multiplexes with one thread per connection
+ * and a poll()-based accept loop with a self-pipe for signals.
+ */
+
+#ifndef WLCACHE_SERVE_NET_HH
+#define WLCACHE_SERVE_NET_HH
+
+#include <cstddef>
+#include <string>
+
+namespace wlcache {
+namespace serve {
+
+/** Parsed listen/connect endpoint. */
+struct Address
+{
+    enum class Kind { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    std::string path;          //!< Unix socket path.
+    std::string host;          //!< TCP host.
+    unsigned short port = 0;   //!< TCP port.
+
+    std::string describe() const;
+};
+
+/**
+ * Parse "unix:PATH", "tcp:HOST:PORT", or a bare path (treated as a
+ * Unix socket). @return false with @p *err set on a malformed spec.
+ */
+bool parseAddress(const std::string &spec, Address &out,
+                  std::string *err);
+
+/**
+ * Bind+listen on @p addr. A pre-existing Unix socket file is
+ * replaced (daemons re-binding after a crash). @return the listening
+ * fd, or -1 with @p *err set.
+ */
+int listenOn(const Address &addr, std::string *err);
+
+/** Connect to @p addr. @return fd or -1 with @p *err set. */
+int connectTo(const Address &addr, std::string *err);
+
+/** Write all of @p data (retrying short writes). False on error. */
+bool sendAll(int fd, const std::string &data);
+
+/**
+ * Read up to @p cap bytes into @p out (appending).
+ * @return bytes read; 0 on orderly EOF; -1 on error.
+ */
+long recvSome(int fd, std::string &out, std::size_t cap = 65536);
+
+/** Best-effort close (EINTR-safe). */
+void closeFd(int fd);
+
+} // namespace serve
+} // namespace wlcache
+
+#endif // WLCACHE_SERVE_NET_HH

@@ -1,0 +1,883 @@
+#include "serve/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <streambuf>
+
+#include "energy/power_trace.hh"
+#include "explore/explorer.hh"
+#include "explore/objectives.hh"
+#include "explore/report.hh"
+#include "explore/sweep_spec.hh"
+#include "nvp/run_json.hh"
+#include "nvp/system_config.hh"
+#include "runner/spec_codec.hh"
+#include "runner/spec_key.hh"
+#include "serve/messages.hh"
+#include "sim/logging.hh"
+#include "util/fs.hh"
+#include "verify/campaign.hh"
+#include "workloads/workloads.hh"
+
+namespace wlcache {
+namespace serve {
+
+namespace {
+
+std::string
+getStr(const util::JsonValue &msg, const std::string &key,
+       const std::string &dflt = "")
+{
+    const util::JsonValue *v = msg.get(key);
+    return v && v->isString() ? v->asString() : dflt;
+}
+
+std::uint64_t
+getU64(const util::JsonValue &msg, const std::string &key,
+       std::uint64_t dflt = 0)
+{
+    const util::JsonValue *v = msg.get(key);
+    return v && v->isNumber() ? v->asU64() : dflt;
+}
+
+bool
+getBool(const util::JsonValue &msg, const std::string &key,
+        bool dflt = false)
+{
+    const util::JsonValue *v = msg.get(key);
+    return v && v->isBool() ? v->asBool() : dflt;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Line-buffered streambuf that ships every completed line as a
+ * {"type":"progress"} frame. The progress reporter emits whole lines
+ * in single write() calls (its single-writer discipline), so locking
+ * per write keeps concurrent runner threads from interleaving.
+ */
+class LineFrameBuf : public std::streambuf
+{
+  public:
+    explicit LineFrameBuf(Session::SendFn send)
+        : send_(std::move(send))
+    {}
+
+  protected:
+    std::streamsize xsputn(const char *s, std::streamsize n) override
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        for (std::streamsize i = 0; i < n; ++i)
+            put(s[i]);
+        return n;
+    }
+
+    int overflow(int ch) override
+    {
+        if (ch == traits_type::eof())
+            return 0;
+        std::lock_guard<std::mutex> lock(m_);
+        put(static_cast<char>(ch));
+        return ch;
+    }
+
+  private:
+    void put(char c)
+    {
+        if (c != '\n') {
+            line_.push_back(c);
+            return;
+        }
+        // Best effort: a slow client drops progress, never the run.
+        send_(encodeFrame(JObj()
+                              .str("type", "progress")
+                              .str("line", line_)
+                              .text()));
+        line_.clear();
+    }
+
+    Session::SendFn send_;
+    std::mutex m_;
+    std::string line_;
+};
+
+/** Per-job wall-clock span of one client's request. */
+struct Span
+{
+    std::string id;
+    std::string key;
+    bool executed = false;
+    double t_start_s = 0.0;
+    double t_end_s = 0.0;
+};
+
+util::JsonValue
+spansJson(const std::vector<Span> &spans)
+{
+    std::vector<util::JsonValue> items;
+    items.reserve(spans.size());
+    for (const Span &s : spans)
+        items.push_back(JObj()
+                            .str("id", s.id)
+                            .str("key", s.key)
+                            .boolean("executed", s.executed)
+                            .numD("t_start_s", s.t_start_s)
+                            .numD("t_end_s", s.t_end_s)
+                            .build());
+    return util::JsonValue::makeArray(std::move(items));
+}
+
+/**
+ * RemoteExecutor that routes every cache-miss job through the shared
+ * queue (dedupe + fan-out) and records a per-job span for the client.
+ * References outlive the executor: the engines return before the
+ * handler's locals die.
+ */
+runner::RemoteExecutor
+queueExecutor(ServerContext &ctx, std::vector<Span> &spans,
+              std::mutex &spans_m,
+              std::chrono::steady_clock::time_point start)
+{
+    return [&ctx, &spans, &spans_m, start](
+               const runner::Job &job, nvp::RunResult &out,
+               bool &remote_executed, std::string *err) -> bool {
+        runner::QueueJob qj;
+        qj.key = job.key;
+        qj.id = job.id;
+        qj.spec_text = runner::specKeyText(job.spec);
+        qj.max_events = job.max_events;
+
+        const double t0 = secondsSince(start);
+        runner::JobTicket ticket = ctx.queue->submit(std::move(qj));
+        const runner::JobOutcome &o = ticket.wait();
+        const double t1 = secondsSince(start);
+        {
+            std::lock_guard<std::mutex> lock(spans_m);
+            spans.push_back(
+                { job.id, job.key, o.ok && o.executed, t0, t1 });
+        }
+
+        if (!o.ok) {
+            if (err)
+                *err = o.error;
+            return false;
+        }
+        remote_executed = o.executed;
+        std::istringstream ss(o.result_json);
+        return nvp::readRunResultJson(ss, out, err);
+    };
+}
+
+} // anonymous namespace
+
+// --- Session ---------------------------------------------------------
+
+Session::Session(ServerContext &ctx, SendFn send)
+    : ctx_(ctx), send_(std::move(send))
+{}
+
+bool
+Session::send(const std::string &payload)
+{
+    return send_(encodeFrame(payload));
+}
+
+void
+Session::sendError(const std::string &code, const std::string &msg)
+{
+    send(errorPayload(code, msg));
+}
+
+bool
+Session::onBytes(const char *data, std::size_t len)
+{
+    reader_.feed(data, len);
+    std::string payload;
+    for (;;) {
+        const FrameReader::Status st = reader_.next(payload);
+        if (st == FrameReader::Status::NeedMore)
+            return true;
+        if (st == FrameReader::Status::Error) {
+            sendError(errc::kBadFrame, reader_.error());
+            return false;
+        }
+        if (!handlePayload(payload))
+            return false;
+    }
+}
+
+bool
+Session::handlePayload(const std::string &payload)
+{
+    util::JsonValue msg;
+    std::string err;
+    if (!util::parseJson(payload, msg, &err)) {
+        sendError(errc::kBadJson, err);
+        return true;
+    }
+    const std::string type = messageType(msg);
+
+    if (type == "hello")
+        return handleHello(msg);
+    if (!hello_done_) {
+        sendError(errc::kNeedHello,
+                  "handshake required before '" + type + "'");
+        return true;
+    }
+
+    if (type == "ping") {
+        send(JObj()
+                 .str("type", "pong")
+                 .num("proto", kProtocolVersion)
+                 .text());
+        return true;
+    }
+    if (type == "stats") {
+        handleStats();
+        return true;
+    }
+    if (type == "drain") {
+        // Ack first: the drain may tear this connection down.
+        send(JObj().str("type", "drain_ok").text());
+        ctx_.draining.store(true, std::memory_order_release);
+        if (ctx_.request_drain)
+            ctx_.request_drain();
+        return true;
+    }
+    if (type == "submit") {
+        handleSubmit(msg);
+        return true;
+    }
+    sendError(errc::kUnknownType, "unknown request '" + type + "'");
+    return true;
+}
+
+bool
+Session::handleHello(const util::JsonValue &msg)
+{
+    const std::uint64_t proto = getU64(msg, "proto");
+    if (proto != kProtocolVersion) {
+        sendError(errc::kVersionMismatch,
+                  "daemon speaks protocol " +
+                      std::to_string(kProtocolVersion) +
+                      ", client offered " + std::to_string(proto));
+        return false;
+    }
+    hello_done_ = true;
+    send(JObj()
+             .str("type", "hello_ok")
+             .num("proto", kProtocolVersion)
+             .num("schema", runner::kResultSchemaVersion)
+             .text());
+    return true;
+}
+
+void
+Session::handleStats()
+{
+    const runner::JobQueue::Counters c = ctx_.queue->counters();
+    JObj q;
+    q.num("submitted", c.submitted)
+        .num("coalesced", c.coalesced)
+        .num("completed", c.completed)
+        .num("failed", c.failed)
+        .num("executed", c.executed)
+        .num("requeued", c.requeued)
+        .num("cancelled", c.cancelled)
+        .num("max_executions_per_key", c.max_executions_per_key)
+        .num("queued", c.queued)
+        .num("in_flight", c.in_flight);
+    send(JObj()
+             .str("type", "stats")
+             .num("proto", kProtocolVersion)
+             .num("schema", runner::kResultSchemaVersion)
+             .boolean("draining",
+                      ctx_.draining.load(std::memory_order_acquire))
+             .num("sessions", ctx_.sessions.load())
+             .num("workers_alive",
+                  ctx_.pool ? ctx_.pool->workersAlive() : 0)
+             .num("workers_busy",
+                  ctx_.pool ? ctx_.pool->workersBusy() : 0)
+             .add("queue", q.build())
+             .text());
+}
+
+void
+Session::handleSubmit(const util::JsonValue &msg)
+{
+    if (ctx_.draining.load(std::memory_order_acquire)) {
+        sendError(errc::kDraining, "daemon is draining");
+        return;
+    }
+    const std::string kind = getStr(msg, "kind");
+    const bool progress = getBool(msg, "progress");
+    if (kind == "sweep")
+        handleSweep(msg, progress);
+    else if (kind == "campaign")
+        handleCampaign(msg, progress);
+    else if (kind == "run")
+        handleRun(msg);
+    else
+        sendError(errc::kBadRequest,
+                  "submit kind must be sweep|campaign|run, got '" +
+                      kind + "'");
+}
+
+void
+Session::handleSweep(const util::JsonValue &msg, bool progress)
+{
+    const util::JsonValue *spec = msg.get("spec");
+    if (!spec || !spec->isString()) {
+        sendError(errc::kBadRequest,
+                  "sweep submit needs a string 'spec' (the sweep-spec "
+                  "JSON text)");
+        return;
+    }
+
+    explore::ExploreConfig cfg;
+    std::string err;
+    if (!explore::parseSweepSpec(spec->asString(), cfg.sweep, &err)) {
+        sendError(errc::kBadSpec, err);
+        return;
+    }
+
+    const std::string mode = getStr(msg, "mode");
+    if (mode == "exhaustive")
+        cfg.sweep.mode = explore::SearchMode::Exhaustive;
+    else if (mode == "halving")
+        cfg.sweep.mode = explore::SearchMode::Halving;
+    else if (!mode.empty()) {
+        sendError(errc::kBadRequest,
+                  "mode must be exhaustive|halving, got '" + mode +
+                      "'");
+        return;
+    }
+
+    if (const util::JsonValue *objs = msg.get("objectives")) {
+        if (!objs->isArray()) {
+            sendError(errc::kBadRequest,
+                      "'objectives' must be an array of names");
+            return;
+        }
+        for (const util::JsonValue &o : objs->items()) {
+            if (!o.isString() ||
+                !explore::findObjective(o.asString())) {
+                sendError(errc::kBadRequest,
+                          "unknown objective" +
+                              (o.isString() ? " '" + o.asString() + "'"
+                                            : std::string()));
+                return;
+            }
+            cfg.objectives.push_back(o.asString());
+        }
+    }
+
+    cfg.jobs = static_cast<unsigned>(getU64(msg, "jobs"));
+    cfg.cache_dir = ctx_.cache_dir;
+    cfg.snapshot_dir = ctx_.snapshot_dir;
+
+    std::vector<Span> spans;
+    std::mutex spans_m;
+    const auto start = std::chrono::steady_clock::now();
+    cfg.executor = queueExecutor(ctx_, spans, spans_m, start);
+
+    LineFrameBuf pbuf(send_);
+    std::ostream pout(&pbuf);
+    if (progress) {
+        cfg.progress = true;
+        cfg.progress_out = &pout;
+    }
+
+    explore::ExploreReport report;
+    if (!explore::runExploration(cfg, report, &err)) {
+        sendError(errc::kBadSpec, err);
+        return;
+    }
+
+    std::ostringstream summary, csv, md;
+    explore::writeSummaryText(summary, report);
+    explore::writeCsv(csv, report);
+    explore::writeFrontierMarkdown(md, report, ctx_.cache_dir);
+
+    send(JObj()
+             .str("type", "result")
+             .str("kind", "sweep")
+             .str("summary", summary.str())
+             .str("csv", csv.str())
+             .str("report_md", md.str())
+             .num("executed", report.executed)
+             .num("cache_hits", report.cache_hits)
+             .add("spans", spansJson(spans))
+             .text());
+}
+
+void
+Session::handleCampaign(const util::JsonValue &msg, bool progress)
+{
+    verify::CampaignConfig cc;
+
+    const std::string design = getStr(msg, "design");
+    if (!nvp::designKindFromName(design, cc.base.design)) {
+        sendError(errc::kBadRequest,
+                  "unknown design '" + design + "'");
+        return;
+    }
+    const std::string workload = getStr(msg, "workload");
+    if (!workloads::findWorkload(workload)) {
+        sendError(errc::kBadRequest,
+                  "unknown workload '" + workload + "'");
+        return;
+    }
+    cc.base.workload = workload;
+
+    const std::string trace = getStr(msg, "trace_kind", "constant");
+    if (!energy::traceKindFromName(trace, cc.base.power)) {
+        sendError(errc::kBadRequest, "unknown trace '" + trace + "'");
+        return;
+    }
+    cc.ambient = getBool(msg, "ambient");
+    cc.base.no_failure = !cc.ambient;
+    cc.base.scale = static_cast<unsigned>(getU64(msg, "scale", 1));
+    cc.base.workload_seed = getU64(msg, "seed", 42);
+    cc.base.power_seed = getU64(msg, "power_seed", 7);
+
+    if (const util::JsonValue *pts = msg.get("points")) {
+        if (!pts->isArray()) {
+            sendError(errc::kBadRequest,
+                      "'points' must be an array of cycles");
+            return;
+        }
+        for (const util::JsonValue &p : pts->items()) {
+            if (!p.isNumber()) {
+                sendError(errc::kBadRequest,
+                          "'points' must be an array of cycles");
+                return;
+            }
+            cc.points.push_back(p.asU64());
+        }
+    }
+    cc.stride = getU64(msg, "stride");
+    if (const util::JsonValue *w = msg.get("window")) {
+        if (!w->isObject()) {
+            sendError(errc::kBadRequest,
+                      "'window' must be {begin,end,step}");
+            return;
+        }
+        cc.has_window = true;
+        cc.window_begin = getU64(*w, "begin");
+        cc.window_end = getU64(*w, "end");
+        cc.window_step = getU64(*w, "step", 1);
+        if (cc.window_end <= cc.window_begin || cc.window_step == 0) {
+            sendError(errc::kBadRequest,
+                      "bad window (need end > begin, step > 0)");
+            return;
+        }
+    }
+    cc.bisect = getBool(msg, "bisect");
+    cc.inject_checkpoint_skip =
+        getBool(msg, "inject_checkpoint_skip");
+    cc.inject_register_skip = getBool(msg, "inject_register_skip");
+    cc.jobs = static_cast<unsigned>(getU64(msg, "jobs"));
+    cc.cache_dir = ctx_.cache_dir;
+    cc.snapshot_interval = getU64(msg, "snapshot_interval");
+    cc.snapshot_dir = ctx_.snapshot_dir;
+    cc.timeline_window =
+        static_cast<std::size_t>(getU64(msg, "timeline_window", 64));
+
+    std::vector<Span> spans;
+    std::mutex spans_m;
+    const auto start = std::chrono::steady_clock::now();
+    cc.executor = queueExecutor(ctx_, spans, spans_m, start);
+
+    LineFrameBuf pbuf(send_);
+    std::ostream pout(&pbuf);
+    if (progress) {
+        cc.progress = true;
+        cc.progress_out = &pout;
+    }
+
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    std::ostringstream summary, json;
+    verify::writeCampaignSummary(summary, rep);
+    verify::writeCampaignReportJson(json, rep);
+
+    send(JObj()
+             .str("type", "result")
+             .str("kind", "campaign")
+             .str("summary", summary.str())
+             .str("report_json", json.str())
+             .boolean("golden_clean", rep.golden_clean)
+             .num("num_divergent", rep.num_divergent)
+             .add("spans", spansJson(spans))
+             .text());
+}
+
+void
+Session::handleRun(const util::JsonValue &msg)
+{
+    const std::string key = getStr(msg, "key");
+    const std::string spec_text = getStr(msg, "spec_text");
+    const std::uint64_t max_events = getU64(msg, "max_events");
+    if (key.empty() || spec_text.empty()) {
+        sendError(errc::kBadRequest,
+                  "run submit needs 'key' and 'spec_text'");
+        return;
+    }
+
+    // Validate before queueing so a bad spec fails fast (the worker
+    // re-derives the key anyway; this keeps garbage out of the queue).
+    nvp::ExperimentSpec spec;
+    std::string err;
+    if (!runner::parseSpecText(spec_text, spec, &err)) {
+        sendError(errc::kBadSpec, err);
+        return;
+    }
+    const std::string derived = max_events
+        ? runner::partialKey(spec, max_events)
+        : runner::specKey(spec);
+    if (derived != key) {
+        sendError(errc::kBadRequest,
+                  "key mismatch: client sent " + key +
+                      ", daemon derived " + derived);
+        return;
+    }
+
+    runner::QueueJob qj;
+    qj.key = key;
+    qj.id = getStr(msg, "id", key);
+    qj.spec_text = spec_text;
+    qj.max_events = max_events;
+    runner::JobTicket ticket = ctx_.queue->submit(std::move(qj));
+    const runner::JobOutcome &o = ticket.wait();
+
+    if (!o.ok) {
+        sendError(o.error == "draining" ? errc::kDraining
+                                        : errc::kInternal,
+                  o.error);
+        return;
+    }
+    JObj reply;
+    reply.str("type", "result")
+        .str("kind", "run")
+        .str("key", key)
+        .boolean("executed", o.executed);
+    if (!o.result_json.empty())
+        reply.raw("result", o.result_json);
+    send(reply.text());
+}
+
+// --- Pending-job persistence -----------------------------------------
+
+std::string
+pendingPath(const std::string &state_dir)
+{
+    return state_dir + "/pending.json";
+}
+
+bool
+savePendingJobs(const std::string &state_dir,
+                const std::vector<runner::QueueJob> &jobs,
+                std::string *err)
+{
+    util::FileLock lock;
+    if (!lock.lockExclusive(pendingPath(state_dir) + ".lock")) {
+        if (err)
+            *err = "cannot lock pending-job state";
+        return false;
+    }
+    std::vector<util::JsonValue> items;
+    items.reserve(jobs.size());
+    for (const runner::QueueJob &j : jobs)
+        items.push_back(JObj()
+                            .str("key", j.key)
+                            .str("id", j.id)
+                            .str("spec_text", j.spec_text)
+                            .num("max_events", j.max_events)
+                            .build());
+    const std::string text =
+        JObj()
+            .num("version", 1)
+            .add("jobs", util::JsonValue::makeArray(std::move(items)))
+            .text();
+    return util::writeFileAtomic(state_dir, pendingPath(state_dir),
+                                 text, err);
+}
+
+bool
+loadPendingJobs(const std::string &state_dir,
+                std::vector<runner::QueueJob> &out, std::string *err)
+{
+    std::string text;
+    if (!util::readFileText(pendingPath(state_dir), text))
+        return true; // No file: nothing pending.
+    util::JsonValue root;
+    if (!util::parseJson(text, root, err))
+        return false;
+    if (getU64(root, "version") != 1) {
+        if (err)
+            *err = "unknown pending-job state version";
+        return false;
+    }
+    const util::JsonValue *jobs = root.get("jobs");
+    if (!jobs || !jobs->isArray()) {
+        if (err)
+            *err = "pending-job state has no 'jobs' array";
+        return false;
+    }
+    for (const util::JsonValue &j : jobs->items()) {
+        runner::QueueJob qj;
+        qj.key = getStr(j, "key");
+        qj.id = getStr(j, "id");
+        qj.spec_text = getStr(j, "spec_text");
+        qj.max_events = getU64(j, "max_events");
+        if (qj.key.empty() || qj.spec_text.empty()) {
+            if (err)
+                *err = "pending-job entry missing key/spec_text";
+            return false;
+        }
+        out.push_back(std::move(qj));
+    }
+    return true;
+}
+
+// --- Server ----------------------------------------------------------
+
+namespace {
+
+/** Self-pipe write end for the signal handler (async-signal-safe). */
+std::atomic<int> g_wake_fd{ -1 };
+
+void
+onStopSignal(int)
+{
+    const int fd = g_wake_fd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        const char c = 'x';
+        [[maybe_unused]] const auto n = ::write(fd, &c, 1);
+    }
+}
+
+} // anonymous namespace
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {}
+
+Server::~Server()
+{
+    for (std::thread &t : conn_threads_)
+        if (t.joinable())
+            t.join();
+    if (listen_fd_ >= 0)
+        closeFd(listen_fd_);
+    closeFd(wake_r_);
+    closeFd(wake_w_);
+    if (cfg_.address.kind == Address::Kind::Unix &&
+        !cfg_.address.path.empty())
+        ::remove(cfg_.address.path.c_str());
+}
+
+bool
+Server::start(std::string *err)
+{
+    if (cfg_.exe_path.empty()) {
+        if (err)
+            *err = "worker exe_path not set";
+        return false;
+    }
+
+    ctx_.queue = &queue_;
+    ctx_.cache_dir = cfg_.cache_dir;
+    ctx_.snapshot_dir = cfg_.snapshot_dir;
+    ctx_.request_drain = [this] { requestDrain(); };
+
+    // Re-offer jobs a previous instance persisted at drain. Nobody
+    // waits on the tickets; completions just warm the shared cache.
+    if (!cfg_.state_dir.empty()) {
+        std::vector<runner::QueueJob> pending;
+        std::string perr;
+        if (!loadPendingJobs(cfg_.state_dir, pending, &perr))
+            warn("ignoring pending-job state: %s", perr.c_str());
+        if (!pending.empty()) {
+            inform("re-offering %zu persisted job(s)",
+                   pending.size());
+            for (runner::QueueJob &j : pending)
+                reoffered_.push_back(queue_.submit(std::move(j)));
+        }
+        ::remove(pendingPath(cfg_.state_dir).c_str());
+    }
+
+    WorkerPoolConfig wpc;
+    wpc.workers = cfg_.workers ? cfg_.workers : 1;
+    wpc.exe_path = cfg_.exe_path;
+    wpc.cache_dir = cfg_.cache_dir;
+    wpc.snapshot_dir = cfg_.snapshot_dir;
+    pool_ = std::make_unique<WorkerPool>(wpc, queue_);
+    ctx_.pool = pool_.get();
+    if (!pool_->start(err))
+        return false;
+
+    listen_fd_ = listenOn(cfg_.address, err);
+    if (listen_fd_ < 0)
+        return false;
+
+    int p[2];
+    if (::pipe(p) != 0) {
+        if (err)
+            *err = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    wake_r_ = p[0];
+    wake_w_ = p[1];
+    ::fcntl(wake_r_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(wake_w_, F_SETFD, FD_CLOEXEC);
+    return true;
+}
+
+void
+Server::requestDrain()
+{
+    const int fd = wake_w_;
+    if (fd >= 0) {
+        const char c = 'x';
+        [[maybe_unused]] const auto n = ::write(fd, &c, 1);
+    }
+}
+
+int
+Server::run()
+{
+    g_wake_fd.store(wake_w_, std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = onStopSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    inform("wlcached listening on %s (%u workers)",
+           cfg_.address.describe().c_str(), cfg_.workers);
+
+    for (;;) {
+        struct pollfd fds[2];
+        fds[0].fd = listen_fd_;
+        fds[0].events = POLLIN;
+        fds[1].fd = wake_r_;
+        fds[1].events = POLLIN;
+        if (::poll(fds, 2, -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("poll: %s", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents & POLLIN)
+            break; // Drain requested (signal or client).
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lock(conns_m_);
+        conn_fds_.push_back(fd);
+        conn_threads_.emplace_back(
+            [this, fd] { handleConnection(fd); });
+    }
+
+    drain();
+
+    closeFd(listen_fd_);
+    listen_fd_ = -1;
+    for (std::thread &t : conn_threads_)
+        if (t.joinable())
+            t.join();
+    conn_threads_.clear();
+    g_wake_fd.store(-1, std::memory_order_relaxed);
+    inform("wlcached drained, exiting");
+    return 0;
+}
+
+void
+Server::drain()
+{
+    ctx_.draining.store(true, std::memory_order_release);
+
+    // Stop producing: queued-but-unstolen jobs come back for
+    // persistence, busy workers get a cooperative cut request, and
+    // the pool joins once every in-flight job resolved (done or cut).
+    std::vector<runner::QueueJob> pending = queue_.shutdownAndDrain();
+    pool_->requestCut();
+    pool_->join();
+    for (runner::QueueJob &j : queue_.takeDrained())
+        pending.push_back(std::move(j));
+
+    if (!cfg_.state_dir.empty()) {
+        std::string err;
+        if (!savePendingJobs(cfg_.state_dir, pending, &err))
+            warn("could not persist %zu pending job(s): %s",
+                 pending.size(), err.c_str());
+        else if (!pending.empty())
+            inform("persisted %zu pending job(s) for restart",
+                   pending.size());
+    } else if (!pending.empty()) {
+        warn("dropping %zu pending job(s) (no --state-dir)",
+             pending.size());
+    }
+
+    // Unblock connection threads stuck in recv.
+    std::lock_guard<std::mutex> lock(conns_m_);
+    for (const int fd : conn_fds_)
+        ::shutdown(fd, SHUT_RDWR);
+}
+
+void
+Server::handleConnection(int fd)
+{
+    ctx_.sessions.fetch_add(1, std::memory_order_relaxed);
+
+    auto send_m = std::make_shared<std::mutex>();
+    Session session(ctx_, [fd, send_m](const std::string &bytes) {
+        std::lock_guard<std::mutex> lock(*send_m);
+        return sendAll(fd, bytes);
+    });
+
+    std::string chunk;
+    for (;;) {
+        chunk.clear();
+        const long n = recvSome(fd, chunk);
+        if (n <= 0)
+            break;
+        if (!session.onBytes(chunk))
+            break;
+    }
+
+    {
+        // Unregister before closing so a concurrent drain() cannot
+        // shut down a recycled descriptor.
+        std::lock_guard<std::mutex> lock(conns_m_);
+        for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it)
+            if (*it == fd) {
+                conn_fds_.erase(it);
+                break;
+            }
+    }
+    closeFd(fd);
+}
+
+} // namespace serve
+} // namespace wlcache

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The wlcached daemon: a persistent simulation service. One Server
+ * owns the JobQueue, the forked WorkerPool, and the listening socket;
+ * each accepted connection gets a Session (the protocol state
+ * machine) on its own thread. Sessions submit sweep/campaign/run
+ * requests; the heavy engines (explore, verify) run inside the
+ * handler thread with a RemoteExecutor that routes every cache-miss
+ * job through the shared queue — so overlapping submissions from
+ * different clients coalesce into one worker execution whose result
+ * fans out to every waiter.
+ *
+ * Session is deliberately transport-free (bytes in via onBytes(),
+ * frames out via a send callback) so the protocol surface is testable
+ * without sockets; Server adds the poll()-based accept loop, the
+ * SIGTERM/--drain graceful shutdown, and pending-job persistence.
+ */
+
+#ifndef WLCACHE_SERVE_SERVER_HH
+#define WLCACHE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/job_queue.hh"
+#include "serve/frame.hh"
+#include "serve/net.hh"
+#include "serve/worker_pool.hh"
+#include "util/json.hh"
+
+namespace wlcache {
+namespace serve {
+
+struct ServerConfig
+{
+    Address address;
+    unsigned workers = 2;      //!< Worker processes in the fleet.
+    std::string exe_path;      //!< Binary to re-exec for workers.
+    std::string cache_dir;     //!< Shared RunResult cache.
+    std::string snapshot_dir;  //!< Shared snapshot store.
+    /**
+     * Directory for drain persistence (pending.json). Jobs still
+     * queued when a drain lands are saved here and re-offered by the
+     * next daemon instance. Empty disables persistence.
+     */
+    std::string state_dir;
+};
+
+/**
+ * Shared state a Session needs. The Server wires this up; serve_test
+ * builds one by hand (pool may be null — stats then report an empty
+ * fleet, submits still exercise the queue).
+ */
+struct ServerContext
+{
+    runner::JobQueue *queue = nullptr;
+    WorkerPool *pool = nullptr;
+    std::string cache_dir;
+    std::string snapshot_dir;
+    std::atomic<bool> draining{ false };
+    std::atomic<std::uint64_t> sessions{ 0 };
+    /** Hook a client "drain" request triggers; may be null. */
+    std::function<void()> request_drain;
+};
+
+/**
+ * One client connection's protocol state machine. Feed transport
+ * bytes in; complete frames are decoded, dispatched, and answered
+ * through the send callback. Handlers run on the caller's thread and
+ * may block for the duration of a sweep/campaign; progress frames are
+ * emitted through the same (thread-safe) callback while the engine
+ * runs.
+ */
+class Session
+{
+  public:
+    /** Ship one encoded frame; must be callable from any thread. */
+    using SendFn = std::function<bool(const std::string &bytes)>;
+
+    Session(ServerContext &ctx, SendFn send);
+
+    /**
+     * Consume transport bytes. @return false when the connection must
+     * close (corrupt framing, version mismatch); a structured error
+     * frame has already been sent when possible.
+     */
+    bool onBytes(const char *data, std::size_t len);
+    bool onBytes(const std::string &chunk)
+    {
+        return onBytes(chunk.data(), chunk.size());
+    }
+
+  private:
+    bool handlePayload(const std::string &payload);
+    bool handleHello(const util::JsonValue &msg);
+    void handleStats();
+    void handleSubmit(const util::JsonValue &msg);
+    void handleSweep(const util::JsonValue &msg, bool progress);
+    void handleCampaign(const util::JsonValue &msg, bool progress);
+    void handleRun(const util::JsonValue &msg);
+    bool send(const std::string &payload);
+    void sendError(const std::string &code, const std::string &msg);
+
+    ServerContext &ctx_;
+    SendFn send_;
+    FrameReader reader_;
+    bool hello_done_ = false;
+};
+
+/** `<state_dir>/pending.json`. */
+std::string pendingPath(const std::string &state_dir);
+
+/**
+ * Persist @p jobs for the next daemon instance (atomic publish under
+ * the state-dir lock).
+ */
+bool savePendingJobs(const std::string &state_dir,
+                     const std::vector<runner::QueueJob> &jobs,
+                     std::string *err = nullptr);
+
+/**
+ * Load persisted jobs; a missing file is success with an empty list.
+ */
+bool loadPendingJobs(const std::string &state_dir,
+                     std::vector<runner::QueueJob> &out,
+                     std::string *err = nullptr);
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    /**
+     * Listen, fork the worker fleet, and re-offer any persisted
+     * pending jobs. @return false with @p *err on failure.
+     */
+    bool start(std::string *err);
+
+    /**
+     * Accept/serve until a drain lands (SIGTERM, SIGINT, or a client
+     * "drain" request), then shut down gracefully: stop producing
+     * work, ask busy workers to checkpoint, persist what is left.
+     * @return process exit status.
+     */
+    int run();
+
+    /** Begin graceful shutdown (callable from any thread). */
+    void requestDrain();
+
+  private:
+    void handleConnection(int fd);
+    void drain();
+
+    ServerConfig cfg_;
+    runner::JobQueue queue_;
+    std::unique_ptr<WorkerPool> pool_;
+    ServerContext ctx_;
+
+    int listen_fd_ = -1;
+    int wake_r_ = -1;
+    int wake_w_ = -1;
+
+    std::mutex conns_m_;
+    std::vector<int> conn_fds_;
+    std::vector<std::thread> conn_threads_;
+
+    /** Tickets of re-offered persisted jobs (outcome fans out here). */
+    std::vector<runner::JobTicket> reoffered_;
+};
+
+} // namespace serve
+} // namespace wlcache
+
+#endif // WLCACHE_SERVE_SERVER_HH

@@ -1,0 +1,199 @@
+#include "serve/worker.hh"
+
+#include <csignal>
+
+#include <atomic>
+#include <sstream>
+
+#include "nvp/experiment.hh"
+#include "nvp/run_json.hh"
+#include "runner/result_cache.hh"
+#include "runner/snapshot_store.hh"
+#include "runner/spec_codec.hh"
+#include "runner/spec_key.hh"
+#include "serve/frame.hh"
+#include "serve/messages.hh"
+#include "serve/net.hh"
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace serve {
+
+namespace {
+
+/** Set by SIGTERM/SIGUSR1; polled by the simulation loop. */
+std::atomic<bool> g_cut_requested{false};
+
+void
+onCutSignal(int)
+{
+    g_cut_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+installCutHandlers()
+{
+    struct sigaction sa{};
+    sa.sa_handler = onCutSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGUSR1, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+}
+
+/** Process one job request; returns the reply payload. */
+std::string
+handleJob(const util::JsonValue &msg, const WorkerConfig &cfg)
+{
+    const util::JsonValue *key_v = msg.get("key");
+    const util::JsonValue *spec_v = msg.get("spec_text");
+    const util::JsonValue *budget_v = msg.get("max_events");
+    if (!key_v || !key_v->isString() || !spec_v ||
+        !spec_v->isString())
+        return errorPayload(errc::kBadRequest,
+                            "job needs string key and spec_text");
+    const std::string &key = key_v->asString();
+    const std::uint64_t max_events =
+        budget_v && budget_v->isNumber() ? budget_v->asU64() : 0;
+
+    auto jobError = [&](const std::string &message) {
+        return JObj()
+            .str("type", "error")
+            .str("key", key)
+            .str("code", errc::kBadSpec)
+            .str("message", message)
+            .text();
+    };
+
+    nvp::ExperimentSpec spec;
+    std::string err;
+    if (!runner::parseSpecText(spec_v->asString(), spec, &err))
+        return jobError("spec parse failed: " + err);
+
+    // Never trust the scheduler's key: publish only under the key
+    // this binary derives from the spec it actually runs.
+    const std::string derived = max_events
+        ? runner::partialKey(spec, max_events)
+        : runner::specKey(spec);
+    if (derived != key)
+        return jobError("key mismatch: daemon sent " + key +
+                        ", worker derived " + derived);
+
+    const runner::ResultCache cache(cfg.cache_dir);
+    const runner::SnapshotStore snaps(cfg.snapshot_dir);
+
+    nvp::RunResult result;
+    if (cache.load(key, result)) {
+        std::ostringstream rec;
+        nvp::writeRunResultJson(rec, result);
+        return JObj()
+            .str("type", "done")
+            .str("key", key)
+            .boolean("executed", false)
+            .boolean("worker_cached", true)
+            .raw("result", rec.str())
+            .text();
+    }
+
+    // A drain checkpoint from a previous instance fast-forwards this
+    // run; best-effort, since the snapshot may predate a schema
+    // change (then we just run cold).
+    const std::string dkey = drainKey(runner::resumeKey(spec));
+    nvp::SystemSnapshot resume_snap;
+    const bool have_resume = snaps.load(dkey, resume_snap);
+
+    nvp::SystemSnapshot cut;
+    nvp::RunOptions ro;
+    ro.max_events = max_events;
+    ro.cut = &cut;
+    ro.cut_request = &g_cut_requested;
+    if (have_resume) {
+        ro.resume = &resume_snap;
+        ro.resume_best_effort = true;
+    }
+    result = nvp::runExperimentEx(spec, ro);
+
+    if (g_cut_requested.load(std::memory_order_relaxed) &&
+        !result.completed && cut.valid()) {
+        // Cut mid-run by a drain: checkpoint so the next instance
+        // resumes instead of restarting, and hand the job back.
+        snaps.store(dkey, cut);
+        return JObj().str("type", "cut").str("key", key).text();
+    }
+
+    cache.store(key, result);
+    if (max_events && cut.valid())
+        snaps.store(key, cut);
+
+    std::ostringstream rec;
+    nvp::writeRunResultJson(rec, result);
+    return JObj()
+        .str("type", "done")
+        .str("key", key)
+        .boolean("executed", true)
+        .boolean("worker_cached", false)
+        .raw("result", rec.str())
+        .text();
+}
+
+} // anonymous namespace
+
+std::string
+drainKey(const std::string &resume_key)
+{
+    return "drain-" + resume_key;
+}
+
+int
+runWorkerLoop(int fd, const WorkerConfig &cfg)
+{
+    installCutHandlers();
+
+    FrameReader reader;
+    std::string payload;
+    for (;;) {
+        const FrameReader::Status st = reader.next(payload);
+        if (st == FrameReader::Status::Error) {
+            warn("worker: bad frame from daemon: %s",
+                 reader.error().c_str());
+            return 1;
+        }
+        if (st == FrameReader::Status::NeedMore) {
+            std::string chunk;
+            const long n = recvSome(fd, chunk);
+            if (n <= 0)
+                return 0; // Daemon went away: quiet exit.
+            reader.feed(chunk);
+            continue;
+        }
+
+        util::JsonValue msg;
+        std::string err;
+        if (!util::parseJson(payload, msg, &err)) {
+            if (!sendAll(fd, encodeFrame(errorPayload(
+                                 errc::kBadJson, err))))
+                return 1;
+            continue;
+        }
+        const std::string type = messageType(msg);
+        if (type == "exit")
+            return 0;
+        if (type != "job") {
+            if (!sendAll(fd, encodeFrame(errorPayload(
+                                 errc::kUnknownType,
+                                 "worker got '" + type + "'"))))
+                return 1;
+            continue;
+        }
+        if (!sendAll(fd, encodeFrame(handleJob(msg, cfg))))
+            return 1;
+        // One cut poisons at most one job; later jobs (after a
+        // restart-less drain abort) run normally.
+        if (g_cut_requested.load(std::memory_order_relaxed))
+            return 0;
+    }
+}
+
+} // namespace serve
+} // namespace wlcache

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * wlcached worker process. The daemon fork+execs its own binary with
+ * `--worker-fd N`; that fd is one end of a socketpair speaking the
+ * same length-framed JSON protocol as the client socket:
+ *
+ *   parent -> worker: {"type":"job","key","id","spec_text",
+ *                      "max_events"}  |  {"type":"exit"}
+ *   worker -> parent: {"type":"done","key","executed",
+ *                      "worker_cached","result":<run record>}
+ *                   | {"type":"cut","key"}         (drain checkpoint)
+ *                   | {"type":"error","key","message"}
+ *
+ * Jobs arrive as specKeyText() payloads; the worker re-derives the
+ * content key and refuses to run on any mismatch, so a daemon/worker
+ * version skew can never publish under a wrong key. SIGTERM/SIGUSR1
+ * request a cooperative cut: the in-flight simulation stops at the
+ * next event boundary, checkpoints through the snapshot store, and
+ * reports "cut" so the daemon can re-offer the job later.
+ */
+
+#ifndef WLCACHE_SERVE_WORKER_HH
+#define WLCACHE_SERVE_WORKER_HH
+
+#include <string>
+
+namespace wlcache {
+namespace serve {
+
+/** Worker-side artifact store locations (shared with the daemon). */
+struct WorkerConfig
+{
+    std::string cache_dir;    //!< Shared RunResult cache.
+    std::string snapshot_dir; //!< Shared snapshot store.
+};
+
+/**
+ * Serve jobs on @p fd until an exit message or EOF.
+ * @return process exit status.
+ */
+int runWorkerLoop(int fd, const WorkerConfig &cfg);
+
+/** Drain-snapshot key for a job ("drain-" + resume-compat key). */
+std::string drainKey(const std::string &resume_key);
+
+} // namespace serve
+} // namespace wlcache
+
+#endif // WLCACHE_SERVE_WORKER_HH

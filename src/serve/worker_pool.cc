@@ -1,0 +1,268 @@
+#include "serve/worker_pool.hh"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include "serve/frame.hh"
+#include "serve/messages.hh"
+#include "serve/net.hh"
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace serve {
+
+WorkerPool::WorkerPool(WorkerPoolConfig cfg, runner::JobQueue &queue)
+    : cfg_(std::move(cfg)), queue_(queue), slots_(cfg_.workers)
+{}
+
+WorkerPool::~WorkerPool()
+{
+    join();
+}
+
+bool
+WorkerPool::spawn(Slot &slot, std::string *err)
+{
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, sv) <
+        0) {
+        if (err)
+            *err = std::string("socketpair: ") + std::strerror(errno);
+        return false;
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (err)
+            *err = std::string("fork: ") + std::strerror(errno);
+        closeFd(sv[0]);
+        closeFd(sv[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe calls until exec. dup2 onto
+        // fd 3 also clears CLOEXEC for the worker's end.
+        ::dup2(sv[1], 3);
+        const char *argv[] = {
+            cfg_.exe_path.c_str(),
+            "--worker-fd", "3",
+            "--cache-dir", cfg_.cache_dir.c_str(),
+            "--snapshot-dir", cfg_.snapshot_dir.c_str(),
+            nullptr,
+        };
+        ::execv(cfg_.exe_path.c_str(),
+                const_cast<char *const *>(argv));
+        _exit(127);
+    }
+
+    closeFd(sv[1]);
+    slot.pid.store(pid, std::memory_order_release);
+    slot.fd.store(sv[0], std::memory_order_release);
+    return true;
+}
+
+void
+WorkerPool::reap(Slot &slot)
+{
+    const int fd = slot.fd.exchange(-1);
+    closeFd(fd);
+    const pid_t pid = slot.pid.exchange(-1);
+    if (pid > 0) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+}
+
+bool
+WorkerPool::start(std::string *err)
+{
+    // Fork the whole fleet before any dispatcher thread exists, so
+    // the initial forks happen from a quiescent (single-threaded
+    // here) parent. Respawns later fork+exec immediately, which is
+    // safe from a threaded process.
+    for (Slot &slot : slots_)
+        if (!spawn(slot, err))
+            return false;
+    for (Slot &slot : slots_)
+        slot.dispatcher =
+            std::thread([this, &slot] { dispatchLoop(slot); });
+    return true;
+}
+
+void
+WorkerPool::dispatchLoop(Slot &slot)
+{
+    runner::QueueJob job;
+    while (queue_.steal(job)) {
+        slot.busy.store(true, std::memory_order_release);
+
+        bool delivered = false;
+        while (!delivered) {
+            const int fd = slot.fd.load(std::memory_order_acquire);
+            if (fd < 0) {
+                if (joining_.load() ||
+                    slot.respawns >= cfg_.max_respawns) {
+                    queue_.requeue(job.key, "no worker available");
+                    // requeue either re-offers (another dispatcher
+                    // picks it up) or fails the waiters; this slot
+                    // is done either way.
+                    slot.busy.store(false);
+                    return;
+                }
+                ++slot.respawns;
+                std::string err;
+                if (!spawn(slot, &err)) {
+                    warn("worker respawn failed: %s", err.c_str());
+                    continue;
+                }
+            }
+
+            const std::string req = JObj()
+                .str("type", "job")
+                .str("key", job.key)
+                .str("id", job.id)
+                .str("spec_text", job.spec_text)
+                .num("max_events", job.max_events)
+                .text();
+            if (!sendAll(slot.fd.load(), encodeFrame(req))) {
+                reap(slot);
+                continue;
+            }
+
+            // Await this job's terminal reply.
+            FrameReader reader;
+            std::string payload;
+            bool connection_dead = false;
+            for (;;) {
+                const FrameReader::Status st = reader.next(payload);
+                if (st == FrameReader::Status::Error) {
+                    warn("worker sent a bad frame: %s",
+                         reader.error().c_str());
+                    connection_dead = true;
+                    break;
+                }
+                if (st == FrameReader::Status::NeedMore) {
+                    std::string chunk;
+                    const long n =
+                        recvSome(slot.fd.load(), chunk);
+                    if (n <= 0) {
+                        connection_dead = true;
+                        break;
+                    }
+                    reader.feed(chunk);
+                    continue;
+                }
+
+                util::JsonValue msg;
+                std::string perr;
+                if (!util::parseJson(payload, msg, &perr)) {
+                    warn("worker sent bad JSON: %s", perr.c_str());
+                    connection_dead = true;
+                    break;
+                }
+                const std::string type = messageType(msg);
+                if (type == "done") {
+                    runner::JobOutcome o;
+                    o.ok = true;
+                    const util::JsonValue *ex = msg.get("executed");
+                    o.executed = ex && ex->isBool() && ex->asBool();
+                    const util::JsonValue *res = msg.get("result");
+                    if (res) {
+                        std::ostringstream ss;
+                        util::writeJsonCompact(ss, *res);
+                        o.result_json = ss.str();
+                    }
+                    queue_.complete(job.key, std::move(o));
+                    delivered = true;
+                    break;
+                }
+                if (type == "cut") {
+                    // Drain checkpointed the job; hand it back.
+                    queue_.requeue(job.key, "cut by drain");
+                    delivered = true;
+                    break;
+                }
+                if (type == "error") {
+                    runner::JobOutcome o;
+                    const util::JsonValue *m = msg.get("message");
+                    o.error = m && m->isString()
+                        ? m->asString() : "worker error";
+                    queue_.complete(job.key, std::move(o));
+                    delivered = true;
+                    break;
+                }
+                warn("worker sent unexpected '%s'", type.c_str());
+            }
+
+            if (connection_dead) {
+                reap(slot);
+                if (joining_.load()) {
+                    queue_.requeue(job.key, "worker lost at drain");
+                    slot.busy.store(false);
+                    return;
+                }
+                queue_.requeue(job.key, "worker died");
+                delivered = true; // Ownership returned to the queue.
+            }
+        }
+        slot.busy.store(false, std::memory_order_release);
+    }
+
+    // Queue drained: release the worker.
+    const int fd = slot.fd.load(std::memory_order_acquire);
+    if (fd >= 0)
+        sendAll(fd, encodeFrame(JObj().str("type", "exit").text()));
+    reap(slot);
+}
+
+void
+WorkerPool::requestCut()
+{
+    joining_.store(true);
+    for (Slot &slot : slots_) {
+        if (!slot.busy.load(std::memory_order_acquire))
+            continue;
+        const pid_t pid = slot.pid.load(std::memory_order_acquire);
+        if (pid > 0)
+            ::kill(pid, SIGUSR1);
+    }
+}
+
+void
+WorkerPool::join()
+{
+    joining_.store(true);
+    for (Slot &slot : slots_) {
+        if (slot.dispatcher.joinable())
+            slot.dispatcher.join();
+        reap(slot);
+    }
+}
+
+std::size_t
+WorkerPool::workersAlive() const
+{
+    std::size_t n = 0;
+    for (const Slot &slot : slots_)
+        n += slot.pid.load(std::memory_order_acquire) > 0;
+    return n;
+}
+
+std::size_t
+WorkerPool::workersBusy() const
+{
+    std::size_t n = 0;
+    for (const Slot &slot : slots_)
+        n += slot.busy.load(std::memory_order_acquire);
+    return n;
+}
+
+} // namespace serve
+} // namespace wlcache

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The wlcached worker fleet: N forked worker *processes* (the daemon
+ * re-execs its own binary with --worker-fd over a socketpair), each
+ * owned by one parent-side dispatcher thread that steals from the
+ * shared JobQueue, ships the job, and routes the reply back into the
+ * queue's fan-out. Process isolation means a simulator crash or
+ * panic() costs one job attempt, not the daemon; the dispatcher
+ * requeues the job and respawns the worker.
+ */
+
+#ifndef WLCACHE_SERVE_WORKER_POOL_HH
+#define WLCACHE_SERVE_WORKER_POOL_HH
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/job_queue.hh"
+
+namespace wlcache {
+namespace serve {
+
+struct WorkerPoolConfig
+{
+    unsigned workers = 2;
+    std::string exe_path;     //!< Binary to re-exec (/proc/self/exe).
+    std::string cache_dir;    //!< Shared artifact store.
+    std::string snapshot_dir;
+    unsigned max_respawns = 5; //!< Per slot, before giving up.
+};
+
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(WorkerPoolConfig cfg,
+                        runner::JobQueue &queue);
+    ~WorkerPool();
+
+    /**
+     * Fork the initial fleet (before any dispatcher thread exists,
+     * keeping fork clean), then start one dispatcher per worker.
+     * @return false with @p *err on spawn failure.
+     */
+    bool start(std::string *err);
+
+    /**
+     * Ask every busy worker to checkpoint its in-flight job
+     * (SIGUSR1 -> cooperative cut at the next event boundary).
+     */
+    void requestCut();
+
+    /**
+     * Join the fleet. Call after the queue started draining: idle
+     * dispatchers exit on steal() == false; busy ones finish when
+     * their worker replies (done or cut).
+     */
+    void join();
+
+    std::size_t workersAlive() const;
+    std::size_t workersBusy() const;
+
+  private:
+    struct Slot
+    {
+        std::atomic<pid_t> pid{ -1 };
+        std::atomic<int> fd{ -1 };
+        std::atomic<bool> busy{ false };
+        unsigned respawns = 0;
+        std::thread dispatcher;
+    };
+
+    bool spawn(Slot &slot, std::string *err);
+    void reap(Slot &slot);
+    void dispatchLoop(Slot &slot);
+
+    WorkerPoolConfig cfg_;
+    runner::JobQueue &queue_;
+    std::vector<Slot> slots_;
+    std::atomic<bool> joining_{ false };
+};
+
+} // namespace serve
+} // namespace wlcache
+
+#endif // WLCACHE_SERVE_WORKER_POOL_HH

@@ -142,6 +142,9 @@ runCampaign(const CampaignConfig &cfg)
     runner::RunnerConfig rc;
     rc.jobs = cfg.jobs;
     rc.cache_dir = cfg.cache_dir;
+    rc.progress = cfg.progress;
+    rc.progress_out = cfg.progress_out;
+    rc.executor = cfg.executor;
     runner::Runner runner(rc);
 
     // Snapshot resume only makes sense under the infinite-power

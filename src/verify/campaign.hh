@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "nvp/experiment.hh"
+#include "runner/runner.hh"
 #include "telemetry/timeline.hh"
 
 namespace wlcache {
@@ -82,6 +83,17 @@ struct CampaignConfig
 
     unsigned jobs = 0;          //!< Worker threads (0 = default).
     std::string cache_dir;      //!< Result cache; empty disables.
+    bool progress = false;      //!< Per-job progress lines.
+    /** Progress sink; null falls back to std::cerr. */
+    std::ostream *progress_out = nullptr;
+    /**
+     * Remote execution hook for the point-run batches (cache-miss
+     * jobs go to the wlcached fleet). The golden ladder recording and
+     * the timeline re-run always execute locally — they need live
+     * snapshot sinks and timeline buffers a remote worker cannot
+     * share. Null executes everything locally.
+     */
+    runner::RemoteExecutor executor;
 
     /**
      * Golden-run snapshot ladder interval in cycles; 0 disables.
@@ -201,6 +213,16 @@ CampaignReport runCampaign(const CampaignConfig &cfg);
  */
 void writeCampaignReportJson(std::ostream &os,
                              const CampaignReport &report);
+
+/**
+ * Write the human-readable per-campaign summary block (the one-shot
+ * CLI's stdout: verdict counts, divergent-point table, timeline
+ * window and bisect lines). Shared by wlcache_verify and the
+ * wlcached campaign handler so a served campaign renders
+ * byte-identically to a local one.
+ */
+void writeCampaignSummary(std::ostream &os,
+                          const CampaignReport &report);
 
 } // namespace verify
 } // namespace wlcache

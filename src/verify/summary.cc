@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Human-readable campaign summary, shared by the wlcache_verify CLI
+ * and the wlcached campaign handler so both render the exact same
+ * bytes for the same report.
+ */
+
+#include <ostream>
+
+#include "util/table.hh"
+#include "verify/campaign.hh"
+
+namespace wlcache {
+namespace verify {
+
+void
+writeCampaignSummary(std::ostream &os, const CampaignReport &rep)
+{
+    os << rep.design << "/" << rep.workload << ": ";
+    if (!rep.golden_clean) {
+        os << "GOLDEN RUN BROKEN (completed="
+           << (rep.golden.completed ? "yes" : "no") << ", final "
+           << (rep.golden.final_state_correct ? "correct" : "WRONG")
+           << ")\n";
+        return;
+    }
+    os << rep.points.size() << " points: " << rep.num_clean
+       << " clean, " << rep.num_divergent << " divergent, "
+       << rep.num_incomplete << " incomplete, "
+       << rep.num_not_reached << " not reached (" << rep.cache_hits
+       << "/" << rep.runs << " cached)\n";
+
+    if (rep.num_divergent > 0) {
+        util::TextTable t;
+        t.header({ "point", "verdict", "kind", "addr", "cycle",
+                   "outage" });
+        for (const auto &p : rep.points) {
+            if (p.verdict != Verdict::Divergent)
+                continue;
+            t.row({ std::to_string(p.point), verdictName(p.verdict),
+                    p.has_first_divergence ? p.first_divergence_kind
+                                           : "digest",
+                    std::to_string(p.first_divergence_addr),
+                    std::to_string(p.first_divergence_cycle),
+                    std::to_string(p.first_divergence_outage) });
+        }
+        t.print(os);
+    }
+    if (rep.has_divergence_window) {
+        os << "  timeline window: " << rep.divergence_window.size()
+           << " events leading up to the divergence at point "
+           << rep.divergence_window_point
+           << " (full detail in --json)\n";
+    }
+    if (rep.bisect.ran) {
+        os << "  bisect: minimal failing cycle "
+           << rep.bisect.minimal_fail << " (clean "
+           << rep.bisect.clean_low << ", first fail "
+           << rep.bisect.first_fail << ", " << rep.bisect.probes
+           << " probes)\n";
+    }
+}
+
+} // namespace verify
+} // namespace wlcache

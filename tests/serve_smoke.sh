@@ -1,0 +1,85 @@
+#!/bin/sh
+# End-to-end smoke for the wlcached serving stack: a served sweep must
+# be byte-identical to the one-shot CLI — stdout, CSV, and frontier
+# report — including when two clients submit the same sweep
+# concurrently, in which case the shared points must execute exactly
+# once (max_executions_per_key == 1 in the daemon's queue counters).
+#
+# Usage: serve_smoke.sh <build-dir> <source-dir>
+set -eu
+
+BUILD="$1"
+SRC="$2"
+SPEC="$SRC/examples/sweeps/smoke.json"
+
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+SOCK="$WORK/wlcached.sock"
+CACHE="$WORK/cache"
+
+# One-shot reference, cold. The run-economics line in the summary
+# depends on cache warmth, so the served runs below start from an
+# equally cold cache (same directory path: the frontier report embeds
+# it).
+"$BUILD/tools/wlcache_explore" --spec "$SPEC" --jobs 2 \
+    --cache-dir "$CACHE" \
+    --csv "$WORK/oneshot.csv" --report "$WORK/oneshot.md" \
+    > "$WORK/oneshot.out"
+rm -rf "$CACHE"
+
+"$BUILD/tools/wlcached" --listen "$SOCK" --workers 2 \
+    --cache-dir "$CACHE" --state-dir "$WORK/state" &
+DAEMON_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "FAIL: daemon did not come up"; exit 1; }
+    sleep 0.1
+done
+
+# Two clients race the same spec through different front-ends.
+"$BUILD/tools/wlcache_client" sweep --server "$SOCK" --spec "$SPEC" \
+    --jobs 2 --csv "$WORK/a.csv" --report "$WORK/a.md" \
+    > "$WORK/a.out" &
+A=$!
+"$BUILD/tools/wlcache_explore" --server "$SOCK" --spec "$SPEC" \
+    --jobs 2 --csv "$WORK/b.csv" --report "$WORK/b.md" \
+    > "$WORK/b.out" &
+B=$!
+wait "$A"
+wait "$B"
+
+# Byte-identity against the one-shot reference, both clients.
+for f in out csv md; do
+    cmp "$WORK/oneshot.$f" "$WORK/a.$f" || {
+        echo "FAIL: served sweep (client A) differs in .$f"; exit 1; }
+    cmp "$WORK/oneshot.$f" "$WORK/b.$f" || {
+        echo "FAIL: served sweep (client B) differs in .$f"; exit 1; }
+done
+
+# The dedupe guarantee: overlapping submissions never double-execute.
+"$BUILD/tools/wlcache_client" stats --server "$SOCK" > "$WORK/stats.json"
+grep -q '"max_executions_per_key":1' "$WORK/stats.json" || {
+    echo "FAIL: shared points executed more than once:"
+    cat "$WORK/stats.json"
+    exit 1
+}
+
+# A warm re-served sweep must be a pure cache replay.
+"$BUILD/tools/wlcache_client" sweep --server "$SOCK" --spec "$SPEC" \
+    --require-warm > /dev/null || {
+    echo "FAIL: re-served sweep missed the shared result cache"; exit 1; }
+
+# Graceful shutdown: --drain must make the daemon exit cleanly.
+"$BUILD/tools/wlcached" --drain --listen "$SOCK" > /dev/null
+wait "$DAEMON_PID" || { echo "FAIL: daemon exited non-zero"; exit 1; }
+DAEMON_PID=""
+
+echo "PASS"

@@ -1,0 +1,775 @@
+/**
+ * @file
+ * Unit tests for the wlcached serving stack below the socket layer:
+ * wire framing (partial reads, split frames, oversized and malformed
+ * input must produce structured errors, never a crash or an unbounded
+ * buffer), the Session protocol state machine (driven transport-free
+ * through onBytes + a capture callback), the content-addressed
+ * JobQueue (dedupe fan-out, requeue retry cap, drain semantics, and a
+ * multithreaded overlap stress that pins max_executions_per_key — the
+ * acceptance metric), pending-job persistence, the spec wire codec,
+ * and the FileLock primitive under the artifact store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nvp/experiment.hh"
+#include "runner/job_queue.hh"
+#include "runner/spec_codec.hh"
+#include "runner/spec_key.hh"
+#include "serve/frame.hh"
+#include "serve/messages.hh"
+#include "serve/server.hh"
+#include "util/fs.hh"
+#include "util/json.hh"
+
+namespace fs = std::filesystem;
+using namespace wlcache;
+
+namespace {
+
+/** A fresh, empty directory under the test temp dir. */
+class TempDir
+{
+  public:
+    explicit TempDir(const char *name)
+        : path_(fs::path(::testing::TempDir()) / name)
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+util::JsonValue
+parseOk(const std::string &text)
+{
+    util::JsonValue v;
+    std::string err;
+    EXPECT_TRUE(util::parseJson(text, v, &err)) << text << ": " << err;
+    return v;
+}
+
+std::string
+field(const util::JsonValue &msg, const char *key)
+{
+    const util::JsonValue *m = msg.get(key);
+    return m ? m->asString() : std::string();
+}
+
+} // namespace
+
+// --- Frame codec -----------------------------------------------------
+
+TEST(Frame, EncodeShape)
+{
+    EXPECT_EQ(serve::encodeFrame("{}"), "2\n{}\n");
+    EXPECT_EQ(serve::encodeFrame(""), "0\n\n");
+}
+
+TEST(Frame, RoundTripOneShot)
+{
+    serve::FrameReader r;
+    r.feed(serve::encodeFrame("{\"type\":\"ping\"}"));
+    std::string payload;
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "{\"type\":\"ping\"}");
+    EXPECT_EQ(r.next(payload), serve::FrameReader::Status::NeedMore);
+}
+
+TEST(Frame, ByteByByteFeed)
+{
+    // The worst transport: every byte arrives alone. The reader must
+    // report NeedMore until the terminator lands, then yield the
+    // payload intact.
+    const std::string wire = serve::encodeFrame("hello, daemon");
+    serve::FrameReader r;
+    std::string payload;
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        r.feed(&wire[i], 1);
+        ASSERT_EQ(r.next(payload),
+                  serve::FrameReader::Status::NeedMore)
+            << "byte " << i;
+    }
+    r.feed(&wire[wire.size() - 1], 1);
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "hello, daemon");
+}
+
+TEST(Frame, MultipleFramesPerChunk)
+{
+    serve::FrameReader r;
+    r.feed(serve::encodeFrame("one") + serve::encodeFrame("two") +
+           serve::encodeFrame(""));
+    std::string payload;
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "one");
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "two");
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "");
+    EXPECT_EQ(r.next(payload), serve::FrameReader::Status::NeedMore);
+}
+
+TEST(Frame, SplitInsideLengthLineAndPayload)
+{
+    const std::string wire = serve::encodeFrame("abcdefghij"); // "10\n..."
+    serve::FrameReader r;
+    std::string payload;
+    r.feed(wire.substr(0, 1)); // half the length line
+    EXPECT_EQ(r.next(payload), serve::FrameReader::Status::NeedMore);
+    r.feed(wire.substr(1, 6)); // rest of length + part of payload
+    EXPECT_EQ(r.next(payload), serve::FrameReader::Status::NeedMore);
+    r.feed(wire.substr(7));
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Frame);
+    EXPECT_EQ(payload, "abcdefghij");
+}
+
+TEST(Frame, OversizedPayloadIsStickyError)
+{
+    serve::FrameReader r(16); // tiny cap for the test
+    r.feed("17\n");
+    std::string payload;
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Error);
+    EXPECT_NE(r.error().find("exceeds"), std::string::npos);
+
+    // Poisoned: even a well-formed frame afterwards stays an error.
+    r.feed(serve::encodeFrame("ok"));
+    EXPECT_EQ(r.next(payload), serve::FrameReader::Status::Error);
+}
+
+TEST(Frame, NonDigitLengthRejected)
+{
+    serve::FrameReader r;
+    r.feed("{\"type\":\"ping\"}\n"); // raw NDJSON, no length line
+    std::string payload;
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Error);
+    EXPECT_NE(r.error().find("not a decimal"), std::string::npos);
+}
+
+TEST(Frame, LengthLineMustEndInNewline)
+{
+    serve::FrameReader r;
+    r.feed("12x\n");
+    std::string payload;
+    EXPECT_EQ(r.next(payload), serve::FrameReader::Status::Error);
+}
+
+TEST(Frame, AbsurdLengthLineCannotBufferForever)
+{
+    // 21+ digits: rejected outright instead of waiting for a
+    // terabyte-scale payload that will never come.
+    serve::FrameReader r;
+    r.feed("999999999999999999999");
+    std::string payload;
+    EXPECT_EQ(r.next(payload), serve::FrameReader::Status::Error);
+}
+
+TEST(Frame, PayloadMustEndInNewline)
+{
+    serve::FrameReader r;
+    r.feed("2\nab|"); // '|' where the frame terminator belongs
+    std::string payload;
+    ASSERT_EQ(r.next(payload), serve::FrameReader::Status::Error);
+    EXPECT_NE(r.error().find("terminated"), std::string::npos);
+}
+
+// --- Session protocol (transport-free) -------------------------------
+
+namespace {
+
+/** Session + capture harness: frames out land in `replies` decoded. */
+class SessionHarness
+{
+  public:
+    explicit SessionHarness(serve::ServerContext &ctx)
+        : session_(ctx,
+                   [this](const std::string &bytes) {
+                       out_.feed(bytes);
+                       std::string payload;
+                       while (out_.next(payload) ==
+                              serve::FrameReader::Status::Frame)
+                           replies.push_back(parseOk(payload));
+                       return true;
+                   })
+    {}
+
+    bool sendRaw(const std::string &bytes)
+    {
+        return session_.onBytes(bytes);
+    }
+    bool send(const std::string &payload)
+    {
+        return session_.onBytes(serve::encodeFrame(payload));
+    }
+    bool hello()
+    {
+        return send("{\"type\":\"hello\",\"proto\":" +
+                    std::to_string(serve::kProtocolVersion) + "}");
+    }
+
+    /** The one reply the last exchange should have produced. */
+    const util::JsonValue &lastReply() const
+    {
+        EXPECT_FALSE(replies.empty());
+        return replies.back();
+    }
+
+    std::vector<util::JsonValue> replies;
+
+  private:
+    serve::FrameReader out_;
+    serve::Session session_;
+};
+
+} // namespace
+
+TEST(Session, HandshakeReportsVersions)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    const util::JsonValue &r = s.lastReply();
+    EXPECT_EQ(field(r, "type"), "hello_ok");
+    EXPECT_EQ(r.get("proto")->asU64(), serve::kProtocolVersion);
+    EXPECT_EQ(r.get("schema")->asU64(), runner::kResultSchemaVersion);
+}
+
+TEST(Session, VersionMismatchClosesConnection)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    SessionHarness s(ctx);
+    EXPECT_FALSE(s.send("{\"type\":\"hello\",\"proto\":999}"));
+    const util::JsonValue &r = s.lastReply();
+    EXPECT_EQ(field(r, "type"), "error");
+    EXPECT_EQ(field(r, "code"), serve::errc::kVersionMismatch);
+}
+
+TEST(Session, RequestBeforeHelloIsRejectedButKeepsSessionOpen)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.send("{\"type\":\"stats\"}"));
+    EXPECT_EQ(field(s.lastReply(), "code"), serve::errc::kNeedHello);
+
+    // The session recovers: handshake then a real request both work.
+    ASSERT_TRUE(s.hello());
+    ASSERT_TRUE(s.send("{\"type\":\"ping\"}"));
+    EXPECT_EQ(field(s.lastReply(), "type"), "pong");
+}
+
+TEST(Session, MalformedJsonIsStructuredErrorNotDisconnect)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    ASSERT_TRUE(s.send("{\"type\": ")); // valid frame, broken JSON
+    EXPECT_EQ(field(s.lastReply(), "code"), serve::errc::kBadJson);
+
+    ASSERT_TRUE(s.send("{\"type\":\"ping\"}"));
+    EXPECT_EQ(field(s.lastReply(), "type"), "pong");
+}
+
+TEST(Session, CorruptFramingClosesConnection)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    EXPECT_FALSE(s.sendRaw("bogus stream\n"));
+    EXPECT_EQ(field(s.lastReply(), "code"), serve::errc::kBadFrame);
+}
+
+TEST(Session, UnknownTypeIsStructuredError)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    ASSERT_TRUE(s.send("{\"type\":\"teleport\"}"));
+    EXPECT_EQ(field(s.lastReply(), "code"), serve::errc::kUnknownType);
+}
+
+TEST(Session, StatsShape)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue; // pool left null: empty fleet in the reply
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    ASSERT_TRUE(s.send("{\"type\":\"stats\"}"));
+    const util::JsonValue &r = s.lastReply();
+    EXPECT_EQ(field(r, "type"), "stats");
+    EXPECT_FALSE(r.get("draining")->asBool());
+    ASSERT_NE(r.get("queue"), nullptr);
+    const util::JsonValue &q = *r.get("queue");
+    for (const char *k :
+         { "submitted", "coalesced", "completed", "failed", "executed",
+           "requeued", "cancelled", "max_executions_per_key", "queued",
+           "in_flight" })
+        ASSERT_NE(q.get(k), nullptr) << "missing counter " << k;
+    EXPECT_EQ(q.get("submitted")->asU64(), 0u);
+}
+
+TEST(Session, SubmitWhileDrainingIsRejected)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+    ctx.draining.store(true);
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    ASSERT_TRUE(s.send("{\"type\":\"submit\",\"kind\":\"run\","
+                       "\"key\":\"k\",\"spec_text\":\"t\"}"));
+    EXPECT_EQ(field(s.lastReply(), "code"), serve::errc::kDraining);
+}
+
+TEST(Session, DrainRequestAcksThenTriggersHook)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+    bool drained = false;
+    ctx.request_drain = [&] { drained = true; };
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    ASSERT_TRUE(s.send("{\"type\":\"drain\"}"));
+    EXPECT_EQ(field(s.lastReply(), "type"), "drain_ok");
+    EXPECT_TRUE(drained);
+    EXPECT_TRUE(ctx.draining.load());
+}
+
+TEST(Session, RunSubmitRejectsGarbageSpecAndWrongKey)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+
+    // Unparseable spec text never reaches the queue.
+    ASSERT_TRUE(s.send("{\"type\":\"submit\",\"kind\":\"run\","
+                       "\"key\":\"deadbeef\","
+                       "\"spec_text\":\"not a spec\"}"));
+    EXPECT_EQ(field(s.lastReply(), "code"), serve::errc::kBadSpec);
+
+    // A valid spec whose key does not match what the daemon derives
+    // (version skew, tampering) is rejected with both keys named.
+    nvp::ExperimentSpec spec;
+    const std::string text = runner::specKeyText(spec);
+    serve::JObj req;
+    req.str("type", "submit")
+        .str("kind", "run")
+        .str("key", "00000000000000000000000000000000")
+        .str("spec_text", text);
+    ASSERT_TRUE(s.send(req.text()));
+    const util::JsonValue &r = s.lastReply();
+    EXPECT_EQ(field(r, "code"), serve::errc::kBadRequest);
+    EXPECT_NE(field(r, "message").find("key mismatch"),
+              std::string::npos);
+    EXPECT_EQ(queue.counters().submitted, 0u);
+}
+
+TEST(Session, RunSubmitRoundTripsThroughQueue)
+{
+    runner::JobQueue queue;
+    serve::ServerContext ctx;
+    ctx.queue = &queue;
+
+    nvp::ExperimentSpec spec;
+    const std::string text = runner::specKeyText(spec);
+    const std::string key = runner::hashKeyText(text);
+
+    // Stand-in worker: steal the one job and complete it with a
+    // canned record, as the fleet would.
+    std::thread worker([&] {
+        runner::QueueJob job;
+        ASSERT_TRUE(queue.steal(job));
+        EXPECT_EQ(job.key, key);
+        EXPECT_EQ(job.spec_text, text);
+        runner::JobOutcome o;
+        o.ok = true;
+        o.executed = true;
+        o.result_json = "{\"fake\":1}";
+        queue.complete(job.key, o);
+    });
+
+    SessionHarness s(ctx);
+    ASSERT_TRUE(s.hello());
+    serve::JObj req;
+    req.str("type", "submit")
+        .str("kind", "run")
+        .str("key", key)
+        .str("spec_text", text);
+    ASSERT_TRUE(s.send(req.text()));
+    worker.join();
+
+    const util::JsonValue &r = s.lastReply();
+    EXPECT_EQ(field(r, "type"), "result");
+    EXPECT_EQ(field(r, "kind"), "run");
+    EXPECT_EQ(field(r, "key"), key);
+    EXPECT_TRUE(r.get("executed")->asBool());
+    ASSERT_NE(r.get("result"), nullptr);
+    EXPECT_EQ(r.get("result")->get("fake")->asU64(), 1u);
+}
+
+// --- JobQueue --------------------------------------------------------
+
+namespace {
+
+runner::QueueJob
+job(const std::string &key)
+{
+    runner::QueueJob j;
+    j.key = key;
+    j.id = key;
+    j.spec_text = "spec:" + key;
+    return j;
+}
+
+} // namespace
+
+TEST(JobQueue, CoalescedSubmissionsFanOutOneExecution)
+{
+    runner::JobQueue q;
+    runner::JobTicket a = q.submit(job("k1"));
+    runner::JobTicket b = q.submit(job("k1")); // dedupe hit
+
+    runner::QueueJob stolen;
+    ASSERT_TRUE(q.steal(stolen));
+    EXPECT_EQ(stolen.key, "k1");
+
+    runner::JobOutcome o;
+    o.ok = true;
+    o.executed = true;
+    o.result_json = "{}";
+    q.complete("k1", o);
+
+    EXPECT_TRUE(a.wait().ok);
+    EXPECT_TRUE(b.wait().ok);
+    EXPECT_TRUE(a.wait().executed);
+    EXPECT_TRUE(b.wait().executed);
+
+    const auto c = q.counters();
+    EXPECT_EQ(c.submitted, 2u);
+    EXPECT_EQ(c.coalesced, 1u);
+    EXPECT_EQ(c.completed, 1u);
+    EXPECT_EQ(c.executed, 1u);
+    EXPECT_EQ(c.max_executions_per_key, 1u);
+}
+
+TEST(JobQueue, CacheHitOutcomeIsNotAnExecution)
+{
+    runner::JobQueue q;
+    runner::JobTicket t = q.submit(job("k1"));
+    runner::QueueJob stolen;
+    ASSERT_TRUE(q.steal(stolen));
+    runner::JobOutcome o;
+    o.ok = true;
+    o.executed = false; // worker served it from the shared cache
+    q.complete("k1", o);
+    EXPECT_FALSE(t.wait().executed);
+    EXPECT_EQ(q.counters().executed, 0u);
+    EXPECT_EQ(q.counters().completed, 1u);
+}
+
+TEST(JobQueue, CancelLastWaiterRemovesQueuedEntry)
+{
+    runner::JobQueue q;
+    runner::JobTicket t = q.submit(job("k1"));
+    q.cancel(t);
+    EXPECT_EQ(q.counters().cancelled, 1u);
+    EXPECT_EQ(q.counters().queued, 0u);
+
+    // The key is schedulable again afterwards.
+    runner::JobTicket t2 = q.submit(job("k1"));
+    EXPECT_EQ(q.counters().coalesced, 0u);
+    q.cancel(t2);
+}
+
+TEST(JobQueue, RequeueRetryCapFailsWaiters)
+{
+    runner::JobQueue q(/*max_retries=*/1);
+    runner::JobTicket t = q.submit(job("k1"));
+
+    runner::QueueJob stolen;
+    ASSERT_TRUE(q.steal(stolen));
+    q.requeue("k1", "worker died"); // retry 1: back on the queue
+
+    ASSERT_TRUE(q.steal(stolen));
+    EXPECT_EQ(stolen.key, "k1");
+    q.requeue("k1", "worker died"); // past the cap: waiters fail
+
+    const runner::JobOutcome &o = t.wait();
+    EXPECT_FALSE(o.ok);
+    EXPECT_NE(o.error.find("worker died"), std::string::npos)
+        << o.error;
+    EXPECT_EQ(q.counters().requeued, 2u);
+    EXPECT_EQ(q.counters().failed, 1u);
+}
+
+TEST(JobQueue, DrainReturnsQueuedJobsAndFailsNewSubmissions)
+{
+    runner::JobQueue q;
+    runner::JobTicket queued = q.submit(job("unstolen"));
+
+    const std::vector<runner::QueueJob> pending = q.shutdownAndDrain();
+    ASSERT_EQ(pending.size(), 1u);
+    EXPECT_EQ(pending[0].key, "unstolen");
+
+    // Its waiter fails with the drain marker...
+    EXPECT_FALSE(queued.wait().ok);
+    EXPECT_EQ(queued.wait().error, "draining");
+
+    // ...steal() stops producing, and late submissions fail fast.
+    runner::QueueJob stolen;
+    EXPECT_FALSE(q.steal(stolen));
+    runner::JobTicket late = q.submit(job("late"));
+    EXPECT_FALSE(late.wait().ok);
+    EXPECT_EQ(late.wait().error, "draining");
+}
+
+TEST(JobQueue, PostDrainRequeueLandsInTakeDrained)
+{
+    runner::JobQueue q;
+    runner::JobTicket t = q.submit(job("cutme"));
+    runner::QueueJob stolen;
+    ASSERT_TRUE(q.steal(stolen)); // in flight when the drain lands
+
+    EXPECT_TRUE(q.shutdownAndDrain().empty());
+    q.requeue("cutme", "cut"); // worker checkpointed and handed back
+
+    const std::vector<runner::QueueJob> cut = q.takeDrained();
+    ASSERT_EQ(cut.size(), 1u);
+    EXPECT_EQ(cut[0].key, "cutme");
+    EXPECT_FALSE(t.wait().ok);
+}
+
+TEST(JobQueue, OverlappingClientsNeverDoubleExecute)
+{
+    // The acceptance stress: many client threads submit overlapping
+    // key sets while worker threads steal and complete. Every waiter
+    // must resolve and no key may execute twice. Also the TSan target.
+    constexpr int kClients = 8;
+    constexpr int kKeys = 16;
+    constexpr int kPerClient = 32;
+
+    runner::JobQueue q;
+
+    // Stand-in for the shared result cache: a worker that pulls a key
+    // another execution already published reports a cache hit
+    // (executed=false), exactly as the real fleet does.
+    std::mutex cache_m;
+    std::set<std::string> cache;
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 3; ++w) {
+        workers.emplace_back([&] {
+            runner::QueueJob j;
+            while (q.steal(j)) {
+                runner::JobOutcome o;
+                o.ok = true;
+                {
+                    std::lock_guard<std::mutex> lk(cache_m);
+                    o.executed = cache.insert(j.key).second;
+                }
+                o.result_json = "{}";
+                q.complete(j.key, o);
+            }
+        });
+    }
+
+    std::vector<std::thread> clients;
+    std::atomic<int> resolved{ 0 };
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                std::string key = "k";
+                key += std::to_string((c * 7 + i) % kKeys);
+                key += '-';
+                key += std::to_string(i / kKeys);
+                runner::JobTicket t = q.submit(job(key));
+                if (t.wait().ok)
+                    resolved.fetch_add(1);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    q.shutdownAndDrain();
+    for (auto &t : workers)
+        t.join();
+
+    EXPECT_EQ(resolved.load(), kClients * kPerClient);
+    const auto ctr = q.counters();
+    EXPECT_EQ(ctr.submitted,
+              static_cast<std::size_t>(kClients * kPerClient));
+    EXPECT_EQ(ctr.failed, 0u);
+    // The guarantee the daemon advertises: under arbitrary overlap an
+    // identical job runs at most once while its entry is live.
+    EXPECT_EQ(ctr.max_executions_per_key, 1u);
+}
+
+// --- Pending-job persistence -----------------------------------------
+
+TEST(PendingJobs, RoundTrip)
+{
+    TempDir dir("serve_pending_rt");
+    std::vector<runner::QueueJob> jobs;
+    runner::QueueJob a = job("aaaa");
+    a.max_events = 12345;
+    jobs.push_back(a);
+    jobs.push_back(job("bbbb"));
+
+    std::string err;
+    ASSERT_TRUE(serve::savePendingJobs(dir.str(), jobs, &err)) << err;
+
+    std::vector<runner::QueueJob> loaded;
+    ASSERT_TRUE(serve::loadPendingJobs(dir.str(), loaded, &err)) << err;
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].key, "aaaa");
+    EXPECT_EQ(loaded[0].id, "aaaa");
+    EXPECT_EQ(loaded[0].spec_text, "spec:aaaa");
+    EXPECT_EQ(loaded[0].max_events, 12345u);
+    EXPECT_EQ(loaded[1].key, "bbbb");
+    EXPECT_EQ(loaded[1].max_events, 0u);
+}
+
+TEST(PendingJobs, MissingFileIsEmptySuccess)
+{
+    TempDir dir("serve_pending_missing");
+    std::vector<runner::QueueJob> loaded;
+    std::string err;
+    EXPECT_TRUE(serve::loadPendingJobs(dir.str(), loaded, &err)) << err;
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(PendingJobs, CorruptAndWrongVersionFilesAreRejected)
+{
+    TempDir dir("serve_pending_bad");
+    std::vector<runner::QueueJob> loaded;
+    std::string err;
+
+    std::ofstream(serve::pendingPath(dir.str())) << "not json at all";
+    EXPECT_FALSE(serve::loadPendingJobs(dir.str(), loaded, &err));
+
+    std::ofstream(serve::pendingPath(dir.str()))
+        << "{\"version\":99,\"jobs\":[]}";
+    EXPECT_FALSE(serve::loadPendingJobs(dir.str(), loaded, &err));
+
+    std::ofstream(serve::pendingPath(dir.str()))
+        << "{\"version\":1,\"jobs\":[{\"key\":\"\",\"spec_text\":\"\"}]}";
+    EXPECT_FALSE(serve::loadPendingJobs(dir.str(), loaded, &err));
+}
+
+// --- Spec wire codec -------------------------------------------------
+
+TEST(SpecCodec, WireTextRoundTripsToTheSameKey)
+{
+    // The daemon's version-skew guard depends on this: the worker
+    // re-parses the wire text and re-derives the key, which must land
+    // on what the client computed.
+    nvp::ExperimentSpec spec;
+    spec.design = nvp::DesignKind::WL;
+    spec.workload = "qsort";
+    spec.scale = 3;
+    spec.workload_seed = 11;
+    spec.power_seed = 99;
+
+    const std::string text = runner::specKeyText(spec);
+    nvp::ExperimentSpec rebuilt;
+    std::string err;
+    ASSERT_TRUE(runner::parseSpecText(text, rebuilt, &err)) << err;
+    EXPECT_EQ(runner::specKeyText(rebuilt), text);
+    EXPECT_EQ(runner::specKey(rebuilt), runner::specKey(spec));
+    EXPECT_EQ(runner::specKey(spec), runner::hashKeyText(text));
+}
+
+TEST(SpecCodec, RejectsGarbage)
+{
+    nvp::ExperimentSpec rebuilt;
+    std::string err;
+    EXPECT_FALSE(runner::parseSpecText("", rebuilt, &err));
+    EXPECT_FALSE(runner::parseSpecText("garbage", rebuilt, &err));
+}
+
+TEST(SpecCodec, PartialKeyNeverAliasesFullKey)
+{
+    nvp::ExperimentSpec spec;
+    EXPECT_NE(runner::partialKey(spec, 1000), runner::specKey(spec));
+    EXPECT_NE(runner::partialKey(spec, 1000),
+              runner::partialKey(spec, 2000));
+}
+
+// --- FileLock (the artifact-store writer lock) -----------------------
+
+TEST(FileLock, TryLockExcludesWhileHeld)
+{
+    TempDir dir("serve_flock");
+    const std::string path = dir.str() + "/sentinel.lock";
+
+    util::FileLock a;
+    ASSERT_TRUE(a.lockExclusive(path));
+    EXPECT_TRUE(a.held());
+
+    util::FileLock b;
+    EXPECT_FALSE(b.tryLockExclusive(path));
+    EXPECT_FALSE(b.held());
+
+    a.unlock();
+    EXPECT_TRUE(b.tryLockExclusive(path));
+    EXPECT_TRUE(b.held());
+}
+
+TEST(FileLock, MoveTransfersOwnership)
+{
+    TempDir dir("serve_flock_move");
+    const std::string path = dir.str() + "/sentinel.lock";
+
+    util::FileLock a;
+    ASSERT_TRUE(a.lockExclusive(path));
+    util::FileLock b(std::move(a));
+    EXPECT_FALSE(a.held());
+    EXPECT_TRUE(b.held());
+
+    util::FileLock c;
+    EXPECT_FALSE(c.tryLockExclusive(path));
+    b.unlock();
+    EXPECT_TRUE(c.tryLockExclusive(path));
+}

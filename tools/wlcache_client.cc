@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Command-line client for wlcached. Submits work to a running daemon
+ * and renders replies byte-identically to the one-shot CLIs, so a
+ * served sweep/campaign is interchangeable with a local one.
+ *
+ * Examples:
+ *   wlcache_client ping --server unix:/tmp/wlcached.sock
+ *   wlcache_client sweep --spec examples/sweeps/smoke.json \
+ *                        --report frontier.md
+ *   wlcache_client campaign --design wl --workload sha --stride 20000
+ *   wlcache_client run --design wl --workload sha
+ *   wlcache_client stats        # queue/dedupe/fleet counters (JSON)
+ *   wlcache_client drain        # graceful daemon shutdown
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "energy/power_trace.hh"
+#include "nvp/experiment.hh"
+#include "nvp/system_config.hh"
+#include "serve/client.hh"
+#include "sim/logging.hh"
+#include "util/arg_parser.hh"
+#include "util/strings.hh"
+#include "workloads/workloads.hh"
+
+using namespace wlcache;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    out << content;
+}
+
+/** CLI design shorthand (same vocabulary as wlcache_verify). */
+bool
+parseDesign(const std::string &name, nvp::DesignKind &out)
+{
+    const std::string n = util::toLower(name);
+    if (n == "nocache")
+        out = nvp::DesignKind::NoCache;
+    else if (n == "wt" || n == "vcache-wt")
+        out = nvp::DesignKind::VCacheWT;
+    else if (n == "nvcache" || n == "nvc")
+        out = nvp::DesignKind::NVCacheWB;
+    else if (n == "nvsram")
+        out = nvp::DesignKind::NvsramWB;
+    else if (n == "nvsram-full")
+        out = nvp::DesignKind::NvsramFull;
+    else if (n == "nvsram-practical" || n == "nvsram-prac")
+        out = nvp::DesignKind::NvsramPractical;
+    else if (n == "replay")
+        out = nvp::DesignKind::Replay;
+    else if (n == "wtbuf" || n == "wt-buffer")
+        out = nvp::DesignKind::WtBuffered;
+    else if (n == "wl")
+        out = nvp::DesignKind::WL;
+    else
+        return false;
+    return true;
+}
+
+/** CLI trace shorthand (same vocabulary as wlcache_verify). */
+bool
+parseTrace(const std::string &name, energy::TraceKind &out,
+           bool &ambient)
+{
+    const std::string n = util::toLower(name);
+    ambient = true;
+    if (n == "none" || n == "infinite") {
+        ambient = false;
+        out = energy::TraceKind::Constant;
+    } else if (n == "trace1") {
+        out = energy::TraceKind::RfHome;
+    } else if (n == "trace2") {
+        out = energy::TraceKind::RfOffice;
+    } else if (n == "trace3") {
+        out = energy::TraceKind::RfMementos;
+    } else if (n == "solar") {
+        out = energy::TraceKind::Solar;
+    } else if (n == "thermal") {
+        out = energy::TraceKind::Thermal;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+expandList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    for (const auto &item : util::split(arg, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+serve::Client::ProgressFn
+progressPrinter(bool enabled)
+{
+    if (!enabled)
+        return nullptr;
+    return [](const std::string &line) {
+        std::cerr << line << "\n";
+    };
+}
+
+int
+cmdSweep(serve::Client &client, const util::ArgParser &args)
+{
+    std::string spec_path = args.get("spec");
+    if (spec_path.empty())
+        fatal("sweep needs --spec <file.json>");
+
+    serve::SweepRequest req;
+    req.spec_json = readFile(spec_path);
+    req.objectives = args.getList("objective");
+    req.mode = util::toLower(args.get("mode"));
+    req.jobs = static_cast<unsigned>(args.getInt("jobs"));
+    req.progress = args.getFlag("progress");
+
+    serve::SweepReply reply;
+    std::string err;
+    if (!serve::submitSweep(client, req, reply, &err,
+                            progressPrinter(req.progress)))
+        fatal("%s: %s", spec_path.c_str(), err.c_str());
+
+    std::cout << reply.summary;
+    if (!args.get("csv").empty())
+        writeFileOrDie(args.get("csv"), reply.csv);
+    if (!args.get("report").empty())
+        writeFileOrDie(args.get("report"), reply.report_md);
+
+    if (args.getFlag("require-warm") && reply.executed != 0) {
+        std::cout << "FAILED: --require-warm but " << reply.executed
+                  << " run(s) executed instead of hitting the "
+                     "result cache\n";
+        return 3;
+    }
+    return 0;
+}
+
+int
+cmdCampaign(serve::Client &client, const util::ArgParser &args)
+{
+    energy::TraceKind kind = energy::TraceKind::Constant;
+    bool ambient = false;
+    if (!parseTrace(args.get("trace"), kind, ambient))
+        fatal("unknown trace '%s'", args.get("trace").c_str());
+
+    bool inject_ckpt = false, inject_regs = false;
+    for (const auto &f :
+         expandList(util::toLower(args.get("inject")))) {
+        if (f == "checkpoint-skip")
+            inject_ckpt = true;
+        else if (f == "register-skip")
+            inject_regs = true;
+        else
+            fatal("unknown fault '%s' (checkpoint-skip, "
+                  "register-skip)", f.c_str());
+    }
+
+    const std::string expect = util::toLower(args.get("expect"));
+    if (expect != "clean" && expect != "divergent")
+        fatal("--expect must be clean or divergent");
+
+    const auto designs = expandList(args.get("design"));
+    const auto apps = expandList(args.get("workload"));
+    if (designs.empty() || apps.empty())
+        fatal("need at least one design and one workload");
+
+    std::vector<std::string> report_jsons;
+    bool all_ok = true;
+
+    for (const auto &design_name : designs) {
+        nvp::DesignKind design;
+        if (!parseDesign(design_name, design))
+            fatal("unknown design '%s'", design_name.c_str());
+        for (const auto &app : apps) {
+            serve::CampaignRequest req;
+            req.design = nvp::designKindName(design);
+            req.workload = app;
+            req.trace_kind = energy::traceKindName(kind);
+            req.ambient = ambient;
+            req.scale =
+                static_cast<unsigned>(args.getInt("scale"));
+            req.seed =
+                static_cast<std::uint64_t>(args.getInt("seed"));
+            req.power_seed = static_cast<std::uint64_t>(
+                args.getInt("power-seed"));
+            for (const auto &tok :
+                 util::split(args.get("points"), ','))
+                if (!tok.empty())
+                    req.points.push_back(std::stoull(tok));
+            req.stride =
+                static_cast<std::uint64_t>(args.getInt("stride"));
+            if (!args.get("window").empty()) {
+                const auto parts =
+                    util::split(args.get("window"), ':');
+                if (parts.size() < 2 || parts.size() > 3)
+                    fatal("bad --window '%s' (begin:end[:step])",
+                          args.get("window").c_str());
+                req.has_window = true;
+                req.window_begin = std::stoull(parts[0]);
+                req.window_end = std::stoull(parts[1]);
+                req.window_step =
+                    parts.size() == 3 ? std::stoull(parts[2]) : 1;
+            }
+            req.bisect = args.getFlag("bisect");
+            req.inject_checkpoint_skip = inject_ckpt;
+            req.inject_register_skip = inject_regs;
+            req.jobs = static_cast<unsigned>(args.getInt("jobs"));
+            req.snapshot_interval = static_cast<std::uint64_t>(
+                args.getInt("snapshot-interval"));
+            req.timeline_window = static_cast<std::uint64_t>(
+                args.getInt("timeline-window"));
+            req.progress = args.getFlag("progress");
+
+            serve::CampaignReply reply;
+            std::string err;
+            if (!serve::submitCampaign(
+                    client, req, reply, &err,
+                    progressPrinter(req.progress)))
+                fatal("%s/%s: %s", design_name.c_str(), app.c_str(),
+                      err.c_str());
+
+            std::cout << reply.summary;
+            report_jsons.push_back(reply.report_json);
+            if (!reply.golden_clean) {
+                all_ok = false;
+                continue;
+            }
+            const bool want_divergent = expect == "divergent";
+            if (want_divergent != (reply.num_divergent > 0))
+                all_ok = false;
+        }
+    }
+
+    if (!args.get("json").empty()) {
+        std::ofstream out(args.get("json"));
+        if (!out)
+            fatal("cannot write '%s'", args.get("json").c_str());
+        out << "{\n  \"campaigns\": [\n";
+        for (std::size_t i = 0; i < report_jsons.size(); ++i) {
+            out << report_jsons[i];
+            if (i + 1 < report_jsons.size())
+                out << ",\n";
+        }
+        out << "  ]\n}\n";
+        std::cout << "campaign report written to "
+                  << args.get("json") << "\n";
+    }
+
+    if (!all_ok)
+        std::cout << "FAILED: expectation '" << expect
+                  << "' not met by every campaign\n";
+    return all_ok ? 0 : 2;
+}
+
+int
+cmdRun(serve::Client &client, const util::ArgParser &args)
+{
+    nvp::DesignKind design;
+    if (!parseDesign(args.get("design"), design))
+        fatal("unknown design '%s'", args.get("design").c_str());
+    if (!workloads::findWorkload(args.get("workload")))
+        fatal("unknown workload '%s'",
+              args.get("workload").c_str());
+    energy::TraceKind kind = energy::TraceKind::Constant;
+    bool ambient = false;
+    if (!parseTrace(args.get("trace"), kind, ambient))
+        fatal("unknown trace '%s'", args.get("trace").c_str());
+
+    nvp::ExperimentSpec spec;
+    spec.design = design;
+    spec.workload = args.get("workload");
+    spec.power = kind;
+    spec.no_failure = !ambient;
+    spec.scale = static_cast<unsigned>(args.getInt("scale"));
+    spec.workload_seed =
+        static_cast<std::uint64_t>(args.getInt("seed"));
+    spec.power_seed =
+        static_cast<std::uint64_t>(args.getInt("power-seed"));
+
+    serve::RunReply reply;
+    std::string err;
+    if (!serve::submitRun(client, spec, reply, &err))
+        fatal("run failed: %s", err.c_str());
+
+    std::cerr << (reply.executed ? "executed" : "served from cache")
+              << "\n";
+    std::cout << reply.result_json << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "wlcache_client",
+        "submit sweeps, campaigns, and runs to a wlcached daemon "
+        "(commands: ping|stats|drain|sweep|campaign|run)");
+    args.option("server", "wlcached.sock",
+                "daemon address: unix:PATH, tcp:HOST:PORT, or a bare "
+                "socket path")
+        // sweep
+        .option("spec", "", "sweep-spec JSON file (sweep)")
+        .listOption("objective", "objective name(s) (sweep)")
+        .option("mode", "",
+                "override search mode: exhaustive|halving (sweep)")
+        .option("csv", "", "write evaluated points CSV here (sweep)")
+        .option("report", "",
+                "write the Markdown frontier report here (sweep)")
+        .flag("require-warm",
+              "fail unless every run hit the result cache (sweep)")
+        // campaign / run
+        .option("design", "wl",
+                "design list (campaign) or single design (run)")
+        .option("workload", "sha",
+                "workload list (campaign) or single workload (run)")
+        .option("trace", "none",
+                "power trace: none|trace1|trace2|trace3|solar|"
+                "thermal")
+        .option("points", "",
+                "explicit outage cycles, comma list (campaign)")
+        .option("stride", "0",
+                "stride-sample the run every N cycles (campaign)")
+        .option("window", "",
+                "exhaustive window begin:end[:step] (campaign)")
+        .flag("bisect", "bisect for the minimal failing cycle")
+        .option("inject", "",
+                "fault list: checkpoint-skip,register-skip "
+                "(campaign)")
+        .option("expect", "clean",
+                "exit status checks campaigns are clean|divergent")
+        .option("scale", "1", "workload input scale factor")
+        .option("seed", "42", "workload input seed")
+        .option("power-seed", "7", "power trace seed")
+        .option("snapshot-interval", "0",
+                "golden-ladder snapshot interval (campaign)")
+        .option("timeline-window", "64",
+                "timeline events around the first divergence "
+                "(campaign)")
+        .option("json", "",
+                "write the campaign report JSON here (campaign)")
+        // shared
+        .option("jobs", "0", "daemon-side worker threads per request")
+        .flag("progress", "stream per-job progress lines to stderr");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    if (args.positional().size() != 1)
+        fatal("need exactly one command: "
+              "ping|stats|drain|sweep|campaign|run");
+    const std::string cmd = args.positional()[0];
+
+    serve::Client client;
+    std::string err;
+    if (!client.connect(args.get("server"), &err))
+        fatal("cannot reach daemon at %s: %s",
+              args.get("server").c_str(), err.c_str());
+
+    if (cmd == "ping") {
+        if (!serve::pingDaemon(client, &err))
+            fatal("ping failed: %s", err.c_str());
+        std::cout << "pong\n";
+        return 0;
+    }
+    if (cmd == "stats") {
+        util::JsonValue stats;
+        if (!serve::fetchStats(client, stats, &err))
+            fatal("stats failed: %s", err.c_str());
+        util::writeJsonCompact(std::cout, stats);
+        std::cout << "\n";
+        return 0;
+    }
+    if (cmd == "drain") {
+        if (!serve::requestDrain(client, &err))
+            fatal("drain failed: %s", err.c_str());
+        std::cout << "drain requested\n";
+        return 0;
+    }
+    if (cmd == "sweep")
+        return cmdSweep(client, args);
+    if (cmd == "campaign")
+        return cmdCampaign(client, args);
+    if (cmd == "run")
+        return cmdRun(client, args);
+
+    fatal("unknown command '%s' "
+          "(ping|stats|drain|sweep|campaign|run)", cmd.c_str());
+}

@@ -30,6 +30,7 @@
 #include "explore/explorer.hh"
 #include "explore/objectives.hh"
 #include "explore/report.hh"
+#include "serve/client.hh"
 #include "sim/logging.hh"
 #include "util/arg_parser.hh"
 #include "util/strings.hh"
@@ -85,6 +86,10 @@ main(int argc, char **argv)
         .option("csv", "", "write all evaluated points as CSV here")
         .option("report", "",
                 "write the Markdown frontier report here")
+        .option("server", "",
+                "submit to a running wlcached at this address "
+                "(unix:PATH / tcp:HOST:PORT) instead of executing "
+                "locally; reports are byte-identical")
         .flag("progress", "per-job progress lines on stderr")
         .flag("require-warm",
               "fail unless every run was served from the result "
@@ -112,10 +117,11 @@ main(int argc, char **argv)
     if (spec_path.empty())
         fatal("need a sweep spec: --spec <file.json>");
 
+    const std::string spec_text = readFile(spec_path);
+
     explore::ExploreConfig cfg;
     std::string err;
-    if (!explore::parseSweepSpec(readFile(spec_path), cfg.sweep,
-                                 &err))
+    if (!explore::parseSweepSpec(spec_text, cfg.sweep, &err))
         fatal("%s: %s", spec_path.c_str(), err.c_str());
 
     const std::string mode = util::toLower(args.get("mode"));
@@ -137,45 +143,52 @@ main(int argc, char **argv)
     cfg.snapshot_dir = args.get("snapshot-dir");
     cfg.progress = args.getFlag("progress");
 
+    // Served submission: the daemon runs the same engine with the
+    // same renderers, so summary/csv/report come back byte-identical
+    // to local execution (its cache/snapshot dirs apply, not ours).
+    if (!args.get("server").empty()) {
+        serve::Client client;
+        if (!client.connect(args.get("server"), &err))
+            fatal("cannot reach daemon at %s: %s",
+                  args.get("server").c_str(), err.c_str());
+        serve::SweepRequest req;
+        req.spec_json = spec_text;
+        req.objectives = cfg.objectives;
+        req.mode = mode;
+        req.jobs = cfg.jobs;
+        req.progress = cfg.progress;
+        serve::SweepReply reply;
+        serve::Client::ProgressFn on_progress;
+        if (req.progress)
+            on_progress = [](const std::string &line) {
+                std::cerr << line << "\n";
+            };
+        if (!serve::submitSweep(client, req, reply, &err,
+                                on_progress))
+            fatal("%s: %s", spec_path.c_str(), err.c_str());
+
+        std::cout << reply.summary;
+        if (!args.get("csv").empty())
+            writeFileOrDie(args.get("csv"), reply.csv);
+        if (!args.get("report").empty())
+            writeFileOrDie(args.get("report"), reply.report_md);
+        if (args.getFlag("require-warm") && reply.executed != 0) {
+            std::cout << "FAILED: --require-warm but "
+                      << reply.executed
+                      << " run(s) executed instead of hitting the "
+                         "result cache\n";
+            return 3;
+        }
+        return 0;
+    }
+
     explore::ExploreReport report;
     if (!explore::runExploration(cfg, report, &err))
         fatal("%s: %s", spec_path.c_str(), err.c_str());
 
-    // Frontier summary on stdout.
-    std::cout << "=== " << report.name << ": "
-              << report.expanded_points << " points, "
-              << report.outcomes.size() << " at full scale, "
-              << report.frontier.size() << " on the frontier ("
-              << searchModeName(report.mode) << ") ===\n";
-    util::TextTable t;
-    std::vector<std::string> header{ "#", "point" };
-    for (const auto &name : report.objective_names)
-        header.push_back(name);
-    t.header(header);
-    std::size_t n = 0;
-    for (const std::size_t idx : report.frontier) {
-        const auto &o = report.outcomes[idx];
-        std::vector<std::string> row{ std::to_string(++n),
-                                      o.point.id };
-        for (const double v : o.objectives) {
-            char buf[40];
-            std::snprintf(buf, sizeof(buf), "%.9g", v);
-            row.push_back(buf);
-        }
-        t.row(row);
-    }
-    t.print(std::cout);
-    if (!report.rungs.empty()) {
-        std::cout << "rungs:";
-        for (const auto &r : report.rungs)
-            std::cout << " x" << r.scale << ":" << r.entrants
-                      << "->" << r.promoted;
-        std::cout << "\n";
-    }
-    std::cout << "runs: " << report.full_runs << " full-scale + "
-              << report.triage_runs << " triage, "
-              << report.cache_hits << " cached, " << report.executed
-              << " executed\n";
+    // Frontier summary on stdout (shared with the wlcached sweep
+    // handler, so served explorations render byte-identically).
+    explore::writeSummaryText(std::cout, report);
 
     if (!args.get("csv").empty()) {
         std::ostringstream ss;

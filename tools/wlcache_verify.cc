@@ -24,13 +24,14 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "serve/client.hh"
 #include "sim/logging.hh"
 #include "util/arg_parser.hh"
 #include "util/strings.hh"
-#include "util/table.hh"
 #include "verify/campaign.hh"
 #include "workloads/workloads.hh"
 
@@ -172,7 +173,12 @@ main(int argc, char **argv)
         .option("timeline-window", "64",
                 "timeline events to attach around the first "
                 "divergence (0 disables the extra traced re-run)")
-        .option("json", "", "write the campaign report JSON here");
+        .option("json", "", "write the campaign report JSON here")
+        .option("server", "",
+                "submit campaigns to a running wlcached at this "
+                "address (unix:PATH / tcp:HOST:PORT) instead of "
+                "executing locally; reports are byte-identical")
+        .flag("progress", "per-job progress lines on stderr");
     if (!args.parse(argc, argv))
         return 1;
 
@@ -201,8 +207,23 @@ main(int argc, char **argv)
     if (designs.empty() || apps.empty())
         fatal("need at least one design and one workload");
 
-    std::vector<verify::CampaignReport> reports;
+    const std::string server = args.get("server");
+    serve::Client client;
+    if (!server.empty()) {
+        std::string cerr_msg;
+        if (!client.connect(server, &cerr_msg))
+            fatal("cannot reach daemon at %s: %s", server.c_str(),
+                  cerr_msg.c_str());
+    }
+    serve::Client::ProgressFn on_progress;
+    if (args.getFlag("progress"))
+        on_progress = [](const std::string &line) {
+            std::cerr << line << "\n";
+        };
+
+    std::vector<std::string> report_jsons;
     bool all_ok = true;
+    const bool want_divergent = expect == "divergent";
 
     for (const auto &design_name : designs) {
         nvp::DesignKind design;
@@ -211,6 +232,63 @@ main(int argc, char **argv)
         for (const auto &app : apps) {
             if (!workloads::findWorkload(app))
                 fatal("unknown workload '%s'", app.c_str());
+
+            // Served submission: the daemon runs the same campaign
+            // engine and renderers, so summary and report come back
+            // byte-identical to local execution.
+            if (!server.empty()) {
+                serve::CampaignRequest req;
+                req.design = nvp::designKindName(design);
+                req.workload = app;
+                req.trace_kind = energy::traceKindName(kind);
+                req.ambient = ambient;
+                req.scale =
+                    static_cast<unsigned>(args.getInt("scale"));
+                req.seed =
+                    static_cast<std::uint64_t>(args.getInt("seed"));
+                req.power_seed = static_cast<std::uint64_t>(
+                    args.getInt("power-seed"));
+                req.points = parsePoints(args.get("points"));
+                req.stride = static_cast<std::uint64_t>(
+                    args.getInt("stride"));
+                if (!args.get("window").empty()) {
+                    verify::CampaignConfig wc;
+                    if (!parseWindow(args.get("window"), wc))
+                        fatal("bad --window '%s' (begin:end[:step])",
+                              args.get("window").c_str());
+                    req.has_window = true;
+                    req.window_begin = wc.window_begin;
+                    req.window_end = wc.window_end;
+                    req.window_step = wc.window_step;
+                }
+                req.bisect = args.getFlag("bisect");
+                req.inject_checkpoint_skip = inject_ckpt;
+                req.inject_register_skip = inject_regs;
+                req.jobs =
+                    static_cast<unsigned>(args.getInt("jobs"));
+                req.snapshot_interval = static_cast<std::uint64_t>(
+                    args.getInt("snapshot-interval"));
+                req.timeline_window = static_cast<std::uint64_t>(
+                    args.getInt("timeline-window"));
+                req.progress = args.getFlag("progress");
+
+                serve::CampaignReply reply;
+                std::string serr;
+                if (!serve::submitCampaign(client, req, reply,
+                                           &serr, on_progress))
+                    fatal("%s/%s: %s", design_name.c_str(),
+                          app.c_str(), serr.c_str());
+
+                std::cout << reply.summary;
+                report_jsons.push_back(reply.report_json);
+                if (!reply.golden_clean) {
+                    all_ok = false;
+                    continue;
+                }
+                if (want_divergent != (reply.num_divergent > 0))
+                    all_ok = false;
+                continue;
+            }
 
             verify::CampaignConfig cc;
             cc.base.design = design;
@@ -241,68 +319,24 @@ main(int argc, char **argv)
             cc.snapshot_dir = args.get("snapshot-dir");
             cc.timeline_window = static_cast<std::size_t>(
                 args.getInt("timeline-window"));
+            cc.progress = args.getFlag("progress");
 
             const verify::CampaignReport rep =
                 verify::runCampaign(cc);
 
-            std::cout << rep.design << "/" << rep.workload << ": ";
+            // Summary block shared with the wlcached campaign
+            // handler, so served campaigns render byte-identically.
+            verify::writeCampaignSummary(std::cout, rep);
+            std::ostringstream rj;
+            writeCampaignReportJson(rj, rep);
+            report_jsons.push_back(rj.str());
             if (!rep.golden_clean) {
-                std::cout << "GOLDEN RUN BROKEN (completed="
-                          << (rep.golden.completed ? "yes" : "no")
-                          << ", final "
-                          << (rep.golden.final_state_correct
-                                  ? "correct" : "WRONG")
-                          << ")\n";
                 all_ok = false;
-                reports.push_back(rep);
                 continue;
             }
-            std::cout << rep.points.size() << " points: "
-                      << rep.num_clean << " clean, "
-                      << rep.num_divergent << " divergent, "
-                      << rep.num_incomplete << " incomplete, "
-                      << rep.num_not_reached << " not reached ("
-                      << rep.cache_hits << "/" << rep.runs
-                      << " cached)\n";
 
-            if (rep.num_divergent > 0) {
-                util::TextTable t;
-                t.header({ "point", "verdict", "kind", "addr",
-                           "cycle", "outage" });
-                for (const auto &p : rep.points) {
-                    if (p.verdict != verify::Verdict::Divergent)
-                        continue;
-                    t.row({ std::to_string(p.point),
-                            verdictName(p.verdict),
-                            p.has_first_divergence
-                                ? p.first_divergence_kind : "digest",
-                            std::to_string(p.first_divergence_addr),
-                            std::to_string(p.first_divergence_cycle),
-                            std::to_string(
-                                p.first_divergence_outage) });
-                }
-                t.print(std::cout);
-            }
-            if (rep.has_divergence_window) {
-                std::cout << "  timeline window: "
-                          << rep.divergence_window.size()
-                          << " events leading up to the divergence "
-                             "at point "
-                          << rep.divergence_window_point
-                          << " (full detail in --json)\n";
-            }
-            if (rep.bisect.ran) {
-                std::cout << "  bisect: minimal failing cycle "
-                          << rep.bisect.minimal_fail << " (clean "
-                          << rep.bisect.clean_low << ", first fail "
-                          << rep.bisect.first_fail << ", "
-                          << rep.bisect.probes << " probes)\n";
-            }
-
-            const bool want_divergent = expect == "divergent";
             if (want_divergent != (rep.num_divergent > 0))
                 all_ok = false;
-            reports.push_back(rep);
         }
     }
 
@@ -311,9 +345,9 @@ main(int argc, char **argv)
         if (!out)
             fatal("cannot write '%s'", args.get("json").c_str());
         out << "{\n  \"campaigns\": [\n";
-        for (std::size_t i = 0; i < reports.size(); ++i) {
-            writeCampaignReportJson(out, reports[i]);
-            if (i + 1 < reports.size())
+        for (std::size_t i = 0; i < report_jsons.size(); ++i) {
+            out << report_jsons[i];
+            if (i + 1 < report_jsons.size())
                 out << ",\n";
         }
         out << "  ]\n}\n";

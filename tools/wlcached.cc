@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The wlcached daemon: a persistent simulation service. Clients
+ * (wlcache_client, or wlcache_explore / wlcache_verify --server)
+ * submit sweeps, campaigns, and single runs over a Unix or TCP
+ * socket; jobs are deduplicated by content key and executed on a
+ * fleet of forked worker processes sharing one result cache and
+ * snapshot store.
+ *
+ * Examples:
+ *   # Serve on a Unix socket with 4 workers and a shared cache:
+ *   wlcached --listen unix:/tmp/wlcached.sock --workers 4 \
+ *            --cache-dir ~/.wlcache-cache --state-dir ~/.wlcached
+ *
+ *   # Graceful shutdown (equivalent to SIGTERM): in-flight jobs
+ *   # finish or checkpoint, queued jobs persist for the next start:
+ *   wlcached --listen unix:/tmp/wlcached.sock --drain
+ *
+ * The daemon re-execs itself with --worker-fd for each worker
+ * process; that mode is internal.
+ */
+
+#include <unistd.h>
+
+#include <iostream>
+#include <string>
+
+#include "serve/client.hh"
+#include "serve/net.hh"
+#include "serve/server.hh"
+#include "serve/worker.hh"
+#include "sim/logging.hh"
+#include "util/arg_parser.hh"
+
+using namespace wlcache;
+
+namespace {
+
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n =
+        ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    util::ArgParser args(
+        "wlcached",
+        "persistent simulation daemon: content-addressed job "
+        "scheduling over a forked worker fleet");
+    args.option("listen", "wlcached.sock",
+                "listen address: unix:PATH, tcp:HOST:PORT, or a bare "
+                "socket path")
+        .option("workers", "2", "worker processes in the fleet")
+        .option("cache-dir", "wlcached-cache",
+                "shared result-cache directory")
+        .option("snapshot-dir", "",
+                "shared snapshot-store directory (drain checkpoints, "
+                "rung cuts; empty disables)")
+        .option("state-dir", "",
+                "directory persisting queued jobs across a drain "
+                "(empty disables)")
+        .flag("drain",
+              "connect to the daemon at --listen, request a graceful "
+              "drain, and exit")
+        .option("worker-fd", "-1",
+                "internal: serve jobs on this fd (worker mode)");
+    if (!args.parse(argc, argv))
+        return 1;
+
+    const long worker_fd = args.getInt("worker-fd");
+    if (worker_fd >= 0) {
+        serve::WorkerConfig wc;
+        wc.cache_dir = args.get("cache-dir");
+        wc.snapshot_dir = args.get("snapshot-dir");
+        return serve::runWorkerLoop(static_cast<int>(worker_fd), wc);
+    }
+
+    if (args.getFlag("drain")) {
+        serve::Client client;
+        std::string err;
+        if (!client.connect(args.get("listen"), &err))
+            fatal("cannot reach daemon: %s", err.c_str());
+        if (!serve::requestDrain(client, &err))
+            fatal("drain request failed: %s", err.c_str());
+        std::cout << "drain requested\n";
+        return 0;
+    }
+
+    serve::ServerConfig sc;
+    std::string err;
+    if (!serve::parseAddress(args.get("listen"), sc.address, &err))
+        fatal("bad --listen: %s", err.c_str());
+    sc.workers = static_cast<unsigned>(args.getInt("workers"));
+    sc.cache_dir = args.get("cache-dir");
+    sc.snapshot_dir = args.get("snapshot-dir");
+    sc.state_dir = args.get("state-dir");
+    sc.exe_path = selfExePath(argv[0]);
+
+    serve::Server server(sc);
+    if (!server.start(&err))
+        fatal("cannot start: %s", err.c_str());
+    return server.run();
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tracked end-to-end simulator throughput (BM_EndToEnd*): whole
+ * SystemSim runs measured in SIMULATED cycles per second of host
+ * time, for both run-loop step modes (DESIGN.md §15). CI runs this in
+ * Release, writes BENCH_e2e.json, and gates on the skip_ahead /
+ * percycle speedup RATIO per pair — ratios are machine-portable where
+ * absolute rates are not. The committed BENCH_e2e.json is the
+ * baseline; regenerate it with:
+ *
+ *   ./bench_end_to_end --benchmark_out=BENCH_e2e.json \
+ *                      --benchmark_out_format=json
+ *
+ * and commit the new file together with whatever change moved the
+ * numbers (see EXPERIMENTS.md "Benchmark trajectory").
+ *
+ * The GapHeavy pair replays a synthetic duty-cycled sensor trace
+ * (tens of thousands of ALU instructions between memory references —
+ * the shape energy-harvesting firmware actually has, far gappier than
+ * the MiBench/MediaBench recordings). This is where closed-form
+ * energy integration pays: the acceptance bar is skip_ahead >= 5x
+ * percycle on it.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "energy/power_trace.hh"
+#include "nvp/experiment.hh"
+#include "nvp/system.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+using namespace wlcache;
+
+namespace {
+
+/**
+ * A synthetic duty-cycled trace: bursts of pure compute between
+ * sparse memory references. Deterministic (seeded Rng), empty
+ * initial/final images (the final-image oracle is vacuously clean),
+ * small data footprint.
+ */
+const workloads::BuiltTrace &
+gapHeavyTrace()
+{
+    static const workloads::BuiltTrace trace = [] {
+        workloads::BuiltTrace t;
+        t.name = "synthetic_gap_heavy";
+        t.seed = 1;
+        Rng rng(0x9a95u);
+        const Addr base = 0x2000;
+        for (unsigned i = 0; i < 4000; ++i) {
+            MemAccess ev;
+            // 20k..60k ALU instructions per memory reference.
+            ev.computeGap =
+                20'000 + static_cast<std::uint32_t>(
+                             rng.nextBelow(40'000));
+            ev.op = rng.nextBelow(3) == 0 ? MemOp::Store : MemOp::Load;
+            ev.size = 4;
+            ev.addr = base + 4 * rng.nextBelow(512);
+            ev.value = rng.next();
+            t.events.push_back(ev);
+        }
+        return t;
+    }();
+    return trace;
+}
+
+/** Run one full simulation; return the simulated on-cycles. */
+std::uint64_t
+runOnce(nvp::DesignKind design, const workloads::BuiltTrace &trace,
+        const energy::PowerTrace &power, bool infinite, StepMode mode)
+{
+    nvp::SystemConfig cfg = nvp::SystemConfig::forDesign(design);
+    cfg.step_mode = mode;
+    nvp::SystemSim sim(cfg, trace, power, infinite);
+    return sim.run().on_cycles;
+}
+
+/**
+ * The benchmark body shared by every BM_EndToEnd variant: repeat the
+ * run, report simulated cycles/sec (the figure sweeps' currency) and
+ * events/sec.
+ */
+void
+endToEnd(benchmark::State &state, nvp::DesignKind design,
+         const workloads::BuiltTrace &trace,
+         const energy::PowerTrace &power, bool infinite, StepMode mode)
+{
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state)
+        sim_cycles += runOnce(design, trace, power, infinite, mode);
+    state.counters["sim_cycles_per_sec"] = benchmark::Counter(
+        static_cast<double>(sim_cycles), benchmark::Counter::kIsRate);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.events.size()));
+}
+
+const energy::PowerTrace &
+rfHome()
+{
+    static const energy::PowerTrace t =
+        energy::makeTrace(energy::TraceKind::RfHome,
+                          energy::TraceGenConfig{ /*seed=*/7 });
+    return t;
+}
+
+// --- Recorded-workload pairs (representative figure configurations) ---
+
+void
+BM_EndToEnd_WlSha_SkipAhead(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::WL, workloads::getTrace("sha"),
+             rfHome(), false, StepMode::SkipAhead);
+}
+BENCHMARK(BM_EndToEnd_WlSha_SkipAhead)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEnd_WlSha_Percycle(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::WL, workloads::getTrace("sha"),
+             rfHome(), false, StepMode::Percycle);
+}
+BENCHMARK(BM_EndToEnd_WlSha_Percycle)->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEnd_NvsramDijkstra_SkipAhead(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::NvsramWB,
+             workloads::getTrace("dijkstra"), rfHome(), false,
+             StepMode::SkipAhead);
+}
+BENCHMARK(BM_EndToEnd_NvsramDijkstra_SkipAhead)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEnd_NvsramDijkstra_Percycle(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::NvsramWB,
+             workloads::getTrace("dijkstra"), rfHome(), false,
+             StepMode::Percycle);
+}
+BENCHMARK(BM_EndToEnd_NvsramDijkstra_Percycle)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEnd_WlQsortInfinite_SkipAhead(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::WL, workloads::getTrace("qsort"),
+             rfHome(), true, StepMode::SkipAhead);
+}
+BENCHMARK(BM_EndToEnd_WlQsortInfinite_SkipAhead)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEnd_WlQsortInfinite_Percycle(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::WL, workloads::getTrace("qsort"),
+             rfHome(), true, StepMode::Percycle);
+}
+BENCHMARK(BM_EndToEnd_WlQsortInfinite_Percycle)
+    ->Unit(benchmark::kMillisecond);
+
+// --- The gap-heavy acceptance pair (>= 5x) ---
+
+void
+BM_EndToEnd_GapHeavy_SkipAhead(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::WL, gapHeavyTrace(), rfHome(),
+             false, StepMode::SkipAhead);
+}
+BENCHMARK(BM_EndToEnd_GapHeavy_SkipAhead)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_EndToEnd_GapHeavy_Percycle(benchmark::State &state)
+{
+    endToEnd(state, nvp::DesignKind::WL, gapHeavyTrace(), rfHome(),
+             false, StepMode::Percycle);
+}
+BENCHMARK(BM_EndToEnd_GapHeavy_Percycle)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

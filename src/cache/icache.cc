@@ -22,8 +22,17 @@ InstrCache::InstrCache(const CacheParams &params, ICacheKind kind,
       stat_hits_(stat_group_.addScalar("line_hits", "line-chunk hits")),
       stat_misses_(stat_group_.addScalar("line_misses", "line fills"))
 {
-    if (kind_ != ICacheKind::None)
+    if (kind_ != ICacheKind::None) {
         tags_ = std::make_unique<TagArray>(params_);
+        const unsigned max_insns = params_.line_bytes / 4;
+        read_energy_aj_.reserve(max_insns + 1);
+        for (unsigned n = 0; n <= max_insns; ++n)
+            read_energy_aj_.push_back(energy::toAttojoules(
+                params_.access_energy_read * static_cast<double>(n)));
+        lru_update_aj_ =
+            energy::toAttojoules(params_.lru_update_energy);
+        line_fill_aj_ = energy::toAttojoules(params_.line_fill_energy);
+    }
 }
 
 Cycle
@@ -53,17 +62,16 @@ InstrCache::fetchLineChunk(Addr line_addr, unsigned insns, Cycle now)
                                    nullptr);
         tags_->install(victim, line_addr, nullptr);
         if (meter_)
-            meter_->add(energy::EnergyCategory::CacheWrite,
-                        params_.line_fill_energy);
+            meter_->addAj(energy::EnergyCategory::CacheWrite,
+                          line_fill_aj_);
         t = res.ready;
     }
     if (meter_) {
-        meter_->add(energy::EnergyCategory::CacheRead,
-                    params_.access_energy_read *
-                        static_cast<double>(insns));
+        meter_->addAj(energy::EnergyCategory::CacheRead,
+                      read_energy_aj_[insns]);
         if (params_.repl == ReplPolicy::LRU)
-            meter_->add(energy::EnergyCategory::CacheRead,
-                        params_.lru_update_energy);
+            meter_->addAj(energy::EnergyCategory::CacheRead,
+                          lru_update_aj_);
     }
     // Issue rate: hit_latency cycles per instruction (pipelined SRAM
     // fetch sustains 1/cycle; NV arrays sustain one every 2 cycles).

@@ -107,6 +107,17 @@ class InstrCache
     ICacheKind kind_;
     mem::NvmMemory &nvm_;
     energy::EnergyMeter *meter_;
+
+    /**
+     * Per-chunk energy costs quantized once at construction instead
+     * of per fetchLineChunk() call. read_energy_aj_[n] is the cost of
+     * an n-instruction chunk (n <= line_bytes/4); the table holds
+     * exactly toAttojoules(access_energy_read * n), so metering from
+     * it is bit-identical to quantizing the double product each call.
+     */
+    std::vector<energy::Attojoules> read_energy_aj_;
+    energy::Attojoules lru_update_aj_ = 0;
+    energy::Attojoules line_fill_aj_ = 0;
     telemetry::TimelineBuffer *tl_ = nullptr;
     std::unique_ptr<TagArray> tags_;
     double restore_line_energy_;

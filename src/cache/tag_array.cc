@@ -1,5 +1,6 @@
 #include "cache/tag_array.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -18,22 +19,21 @@ TagArray::TagArray(const CacheParams &params)
     line_mask_ = static_cast<Addr>(line_bytes_) - 1;
     set_mask_ = num_sets_ - 1;
     repl_ = params.repl;
-    lines_.resize(static_cast<std::size_t>(num_sets_) * assoc_);
-    bytes_.resize(lines_.size() * line_bytes_, 0);
+    const std::size_t n = static_cast<std::size_t>(num_sets_) * assoc_;
+    addrs_.resize(n, 0);
+    valid_.resize(n, 0);
+    dirty_.resize(n, 0);
+    touch_seq_.resize(n, 0);
+    install_seq_.resize(n, 0);
+    bytes_.resize(n * line_bytes_, 0);
+    mru_way_.resize(num_sets_, 0);
 }
 
-TagArray::Line &
-TagArray::line(LineRef ref)
+std::size_t
+TagArray::index(LineRef ref) const
 {
     wlc_assert(ref.set < num_sets_ && ref.way < assoc_);
-    return lines_[static_cast<std::size_t>(ref.set) * assoc_ + ref.way];
-}
-
-const TagArray::Line &
-TagArray::line(LineRef ref) const
-{
-    wlc_assert(ref.set < num_sets_ && ref.way < assoc_);
-    return lines_[static_cast<std::size_t>(ref.set) * assoc_ + ref.way];
+    return static_cast<std::size_t>(ref.set) * assoc_ + ref.way;
 }
 
 std::uint32_t
@@ -48,11 +48,17 @@ TagArray::lookup(Addr addr) const
 {
     const Addr laddr = lineAddrOf(addr);
     const std::uint32_t set = setIndex(addr);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+    // MRU-way hint: fetch loops re-touch the same line, so this hits
+    // far more often than the scan. The hint is fully validated, so
+    // the function's result is identical with or without it.
+    const std::uint32_t hint = mru_way_[set];
+    if (hint < assoc_ && valid_[base + hint] &&
+        addrs_[base + hint] == laddr)
+        return LineRef{ set, hint };
     for (std::uint32_t way = 0; way < assoc_; ++way) {
-        const LineRef ref{ set, way };
-        const Line &l = line(ref);
-        if (l.valid && l.addr == laddr)
-            return ref;
+        if (valid_[base + way] && addrs_[base + way] == laddr)
+            return LineRef{ set, way };
     }
     return std::nullopt;
 }
@@ -60,25 +66,27 @@ TagArray::lookup(Addr addr) const
 void
 TagArray::touch(LineRef ref)
 {
-    line(ref).touch_seq = ++seq_;
+    touch_seq_[index(ref)] = ++seq_;
+    mru_way_[ref.set] = ref.way;
 }
 
 LineRef
 TagArray::victim(Addr addr) const
 {
     const std::uint32_t set = setIndex(addr);
+    const std::size_t base = static_cast<std::size_t>(set) * assoc_;
     // Prefer an invalid way.
     for (std::uint32_t way = 0; way < assoc_; ++way) {
-        if (!line({ set, way }).valid)
+        if (!valid_[base + way])
             return { set, way };
     }
     // Otherwise the oldest by policy-relevant sequence number.
+    const std::uint64_t *seqs =
+        repl_ == ReplPolicy::LRU ? touch_seq_.data() : install_seq_.data();
     LineRef best{ set, 0 };
     std::uint64_t best_seq = UINT64_MAX;
     for (std::uint32_t way = 0; way < assoc_; ++way) {
-        const Line &l = line({ set, way });
-        const std::uint64_t s =
-            repl_ == ReplPolicy::LRU ? l.touch_seq : l.install_seq;
+        const std::uint64_t s = seqs[base + way];
         if (s < best_seq) {
             best_seq = s;
             best = { set, way };
@@ -94,17 +102,18 @@ TagArray::install(LineRef ref, Addr line_addr, const std::uint8_t *image)
                "install address not line aligned");
     wlc_assert(setIndex(line_addr) == ref.set,
                "install into the wrong set");
-    Line &l = line(ref);
-    if (l.valid && l.dirty) {
+    const std::size_t i = index(ref);
+    if (valid_[i] && dirty_[i]) {
         // Callers must write back or drop dirty victims first.
         panic("installing over a dirty line 0x%llx",
-              static_cast<unsigned long long>(l.addr));
+              static_cast<unsigned long long>(addrs_[i]));
     }
-    l.addr = line_addr;
-    l.valid = true;
-    l.dirty = false;
-    l.touch_seq = ++seq_;
-    l.install_seq = seq_;
+    addrs_[i] = line_addr;
+    valid_[i] = 1;
+    dirty_[i] = 0;
+    touch_seq_[i] = ++seq_;
+    install_seq_[i] = seq_;
+    mru_way_[ref.set] = ref.way;
     std::uint8_t *dst = data(ref);
     if (image)
         std::memcpy(dst, image, line_bytes_);
@@ -115,11 +124,11 @@ TagArray::install(LineRef ref, Addr line_addr, const std::uint8_t *image)
 void
 TagArray::setDirty(LineRef ref, bool dirty)
 {
-    Line &l = line(ref);
-    wlc_assert(l.valid, "setDirty on invalid line");
-    if (l.dirty == dirty)
+    const std::size_t i = index(ref);
+    wlc_assert(valid_[i], "setDirty on invalid line");
+    if ((dirty_[i] != 0) == dirty)
         return;
-    l.dirty = dirty;
+    dirty_[i] = dirty ? 1 : 0;
     if (dirty) {
         ++dirty_count_;
         if (dirty_count_ > dirty_high_water_)
@@ -133,33 +142,27 @@ TagArray::setDirty(LineRef ref, bool dirty)
 void
 TagArray::invalidate(LineRef ref)
 {
-    Line &l = line(ref);
-    if (l.valid && l.dirty) {
+    const std::size_t i = index(ref);
+    if (valid_[i] && dirty_[i]) {
         wlc_assert(dirty_count_ > 0);
         --dirty_count_;
     }
-    l.valid = false;
-    l.dirty = false;
+    valid_[i] = 0;
+    dirty_[i] = 0;
 }
 
 void
 TagArray::invalidateAll()
 {
-    for (auto &l : lines_) {
-        l.valid = false;
-        l.dirty = false;
-    }
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(dirty_.begin(), dirty_.end(), 0);
     dirty_count_ = 0;
 }
 
 std::uint8_t *
 TagArray::data(LineRef ref)
 {
-    wlc_assert(ref.set < num_sets_ && ref.way < assoc_);
-    const std::size_t idx =
-        (static_cast<std::size_t>(ref.set) * assoc_ + ref.way) *
-        line_bytes_;
-    return bytes_.data() + idx;
+    return bytes_.data() + index(ref) * line_bytes_;
 }
 
 const std::uint8_t *
@@ -189,9 +192,9 @@ TagArray::forEachValidLine(
     for (std::uint32_t set = 0; set < num_sets_; ++set) {
         for (std::uint32_t way = 0; way < assoc_; ++way) {
             const LineRef ref{ set, way };
-            const Line &l = line(ref);
-            if (l.valid)
-                fn(ref, l.addr, l.dirty);
+            const std::size_t i = index(ref);
+            if (valid_[i])
+                fn(ref, addrs_[i], dirty_[i] != 0);
         }
     }
 }
@@ -199,14 +202,17 @@ TagArray::forEachValidLine(
 void
 TagArray::saveState(SnapshotWriter &w) const
 {
+    // Serialized line-by-line (not vector-by-vector) so the "TAGS"
+    // byte stream is identical to the pre-SoA layout.
     w.section("TAGS");
-    w.u64(lines_.size());
-    for (const Line &l : lines_) {
-        w.u64(l.addr);
-        w.b(l.valid);
-        w.b(l.dirty);
-        w.u64(l.touch_seq);
-        w.u64(l.install_seq);
+    const std::size_t n = addrs_.size();
+    w.u64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        w.u64(addrs_[i]);
+        w.b(valid_[i] != 0);
+        w.b(dirty_[i] != 0);
+        w.u64(touch_seq_[i]);
+        w.u64(install_seq_[i]);
     }
     w.vecU8(bytes_);
     w.u64(seq_);
@@ -219,14 +225,14 @@ TagArray::restoreState(SnapshotReader &r)
 {
     r.section("TAGS");
     const std::uint64_t n = r.u64();
-    wlc_assert(n == lines_.size(),
+    wlc_assert(n == addrs_.size(),
                "tag-array snapshot geometry mismatch");
-    for (Line &l : lines_) {
-        l.addr = r.u64();
-        l.valid = r.b();
-        l.dirty = r.b();
-        l.touch_seq = r.u64();
-        l.install_seq = r.u64();
+    for (std::size_t i = 0; i < n; ++i) {
+        addrs_[i] = r.u64();
+        valid_[i] = r.b() ? 1 : 0;
+        dirty_[i] = r.b() ? 1 : 0;
+        touch_seq_[i] = r.u64();
+        install_seq_[i] = r.u64();
     }
     const auto bytes = r.vecU8();
     wlc_assert(bytes.size() == bytes_.size());

@@ -40,6 +40,14 @@ struct LineRef
  * based: LRU tracks the last-touch sequence, FIFO the install
  * sequence; the victim is the valid line with the smallest relevant
  * sequence number (invalid ways win immediately).
+ *
+ * Metadata is laid out structure-of-arrays: one parallel vector per
+ * field, indexed by set * assoc + way. A lookup touches only the
+ * valid bytes and the addresses of one set (at most `assoc` entries
+ * of each, contiguous, typically one cache line apiece), and a victim
+ * scan reads only the sequence vector the policy cares about, instead
+ * of striding over 26-byte Line records and dragging the unused
+ * fields through the host cache.
  */
 class TagArray
 {
@@ -79,9 +87,9 @@ class TagArray
     void install(LineRef ref, Addr line_addr, const std::uint8_t *image);
 
     // --- Line state ---------------------------------------------------------
-    bool valid(LineRef ref) const { return line(ref).valid; }
-    bool dirty(LineRef ref) const { return line(ref).dirty; }
-    Addr lineAddr(LineRef ref) const { return line(ref).addr; }
+    bool valid(LineRef ref) const { return valid_[index(ref)] != 0; }
+    bool dirty(LineRef ref) const { return dirty_[index(ref)] != 0; }
+    Addr lineAddr(LineRef ref) const { return addrs_[index(ref)]; }
 
     /** Set/clear the dirty bit, maintaining the dirty-line counter. */
     void setDirty(LineRef ref, bool dirty);
@@ -128,17 +136,8 @@ class TagArray
     void restoreState(SnapshotReader &r);
 
   private:
-    struct Line
-    {
-        Addr addr = 0;           //!< Line base address.
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t touch_seq = 0;
-        std::uint64_t install_seq = 0;
-    };
-
-    Line &line(LineRef ref);
-    const Line &line(LineRef ref) const;
+    /** Flat metadata index of a line: set * assoc + way. */
+    std::size_t index(LineRef ref) const;
     std::uint32_t setIndex(Addr addr) const;
 
     unsigned num_sets_;
@@ -148,7 +147,24 @@ class TagArray
     std::uint32_t set_mask_;
     ReplPolicy repl_;
 
-    std::vector<Line> lines_;
+    // Per-line metadata, structure-of-arrays (all sized numLines(),
+    // indexed by index()). valid_/dirty_ use uint8_t rather than
+    // vector<bool> so a set's flags are plain contiguous bytes.
+    std::vector<Addr> addrs_;                  //!< Line base address.
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
+    std::vector<std::uint64_t> touch_seq_;     //!< LRU recency stamp.
+    std::vector<std::uint64_t> install_seq_;   //!< FIFO install stamp.
+
+    /**
+     * Per-set most-recently-used way, a pure lookup accelerator:
+     * lookup() probes it before scanning the set. Always validated
+     * against the tag before use, so it can never change what
+     * lookup() returns — stale hints (after invalidate/restore) just
+     * fall back to the scan. Deliberately not serialized.
+     */
+    mutable std::vector<std::uint32_t> mru_way_;
+
     std::vector<std::uint8_t> bytes_;
     std::uint64_t seq_ = 0;
     unsigned dirty_count_ = 0;

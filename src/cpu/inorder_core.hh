@@ -64,6 +64,7 @@ class InOrderCore
     std::uint64_t instructionsRetired() const { return instret_; }
 
     RegisterFile &regs() { return regs_; }
+    const RegisterFile &regs() const { return regs_; }
     const CoreParams &params() const { return params_; }
 
     /** Snapshot the fetch stream (ReplayCache region rollback). */

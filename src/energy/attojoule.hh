@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Exact integer energy arithmetic. Every energy quantity the run loop
+ * integrates (meter accumulators, the capacitor level, harvester
+ * deposit rates) is quantized to whole attojoules (1 aJ = 1e-18 J)
+ * and accumulated in uint64_t. Integer addition is associative, so
+ * integrating a compute gap cycle-by-cycle and integrating it in one
+ * closed-form step produce bit-identical state — the invariant the
+ * `step_mode = {percycle, skip_ahead}` differential harness rests on
+ * (DESIGN.md §15). Doubles would break this: N tiny adds and one
+ * N-scaled add round differently.
+ *
+ * Range: 2^64 aJ ≈ 18.4 J, far above anything an energy-harvesting
+ * node moves per run (whole runs consume millijoules; the default
+ * capacitor stores ~6 uJ). Conversions saturate defensively anyway.
+ */
+
+#ifndef WLCACHE_ENERGY_ATTOJOULE_HH
+#define WLCACHE_ENERGY_ATTOJOULE_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace wlcache {
+namespace energy {
+
+/** Whole attojoules (1e-18 J) in a uint64_t. */
+using Attojoules = std::uint64_t;
+
+/** Attojoules per joule (exactly representable as a double). */
+constexpr double kAttojoulesPerJoule = 1.0e18;
+
+/**
+ * Saturation ceiling for toAttojoules(): the largest value that stays
+ * comfortably inside llround()'s defined int64 range (~9.2e18). ~9 J.
+ */
+constexpr Attojoules kMaxAttojoules = 9'000'000'000'000'000'000ull;
+
+/**
+ * Quantize a non-negative joule amount to whole attojoules (round to
+ * nearest). This is the single quantizer every component shares: two
+ * call sites quantizing the same double always agree.
+ */
+inline Attojoules
+toAttojoules(double joules)
+{
+    if (!(joules > 0.0))
+        return 0;
+    const double aj = joules * kAttojoulesPerJoule;
+    if (aj >= static_cast<double>(kMaxAttojoules))
+        return kMaxAttojoules;
+    return static_cast<Attojoules>(std::llround(aj));
+}
+
+/**
+ * Scale a per-cycle attojoule rate by a cycle count, saturating at
+ * kMaxAttojoules instead of wrapping. A multi-second span at watt
+ * scale can exceed 2^64 aJ; saturation keeps the result a valid
+ * "more than the capacitor can hold" deposit in that case.
+ */
+inline Attojoules
+scaleAttojoules(Attojoules rate, std::uint64_t cycles)
+{
+    if (rate != 0 && cycles > kMaxAttojoules / rate)
+        return kMaxAttojoules;
+    return rate * cycles;
+}
+
+/**
+ * Convert attojoules back to joules. Division by the exactly
+ * representable 1e18 yields the correctly rounded double of the exact
+ * rational aj/1e18, so equal integer states always render as equal
+ * doubles (reports, JSON records, thresholds).
+ */
+inline double
+toJoules(Attojoules aj)
+{
+    return static_cast<double>(aj) / kAttojoulesPerJoule;
+}
+
+} // namespace energy
+} // namespace wlcache
+
+#endif // WLCACHE_ENERGY_ATTOJOULE_HH

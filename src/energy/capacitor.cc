@@ -14,7 +14,8 @@ Capacitor::Capacitor(double capacitance_f, double vmin_v, double vmax_v)
 {
     wlc_assert(capacitance_f_ > 0.0);
     wlc_assert(vmin_v_ >= 0.0 && vmax_v_ > vmin_v_);
-    energy_j_ = energyForVoltage(vmin_v_);
+    rail_aj_ = toAttojoules(energyForVoltage(vmax_v_));
+    energy_aj_ = toAttojoules(energyForVoltage(vmin_v_));
 }
 
 double
@@ -23,65 +24,85 @@ Capacitor::energyForVoltage(double v) const
     return 0.5 * capacitance_f_ * v * v;
 }
 
+Attojoules
+Capacitor::energyAjForVoltage(double v) const
+{
+    v = std::clamp(v, 0.0, vmax_v_);
+    // Quantizing Vmax here and in the constructor goes through the
+    // same expression, so a target of "the rail" compares equal to
+    // the add-side clamp — no one-ulp misses at the top.
+    return std::min(rail_aj_, toAttojoules(energyForVoltage(v)));
+}
+
 double
 Capacitor::voltage() const
 {
-    return std::sqrt(2.0 * energy_j_ / capacitance_f_);
+    return std::sqrt(2.0 * storedEnergy() / capacitance_f_);
 }
 
 void
 Capacitor::setVoltage(double v)
 {
-    v = std::clamp(v, 0.0, vmax_v_);
-    energy_j_ = energyForVoltage(v);
+    energy_aj_ = energyAjForVoltage(v);
 }
 
 double
 Capacitor::energyAboveVmin() const
 {
-    return std::max(0.0, energy_j_ - energyForVoltage(vmin_v_));
+    return std::max(0.0, storedEnergy() - energyForVoltage(vmin_v_));
 }
 
 double
 Capacitor::energyAboveVoltage(double v) const
 {
-    return std::max(0.0, energy_j_ - energyForVoltage(v));
+    return std::max(0.0, storedEnergy() - energyForVoltage(v));
+}
+
+Attojoules
+Capacitor::addAj(Attojoules aj)
+{
+    if (aj >= rail_aj_ - std::min(rail_aj_, energy_aj_)) {
+        const Attojoules absorbed =
+            rail_aj_ - std::min(rail_aj_, energy_aj_);
+        energy_aj_ = rail_aj_;  // Snap exactly to the rail.
+        return absorbed;
+    }
+    energy_aj_ += aj;
+    return aj;
+}
+
+Attojoules
+Capacitor::drawAj(Attojoules aj)
+{
+    if (aj >= energy_aj_) {
+        const Attojoules drawn = energy_aj_;
+        energy_aj_ = 0;  // Bottomed out at the 0 V rail.
+        return drawn;
+    }
+    energy_aj_ -= aj;
+    return aj;
 }
 
 double
 Capacitor::addEnergy(double joules)
 {
     wlc_assert(joules >= 0.0);
-    // The returned deposit must equal the actual change in energy_j_:
-    // computing `absorbed` first and then adding it would let
-    // fl(energy_j_ + absorbed) differ from energy_j_ + absorbed by one
-    // rounding, so a harvester integrating the return values drifts
-    // from the buffer level, and at the Vmax rail the level could sit
-    // one ulp below cap_e forever while adds keep "absorbing" denormal
-    // amounts.
-    const double cap_e = energyForVoltage(vmax_v_);
-    if (energy_j_ >= cap_e)
-        return 0.0;
-    const double before = energy_j_;
-    if (joules >= cap_e - energy_j_) {
-        energy_j_ = cap_e;  // Snap exactly to the rail.
-        return cap_e - before;
-    }
-    energy_j_ += joules;
-    return energy_j_ - before;
+    // The returned deposit must equal the actual change in
+    // storedEnergy(): render before and after through the same
+    // toJoules() and difference the doubles, so callers integrating
+    // the return value track the buffer level exactly.
+    const double before = storedEnergy();
+    addAj(toAttojoules(joules));
+    return storedEnergy() - before;
 }
 
 double
 Capacitor::drawEnergy(double joules)
 {
     wlc_assert(joules >= 0.0);
-    const double before = energy_j_;
-    if (joules >= energy_j_) {
-        energy_j_ = 0.0;   // Bottomed out at the 0 V rail.
-        return before;
-    }
-    energy_j_ -= joules;
-    return before - energy_j_;
+    const double before = storedEnergy();
+    drawAj(toAttojoules(joules));
+    return before - storedEnergy();
 }
 
 bool
@@ -110,14 +131,14 @@ void
 Capacitor::saveState(SnapshotWriter &w) const
 {
     w.section("CAP ");
-    w.f64(energy_j_);
+    w.u64(energy_aj_);
 }
 
 void
 Capacitor::restoreState(SnapshotReader &r)
 {
     r.section("CAP ");
-    energy_j_ = r.f64();
+    energy_aj_ = r.u64();
 }
 
 } // namespace energy

@@ -4,10 +4,19 @@
  * the system operates between Vmin (brown-out) and Vmax (fully
  * charged). All conversions between voltage and energy live here so
  * the JIT-checkpointing threshold math (Vbackup) is in one place.
+ *
+ * The stored level is an integer attojoule count (see attojoule.hh):
+ * deposits and draws are exact integer adds, so batching a span of
+ * cycles into one operation reaches the same level as applying it
+ * cycle-by-cycle — the invariant the skip-ahead loop depends on. The
+ * joule-typed API is a thin wrapper that quantizes on the way in and
+ * renders on the way out.
  */
 
 #ifndef WLCACHE_ENERGY_CAPACITOR_HH
 #define WLCACHE_ENERGY_CAPACITOR_HH
+
+#include "energy/attojoule.hh"
 
 namespace wlcache {
 
@@ -41,7 +50,16 @@ class Capacitor
     void setVoltage(double v);
 
     /** Total stored energy, joules (relative to 0 V). */
-    double storedEnergy() const { return energy_j_; }
+    double storedEnergy() const { return toJoules(energy_aj_); }
+
+    /** Total stored energy, attojoules (exact). */
+    Attojoules storedAj() const { return energy_aj_; }
+
+    /** Quantized stored energy for voltage @p v (clamped to range). */
+    Attojoules energyAjForVoltage(double v) const;
+
+    /** Stored energy at the Vmax rail, attojoules. */
+    Attojoules railAj() const { return rail_aj_; }
 
     /** Energy available above the brown-out level, joules. */
     double energyAboveVmin() const;
@@ -52,6 +70,21 @@ class Capacitor
     /**
      * Add harvested energy; the level clamps at Vmax (excess ambient
      * energy is discarded, as in a real regulator).
+     * @return attojoules actually absorbed — exactly the change in
+     * storedAj().
+     */
+    Attojoules addAj(Attojoules aj);
+
+    /**
+     * Draw energy; the level clamps at 0 when the demand exceeds the
+     * store.
+     * @return attojoules actually drawn — exactly the change in
+     * storedAj().
+     */
+    Attojoules drawAj(Attojoules aj);
+
+    /**
+     * Joule-typed addAj(): the deposit is quantized to whole aJ.
      * @return energy actually absorbed — always exactly the change in
      * storedEnergy(), so integrating the return value cannot drift
      * from the buffer level even when the deposit saturates at the
@@ -61,9 +94,8 @@ class Capacitor
     double addEnergy(double joules);
 
     /**
-     * Draw energy for computation/IO; the level clamps at 0 J when
-     * the demand exceeds the store (possibly dipping below Vmin —
-     * the caller decides what a brown-out means).
+     * Joule-typed drawAj() (possibly dipping below Vmin — the caller
+     * decides what a brown-out means).
      * @return energy actually drawn — exactly the change in
      * storedEnergy(), which is less than @p joules when the draw
      * bottoms out at the 0 V rail.
@@ -94,7 +126,8 @@ class Capacitor
     double capacitance_f_;
     double vmin_v_;
     double vmax_v_;
-    double energy_j_;
+    Attojoules rail_aj_;   //!< Stored energy at Vmax, the add clamp.
+    Attojoules energy_aj_;
 };
 
 } // namespace energy

@@ -28,45 +28,64 @@ EnergyMeter::add(EnergyCategory cat, double joules)
 {
     wlc_assert(cat != EnergyCategory::NumCategories);
     wlc_assert(joules >= 0.0);
-    joules_[static_cast<std::size_t>(cat)] += joules;
+    addAj(cat, toAttojoules(joules));
+}
+
+void
+EnergyMeter::addAj(EnergyCategory cat, Attojoules aj)
+{
+    wlc_assert(cat != EnergyCategory::NumCategories);
+    aj_[static_cast<std::size_t>(cat)] += aj;
 }
 
 double
 EnergyMeter::get(EnergyCategory cat) const
 {
+    return toJoules(getAj(cat));
+}
+
+Attojoules
+EnergyMeter::getAj(EnergyCategory cat) const
+{
     wlc_assert(cat != EnergyCategory::NumCategories);
-    return joules_[static_cast<std::size_t>(cat)];
+    return aj_[static_cast<std::size_t>(cat)];
 }
 
 double
 EnergyMeter::total() const
 {
-    double sum = 0.0;
-    for (double j : joules_)
-        sum += j;
+    return toJoules(totalAj());
+}
+
+Attojoules
+EnergyMeter::totalAj() const
+{
+    Attojoules sum = 0;
+    for (const Attojoules a : aj_)
+        sum += a;
     return sum;
 }
 
 void
 EnergyMeter::reset()
 {
-    joules_.fill(0.0);
+    aj_.fill(0);
 }
 
 void
 EnergyMeter::saveState(SnapshotWriter &w) const
 {
     w.section("METR");
-    for (const double j : joules_)
-        w.f64(j);
+    for (const Attojoules a : aj_)
+        w.u64(a);
 }
 
 void
 EnergyMeter::restoreState(SnapshotReader &r)
 {
     r.section("METR");
-    for (double &j : joules_)
-        j = r.f64();
+    for (Attojoules &a : aj_)
+        a = r.u64();
 }
 
 } // namespace energy

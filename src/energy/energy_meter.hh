@@ -4,6 +4,11 @@
  * the paper reports in Figure 13(b): cache read/write, memory
  * read/write, and compute, plus checkpoint/restore and leakage which
  * the paper folds into the totals.
+ *
+ * Accumulators are integer attojoules (see attojoule.hh): integer
+ * addition is associative, so the skip-ahead loop can batch a gap's
+ * leakage as one `cycles * rate` add and land on exactly the state
+ * the per-cycle reference loop reaches one add at a time.
  */
 
 #ifndef WLCACHE_ENERGY_ENERGY_METER_HH
@@ -11,6 +16,8 @@
 
 #include <array>
 #include <cstddef>
+
+#include "energy/attojoule.hh"
 
 namespace wlcache {
 
@@ -36,21 +43,30 @@ enum class EnergyCategory : std::size_t
 /** Human-readable category name. */
 const char *energyCategoryName(EnergyCategory cat);
 
-/** Accumulates joules per category. */
+/** Accumulates attojoules per category (joule API quantizes). */
 class EnergyMeter
 {
   public:
     static constexpr std::size_t kNumCategories =
         static_cast<std::size_t>(EnergyCategory::NumCategories);
 
-    /** Add @p joules to category @p cat. */
+    /** Add @p joules (quantized to whole aJ) to category @p cat. */
     void add(EnergyCategory cat, double joules);
+
+    /** Add an exact attojoule amount to category @p cat. */
+    void addAj(EnergyCategory cat, Attojoules aj);
 
     /** Consumption of a single category, joules. */
     double get(EnergyCategory cat) const;
 
+    /** Consumption of a single category, attojoules (exact). */
+    Attojoules getAj(EnergyCategory cat) const;
+
     /** Total across all categories, joules. */
     double total() const;
+
+    /** Total across all categories, attojoules (exact). */
+    Attojoules totalAj() const;
 
     /** Zero every category. */
     void reset();
@@ -62,7 +78,7 @@ class EnergyMeter
     void restoreState(SnapshotReader &r);
 
   private:
-    std::array<double, kNumCategories> joules_{};
+    std::array<Attojoules, kNumCategories> aj_{};
 };
 
 } // namespace energy

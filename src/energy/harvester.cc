@@ -9,11 +9,33 @@
 namespace wlcache {
 namespace energy {
 
+namespace {
+
+/** Ceiling division for the crossing-cycle solver. */
+inline std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return a / b + (a % b != 0 ? 1 : 0);
+}
+
+} // namespace
+
 Harvester::Harvester(PowerTrace trace, double efficiency, bool infinite)
     : trace_(std::move(trace)), efficiency_(efficiency),
       infinite_(infinite)
 {
     wlc_assert(efficiency_ > 0.0 && efficiency_ <= 1.0);
+    // Snap the sample period to the cycle grid once; every later
+    // boundary is then an exact integer, so the skip-ahead and
+    // per-cycle walks see identical sample edges.
+    period_cycles_ = static_cast<Cycle>(
+        std::llround(trace_.samplePeriod() * kCoreFreqHz));
+    wlc_assert(period_cycles_ >= 1);
+    rate_aj_.reserve(trace_.numSamples());
+    for (const double watts : trace_.samples()) {
+        rate_aj_.push_back(
+            toAttojoules(watts * efficiency_ * kSecondsPerCycle));
+    }
 }
 
 double
@@ -24,144 +46,176 @@ Harvester::currentPower() const
     return trace_.samples()[sample_idx_];
 }
 
+Attojoules
+Harvester::currentRateAj() const
+{
+    if (rate_aj_.empty())
+        return 0;
+    return rate_aj_[sample_idx_];
+}
+
 void
 Harvester::stepSample()
 {
-    pos_in_sample_ = 0.0;
+    pos_in_sample_cycles_ = 0;
     if (trace_.numSamples() == 0)
         return;
     sample_idx_ = (sample_idx_ + 1) % trace_.numSamples();
+}
+
+Attojoules
+Harvester::topUp(Capacitor &cap)
+{
+    const Attojoules before = cap.storedAj();
+    cap.setVoltage(cap.vmax());
+    const Attojoules deposited = cap.storedAj() - before;
+    total_harvested_aj_ += deposited;
+    return deposited;
+}
+
+Attojoules
+Harvester::advanceWithinSample(Cycle cycles, Capacitor &cap)
+{
+    wlc_assert(cycles <= period_cycles_ - pos_in_sample_cycles_);
+    const Attojoules deposited =
+        cap.addAj(scaleAttojoules(currentRateAj(), cycles));
+    total_harvested_aj_ += deposited;
+    now_cycles_ += cycles;
+    pos_in_sample_cycles_ += cycles;
+    // The cursor steps *when* the boundary is reached (rebasing the
+    // phase to exactly 0), so a call that ends on a boundary leaves
+    // currentPower() reading the next sample rather than the stale
+    // one until the next advance.
+    if (pos_in_sample_cycles_ == period_cycles_)
+        stepSample();
+    return deposited;
+}
+
+Attojoules
+Harvester::advanceCycles(Cycle cycles, Capacitor &cap)
+{
+    if (infinite_) {
+        now_cycles_ += cycles;
+        return topUp(cap);
+    }
+    // Per sample segment the deposit is min(n * rate, room), which
+    // equals n clamped single-cycle adds (integer water-filling), so
+    // this closed form is exactly the per-cycle reference.
+    Attojoules deposited = 0;
+    while (cycles > 0) {
+        const Cycle left = period_cycles_ - pos_in_sample_cycles_;
+        const Cycle take = std::min(cycles, left);
+        deposited += advanceWithinSample(take, cap);
+        cycles -= take;
+    }
+    return deposited;
 }
 
 double
 Harvester::advance(double dt_s, Capacitor &cap)
 {
     wlc_assert(dt_s >= 0.0);
-    if (infinite_) {
-        now_s_ += dt_s;
-        const double before = cap.storedEnergy();
-        cap.setVoltage(cap.vmax());
-        total_harvested_j_ += cap.storedEnergy() - before;
-        return cap.storedEnergy() - before;
-    }
-
-    const double period = trace_.samplePeriod();
-    double deposited = 0.0;
-    double remaining = dt_s;
-    // Invariant: pos_in_sample_ < period. Sample boundaries rebase
-    // the phase to exactly 0 (stepSample) instead of accumulating
-    // `pos += step` residue, so millions of sub-steps cannot drift
-    // the cursor against the trace; and the cursor steps *when* the
-    // boundary is reached, so a call that ends exactly on a boundary
-    // leaves currentPower() reading the next sample rather than the
-    // stale one until the next advance().
-    while (remaining > 0.0) {
-        const double left = period - pos_in_sample_;
-        if (remaining >= left) {
-            deposited +=
-                cap.addEnergy(currentPower() * efficiency_ * left);
-            now_s_ += left;
-            remaining -= left;
-            stepSample();
-        } else {
-            deposited +=
-                cap.addEnergy(currentPower() * efficiency_ * remaining);
-            pos_in_sample_ += remaining;
-            now_s_ += remaining;
-            remaining = 0.0;
-        }
-    }
-    total_harvested_j_ += deposited;
-    return deposited;
+    const Cycle cycles =
+        static_cast<Cycle>(std::llround(dt_s * kCoreFreqHz));
+    return toJoules(advanceCycles(cycles, cap));
 }
 
 double
-Harvester::chargeUntil(Capacitor &cap, double v_target, double max_wait_s)
+Harvester::chargeUntil(Capacitor &cap, double v_target,
+                       double max_wait_s, StepMode mode)
 {
     wlc_assert(v_target <= cap.vmax() + 1e-12);
     if (infinite_) {
-        const double before = cap.storedEnergy();
-        cap.setVoltage(cap.vmax());
-        total_harvested_j_ += cap.storedEnergy() - before;
+        topUp(cap);
         return 0.0;
     }
 
-    const double period = trace_.samplePeriod();
-    const double start = now_s_;
-    // Work in the energy domain: comparing voltages after the sqrt
-    // round-trip can miss the target by one ulp forever when the
-    // target equals Vmax (the add-side clamp uses energy).
-    const double target_e = cap.energyBetween(0.0, v_target);
+    // Work in quantized energy: the target goes through the same
+    // quantizer as the add-side rail clamp, so "charge to Vmax" is an
+    // exact integer compare rather than a voltage round-trip that can
+    // miss by one ulp forever.
+    const Attojoules target_aj = cap.energyAjForVoltage(v_target);
+    const Cycle start = now_cycles_;
+    const Cycle max_wait_cycles = static_cast<Cycle>(
+        std::llround(max_wait_s * kCoreFreqHz));
     // A full trace pass that deposits nothing can never reach the
     // target: give up immediately instead of stepping zero-power
-    // samples one at a time until max_wait_s (an all-outage trace
-    // would otherwise take ~5e8 iterations to "time out").
-    const double pass_len_s =
-        period * static_cast<double>(
-                     std::max<std::size_t>(1, trace_.numSamples()));
-    double pass_start_s = now_s_;
-    double pass_start_e = cap.storedEnergy();
-    while (cap.storedEnergy() < target_e * (1.0 - 1e-12)) {
-        if (now_s_ - start > max_wait_s)
-            return now_s_ - start;  // dead environment
-        if (now_s_ - pass_start_s >= pass_len_s) {
-            if (cap.storedEnergy() <= pass_start_e)
-                return now_s_ - start;  // zero-gain pass: dead
-            pass_start_s = now_s_;
-            pass_start_e = cap.storedEnergy();
+    // samples until max_wait_s (an all-outage trace would otherwise
+    // take ~5e8 iterations to "time out").
+    const Cycle pass_len_cycles =
+        period_cycles_ *
+        static_cast<Cycle>(
+            std::max<std::size_t>(1, trace_.numSamples()));
+    Cycle pass_start = now_cycles_;
+    Attojoules pass_start_aj = cap.storedAj();
+
+    while (cap.storedAj() < target_aj) {
+        if (now_cycles_ - start > max_wait_cycles)
+            break;  // dead environment
+        if (now_cycles_ - pass_start >= pass_len_cycles) {
+            if (cap.storedAj() <= pass_start_aj)
+                break;  // zero-gain pass: dead
+            pass_start = now_cycles_;
+            pass_start_aj = cap.storedAj();
         }
-        // Same exact-phase stepping as advance(): boundaries rebase
-        // to 0 via stepSample() and the cursor moves as soon as a
-        // sample is exhausted.
-        const double left = period - pos_in_sample_;
-        const double p = currentPower() * efficiency_;
-        if (p <= 0.0) {
-            now_s_ += left;
+        const Cycle left = period_cycles_ - pos_in_sample_cycles_;
+        const Attojoules rate = currentRateAj();
+        if (rate == 0) {
+            now_cycles_ += left;
             stepSample();
             continue;
         }
-        const double needed = target_e - cap.storedEnergy();
-        const double dt = needed / p;
-        if (dt >= left) {
-            total_harvested_j_ += cap.addEnergy(p * left);
-            now_s_ += left;
-            stepSample();
+        const Attojoules needed = target_aj - cap.storedAj();
+        const Cycle want = ceilDiv(needed, rate);
+        if (want >= left) {
+            // The target is not crossed inside this sample: both
+            // modes batch the whole segment (exact by the
+            // water-filling argument — a recharge spanning seconds
+            // must not cost a billion iterations even in Percycle).
+            advanceWithinSample(left, cap);
+            continue;
+        }
+        if (mode == StepMode::SkipAhead) {
+            // Closed-form crossing: ceil(needed / rate) cycles.
+            advanceWithinSample(want, cap);
         } else {
-            total_harvested_j_ += cap.addEnergy(p * dt);
-            pos_in_sample_ += dt;
-            now_s_ += dt;
+            // Reference: scan the crossing sample cycle-by-cycle.
+            // tests/energy_solver_test.cc asserts this lands on the
+            // same cycle as the solver above.
+            while (cap.storedAj() < target_aj)
+                advanceWithinSample(1, cap);
         }
     }
-    return now_s_ - start;
+    return cyclesToSeconds(now_cycles_ - start);
 }
 
 void
 Harvester::reset()
 {
-    now_s_ = 0.0;
-    total_harvested_j_ = 0.0;
+    now_cycles_ = 0;
+    total_harvested_aj_ = 0;
     sample_idx_ = 0;
-    pos_in_sample_ = 0.0;
+    pos_in_sample_cycles_ = 0;
 }
 
 void
 Harvester::saveState(SnapshotWriter &w) const
 {
     w.section("HARV");
-    w.f64(now_s_);
-    w.f64(total_harvested_j_);
+    w.u64(now_cycles_);
+    w.u64(total_harvested_aj_);
     w.u64(sample_idx_);
-    w.f64(pos_in_sample_);
+    w.u64(pos_in_sample_cycles_);
 }
 
 void
 Harvester::restoreState(SnapshotReader &r)
 {
     r.section("HARV");
-    now_s_ = r.f64();
-    total_harvested_j_ = r.f64();
+    now_cycles_ = r.u64();
+    total_harvested_aj_ = r.u64();
     sample_idx_ = r.u64();
-    pos_in_sample_ = r.f64();
+    pos_in_sample_cycles_ = r.u64();
 }
 
 } // namespace energy

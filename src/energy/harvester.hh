@@ -1,15 +1,26 @@
 /**
  * @file
  * Couples a PowerTrace to a Capacitor: integrates ambient power over
- * simulated wall-clock time (on and off periods alike) and deposits
- * the harvested energy into the buffer.
+ * simulated time (on and off periods alike) and deposits the
+ * harvested energy into the buffer.
+ *
+ * The harvester clock runs on the core cycle grid (1 cycle = 1 ns):
+ * each trace sample is a whole number of cycles wide and deposits a
+ * fixed integer attojoule rate per cycle. Integrating N cycles is
+ * then exact integer math — `min(N * rate, room)` per sample segment
+ * — so the closed-form skip-ahead path and the cycle-by-cycle
+ * reference path produce bit-identical capacitor levels, crossing
+ * cycles, and harvest totals (DESIGN.md §15).
  */
 
 #ifndef WLCACHE_ENERGY_HARVESTER_HH
 #define WLCACHE_ENERGY_HARVESTER_HH
 
+#include <vector>
+
 #include "energy/capacitor.hh"
 #include "energy/power_trace.hh"
+#include "sim/types.hh"
 
 namespace wlcache {
 
@@ -19,8 +30,9 @@ class SnapshotReader;
 namespace energy {
 
 /**
- * Stateful harvester: tracks absolute simulated time and walks the
- * power trace incrementally so per-event harvesting is O(1) amortized.
+ * Stateful harvester: tracks absolute simulated time in cycles and
+ * walks the power trace incrementally so per-event harvesting is O(1)
+ * amortized.
  */
 class Harvester
 {
@@ -35,24 +47,48 @@ class Harvester
               bool infinite = false);
 
     /**
-     * Advance simulated time by @p dt_s, harvesting into @p cap.
+     * Advance simulated time by @p cycles, harvesting into @p cap.
+     * Walks whole sample segments closed-form; `advanceCycles(1)`
+     * called N times reaches exactly the same state (integer adds).
+     * @return attojoules deposited.
+     */
+    Attojoules advanceCycles(Cycle cycles, Capacitor &cap);
+
+    /**
+     * Seconds-typed advanceCycles() (rounds @p dt_s to whole cycles).
      * @return energy deposited, joules.
      */
     double advance(double dt_s, Capacitor &cap);
 
     /**
      * Advance time until @p cap reaches @p v_target or @p max_wait_s
-     * elapses. Used for the power-off recharge phase.
+     * elapses. Used for the power-off recharge phase. Both step modes
+     * walk whole sample segments (a multi-second recharge must not
+     * cost a billion iterations); inside the sample where the target
+     * is crossed, SkipAhead solves the crossing cycle by division
+     * while Percycle scans cycle-by-cycle. The two land on the same
+     * cycle — the property tests in tests/energy_solver_test.cc pin
+     * that down.
      * @return seconds spent charging.
      */
     double chargeUntil(Capacitor &cap, double v_target,
-                       double max_wait_s = 1.0e4);
+                       double max_wait_s = 1.0e4,
+                       StepMode mode = StepMode::SkipAhead);
+
+    /** Absolute simulated time, cycles. */
+    Cycle nowCycles() const { return now_cycles_; }
 
     /** Absolute simulated wall-clock time, seconds. */
-    double now() const { return now_s_; }
+    double now() const { return cyclesToSeconds(now_cycles_); }
 
     /** Energy deposited into the capacitor since reset(), joules. */
-    double totalHarvested() const { return total_harvested_j_; }
+    double totalHarvested() const
+    {
+        return toJoules(total_harvested_aj_);
+    }
+
+    /** Energy deposited since reset(), attojoules (exact). */
+    Attojoules totalHarvestedAj() const { return total_harvested_aj_; }
 
     /** Reset the clock and trace position (new experiment). */
     void reset();
@@ -62,6 +98,12 @@ class Harvester
 
     /** Ambient power of the sample the cursor is in, watts. */
     double currentPower() const;
+
+    /** Per-cycle deposit rate of the current sample, attojoules. */
+    Attojoules currentRateAj() const;
+
+    /** Cycles covered by one trace sample. */
+    Cycle periodCycles() const { return period_cycles_; }
 
     /** Serialize clock, trace cursor, and harvest accumulator. */
     void saveState(SnapshotWriter &w) const;
@@ -73,13 +115,24 @@ class Harvester
     /** Move the cursor to the start of the next trace sample. */
     void stepSample();
 
+    /**
+     * Advance @p cycles (all within the current sample) in one step.
+     * @return attojoules deposited.
+     */
+    Attojoules advanceWithinSample(Cycle cycles, Capacitor &cap);
+
+    /** Top @p cap to Vmax (infinite-supply mode). */
+    Attojoules topUp(Capacitor &cap);
+
     PowerTrace trace_;
     double efficiency_;
     bool infinite_;
-    double now_s_ = 0.0;
-    double total_harvested_j_ = 0.0;
+    Cycle period_cycles_ = 1;
+    std::vector<Attojoules> rate_aj_;  //!< Per-cycle deposit, by sample.
+    Cycle now_cycles_ = 0;
+    Attojoules total_harvested_aj_ = 0;
     std::size_t sample_idx_ = 0;
-    double pos_in_sample_ = 0.0;
+    Cycle pos_in_sample_cycles_ = 0;   //!< Invariant: < period_cycles_.
 };
 
 } // namespace energy

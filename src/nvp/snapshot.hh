@@ -29,8 +29,13 @@ namespace nvp {
 /** One captured system state, taken at an event-loop boundary. */
 struct SystemSnapshot
 {
-    /** Bump when the component serialization layout changes. */
-    static constexpr std::uint32_t kFormatVersion = 1;
+    /**
+     * Bump when the component serialization layout changes.
+     * 2 = integer-attojoule energy state (meter/capacitor/harvester
+     * sections became u64, harvester cursor moved to the cycle grid,
+     * SYS2 carries the quantized backup level).
+     */
+    static constexpr std::uint32_t kFormatVersion = 2;
 
     /**
      * Resume-compatibility key: hash of every configuration and trace

@@ -70,6 +70,7 @@ SystemSim::SystemSim(const SystemConfig &cfg,
                 const double new_level = 0.5 * c * v_next * v_next;
                 if (cap_.storedEnergy() > new_level + 4.0 * extra_j) {
                     backup_energy_level_ = new_level;
+                    backup_level_aj_ = cap_.energyAjForVoltage(v_next);
                     vbackup_now_ = v_next;
                     return true;
                 }
@@ -93,6 +94,8 @@ SystemSim::SystemSim(const SystemConfig &cfg,
 
     leak_watts_ = cfg_.core.leakage_watts + dcache_->leakageWatts() +
         icache_->leakageWatts();
+    leak_aj_per_cycle_ =
+        energy::toAttojoules(leak_watts_ * kSecondsPerCycle);
     tl_ = cfg_.timeline;
     attachTimeline();
     recomputeThresholds();
@@ -109,6 +112,10 @@ SystemSim::SystemSim(const SystemConfig &cfg,
     keyed.inject_register_skip = false;
     keyed.max_outages = 0;
     keyed.timeline = nullptr;
+    // The two step modes are bit-identical by construction (integer
+    // attojoule integration), so a snapshot taken under one resumes
+    // under the other; the mode is neutralized out of the key.
+    keyed.step_mode = StepMode::SkipAhead;
     std::ostringstream ks;
     dumpConfigKey(ks, keyed);
     ks << "trace=" << trace_.name << '\n'
@@ -269,6 +276,7 @@ SystemSim::recomputeThresholds()
     }
     const double c = cfg_.platform.capacitance_f;
     backup_energy_level_ = 0.5 * c * vbackup_now_ * vbackup_now_;
+    backup_level_aj_ = cap_.energyAjForVoltage(vbackup_now_);
 
     WLC_TIMELINE(tl_, CapThreshold, now_, "system", 0, 0, vbackup_now_);
     WLC_TIMELINE(tl_, CapThreshold, now_, "system", 1, 0, von_now_);
@@ -290,12 +298,12 @@ SystemSim::recomputeThresholds()
 void
 SystemSim::drawConsumedEnergy()
 {
-    const double total = meter_.total();
-    const double delta = total - last_meter_total_;
-    last_meter_total_ = total;
+    const energy::Attojoules total = meter_.totalAj();
+    const energy::Attojoules delta = total - last_meter_aj_;
+    last_meter_aj_ = total;
     if (harvester_.infinite())
         return;
-    cap_.drawEnergy(delta);
+    cap_.drawAj(delta);
 }
 
 void
@@ -303,9 +311,22 @@ SystemSim::accountPassage(Cycle from, Cycle to)
 {
     if (to <= from)
         return;
-    const double dt_s = cyclesToSeconds(to - from);
-    meter_.add(energy::EnergyCategory::Leakage, leak_watts_ * dt_s);
-    harvester_.advance(dt_s, cap_);
+    const Cycle span = to - from;
+    if (cfg_.step_mode == StepMode::Percycle) {
+        // Reference path: one leakage add and one harvester step per
+        // cycle. Integer attojoules make the sum exactly the batched
+        // form below — the equivalence suite holds the two together.
+        for (Cycle i = 0; i < span; ++i) {
+            meter_.addAj(energy::EnergyCategory::Leakage,
+                         leak_aj_per_cycle_);
+            harvester_.advanceCycles(1, cap_);
+        }
+        return;
+    }
+    // Skip-ahead: integrate the whole span closed-form.
+    meter_.addAj(energy::EnergyCategory::Leakage,
+                 energy::scaleAttojoules(leak_aj_per_cycle_, span));
+    harvester_.advanceCycles(span, cap_);
 }
 
 void
@@ -424,9 +445,14 @@ SystemSim::powerFail()
         // (The watchdog history is maintained inside AdaptiveRuntime;
         // its 2 x 2 bytes live in the same bank.)
     }
+    // Checkpoint-span leakage stays event-level in BOTH step modes:
+    // the harvester clock is deliberately decoupled while the backup
+    // runs (pre-existing modeling choice), so there is no per-cycle
+    // state here for Percycle to step through.
     if (ckpt_done > now_)
-        meter_.add(energy::EnergyCategory::Leakage,
-                   leak_watts_ * cyclesToSeconds(ckpt_done - now_));
+        meter_.addAj(energy::EnergyCategory::Leakage,
+                     energy::scaleAttojoules(leak_aj_per_cycle_,
+                                             ckpt_done - now_));
     now_ = ckpt_done;
     drawConsumedEnergy();
     if (cap_.voltage() < cfg_.platform.vmin - 1e-6)
@@ -472,7 +498,8 @@ SystemSim::powerFail()
 
     // Power-off: the capacitor keeps whatever the checkpoint did not
     // consume and recharges from there to Von.
-    const double off = harvester_.chargeUntil(cap_, von_now_);
+    const double off =
+        harvester_.chargeUntil(cap_, von_now_, 1.0e4, cfg_.step_mode);
     res_.off_seconds += off;
     WLC_DPRINTF(trace::kPower, now_, "system",
                 "recharged to Von=%.3fV in %.1f us", von_now_,
@@ -511,8 +538,11 @@ SystemSim::bootAndRestore()
             }
         }
     }
-    meter_.add(energy::EnergyCategory::Leakage,
-               leak_watts_ * cyclesToSeconds(t - boot_start));
+    // Boot/restore-span leakage: event-level in both modes, like the
+    // checkpoint span above.
+    meter_.addAj(energy::EnergyCategory::Leakage,
+                 energy::scaleAttojoules(leak_aj_per_cycle_,
+                                         t - boot_start));
     now_ = t;
     drawConsumedEnergy();
     boot_cycle_ = now_;
@@ -720,8 +750,9 @@ SystemSim::takeSnapshot() const
     w.section("SYS2");
     w.u64(now_);
     w.u64(boot_cycle_);
-    w.f64(last_meter_total_);
+    w.u64(last_meter_aj_);
     w.f64(backup_energy_level_);
+    w.u64(backup_level_aj_);
     w.f64(vbackup_now_);
     w.f64(von_now_);
     w.b(environment_dead_);
@@ -792,8 +823,9 @@ SystemSim::restoreSnapshot(const SystemSnapshot &snap)
     r.section("SYS2");
     now_ = r.u64();
     boot_cycle_ = r.u64();
-    last_meter_total_ = r.f64();
+    last_meter_aj_ = r.u64();
     backup_energy_level_ = r.f64();
+    backup_level_aj_ = r.u64();
     vbackup_now_ = r.f64();
     von_now_ = r.f64();
     environment_dead_ = r.b();
@@ -856,7 +888,8 @@ SystemSim::run(const RunOptions &opts)
         if (harvester_.infinite()) {
             cap_.setVoltage(cfg_.platform.vmax);
         } else {
-            res_.off_seconds += harvester_.chargeUntil(cap_, von_now_);
+            res_.off_seconds += harvester_.chargeUntil(
+                cap_, von_now_, 1.0e4, cfg_.step_mode);
             if (cap_.voltage() < von_now_ * (1.0 - 1e-7)) {
                 res_.completed = false;
                 return res_;
@@ -950,8 +983,10 @@ SystemSim::run(const RunOptions &opts)
         // after the requested cycle — they work under infinite power
         // too, which is how verification campaigns make the forced
         // point the only outage of a run.
+        // The outage comparator works on quantized energies, so both
+        // step modes see the threshold crossing at the same event.
         bool want_fail = failures_possible &&
-            cap_.storedEnergy() <= backup_energy_level_;
+            cap_.storedAj() <= backup_level_aj_;
         if (forced_idx_ < cfg_.forced_outage_cycles.size() &&
             now_ >= cfg_.forced_outage_cycles[forced_idx_]) {
             ++forced_idx_;

@@ -220,6 +220,9 @@ class SystemSim
     /** Access the data cache (tests). */
     cache::DataCache &dcache() { return *dcache_; }
 
+    /** Access the core (tests: register-file comparison). */
+    const cpu::InOrderCore &core() const { return *core_; }
+
     /** Access the WL cache when the design is WL (else null). */
     core::WLCache *wlCache() { return wl_; }
 
@@ -271,11 +274,16 @@ class SystemSim
     RunResult res_;
     Cycle now_ = 0;
     Cycle boot_cycle_ = 0;
-    double last_meter_total_ = 0.0;
+    /** meter_.totalAj() at the last drawConsumedEnergy(). */
+    energy::Attojoules last_meter_aj_ = 0;
     double backup_energy_level_ = 0.0;  //!< Stored-energy Vbackup level.
+    /** Quantized Vbackup level driving the outage comparator. */
+    energy::Attojoules backup_level_aj_ = 0;
     double vbackup_now_ = 0.0;          //!< Active Vbackup threshold.
     double von_now_ = 0.0;              //!< Active restore voltage.
     double leak_watts_ = 0.0;
+    /** Quantized per-cycle leakage (both step modes integrate this). */
+    energy::Attojoules leak_aj_per_cycle_ = 0;
     bool environment_dead_ = false;
     bool warned_reserve_ = false;
 

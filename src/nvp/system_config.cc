@@ -44,6 +44,28 @@ designKindFromName(const std::string &name, DesignKind &out)
     return false;
 }
 
+const char *
+stepModeName(StepMode mode)
+{
+    switch (mode) {
+      case StepMode::Percycle:  return "percycle";
+      case StepMode::SkipAhead: return "skip_ahead";
+    }
+    panic("unknown StepMode %d", static_cast<int>(mode));
+}
+
+bool
+stepModeFromName(const std::string &name, StepMode &out)
+{
+    for (const StepMode m : { StepMode::Percycle, StepMode::SkipAhead }) {
+        if (name == stepModeName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
 SystemConfig
 SystemConfig::forDesign(DesignKind kind)
 {
@@ -153,7 +175,8 @@ dumpCacheParams(std::ostream &os, const char *prefix,
 void
 dumpConfigKey(std::ostream &os, const SystemConfig &cfg)
 {
-    os << "design=" << designKindName(cfg.design) << '\n';
+    os << "design=" << designKindName(cfg.design) << '\n'
+       << "step_mode=" << stepModeName(cfg.step_mode) << '\n';
     dumpCacheParams(os, "dcache", cfg.dcache);
     dumpCacheParams(os, "icache", cfg.icache);
 

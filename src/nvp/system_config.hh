@@ -22,6 +22,7 @@
 #include "core/wl_cache.hh"
 #include "cpu/inorder_core.hh"
 #include "mem/nvm_params.hh"
+#include "sim/types.hh"
 
 namespace wlcache {
 
@@ -51,6 +52,15 @@ const char *designKindName(DesignKind kind);
  * @return true and set @p out on a match; false on an unknown name.
  */
 bool designKindFromName(const std::string &name, DesignKind &out);
+
+/** Step-mode name: "percycle" or "skip_ahead". */
+const char *stepModeName(StepMode mode);
+
+/**
+ * Inverse of stepModeName().
+ * @return true and set @p out on a match; false on an unknown name.
+ */
+bool stepModeFromName(const std::string &name, StepMode &out);
 
 /** Platform energy/threshold parameters (Table 2). */
 struct PlatformParams
@@ -95,6 +105,18 @@ struct PlatformParams
 struct SystemConfig
 {
     DesignKind design = DesignKind::WL;
+
+    /**
+     * How the run loop integrates energy over multi-cycle spans
+     * (DESIGN.md §15). SkipAhead (the default) uses closed-form
+     * integer integration; Percycle is the cycle-by-cycle reference
+     * kept compiled-in forever so the two paths stay differentially
+     * testable. Results are bit-identical, but the mode is still part
+     * of dumpConfigKey() so cached run records say which path
+     * produced them; snapshots neutralize it (cross-mode resume is
+     * supported by construction).
+     */
+    StepMode step_mode = StepMode::SkipAhead;
 
     cache::CacheParams dcache;
     cache::CacheParams icache;

@@ -184,6 +184,9 @@ parseSpecText(const std::string &text, nvp::ExperimentSpec &out,
         saw_design = true;
         return true;
     };
+    set["step_mode"] = [&](const std::string &v) {
+        return nvp::stepModeFromName(v, cfg.step_mode);
+    };
     cacheFields("dcache", cfg.dcache);
     cacheFields("icache", cfg.icache);
 

@@ -48,6 +48,9 @@ resumeKey(const nvp::ExperimentSpec &spec)
     keyed.inject_register_skip = false;
     keyed.max_outages = 0;
     keyed.timeline = nullptr;
+    // Both step modes produce bit-identical state, so snapshots
+    // resume across modes; neutralize like SystemSim's snapshot key.
+    keyed.step_mode = StepMode::SkipAhead;
 
     std::ostringstream os;
     os << "schema=" << kResultSchemaVersion << '\n'

@@ -32,9 +32,11 @@ namespace runner {
  * 3 = telemetry (stats tree + interval rollups in run records,
  * max_interval_rollups in the config key); 4 = energy-math fixes
  * (harvester phase rebase, capacitor rail clamping) changed every
- * numeric result, plus deterministic snapshots.
+ * numeric result, plus deterministic snapshots; 5 = integer-attojoule
+ * energy arithmetic (every accumulated joule quantized) plus the
+ * step_mode config key line.
  */
-constexpr unsigned kResultSchemaVersion = 4;
+constexpr unsigned kResultSchemaVersion = 5;
 
 /**
  * Canonical text describing everything that determines a run's

@@ -41,6 +41,21 @@ secondsToCycles(double s)
     return static_cast<Cycle>(s * kCoreFreqHz);
 }
 
+/**
+ * How the simulator integrates energy over a multi-cycle span.
+ *
+ * Percycle is the reference implementation: leakage and harvest are
+ * applied one cycle at a time. SkipAhead integrates a whole span in
+ * one closed-form step. Both operate on integer attojoules, so they
+ * are bit-identical by construction; the differential harness in
+ * tests/skip_ahead_equivalence_test.cc enforces it forever.
+ */
+enum class StepMode : std::uint8_t
+{
+    Percycle,
+    SkipAhead,
+};
+
 /** Kind of a data-memory operation issued by the core. */
 enum class MemOp : std::uint8_t
 {

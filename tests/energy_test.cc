@@ -239,8 +239,13 @@ TEST(Harvester, ChargeUntilReachesTarget)
     auto c = paperCap();
     const double needed = c.energyBetween(2.8, 3.3);
     const double secs = h.chargeUntil(c, 3.3);
-    EXPECT_NEAR(c.voltage(), 3.3, 1e-9);
-    EXPECT_NEAR(secs, needed / 20.0e-3, 1e-9);
+    // Charging lands on a whole-cycle boundary at or just past the
+    // target, so the final voltage can overshoot by up to one cycle's
+    // deposit (20 mW * 1 ns ~ 2e-11 J ~ 6 uV here) and the charge
+    // time by up to one cycle (1 ns).
+    EXPECT_GE(c.voltage(), 3.3 - 1e-9);
+    EXPECT_NEAR(c.voltage(), 3.3, 1e-5);
+    EXPECT_NEAR(secs, needed / 20.0e-3, 2e-9);
 }
 
 TEST(Harvester, ChargeUntilGivesUpOnDeadTrace)
@@ -300,8 +305,10 @@ TEST(Harvester, LongHorizonConservation)
     const double expect = t.meanPower() * horizon;
     EXPECT_NEAR(h.now(), horizon, 1e-6);
     EXPECT_NEAR(deposited, expect, 1e-6 * expect);
-    // The running accumulator and the per-call returns agree.
-    EXPECT_DOUBLE_EQ(h.totalHarvested(), deposited);
+    // The running accumulator is an exact integer attojoule count;
+    // FP-summing 200k per-call joule returns reintroduces rounding,
+    // so the two agree to summation error, not bit-exactly.
+    EXPECT_NEAR(h.totalHarvested(), deposited, 1e-9 * expect);
 }
 
 TEST(Harvester, LongAdvanceMatchesMeanPower)

@@ -404,6 +404,124 @@ TEST(SnapshotResume, TimelineStampsSnapshotEvents)
     EXPECT_TRUE(resumed_event);
 }
 
+// --- Cross-step-mode resume (DESIGN.md §15) ---
+
+namespace {
+
+nvp::ExperimentSpec
+modeSpec(const FuzzCase &c, StepMode mode)
+{
+    nvp::ExperimentSpec s = fuzzSpec(c);
+    const auto base = s.tweak;
+    s.tweak = [base, mode](nvp::SystemConfig &cfg) {
+        base(cfg);
+        cfg.step_mode = mode;
+    };
+    return s;
+}
+
+} // namespace
+
+TEST(SnapshotCrossMode, ResumeAcrossStepModesIsByteIdentical)
+{
+    // Both step modes produce bit-identical state, so a snapshot
+    // taken under one mode must resume under the other with a
+    // byte-identical run record — in both directions. This is the
+    // property that lets the snapshot compat key neutralize
+    // step_mode (a percycle-validated checkpoint accelerates a
+    // skip_ahead sweep and vice versa).
+    for (const FuzzCase &c : { kFuzzCases[0], kFuzzCases[1],
+                               kFuzzCases[4] }) {
+        SCOPED_TRACE(std::string(nvp::designKindName(c.design)) +
+                     "/" + c.app);
+        const nvp::ExperimentSpec skip_spec =
+            modeSpec(c, StepMode::SkipAhead);
+        const nvp::ExperimentSpec ref_spec =
+            modeSpec(c, StepMode::Percycle);
+
+        const nvp::RunResult cold = nvp::runExperiment(skip_spec);
+        const std::string cold_json = resultJson(cold);
+        ASSERT_GT(cold.on_cycles, 0u);
+
+        // Capture under percycle...
+        std::vector<nvp::SystemSnapshot> snaps;
+        nvp::RunOptions ro;
+        ro.snapshot_interval =
+            std::max<Cycle>(1, cold.on_cycles / 7);
+        ro.snapshot_sink = [&snaps](nvp::SystemSnapshot &&s) {
+            snaps.push_back(std::move(s));
+        };
+        const nvp::RunResult ref_run =
+            nvp::runExperimentEx(ref_spec, ro);
+        // ...which must itself be bit-identical to the cold record
+        // (modes only differ in how they integrate, not in results).
+        EXPECT_EQ(resultJson(ref_run), cold_json);
+        ASSERT_FALSE(snaps.empty());
+
+        // ...resume under skip_ahead:
+        for (std::size_t k = 0; k < snaps.size(); k += 2) {
+            nvp::RunOptions rr;
+            rr.resume = &snaps[k];
+            const nvp::RunResult resumed =
+                nvp::runExperimentEx(skip_spec, rr);
+            EXPECT_EQ(resultJson(resumed), cold_json)
+                << "percycle->skip_ahead at cycle "
+                << snaps[k].cycle;
+        }
+
+        // And the reverse direction: capture under skip_ahead,
+        // resume under percycle.
+        snaps.clear();
+        nvp::runExperimentEx(skip_spec, ro);
+        ASSERT_FALSE(snaps.empty());
+        nvp::RunOptions rr;
+        rr.resume = &snaps[snaps.size() / 2];
+        const nvp::RunResult resumed =
+            nvp::runExperimentEx(ref_spec, rr);
+        EXPECT_EQ(resultJson(resumed), cold_json)
+            << "skip_ahead->percycle at cycle "
+            << snaps[snaps.size() / 2].cycle;
+    }
+}
+
+TEST(SnapshotCrossMode, CampaignReportIdenticalAcrossModes)
+{
+    // A full verification campaign (golden run + forced-outage
+    // ladder + all oracles) must emit a byte-identical report
+    // whichever step mode drives it — the wlcache_verify CLI's
+    // --step-mode flag relies on this.
+    nvp::ExperimentSpec base;
+    base.design = nvp::DesignKind::WL;
+    base.workload = "sha";
+    base.power = energy::TraceKind::Constant;
+    base.no_failure = true;
+    const std::uint64_t n = nvp::runExperiment(base).on_cycles;
+    ASSERT_GT(n, 1000u);
+
+    verify::CampaignConfig cc;
+    cc.base = base;
+    cc.jobs = 2;
+    cc.has_window = true;
+    cc.window_begin = n / 3;
+    cc.window_end = n / 3 + 8 * (n / 128 + 1);
+    cc.window_step = n / 128 + 1;
+
+    cc.base.tweak = [](nvp::SystemConfig &cfg) {
+        cfg.step_mode = StepMode::SkipAhead;
+    };
+    const verify::CampaignReport skip_rep = verify::runCampaign(cc);
+    cc.base.tweak = [](nvp::SystemConfig &cfg) {
+        cfg.step_mode = StepMode::Percycle;
+    };
+    const verify::CampaignReport ref_rep = verify::runCampaign(cc);
+
+    ASSERT_TRUE(skip_rep.golden_clean);
+    std::ostringstream a, b;
+    verify::writeCampaignReportJson(a, skip_rep);
+    verify::writeCampaignReportJson(b, ref_rep);
+    EXPECT_EQ(a.str(), b.str());
+}
+
 // --- Finiteness of the run record (energy-math satellite) ---
 
 TEST(RunRecord, DeadTraceRecordStaysFinite)

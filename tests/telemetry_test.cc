@@ -366,6 +366,103 @@ TEST(LiveTelemetry, AttachingTimelineChangesNothing)
     EXPECT_EQ(a.stats_json, b.stats_json);
 }
 
+/**
+ * Step-mode differential coverage (DESIGN.md §15): the timeline is
+ * recorded at event boundaries, which both step modes hit on the
+ * same cycles — so a traced skip_ahead run must record the exact
+ * same event stream (cycle stamps, order, payloads) as the percycle
+ * reference, and the Perfetto export of the two must be
+ * byte-identical.
+ */
+TEST(LiveTelemetry, StepModesRecordIdenticalTimelines)
+{
+    auto traceRun = [](StepMode mode, TimelineBuffer &tl) {
+        nvp::ExperimentSpec spec;
+        spec.design = nvp::DesignKind::WL;
+        spec.workload = "sha";
+        spec.power = energy::TraceKind::RfHome;
+        spec.tweak = [&tl, mode](nvp::SystemConfig &c) {
+            c.timeline = &tl;
+            c.step_mode = mode;
+            c.wl_dynamic = true;  // adapt decisions stamped too
+        };
+        return nvp::runExperiment(spec);
+    };
+
+    TimelineBuffer tl_skip(1 << 16);
+    TimelineBuffer tl_ref(1 << 16);
+    const nvp::RunResult rs = traceRun(StepMode::SkipAhead, tl_skip);
+    const nvp::RunResult rr = traceRun(StepMode::Percycle, tl_ref);
+    ASSERT_TRUE(rs.completed);
+    ASSERT_GT(rs.outages, 0u);
+
+    std::vector<TimelineEvent> es, er;
+    tl_skip.forEach(
+        [&](const TimelineEvent &e) { es.push_back(e); });
+    tl_ref.forEach(
+        [&](const TimelineEvent &e) { er.push_back(e); });
+    ASSERT_EQ(es.size(), er.size());
+    EXPECT_EQ(tl_skip.droppedTotal(), tl_ref.droppedTotal());
+    for (std::size_t i = 0; i < es.size(); ++i) {
+        EXPECT_EQ(es[i].cycle, er[i].cycle) << "event " << i;
+        EXPECT_EQ(es[i].seq, er[i].seq) << "event " << i;
+        EXPECT_EQ(es[i].type, er[i].type) << "event " << i;
+        EXPECT_EQ(es[i].a0, er[i].a0) << "event " << i;
+        EXPECT_EQ(es[i].a1, er[i].a1) << "event " << i;
+        EXPECT_EQ(es[i].v, er[i].v) << "event " << i;
+        EXPECT_STREQ(es[i].comp, er[i].comp) << "event " << i;
+        if (HasFailure())
+            break;  // one mismatch is enough detail
+    }
+
+    // Exporter-level identity: what a perfetto viewer sees of a
+    // skip_ahead run is byte-for-byte the reference trace.
+    std::ostringstream pa, pb, ca, cb;
+    telemetry::ExportMeta meta;
+    meta.design = "WL-Cache";
+    meta.workload = "sha";
+    telemetry::writePerfettoJson(pa, tl_skip, meta);
+    telemetry::writePerfettoJson(pb, tl_ref, meta);
+    EXPECT_EQ(pa.str(), pb.str());
+    telemetry::writeTimelineCsv(ca, tl_skip);
+    telemetry::writeTimelineCsv(cb, tl_ref);
+    EXPECT_EQ(ca.str(), cb.str());
+}
+
+/**
+ * The rollup cap's boundary behaviour (which interval is the last
+ * stored, how many drop) depends on exact outage cycles — it must
+ * not shift with the step mode.
+ */
+TEST(LiveTelemetry, RollupCapBoundaryIdenticalAcrossStepModes)
+{
+    auto cappedRun = [](StepMode mode) {
+        nvp::ExperimentSpec spec;
+        spec.design = nvp::DesignKind::WL;
+        spec.workload = "sha";
+        spec.power = energy::TraceKind::RfHome;
+        spec.tweak = [mode](nvp::SystemConfig &c) {
+            c.max_interval_rollups = 2;
+            c.step_mode = mode;
+        };
+        return nvp::runExperiment(spec);
+    };
+    const nvp::RunResult a = cappedRun(StepMode::SkipAhead);
+    const nvp::RunResult b = cappedRun(StepMode::Percycle);
+    ASSERT_GT(a.intervals_dropped, 0u);
+    EXPECT_EQ(a.intervals_dropped, b.intervals_dropped);
+    ASSERT_EQ(a.intervals.size(), b.intervals.size());
+    for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+        EXPECT_EQ(a.intervals[i].index, b.intervals[i].index);
+        EXPECT_EQ(a.intervals[i].start_cycle,
+                  b.intervals[i].start_cycle);
+        EXPECT_EQ(a.intervals[i].end_cycle,
+                  b.intervals[i].end_cycle);
+        EXPECT_EQ(a.intervals[i].instructions,
+                  b.intervals[i].instructions);
+    }
+}
+
 } // namespace
 
 int

@@ -120,6 +120,10 @@ applyCliConfig(const util::ArgParser &args, nvp::SystemConfig &cfg)
     cfg.wl.eager_evict_cleanup = args.getFlag("eager-cleanup");
     cfg.validate_consistency = args.getFlag("validate");
     cfg.check_load_values = args.getFlag("validate");
+    const std::string mode = util::toLower(args.get("step-mode"));
+    if (!nvp::stepModeFromName(mode, cfg.step_mode))
+        fatal("unknown --step-mode '%s' (percycle|skip_ahead)",
+              mode.c_str());
 }
 
 /** Expand a comma-separated list, mapping "all" to @p everything. */
@@ -256,6 +260,10 @@ main(int argc, char **argv)
         .option("maxline", "6", "initial maxline (WL)")
         .option("dq-repl", "fifo", "DirtyQueue replacement: fifo|lru")
         .option("capacitor", "1e-6", "capacitance, farads")
+        .option("step-mode", "skip_ahead",
+                "run-loop energy integration: skip_ahead|percycle "
+                "(bit-identical results; percycle is the slow "
+                "reference loop, DESIGN.md sec. 15)")
         .flag("no-adaptive", "disable boot-time adaptation (WL)")
         .flag("dynamic", "enable dynamic maxline adaptation (WL)")
         .flag("eager-cleanup", "eager DQ cleanup ablation (WL)")

@@ -173,6 +173,10 @@ main(int argc, char **argv)
         .option("timeline-window", "64",
                 "timeline events to attach around the first "
                 "divergence (0 disables the extra traced re-run)")
+        .option("step-mode", "skip_ahead",
+                "run-loop energy integration: skip_ahead|percycle "
+                "(reports are byte-identical either way; percycle is "
+                "the slow reference loop, DESIGN.md sec. 15)")
         .option("json", "", "write the campaign report JSON here")
         .option("server", "",
                 "submit campaigns to a running wlcached at this "
@@ -202,12 +206,24 @@ main(int argc, char **argv)
     if (expect != "clean" && expect != "divergent")
         fatal("--expect must be clean or divergent");
 
+    StepMode step_mode;
+    if (!nvp::stepModeFromName(util::toLower(args.get("step-mode")),
+                               step_mode))
+        fatal("unknown --step-mode '%s' (percycle|skip_ahead)",
+              args.get("step-mode").c_str());
+
     const auto designs = expandList(args.get("design"));
     const auto apps = expandList(args.get("workload"));
     if (designs.empty() || apps.empty())
         fatal("need at least one design and one workload");
 
     const std::string server = args.get("server");
+    // The campaign protocol has no step-mode field (the modes are
+    // bit-identical, so the daemon always runs skip_ahead); refuse
+    // rather than silently ignore a requested reference run.
+    if (!server.empty() && step_mode != StepMode::SkipAhead)
+        fatal("--step-mode percycle is local-only (--server runs "
+              "skip_ahead)");
     serve::Client client;
     if (!server.empty()) {
         std::string cerr_msg;
@@ -301,6 +317,9 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(args.getInt("seed"));
             cc.base.power_seed =
                 static_cast<std::uint64_t>(args.getInt("power-seed"));
+            cc.base.tweak = [step_mode](nvp::SystemConfig &cfg) {
+                cfg.step_mode = step_mode;
+            };
             cc.ambient = ambient;
             cc.points = parsePoints(args.get("points"));
             cc.stride =

@@ -116,6 +116,25 @@ allObjectives()
           [](const R &, const C &cfg, const S &) {
               return hardwareAreaMm2(cfg);
           } },
+        { "nvm_lifetime",
+          "negated min-line write headroom (endurance budget minus "
+          "the most-worn line's count; maximizing, so negated here; "
+          "requires nvm.track_wear)",
+          [](const R &r, const C &, const S &) {
+              return -static_cast<double>(r.nvm_lifetime_headroom);
+          } },
+        { "nvm_wear_max",
+          "highest per-line NVM write count "
+          "(requires nvm.track_wear)",
+          [](const R &r, const C &, const S &) {
+              return static_cast<double>(r.nvm_wear_max);
+          } },
+        { "nvm_write_p99_latency",
+          "99th-percentile NVM write latency in cycles (log2 "
+          "histogram upper bound)",
+          [](const R &r, const C &, const S &) {
+              return r.nvm_write_p99_latency;
+          } },
     };
     return defs;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "mem/device/tech_profile.hh"
 #include "sim/logging.hh"
 #include "util/json.hh"
 #include "util/strings.hh"
@@ -335,6 +336,111 @@ paramDefs()
           PV::Kind::Number, true, 1.0, nullptr,
           [](Cfg &c, const PV &v) {
               c.max_outages = static_cast<std::uint64_t>(v.num);
+          },
+          nullptr },
+        { "nvm.tech",
+          "NVM technology profile: reram|stt-ram|fram|flash "
+          "(sets timing, energy, endurance, verify retries)",
+          PV::Kind::String, false, 0.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              const mem::NvmTechProfile *p =
+                  mem::findTechProfile(v.text);
+              wlc_assert(p != nullptr, "unvalidated tech '%s'",
+                         v.text.c_str());
+              mem::applyTechProfile(c.nvm, *p);
+          },
+          [](const PV &v, std::string &why) {
+              if (mem::findTechProfile(v.text))
+                  return true;
+              why = "unknown NVM technology '" + v.text +
+                    "' (reram|stt-ram|fram|flash)";
+              return false;
+          } },
+        { "nvm.model", "NVM timing model: legacy|banked",
+          PV::Kind::String, false, 0.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              const bool ok =
+                  mem::nvmModelFromName(v.text, c.nvm.model);
+              wlc_assert(ok, "unvalidated model '%s'", v.text.c_str());
+          },
+          [](const PV &v, std::string &why) {
+              mem::NvmModel m;
+              if (mem::nvmModelFromName(v.text, m))
+                  return true;
+              why = "unknown NVM model '" + v.text +
+                    "' (legacy|banked)";
+              return false;
+          } },
+        { "nvm.banks", "NVM bank count (beat-interleaved)",
+          PV::Kind::Number, true, 1.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.nvm.banks = static_cast<unsigned>(v.num);
+          },
+          nullptr },
+        { "nvm.queue_depth",
+          "per-bank request queue depth (banked model)",
+          PV::Kind::Number, true, 1.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.nvm.queue_depth = static_cast<unsigned>(v.num);
+          },
+          nullptr },
+        { "nvm.row_bytes", "NVM row-buffer size in bytes",
+          PV::Kind::Number, true, 1.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.nvm.row_bytes = static_cast<unsigned>(v.num);
+          },
+          nullptr },
+        { "nvm.track_wear", "track per-line NVM write counts",
+          PV::Kind::Bool, false, 0.0, nullptr,
+          [](Cfg &c, const PV &v) { c.nvm.track_wear = v.b; },
+          nullptr },
+        { "nvm.endurance_writes",
+          "per-line write-cycle budget (lifetime headroom baseline)",
+          PV::Kind::Number, true, 1.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.nvm.endurance_writes =
+                  static_cast<std::uint64_t>(v.num);
+          },
+          nullptr },
+        { "nvm.wear_scheme",
+          "wear-leveling address rotation: none|rotate",
+          PV::Kind::String, false, 0.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              const bool ok =
+                  mem::nvmWearSchemeFromName(v.text,
+                                             c.nvm.wear_scheme);
+              wlc_assert(ok, "unvalidated scheme '%s'",
+                         v.text.c_str());
+          },
+          [](const PV &v, std::string &why) {
+              mem::NvmWearScheme s;
+              if (mem::nvmWearSchemeFromName(v.text, s))
+                  return true;
+              why = "unknown wear scheme '" + v.text +
+                    "' (none|rotate)";
+              return false;
+          } },
+        { "nvm.rotate_period_writes",
+          "writes between wear-rotation steps",
+          PV::Kind::Number, true, 1.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.nvm.rotate_period_writes =
+                  static_cast<std::uint64_t>(v.num);
+          },
+          nullptr },
+        { "nvm.hybrid_lines",
+          "STT-RAM hybrid fast-region slots (0 disables)",
+          PV::Kind::Number, true, 0.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.nvm.hybrid_lines = static_cast<unsigned>(v.num);
+          },
+          nullptr },
+        { "nvm.hybrid_promote_writes",
+          "writes to a line before hybrid promotion",
+          PV::Kind::Number, true, 1.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.nvm.hybrid_promote_writes =
+                  static_cast<unsigned>(v.num);
           },
           nullptr },
     };

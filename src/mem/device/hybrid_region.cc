@@ -1,0 +1,142 @@
+#include "mem/device/hybrid_region.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "sim/snapshot.hh"
+
+namespace wlcache {
+namespace mem {
+
+HybridRegion::HybridRegion(unsigned slots, unsigned promote_writes)
+    : promote_writes_(promote_writes), slots_(slots)
+{
+    wlc_assert(!slots_.empty());
+    wlc_assert(promote_writes_ > 0);
+}
+
+HybridRegion::Slot *
+HybridRegion::findSlot(std::uint64_t line)
+{
+    for (Slot &s : slots_)
+        if (s.line == line)
+            return &s;
+    return nullptr;
+}
+
+HybridRegion::WriteOutcome
+HybridRegion::onWrite(std::uint64_t line)
+{
+    WriteOutcome out;
+    ++tick_;
+    if (Slot *s = findSlot(line)) {
+        s->last_use = tick_;
+        out.fast = true;
+        return out;
+    }
+
+    const std::uint32_t heat = ++heat_[line];
+    if (heat < promote_writes_)
+        return out;
+
+    // Promote: empty slot first, else evict the LRU resident
+    // (smallest last_use; ties break on the lowest slot index, so
+    // the choice is deterministic).
+    Slot *victim = nullptr;
+    for (Slot &s : slots_) {
+        if (s.line == kEmpty) {
+            victim = &s;
+            break;
+        }
+        if (!victim || s.last_use < victim->last_use)
+            victim = &s;
+    }
+    if (victim->line != kEmpty) {
+        out.evicted = true;
+        out.evicted_line = victim->line;
+    }
+    victim->line = line;
+    victim->last_use = tick_;
+    heat_.erase(line);  // Evicted lines re-earn their heat.
+    out.fast = true;
+    out.promoted = true;
+    return out;
+}
+
+bool
+HybridRegion::onRead(std::uint64_t line)
+{
+    if (Slot *s = findSlot(line)) {
+        s->last_use = ++tick_;
+        return true;
+    }
+    return false;
+}
+
+bool
+HybridRegion::resident(std::uint64_t line) const
+{
+    for (const Slot &s : slots_)
+        if (s.line == line)
+            return true;
+    return false;
+}
+
+unsigned
+HybridRegion::residentCount() const
+{
+    unsigned n = 0;
+    for (const Slot &s : slots_)
+        if (s.line != kEmpty)
+            ++n;
+    return n;
+}
+
+void
+HybridRegion::reset()
+{
+    for (Slot &s : slots_)
+        s = Slot{};
+    heat_.clear();
+    tick_ = 0;
+}
+
+void
+HybridRegion::saveState(SnapshotWriter &w) const
+{
+    w.u64(tick_);
+    w.u64(slots_.size());
+    for (const Slot &s : slots_) {
+        w.u64(s.line);
+        w.u64(s.last_use);
+    }
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> heat(
+        heat_.begin(), heat_.end());
+    std::sort(heat.begin(), heat.end());
+    w.u64(heat.size());
+    for (const auto &[line, h] : heat) {
+        w.u64(line);
+        w.u32(h);
+    }
+}
+
+void
+HybridRegion::restoreState(SnapshotReader &r)
+{
+    tick_ = r.u64();
+    const std::uint64_t n = r.u64();
+    wlc_assert(n == slots_.size(), "hybrid region size mismatch");
+    for (Slot &s : slots_) {
+        s.line = r.u64();
+        s.last_use = r.u64();
+    }
+    heat_.clear();
+    const std::uint64_t m = r.u64();
+    for (std::uint64_t i = 0; i < m; ++i) {
+        const std::uint64_t line = r.u64();
+        heat_[line] = r.u32();
+    }
+}
+
+} // namespace mem
+} // namespace wlcache

@@ -1,0 +1,71 @@
+#include "mem/device/tech_profile.hh"
+
+namespace wlcache {
+namespace mem {
+
+const std::vector<NvmTechProfile> &
+allTechProfiles()
+{
+    // "reram" reproduces the NvmParams defaults exactly (the paper's
+    // Table 2 device), so applying it to a default configuration is a
+    // no-op — sweeps that pin nvm.tech=reram stay cache-compatible
+    // with runs that never touched the knob.
+    static const std::vector<NvmTechProfile> profiles = {
+        { "reram",
+          "crossbar ReRAM, the paper's Table 2 device: asymmetric "
+          "writes with a long tWR recovery, mid-range endurance",
+          /*t_rcd=*/18, /*t_cl=*/15, /*t_burst=*/4, /*t_wr=*/150,
+          /*t_wtr=*/8,
+          /*read=*/25.0e-12, /*write=*/55.0e-12, /*activate=*/0.2e-9,
+          /*endurance=*/100'000'000, /*verify_retries=*/0 },
+        { "stt-ram",
+          "STT-MRAM: near-SRAM reads, fast writes, effectively "
+          "unlimited endurance; the hybrid fast-region technology",
+          /*t_rcd=*/10, /*t_cl=*/10, /*t_burst=*/4, /*t_wr=*/20,
+          /*t_wtr=*/2,
+          /*read=*/15.0e-12, /*write=*/30.0e-12, /*activate=*/0.1e-9,
+          /*endurance=*/4'000'000'000'000ull, /*verify_retries=*/0 },
+        { "fram",
+          "ferroelectric RAM (MSP430-class): symmetric access, "
+          "modest speed, very high endurance",
+          /*t_rcd=*/12, /*t_cl=*/12, /*t_burst=*/4, /*t_wr=*/40,
+          /*t_wtr=*/4,
+          /*read=*/20.0e-12, /*write=*/25.0e-12, /*activate=*/0.15e-9,
+          /*endurance=*/10'000'000'000'000ull, /*verify_retries=*/0 },
+        { "flash",
+          "managed-NAND-like: cheap reads, expensive program pulses "
+          "with verify retries, small per-line write budget",
+          /*t_rcd=*/30, /*t_cl=*/20, /*t_burst=*/4, /*t_wr=*/600,
+          /*t_wtr=*/16,
+          /*read=*/10.0e-12, /*write=*/180.0e-12, /*activate=*/0.5e-9,
+          /*endurance=*/100'000, /*verify_retries=*/2 },
+    };
+    return profiles;
+}
+
+const NvmTechProfile *
+findTechProfile(const std::string &name)
+{
+    for (const auto &p : allTechProfiles())
+        if (name == p.name)
+            return &p;
+    return nullptr;
+}
+
+void
+applyTechProfile(NvmParams &params, const NvmTechProfile &profile)
+{
+    params.t_rcd = profile.t_rcd;
+    params.t_cl = profile.t_cl;
+    params.t_burst = profile.t_burst;
+    params.t_wr = profile.t_wr;
+    params.t_wtr = profile.t_wtr;
+    params.read_energy_per_byte = profile.read_energy_per_byte;
+    params.write_energy_per_byte = profile.write_energy_per_byte;
+    params.activate_energy = profile.activate_energy;
+    params.endurance_writes = profile.endurance_writes;
+    params.write_verify_retries = profile.write_verify_retries;
+}
+
+} // namespace mem
+} // namespace wlcache

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * NVM technology profile registry. A profile captures the per-cell
+ * physics of a memory technology — timing asymmetry, per-byte energy,
+ * write endurance, and how many program-verify pulses a write needs —
+ * so an experiment can swap "what the main memory is made of" as one
+ * sweep dimension (`nvm.tech`). Applying a profile only rewrites the
+ * corresponding NvmParams fields; geometry (size, banks, queue depth)
+ * and policy layers (wear leveling, hybrid region) are orthogonal
+ * knobs that survive the application.
+ *
+ * Numbers are first-order, calibrated against the device classes the
+ * related work targets: the paper's ReRAM (Table 2), STT-RAM
+ * hybrid-L1 parts (Badri et al.), TI FRAM MCU memories, and a
+ * managed-NAND-like device with program-verify retries and a small
+ * per-line write budget.
+ */
+
+#ifndef WLCACHE_MEM_DEVICE_TECH_PROFILE_HH
+#define WLCACHE_MEM_DEVICE_TECH_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/nvm_params.hh"
+
+namespace wlcache {
+namespace mem {
+
+/** One memory technology: timing, energy, and endurance. */
+struct NvmTechProfile
+{
+    const char *name;  //!< Stable id ("reram", "stt-ram", ...).
+    const char *help;
+
+    // --- Timing (cycles) ---
+    Cycle t_rcd;
+    Cycle t_cl;
+    Cycle t_burst;
+    Cycle t_wr;
+    Cycle t_wtr;
+
+    // --- Energy (joules) ---
+    double read_energy_per_byte;
+    double write_energy_per_byte;
+    double activate_energy;
+
+    // --- Endurance ---
+    /** Write-cycle budget per line before the cell wears out. */
+    std::uint64_t endurance_writes;
+    /** Program-verify retry pulses every write pays. */
+    unsigned write_verify_retries;
+};
+
+/** Every registered technology (reram, stt-ram, fram, flash). */
+const std::vector<NvmTechProfile> &allTechProfiles();
+
+/** Lookup by name; null when unknown. */
+const NvmTechProfile *findTechProfile(const std::string &name);
+
+/**
+ * Overwrite the technology-owned fields of @p params (timing, energy,
+ * endurance, verify retries) from @p profile. Everything else —
+ * geometry, model selection, wear/hybrid policy — is left untouched.
+ */
+void applyTechProfile(NvmParams &params, const NvmTechProfile &profile);
+
+} // namespace mem
+} // namespace wlcache
+
+#endif // WLCACHE_MEM_DEVICE_TECH_PROFILE_HH

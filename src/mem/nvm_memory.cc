@@ -1,6 +1,7 @@
 #include "mem/nvm_memory.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -12,17 +13,62 @@ namespace mem {
 
 NvmMemory::NvmMemory(const NvmParams &params, energy::EnergyMeter *meter)
     : params_(params), meter_(meter), data_(params.size_bytes, 0),
-      bank_busy_until_(params.banks, 0),
+      model_(NvmTimingModel::create(params)),
       stat_group_("nvm"),
       stat_reads_(stat_group_.addScalar("reads", "NVM read accesses")),
       stat_writes_(stat_group_.addScalar("writes", "NVM write accesses")),
       stat_bytes_read_(
           stat_group_.addScalar("bytes_read", "bytes read from NVM")),
       stat_bytes_written_(
-          stat_group_.addScalar("bytes_written", "bytes written to NVM"))
+          stat_group_.addScalar("bytes_written", "bytes written to NVM")),
+      stat_bank_conflicts_(stat_group_.addScalar(
+          "bank_conflicts", "accesses gated by pending bank work")),
+      stat_queue_stall_cycles_(stat_group_.addScalar(
+          "queue_stall_cycles",
+          "cycles stalled on a full bank queue (back-pressure)")),
+      stat_turnaround_stall_cycles_(stat_group_.addScalar(
+          "turnaround_stall_cycles",
+          "cycles reads waited out write-to-read turnaround (tWTR)")),
+      stat_row_hits_(stat_group_.addScalar(
+          "row_hits", "accesses served from an open row buffer")),
+      stat_row_misses_(stat_group_.addScalar(
+          "row_misses", "accesses that paid a row activation")),
+      stat_fast_reads_(stat_group_.addScalar(
+          "hybrid_fast_reads", "reads served by the STT fast region")),
+      stat_fast_writes_(stat_group_.addScalar(
+          "hybrid_fast_writes",
+          "writes served by the STT fast region")),
+      stat_promotions_(stat_group_.addScalar(
+          "hybrid_promotions", "lines promoted into the fast region")),
+      stat_evictions_(stat_group_.addScalar(
+          "hybrid_evictions",
+          "fast-region lines written back to the main array")),
+      stat_write_latency_(stat_group_.addDistribution(
+          "write_latency", "write request latency in cycles (log2)"))
 {
     wlc_assert(params_.size_bytes > 0);
     wlc_assert(params_.banks > 0);
+    wlc_assert(params_.wear_line_bytes > 0);
+
+    const std::uint64_t wear_lines =
+        params_.size_bytes / params_.wear_line_bytes;
+    if (params_.track_wear) {
+        wlc_assert(params_.size_bytes % params_.wear_line_bytes == 0,
+                   "NVM size must be a whole number of wear lines");
+        wear_ = std::make_unique<WearTracker>(
+            wear_lines, params_.endurance_writes);
+    }
+    if (params_.wear_scheme == NvmWearScheme::Rotate) {
+        wlc_assert(params_.size_bytes % params_.wear_line_bytes == 0,
+                   "NVM size must be a whole number of wear lines");
+        rotator_ = std::make_unique<WearRotator>(
+            wear_lines, params_.wear_line_bytes,
+            params_.rotate_period_writes);
+    }
+    if (params_.hybrid_lines > 0) {
+        hybrid_ = std::make_unique<HybridRegion>(
+            params_.hybrid_lines, params_.hybrid_promote_writes);
+    }
 }
 
 void
@@ -34,50 +80,100 @@ NvmMemory::checkRange(Addr addr, unsigned bytes) const
                static_cast<unsigned long long>(addr), bytes);
 }
 
-Cycle
-NvmMemory::acquire(Addr addr, unsigned bytes, Cycle now)
+Addr
+NvmMemory::timingAddr(Addr addr) const
 {
-    // Wide (line) accesses stripe across banks in a pipelined burst;
-    // arbitration is against the shared channel plus the base bank.
-    (void)bytes;
-    const Cycle start = std::max(now, channel_busy_until_);
-    return std::max(start, bank_busy_until_[params_.bankOf(addr)]);
+    return rotator_ ? rotator_->map(addr) : addr;
 }
 
 void
-NvmMemory::release(Addr addr, unsigned bytes, Cycle channel_until,
-                   Cycle bank_until)
+NvmMemory::recordWear(Addr addr, unsigned bytes)
 {
-    (void)bytes;
-    channel_busy_until_ = channel_until;
-    bank_busy_until_[params_.bankOf(addr)] = bank_until;
+    if (!wear_)
+        return;
+    const std::uint64_t first = addr / params_.wear_line_bytes;
+    const std::uint64_t last =
+        (addr + bytes - 1) / params_.wear_line_bytes;
+    for (std::uint64_t line = first; line <= last; ++line)
+        wear_->recordLine(rotator_ ? rotator_->mapLine(line) : line);
+}
+
+void
+NvmMemory::accountTiming(const NvmAccessTiming &t, Addr addr,
+                         Cycle now)
+{
+    if (t.bank_conflict) {
+        ++stat_bank_conflicts_;
+        WLC_TIMELINE(tl_, BankConflict, now, "nvm", addr,
+                     params_.bankOf(timingAddr(addr)));
+    }
+    if (t.queue_wait > 0) {
+        stat_queue_stall_cycles_ += static_cast<double>(t.queue_wait);
+        WLC_TIMELINE(tl_, QueueStall, now, "nvm",
+                     params_.bankOf(timingAddr(addr)), t.queue_wait);
+    }
+    if (t.turnaround_wait > 0)
+        stat_turnaround_stall_cycles_ +=
+            static_cast<double>(t.turnaround_wait);
+    if (params_.model == NvmModel::BankedQueue) {
+        if (t.row_hit)
+            ++stat_row_hits_;
+        else
+            ++stat_row_misses_;
+    }
 }
 
 void
 NvmMemory::resetChannel()
 {
-    channel_busy_until_ = 0;
-    for (Cycle &b : bank_busy_until_)
-        b = 0;
+    model_->reset();
+    fast_busy_until_ = 0;
 }
 
 NvmAccessResult
 NvmMemory::read(Addr addr, unsigned bytes, Cycle now, void *out)
 {
     checkRange(addr, bytes);
-    const Cycle start = acquire(addr, bytes, now);
-    const Cycle ready = start + params_.readLatency(bytes);
-    const Cycle beats = (bytes + 7) / 8;
-    release(addr, bytes, start + beats * params_.t_burst, ready);
+    const Addr taddr = timingAddr(addr);
+
+    // Resident hot lines are served by the STT fast region on its
+    // own port — no channel arbitration, no main-array energy.
+    if (hybrid_ &&
+        hybrid_->onRead(taddr / params_.wear_line_bytes)) {
+        const Cycle start = std::max(now, fast_busy_until_);
+        const Cycle ready = start + params_.hybrid_access_latency;
+        fast_busy_until_ = ready;
+        if (out)
+            std::memcpy(out, data_.data() + addr, bytes);
+        ++stat_reads_;
+        ++stat_fast_reads_;
+        stat_bytes_read_ += bytes;
+        if (meter_)
+            meter_->add(energy::EnergyCategory::MemRead,
+                        params_.hybrid_read_energy_per_byte * bytes);
+        WLC_TIMELINE(tl_, NvmRead, now, "nvm", addr, bytes);
+        return { start, ready };
+    }
+
+    const NvmAccessTiming t = model_->access(taddr, bytes, now,
+                                             /*is_write=*/false);
+    accountTiming(t, addr, now);
     if (out)
         std::memcpy(out, data_.data() + addr, bytes);
     ++stat_reads_;
     stat_bytes_read_ += bytes;
-    if (meter_)
-        meter_->add(energy::EnergyCategory::MemRead,
-                    params_.readEnergy(bytes));
+    if (meter_) {
+        // The legacy model charges activation on every access; the
+        // banked model only on a row miss.
+        const double e =
+            params_.model == NvmModel::SingleCursor
+                ? params_.readEnergy(bytes)
+                : (t.row_hit ? 0.0 : params_.activate_energy) +
+                      params_.read_energy_per_byte * bytes;
+        meter_->add(energy::EnergyCategory::MemRead, e);
+    }
     WLC_TIMELINE(tl_, NvmRead, now, "nvm", addr, bytes);
-    return { start, ready };
+    return { t.start, t.ready };
 }
 
 NvmAccessResult
@@ -85,20 +181,74 @@ NvmMemory::write(Addr addr, unsigned bytes, const void *data, Cycle now)
 {
     checkRange(addr, bytes);
     wlc_assert(data != nullptr);
-    const Cycle start = acquire(addr, bytes, now);
-    const Cycle ready = start + params_.writeAckLatency(bytes);
-    const Cycle beats = (bytes + 7) / 8;
-    release(addr, bytes, start + beats * params_.t_burst,
-            ready + params_.writeRecovery());
+    const Addr taddr = timingAddr(addr);
+
+    if (hybrid_) {
+        const HybridRegion::WriteOutcome o =
+            hybrid_->onWrite(taddr / params_.wear_line_bytes);
+        if (o.evicted) {
+            // LRU write-back: one full line of main-array write
+            // energy and wear, migrated in the background.
+            ++stat_evictions_;
+            if (meter_)
+                meter_->add(
+                    energy::EnergyCategory::MemWrite,
+                    params_.writeEnergy(params_.wear_line_bytes));
+            if (wear_)
+                wear_->recordLine(o.evicted_line);
+        }
+        if (o.promoted) {
+            // Line fill: read the line out of the main array once.
+            ++stat_promotions_;
+            if (meter_)
+                meter_->add(
+                    energy::EnergyCategory::MemRead,
+                    params_.readEnergy(params_.wear_line_bytes));
+        }
+        if (o.fast) {
+            const Cycle start = std::max(now, fast_busy_until_);
+            const Cycle ready = start + params_.hybrid_access_latency;
+            fast_busy_until_ = ready;
+            std::memcpy(data_.data() + addr, data, bytes);
+            touchPages(addr, bytes);
+            ++stat_writes_;
+            ++stat_fast_writes_;
+            stat_bytes_written_ += bytes;
+            if (meter_)
+                meter_->add(
+                    energy::EnergyCategory::MemWrite,
+                    params_.hybrid_write_energy_per_byte * bytes);
+            stat_write_latency_.sample(
+                static_cast<double>(ready - now));
+            WLC_TIMELINE(tl_, NvmWrite, now, "nvm", addr, bytes);
+            return { start, ready };
+        }
+    }
+
+    const NvmAccessTiming t = model_->access(taddr, bytes, now,
+                                             /*is_write=*/true);
+    accountTiming(t, addr, now);
     std::memcpy(data_.data() + addr, data, bytes);
     touchPages(addr, bytes);
+    recordWear(addr, bytes);
+    if (rotator_)
+        rotator_->onWrite();
     ++stat_writes_;
     stat_bytes_written_ += bytes;
-    if (meter_)
-        meter_->add(energy::EnergyCategory::MemWrite,
-                    params_.writeEnergy(bytes));
+    if (meter_) {
+        const double pulses =
+            (1.0 + params_.write_verify_retries) *
+            params_.write_energy_per_byte * bytes;
+        const double e =
+            params_.model == NvmModel::SingleCursor
+                ? params_.activate_energy + pulses
+                : (t.row_hit ? 0.0 : params_.activate_energy) +
+                      pulses;
+        meter_->add(energy::EnergyCategory::MemWrite, e);
+    }
+    stat_write_latency_.sample(static_cast<double>(t.ready - now));
     WLC_TIMELINE(tl_, NvmWrite, now, "nvm", addr, bytes);
-    return { start, ready };
+    return { t.start, t.ready };
 }
 
 NvmAccessResult
@@ -162,6 +312,62 @@ NvmMemory::bytesWritten() const
     return static_cast<std::uint64_t>(stat_bytes_written_.value());
 }
 
+std::uint64_t
+NvmMemory::bankConflicts() const
+{
+    return static_cast<std::uint64_t>(stat_bank_conflicts_.value());
+}
+
+std::uint64_t
+NvmMemory::queueStallCycles() const
+{
+    return static_cast<std::uint64_t>(
+        stat_queue_stall_cycles_.value());
+}
+
+std::uint64_t
+NvmMemory::turnaroundStallCycles() const
+{
+    return static_cast<std::uint64_t>(
+        stat_turnaround_stall_cycles_.value());
+}
+
+std::uint64_t
+NvmMemory::wearMax() const
+{
+    return wear_ ? wear_->maxWear() : 0;
+}
+
+std::uint64_t
+NvmMemory::wearLinesTouched() const
+{
+    return wear_ ? wear_->linesTouched() : 0;
+}
+
+std::uint64_t
+NvmMemory::lifetimeHeadroom() const
+{
+    return wear_ ? wear_->minHeadroom() : params_.endurance_writes;
+}
+
+double
+NvmMemory::writeLatencyP99() const
+{
+    const std::uint64_t count = stat_write_latency_.count();
+    if (count == 0)
+        return 0.0;
+    // Ceil(0.99 * count) without floating-point drift.
+    const std::uint64_t need = (count * 99 + 99) / 100;
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < stats::Distribution::kNumBuckets;
+         ++i) {
+        cum += stat_write_latency_.bucket(i);
+        if (cum >= need)
+            return std::ldexp(1.0, static_cast<int>(i));
+    }
+    return stat_write_latency_.max();
+}
+
 void
 NvmMemory::resetStats()
 {
@@ -187,11 +393,17 @@ void
 NvmMemory::saveState(SnapshotWriter &w) const
 {
     w.section("NVM ");
-    w.u64(channel_busy_until_);
-    w.u64(bank_busy_until_.size());
-    for (const Cycle b : bank_busy_until_)
-        w.u64(b);
+    model_->saveState(w);
+    w.u64(fast_busy_until_);
     stat_group_.saveState(w);
+    // Wear/rotation/hybrid presence is a pure function of the
+    // configuration, which the snapshot compat key already pins.
+    if (wear_)
+        wear_->saveState(w);
+    if (rotator_)
+        rotator_->saveState(w);
+    if (hybrid_)
+        hybrid_->saveState(w);
 
     std::vector<std::uint64_t> pages(touched_pages_.begin(),
                                      touched_pages_.end());
@@ -211,12 +423,15 @@ void
 NvmMemory::restoreState(SnapshotReader &r)
 {
     r.section("NVM ");
-    channel_busy_until_ = r.u64();
-    const std::uint64_t n_banks = r.u64();
-    wlc_assert(n_banks == bank_busy_until_.size());
-    for (Cycle &b : bank_busy_until_)
-        b = r.u64();
+    model_->restoreState(r);
+    fast_busy_until_ = r.u64();
     stat_group_.restoreState(r);
+    if (wear_)
+        wear_->restoreState(r);
+    if (rotator_)
+        rotator_->restoreState(r);
+    if (hybrid_)
+        hybrid_->restoreState(r);
 
     touched_pages_.clear();
     const std::uint64_t n_pages = r.u64();

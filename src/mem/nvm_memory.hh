@@ -1,20 +1,36 @@
 /**
  * @file
  * Functional + timing model of the NVM main memory. Contents survive
- * power failure (nothing is cleared on an outage). A single channel
- * serializes accesses; completion times are computed against a
- * busy-until cursor so asynchronous write-backs contend with demand
- * traffic exactly as the paper's WL-Cache cleaning traffic does.
+ * power failure (nothing is cleared on an outage). The timing core is
+ * pluggable (mem/device/timing_model.hh): the legacy single-cursor
+ * channel arbitration, or a banked model with per-bank request
+ * queues, write-to-read turnaround, and row-buffer accounting.
+ * Asynchronous write-backs contend with demand traffic exactly as
+ * the paper's WL-Cache cleaning traffic does.
+ *
+ * On top of the timing core sit three optional device-policy layers
+ * (all serialized bit-exactly through the snapshot layer):
+ *  - per-line write-endurance tracking (device/wear_tracker.hh),
+ *  - address-rotation wear leveling (device/wear_rotate.hh), which
+ *    remaps the timing/wear identity of a line but not its bytes,
+ *  - an STT-RAM hybrid fast region (device/hybrid_region.hh) that
+ *    promotes write-hot lines and serves them without main-array
+ *    wear.
  */
 
 #ifndef WLCACHE_MEM_NVM_MEMORY_HH
 #define WLCACHE_MEM_NVM_MEMORY_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
 #include "energy/energy_meter.hh"
+#include "mem/device/hybrid_region.hh"
+#include "mem/device/timing_model.hh"
+#include "mem/device/wear_rotate.hh"
+#include "mem/device/wear_tracker.hh"
 #include "mem/nvm_params.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -74,9 +90,12 @@ class NvmMemory
                               unsigned bytes, Cycle now);
 
     /** Cycle at which the shared channel becomes free. */
-    Cycle channelBusyUntil() const { return channel_busy_until_; }
+    Cycle channelBusyUntil() const
+    {
+        return model_->channelBusyUntil();
+    }
 
-    /** Clear channel/bank state between power cycles. */
+    /** Clear channel/bank/queue state between power cycles. */
     void resetChannel();
 
     // --- Functional interface (no timing/energy) -------------------------
@@ -108,6 +127,38 @@ class NvmMemory
     std::uint64_t numWrites() const;
     std::uint64_t bytesWritten() const;
 
+    /** Bank conflicts (pending bank work gated an access). */
+    std::uint64_t bankConflicts() const;
+    /** Cycles accesses spent stalled on a full bank queue. */
+    std::uint64_t queueStallCycles() const;
+    /** Cycles reads spent waiting out write-to-read turnaround. */
+    std::uint64_t turnaroundStallCycles() const;
+
+    /** Highest per-line write count (0 when wear is untracked). */
+    std::uint64_t wearMax() const;
+    /** Distinct wear lines written (0 when wear is untracked). */
+    std::uint64_t wearLinesTouched() const;
+    /**
+     * Remaining write budget of the most-worn line. With wear
+     * tracking off this is the full endurance budget (nothing is
+     * known to be worn).
+     */
+    std::uint64_t lifetimeHeadroom() const;
+
+    /**
+     * p99 write latency in cycles from the log2 latency histogram:
+     * the upper edge of the first bucket whose cumulative count
+     * covers 99% of writes (0 when no write happened).
+     */
+    double writeLatencyP99() const;
+
+    /** Wear tracker (null when track_wear is off); tests. */
+    const WearTracker *wearTracker() const { return wear_.get(); }
+    /** Rotation layer (null when wear_scheme is none); tests. */
+    const WearRotator *wearRotator() const { return rotator_.get(); }
+    /** Hybrid fast region (null when hybrid_lines is 0); tests. */
+    const HybridRegion *hybridRegion() const { return hybrid_.get(); }
+
     /** Reset only the statistics (not contents). */
     void resetStats();
 
@@ -132,8 +183,9 @@ class NvmMemory
     std::size_t journalPages() const { return touched_pages_.size(); }
 
     /**
-     * Serialize timing cursors, statistics, and the journal pages
-     * (sorted by page index for a deterministic byte stream).
+     * Serialize timing-model cursors, statistics, wear/rotation/
+     * hybrid state, and the journal pages (sorted by page index for
+     * a deterministic byte stream).
      */
     void saveState(SnapshotWriter &w) const;
 
@@ -148,16 +200,15 @@ class NvmMemory
   private:
     void checkRange(Addr addr, unsigned bytes) const;
 
-    /**
-     * Arbitrate the channel and the bank(s) an access needs; accesses
-     * wider than one word span every bank.
-     * @return the access start cycle.
-     */
-    Cycle acquire(Addr addr, unsigned bytes, Cycle now);
+    /** Timing/wear identity of @p addr (rotation remap applied). */
+    Addr timingAddr(Addr addr) const;
 
-    /** Mark the acquired resources busy. */
-    void release(Addr addr, unsigned bytes, Cycle channel_until,
-                 Cycle bank_until);
+    /** Record wear for every line [@p addr, @p addr + @p bytes). */
+    void recordWear(Addr addr, unsigned bytes);
+
+    /** Account model-reported stalls/conflicts/row outcomes. */
+    void accountTiming(const NvmAccessTiming &t, Addr addr,
+                       Cycle now);
 
     /** Record [@p addr, @p addr + @p bytes) in the COW journal. */
     void touchPages(Addr addr, unsigned bytes);
@@ -166,8 +217,12 @@ class NvmMemory
     energy::EnergyMeter *meter_;
     telemetry::TimelineBuffer *tl_ = nullptr;
     std::vector<std::uint8_t> data_;
-    Cycle channel_busy_until_ = 0;
-    std::vector<Cycle> bank_busy_until_;
+    std::unique_ptr<NvmTimingModel> model_;
+    std::unique_ptr<WearTracker> wear_;
+    std::unique_ptr<WearRotator> rotator_;
+    std::unique_ptr<HybridRegion> hybrid_;
+    /** Fast-region port cursor (separate from the main channel). */
+    Cycle fast_busy_until_ = 0;
     std::unordered_set<std::uint64_t> touched_pages_;
 
     stats::StatGroup stat_group_;
@@ -175,6 +230,16 @@ class NvmMemory
     stats::Scalar &stat_writes_;
     stats::Scalar &stat_bytes_read_;
     stats::Scalar &stat_bytes_written_;
+    stats::Scalar &stat_bank_conflicts_;
+    stats::Scalar &stat_queue_stall_cycles_;
+    stats::Scalar &stat_turnaround_stall_cycles_;
+    stats::Scalar &stat_row_hits_;
+    stats::Scalar &stat_row_misses_;
+    stats::Scalar &stat_fast_reads_;
+    stats::Scalar &stat_fast_writes_;
+    stats::Scalar &stat_promotions_;
+    stats::Scalar &stat_evictions_;
+    stats::Distribution &stat_write_latency_;
 };
 
 } // namespace mem

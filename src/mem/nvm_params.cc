@@ -1,0 +1,55 @@
+#include "mem/nvm_params.hh"
+
+#include "sim/logging.hh"
+
+namespace wlcache {
+namespace mem {
+
+const char *
+nvmModelName(NvmModel m)
+{
+    switch (m) {
+      case NvmModel::SingleCursor: return "legacy";
+      case NvmModel::BankedQueue:  return "banked";
+    }
+    panic("unknown NvmModel %d", static_cast<int>(m));
+}
+
+bool
+nvmModelFromName(const std::string &name, NvmModel &out)
+{
+    for (const NvmModel m :
+         { NvmModel::SingleCursor, NvmModel::BankedQueue }) {
+        if (name == nvmModelName(m)) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
+nvmWearSchemeName(NvmWearScheme s)
+{
+    switch (s) {
+      case NvmWearScheme::None:   return "none";
+      case NvmWearScheme::Rotate: return "rotate";
+    }
+    panic("unknown NvmWearScheme %d", static_cast<int>(s));
+}
+
+bool
+nvmWearSchemeFromName(const std::string &name, NvmWearScheme &out)
+{
+    for (const NvmWearScheme s :
+         { NvmWearScheme::None, NvmWearScheme::Rotate }) {
+        if (name == nvmWearSchemeName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace mem
+} // namespace wlcache

@@ -9,15 +9,60 @@
  * tRCD + tCL + tBURST and a word write occupies the channel for tWR
  * after the data burst. Energy numbers are per byte, calibrated to
  * the FRAM/ReRAM class of devices the paper targets.
+ *
+ * The device *timing core* behind these numbers is pluggable
+ * (mem/device/): the legacy single-cursor model reproduces the
+ * original fixed-latency arbitration bit for bit, while the banked
+ * queued model adds per-bank request queues with back-pressure,
+ * write-to-read turnaround, and row-buffer activation accounting.
+ * Endurance tracking, address-rotation wear leveling, and an STT-RAM
+ * hybrid fast region layer on top of either model.
  */
 
 #ifndef WLCACHE_MEM_NVM_PARAMS_HH
 #define WLCACHE_MEM_NVM_PARAMS_HH
 
+#include <cstdint>
+#include <string>
+
 #include "sim/types.hh"
 
 namespace wlcache {
 namespace mem {
+
+/**
+ * Bytes per beat on the shared data channel. Bank interleave and
+ * burst-count math both derive from this one constant: the channel
+ * moves 8 bytes per t_burst window, so consecutive beats — not
+ * consecutive 4-byte words — land in consecutive banks.
+ */
+inline constexpr unsigned kChannelBeatBytes = 8;
+
+/** Which timing core arbitrates the device (mem/device/). */
+enum class NvmModel : std::uint8_t
+{
+    SingleCursor,  //!< Legacy channel + per-bank busy cursors.
+    BankedQueue,   //!< Per-bank queues, tWTR, row-buffer accounting.
+};
+
+/** Wear-leveling address remap scheme (timing/wear identity only). */
+enum class NvmWearScheme : std::uint8_t
+{
+    None,    //!< Physical line == logical line.
+    Rotate,  //!< Start-gap style rotation every rotate_period writes.
+};
+
+/** Stable short name ("legacy" / "banked"). */
+const char *nvmModelName(NvmModel m);
+
+/** Inverse of nvmModelName(); false on an unknown name. */
+bool nvmModelFromName(const std::string &name, NvmModel &out);
+
+/** Stable short name ("none" / "rotate"). */
+const char *nvmWearSchemeName(NvmWearScheme s);
+
+/** Inverse of nvmWearSchemeName(); false on an unknown name. */
+bool nvmWearSchemeFromName(const std::string &name, NvmWearScheme &out);
 
 /** NVM device timing/energy/geometry parameters. */
 struct NvmParams
@@ -26,7 +71,7 @@ struct NvmParams
     std::size_t size_bytes = 8u << 20;
 
     /**
-     * Independent banks, word-interleaved (tXAW in Table 2 implies a
+     * Independent banks, beat-interleaved (tXAW in Table 2 implies a
      * multi-bank device). The shared channel carries data bursts;
      * write recovery (tWR) busies only the accessed bank.
      */
@@ -44,12 +89,62 @@ struct NvmParams
     double write_energy_per_byte = 55.0e-12;
     double activate_energy = 0.2e-9;  //!< Per row activation.
 
+    // --- Device model selection (mem/device/) ---
+    NvmModel model = NvmModel::SingleCursor;
+
+    /**
+     * Per-bank request-queue depth (banked model only): the bank
+     * accepts this many outstanding requests before the issuer
+     * stalls waiting for the oldest to complete.
+     */
+    unsigned queue_depth = 4;
+
+    /** Row-buffer reach: accesses within one row skip activation. */
+    unsigned row_bytes = 1024;
+
+    /**
+     * Write-verify program retries (flash-like technologies): every
+     * write pays this many extra program pulses in latency and this
+     * many extra per-byte write energies.
+     */
+    unsigned write_verify_retries = 0;
+
+    // --- Endurance tracking ---
+    bool track_wear = false;        //!< Count per-line writes.
+    unsigned wear_line_bytes = 64;  //!< Wear-accounting granularity.
+    /** Per-line write-cycle budget of the technology. */
+    std::uint64_t endurance_writes = 100'000'000;
+
+    // --- Wear-leveling rotation ---
+    NvmWearScheme wear_scheme = NvmWearScheme::None;
+    /** Main-array writes between rotation steps. */
+    std::uint64_t rotate_period_writes = 4096;
+
+    // --- STT-RAM hybrid fast region ---
+    /**
+     * Fully-associative STT-RAM fast-region line slots in front of
+     * the main array (0 disables the hybrid policy). Hot lines are
+     * promoted after hybrid_promote_writes writes and served at
+     * hybrid_access_latency without wearing the main array.
+     */
+    unsigned hybrid_lines = 0;
+    unsigned hybrid_promote_writes = 4;
+    Cycle hybrid_access_latency = 12;
+    double hybrid_read_energy_per_byte = 15.0e-12;
+    double hybrid_write_energy_per_byte = 30.0e-12;
+
+    /** Channel beats needed to move @p bytes. */
+    Cycle
+    beats(unsigned bytes) const
+    {
+        return (bytes + kChannelBeatBytes - 1) / kChannelBeatBytes;
+    }
+
     /** Cycles until read data is available for an @p bytes access. */
     Cycle
     readLatency(unsigned bytes) const
     {
-        const Cycle beats = (bytes + 7) / 8;
-        return t_rcd + t_cl + beats * t_burst;
+        return t_rcd + t_cl + beats(bytes) * t_burst;
     }
 
     /**
@@ -60,18 +155,18 @@ struct NvmParams
     Cycle
     writeAckLatency(unsigned bytes) const
     {
-        const Cycle beats = (bytes + 7) / 8;
-        return t_rcd + t_cl + beats * t_burst;
+        return t_rcd + t_cl + beats(bytes) * t_burst;
     }
 
     /** Additional cycles the accessed bank stays busy after a write. */
     Cycle writeRecovery() const { return t_wr; }
 
-    /** Bank index for an address (word-interleaved). */
+    /** Bank index for an address (beat-interleaved). */
     unsigned
     bankOf(std::uint64_t addr) const
     {
-        return static_cast<unsigned>((addr >> 2) % banks);
+        return static_cast<unsigned>((addr / kChannelBeatBytes) %
+                                     banks);
     }
 
     /** Energy for reading @p bytes. */

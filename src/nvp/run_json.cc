@@ -66,6 +66,19 @@ writeRunResultJson(std::ostream &os, const RunResult &r)
     os << "  \"nvm_writes\": " << r.nvm_writes << ",\n";
     os << "  \"nvm_reads\": " << r.nvm_reads << ",\n";
     os << "  \"nvm_bytes_written\": " << r.nvm_bytes_written << ",\n";
+    os << "  \"nvm_device\": {\n";
+    os << "    \"bank_conflicts\": " << r.nvm_bank_conflicts << ",\n";
+    os << "    \"queue_stall_cycles\": " << r.nvm_queue_stall_cycles
+       << ",\n";
+    os << "    \"turnaround_stall_cycles\": "
+       << r.nvm_turnaround_stall_cycles << ",\n";
+    os << "    \"wear_max\": " << r.nvm_wear_max << ",\n";
+    os << "    \"wear_lines_touched\": " << r.nvm_wear_lines_touched
+       << ",\n";
+    os << "    \"lifetime_headroom\": " << r.nvm_lifetime_headroom
+       << ",\n";
+    os << "    \"write_p99_latency\": "
+       << num(r.nvm_write_p99_latency) << "\n  },\n";
     os << "  \"dcache_load_hit_rate\": " << num(r.dcache_load_hit_rate)
        << ",\n";
     os << "  \"dcache_store_hit_rate\": "
@@ -281,6 +294,24 @@ readRunResultJson(std::istream &is, RunResult &out, std::string *err)
         !rd.getDouble(root, "dcache_store_hit_rate",
                       r.dcache_store_hit_rate) ||
         !rd.getU64(root, "store_stall_cycles", r.store_stall_cycles))
+        return false;
+
+    const util::JsonValue *dev =
+        rd.want(root, "nvm_device", util::JsonValue::Kind::Object);
+    if (!dev)
+        return rd.fail("missing object 'nvm_device'");
+    if (!rd.getU64(*dev, "bank_conflicts", r.nvm_bank_conflicts) ||
+        !rd.getU64(*dev, "queue_stall_cycles",
+                   r.nvm_queue_stall_cycles) ||
+        !rd.getU64(*dev, "turnaround_stall_cycles",
+                   r.nvm_turnaround_stall_cycles) ||
+        !rd.getU64(*dev, "wear_max", r.nvm_wear_max) ||
+        !rd.getU64(*dev, "wear_lines_touched",
+                   r.nvm_wear_lines_touched) ||
+        !rd.getU64(*dev, "lifetime_headroom",
+                   r.nvm_lifetime_headroom) ||
+        !rd.getDouble(*dev, "write_p99_latency",
+                      r.nvm_write_p99_latency))
         return false;
 
     const util::JsonValue *wl =

@@ -30,7 +30,7 @@ namespace nvp {
  * (forced outages, divergence record, final-state digest); 3 =
  * telemetry fields (embedded stats tree, per-power-interval rollups).
  */
-inline constexpr std::uint64_t kRunRecordVersion = 3;
+inline constexpr std::uint64_t kRunRecordVersion = 4;
 
 /**
  * Write @p r as a single JSON object (pretty-printed, stable key

@@ -35,7 +35,7 @@ struct SystemSnapshot
      * sections became u64, harvester cursor moved to the cycle grid,
      * SYS2 carries the quantized backup level).
      */
-    static constexpr std::uint32_t kFormatVersion = 2;
+    static constexpr std::uint32_t kFormatVersion = 3;
 
     /**
      * Resume-compatibility key: hash of every configuration and trace

@@ -622,6 +622,13 @@ saveRunResult(SnapshotWriter &w, const RunResult &res)
     w.u64(res.nvm_writes);
     w.u64(res.nvm_bytes_written);
     w.u64(res.nvm_reads);
+    w.u64(res.nvm_bank_conflicts);
+    w.u64(res.nvm_queue_stall_cycles);
+    w.u64(res.nvm_turnaround_stall_cycles);
+    w.u64(res.nvm_wear_max);
+    w.u64(res.nvm_wear_lines_touched);
+    w.u64(res.nvm_lifetime_headroom);
+    w.f64(res.nvm_write_p99_latency);
     w.f64(res.dcache_load_hit_rate);
     w.f64(res.dcache_store_hit_rate);
     w.u64(res.store_stall_cycles);
@@ -681,6 +688,13 @@ restoreRunResult(SnapshotReader &r, RunResult &res)
     res.nvm_writes = r.u64();
     res.nvm_bytes_written = r.u64();
     res.nvm_reads = r.u64();
+    res.nvm_bank_conflicts = r.u64();
+    res.nvm_queue_stall_cycles = r.u64();
+    res.nvm_turnaround_stall_cycles = r.u64();
+    res.nvm_wear_max = r.u64();
+    res.nvm_wear_lines_touched = r.u64();
+    res.nvm_lifetime_headroom = r.u64();
+    res.nvm_write_p99_latency = r.f64();
     res.dcache_load_hit_rate = r.f64();
     res.dcache_store_hit_rate = r.f64();
     res.store_stall_cycles = r.u64();
@@ -1023,6 +1037,14 @@ SystemSim::run(const RunOptions &opts)
     res_.nvm_writes = nvm_->numWrites();
     res_.nvm_reads = nvm_->numReads();
     res_.nvm_bytes_written = nvm_->bytesWritten();
+    res_.nvm_bank_conflicts = nvm_->bankConflicts();
+    res_.nvm_queue_stall_cycles = nvm_->queueStallCycles();
+    res_.nvm_turnaround_stall_cycles =
+        nvm_->turnaroundStallCycles();
+    res_.nvm_wear_max = nvm_->wearMax();
+    res_.nvm_wear_lines_touched = nvm_->wearLinesTouched();
+    res_.nvm_lifetime_headroom = nvm_->lifetimeHeadroom();
+    res_.nvm_write_p99_latency = nvm_->writeLatencyP99();
     collectStatsJson();
 
     // Derived ratios must stay finite: a dead trace or a zero-outage

@@ -68,6 +68,22 @@ struct RunResult
     std::uint64_t nvm_bytes_written = 0;
     std::uint64_t nvm_reads = 0;
 
+    // --- NVM device model (mem/device/) ---
+    /** Accesses gated by pending bank work. */
+    std::uint64_t nvm_bank_conflicts = 0;
+    /** Cycles stalled on a full bank queue (back-pressure). */
+    std::uint64_t nvm_queue_stall_cycles = 0;
+    /** Cycles reads waited out write-to-read turnaround (tWTR). */
+    std::uint64_t nvm_turnaround_stall_cycles = 0;
+    /** Highest per-line write count (0 unless nvm.track_wear). */
+    std::uint64_t nvm_wear_max = 0;
+    /** Distinct wear lines written (0 unless nvm.track_wear). */
+    std::uint64_t nvm_wear_lines_touched = 0;
+    /** Write budget left on the most-worn line (min-line headroom). */
+    std::uint64_t nvm_lifetime_headroom = 0;
+    /** p99 write latency in cycles from the log2 histogram. */
+    double nvm_write_p99_latency = 0.0;
+
     // --- Cache behaviour ---
     double dcache_load_hit_rate = 0.0;
     double dcache_store_hit_rate = 0.0;

@@ -245,7 +245,28 @@ dumpConfigKey(std::ostream &os, const SystemConfig &cfg)
        << "nvm.write_energy_per_byte="
        << keyNum(cfg.nvm.write_energy_per_byte) << '\n'
        << "nvm.activate_energy=" << keyNum(cfg.nvm.activate_energy)
-       << '\n';
+       << '\n'
+       << "nvm.model=" << mem::nvmModelName(cfg.nvm.model) << '\n'
+       << "nvm.queue_depth=" << cfg.nvm.queue_depth << '\n'
+       << "nvm.row_bytes=" << cfg.nvm.row_bytes << '\n'
+       << "nvm.write_verify_retries=" << cfg.nvm.write_verify_retries
+       << '\n'
+       << "nvm.track_wear=" << cfg.nvm.track_wear << '\n'
+       << "nvm.wear_line_bytes=" << cfg.nvm.wear_line_bytes << '\n'
+       << "nvm.endurance_writes=" << cfg.nvm.endurance_writes << '\n'
+       << "nvm.wear_scheme="
+       << mem::nvmWearSchemeName(cfg.nvm.wear_scheme) << '\n'
+       << "nvm.rotate_period_writes=" << cfg.nvm.rotate_period_writes
+       << '\n'
+       << "nvm.hybrid_lines=" << cfg.nvm.hybrid_lines << '\n'
+       << "nvm.hybrid_promote_writes=" << cfg.nvm.hybrid_promote_writes
+       << '\n'
+       << "nvm.hybrid_access_latency=" << cfg.nvm.hybrid_access_latency
+       << '\n'
+       << "nvm.hybrid_read_energy_per_byte="
+       << keyNum(cfg.nvm.hybrid_read_energy_per_byte) << '\n'
+       << "nvm.hybrid_write_energy_per_byte="
+       << keyNum(cfg.nvm.hybrid_write_energy_per_byte) << '\n';
 
     os << "core.compute_energy_per_insn="
        << keyNum(cfg.core.compute_energy_per_insn) << '\n'

@@ -246,6 +246,26 @@ parseSpecText(const std::string &text, nvp::ExperimentSpec &out,
     dbl("nvm.read_energy_per_byte", cfg.nvm.read_energy_per_byte);
     dbl("nvm.write_energy_per_byte", cfg.nvm.write_energy_per_byte);
     dbl("nvm.activate_energy", cfg.nvm.activate_energy);
+    set["nvm.model"] = [&cfg](const std::string &v) {
+        return mem::nvmModelFromName(v, cfg.nvm.model);
+    };
+    uns("nvm.queue_depth", cfg.nvm.queue_depth);
+    uns("nvm.row_bytes", cfg.nvm.row_bytes);
+    uns("nvm.write_verify_retries", cfg.nvm.write_verify_retries);
+    bol("nvm.track_wear", cfg.nvm.track_wear);
+    uns("nvm.wear_line_bytes", cfg.nvm.wear_line_bytes);
+    u64("nvm.endurance_writes", cfg.nvm.endurance_writes);
+    set["nvm.wear_scheme"] = [&cfg](const std::string &v) {
+        return mem::nvmWearSchemeFromName(v, cfg.nvm.wear_scheme);
+    };
+    u64("nvm.rotate_period_writes", cfg.nvm.rotate_period_writes);
+    uns("nvm.hybrid_lines", cfg.nvm.hybrid_lines);
+    uns("nvm.hybrid_promote_writes", cfg.nvm.hybrid_promote_writes);
+    u64("nvm.hybrid_access_latency", cfg.nvm.hybrid_access_latency);
+    dbl("nvm.hybrid_read_energy_per_byte",
+        cfg.nvm.hybrid_read_energy_per_byte);
+    dbl("nvm.hybrid_write_energy_per_byte",
+        cfg.nvm.hybrid_write_energy_per_byte);
 
     dbl("core.compute_energy_per_insn",
         cfg.core.compute_energy_per_insn);

@@ -36,7 +36,7 @@ namespace runner {
  * energy arithmetic (every accumulated joule quantized) plus the
  * step_mode config key line.
  */
-constexpr unsigned kResultSchemaVersion = 5;
+constexpr unsigned kResultSchemaVersion = 6;
 
 /**
  * Canonical text describing everything that determines a run's

@@ -26,6 +26,8 @@ eventTypeName(EventType t)
       case EventType::CoreProgress:  return "core_progress";
       case EventType::SnapshotTaken:  return "snapshot_taken";
       case EventType::SnapshotResume: return "snapshot_resume";
+      case EventType::BankConflict:   return "bank_conflict";
+      case EventType::QueueStall:     return "queue_stall";
     }
     panic("unknown EventType %d", static_cast<int>(t));
 }
@@ -50,6 +52,8 @@ eventTrack(EventType t)
         return Track::Cache;
       case EventType::NvmRead:
       case EventType::NvmWrite:
+      case EventType::BankConflict:
+      case EventType::QueueStall:
         return Track::Nvm;
       case EventType::AdaptDecision:
         return Track::Adapt;

@@ -34,7 +34,7 @@ namespace telemetry {
  * meaning of a payload field changes, so downstream tooling (and the
  * CI schema gate) rejects traces it would misread.
  */
-inline constexpr std::uint64_t kTimelineSchemaVersion = 2;
+inline constexpr std::uint64_t kTimelineSchemaVersion = 3;
 
 /** Typed timeline records (the event taxonomy, DESIGN.md §11). */
 enum class EventType : std::uint8_t
@@ -54,11 +54,13 @@ enum class EventType : std::uint8_t
     CoreProgress,   //!< Sampled instruction-count progress marker.
     SnapshotTaken,  //!< Deterministic system snapshot captured.
     SnapshotResume, //!< Run resumed from a system snapshot.
+    BankConflict,   //!< NVM access gated by pending bank work.
+    QueueStall,     //!< NVM access stalled on a full bank queue.
 };
 
 /** Number of distinct event types (drop-counter array size). */
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::SnapshotResume) + 1;
+    static_cast<std::size_t>(EventType::QueueStall) + 1;
 
 /** Stable lowercase name ("outage_begin", "dq_clean", ...). */
 const char *eventTypeName(EventType t);

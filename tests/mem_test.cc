@@ -77,8 +77,8 @@ TEST(Nvm, DifferentBankWritesOverlap)
     NvmMemory nvm(p);
     const std::uint32_t v = 1;
     const auto a = nvm.write(0x0, 4, &v, 0);
-    // Next word maps to the next bank; only the channel burst gates.
-    const auto b = nvm.write(0x4, 4, &v, 0);
+    // Next beat maps to the next bank; only the channel burst gates.
+    const auto b = nvm.write(0x8, 4, &v, 0);
     EXPECT_LT(b.start, a.ready);
     EXPECT_GE(b.start, a.start + p.t_burst);
 }

@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include "energy/power_trace.hh"
+#include "mem/device/tech_profile.hh"
 #include "nvp/experiment.hh"
 #include "nvp/run_json.hh"
 #include "nvp/system.hh"
@@ -243,6 +244,85 @@ TEST(SkipAheadCorners, ConsistencyOracleIdentical)
     EXPECT_EQ(r.consistency_violations, 0u);
 }
 
+// --- Banked NVM device model ----------------------------------------------
+
+namespace {
+
+/** Banked queued device with every policy layer on. */
+nvp::SystemConfig
+bankedDeviceConfig(nvp::DesignKind design)
+{
+    nvp::SystemConfig cfg = nvp::SystemConfig::forDesign(design);
+    cfg.nvm.model = mem::NvmModel::BankedQueue;
+    cfg.nvm.track_wear = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SkipAheadDevice, BankedModelBitIdentical)
+{
+    // The queued device model is closed-form in `now`, so both step
+    // modes must see identical stalls, conflicts, and wear.
+    const workloads::BuiltTrace &trace =
+        workloads::getTrace("sha", 1, 42);
+    const nvp::RunResult r = expectModesIdentical(
+        bankedDeviceConfig(nvp::DesignKind::WL), trace, squareWave(),
+        false);
+    EXPECT_GT(r.nvm_wear_lines_touched, 0u);
+}
+
+TEST(SkipAheadDevice, DeepBankQueuesBitIdentical)
+{
+    // Deep queues absorb write bursts entirely; shallow ones push
+    // back-pressure into the issuing core. Both extremes must agree
+    // across step modes.
+    const workloads::BuiltTrace &trace =
+        workloads::getTrace("qsort", 1, 42);
+    for (const unsigned depth : { 1u, 2u, 16u }) {
+        SCOPED_TRACE("queue_depth=" + std::to_string(depth));
+        nvp::SystemConfig cfg =
+            bankedDeviceConfig(nvp::DesignKind::WL);
+        cfg.nvm.queue_depth = depth;
+        expectModesIdentical(cfg, trace, squareWave(), false);
+    }
+}
+
+TEST(SkipAheadDevice, WearRotationBitIdentical)
+{
+    const workloads::BuiltTrace &trace =
+        workloads::getTrace("dijkstra", 1, 42);
+    nvp::SystemConfig cfg = bankedDeviceConfig(nvp::DesignKind::WL);
+    cfg.nvm.wear_scheme = mem::NvmWearScheme::Rotate;
+    cfg.nvm.rotate_period_writes = 64;
+    const nvp::RunResult r =
+        expectModesIdentical(cfg, trace, squareWave(), false);
+    EXPECT_GT(r.nvm_wear_lines_touched, 0u);
+}
+
+TEST(SkipAheadDevice, HybridFastRegionBitIdentical)
+{
+    const workloads::BuiltTrace &trace =
+        workloads::getTrace("sha", 1, 42);
+    nvp::SystemConfig cfg =
+        bankedDeviceConfig(nvp::DesignKind::VCacheWT);
+    cfg.nvm.hybrid_lines = 8;
+    cfg.nvm.hybrid_promote_writes = 2;
+    expectModesIdentical(cfg, trace, squareWave(), false);
+}
+
+TEST(SkipAheadDevice, FlashProfileWithRetriesBitIdentical)
+{
+    // Flash-like timing stretches every write by verify retries and
+    // shifts outage timing massively; the modes must still agree.
+    const workloads::BuiltTrace &trace =
+        workloads::getTrace("sha", 1, 42);
+    nvp::SystemConfig cfg = bankedDeviceConfig(nvp::DesignKind::WL);
+    mem::applyTechProfile(cfg.nvm,
+                          *mem::findTechProfile("flash"));
+    expectModesIdentical(cfg, trace, squareWave(), false);
+}
+
 // --- Randomized-configuration fuzz ---------------------------------------
 
 TEST(SkipAheadFuzz, RandomConfigsBitIdentical)
@@ -269,6 +349,19 @@ TEST(SkipAheadFuzz, RandomConfigsBitIdentical)
             rng.nextBelow(4) == 0 ? 4u : 256u;
         if (design == nvp::DesignKind::WL && rng.nextBelow(2) == 0)
             cfg.wl_dynamic = true;
+
+        // Device-model knobs: banked queues, wear tracking, and
+        // rotation all have to hold the bit-identity invariant too.
+        if (rng.nextBelow(2) == 0) {
+            cfg.nvm.model = mem::NvmModel::BankedQueue;
+            cfg.nvm.queue_depth = 1 + rng.nextBelow(8);
+        }
+        if (rng.nextBelow(2) == 0)
+            cfg.nvm.track_wear = true;
+        if (rng.nextBelow(4) == 0) {
+            cfg.nvm.wear_scheme = mem::NvmWearScheme::Rotate;
+            cfg.nvm.rotate_period_writes = 32 + rng.nextBelow(256);
+        }
 
         // Random square wave: amplitude, duty pattern, phase length.
         std::vector<double> samples;

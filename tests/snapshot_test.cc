@@ -23,6 +23,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mem/nvm_params.hh"
 #include "nvp/experiment.hh"
 #include "nvp/run_json.hh"
 #include "nvp/snapshot.hh"
@@ -313,6 +314,79 @@ TEST(SnapshotResume, FuzzObservationalIdentity)
     }
     // The fuzz only counts if it actually covered enough points.
     EXPECT_GE(total_points, 100u);
+}
+
+TEST(SnapshotResume, WearStateFuzzObservationalIdentity)
+{
+    // Same resume-equivalence property with the full device model
+    // on: banked queues, per-line endurance counters, and address
+    // rotation all ride in the snapshot and must restore bit-exactly
+    // — any drift shows up as a differing run record or digest.
+    std::mt19937 rng(20260808u);
+    std::size_t total_points = 0;
+
+    for (const FuzzCase &c : { kFuzzCases[0], kFuzzCases[1],
+                               kFuzzCases[2], kFuzzCases[6] }) {
+        nvp::ExperimentSpec spec = fuzzSpec(c);
+        spec.tweak = [](nvp::SystemConfig &cfg) {
+            cfg.nvm.model = mem::NvmModel::BankedQueue;
+            cfg.nvm.queue_depth = 2;
+            cfg.nvm.track_wear = true;
+            cfg.nvm.wear_scheme = mem::NvmWearScheme::Rotate;
+            cfg.nvm.rotate_period_writes = 128;
+        };
+        SCOPED_TRACE(std::string(nvp::designKindName(c.design)) +
+                     "/" + c.app);
+
+        const nvp::RunResult cold = nvp::runExperiment(spec);
+        const std::string cold_json = resultJson(cold);
+        ASSERT_GT(cold.on_cycles, 0u);
+        EXPECT_GT(cold.nvm_wear_lines_touched, 0u);
+        EXPECT_LT(cold.nvm_lifetime_headroom,
+                  nvp::SystemConfig::forDesign(c.design)
+                      .nvm.endurance_writes);
+
+        std::vector<nvp::SystemSnapshot> snaps;
+        nvp::RunOptions ro;
+        ro.snapshot_interval =
+            std::max<Cycle>(1, cold.on_cycles / 12);
+        ro.snapshot_sink = [&snaps](nvp::SystemSnapshot &&s) {
+            snaps.push_back(std::move(s));
+        };
+        const nvp::RunResult with_caps =
+            nvp::runExperimentEx(spec, ro);
+        EXPECT_EQ(resultJson(with_caps), cold_json);
+        ASSERT_FALSE(snaps.empty());
+
+        std::vector<std::size_t> order(snaps.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::shuffle(order.begin(), order.end(), rng);
+        const std::size_t n_resume =
+            std::min<std::size_t>(7, order.size());
+        for (std::size_t k = 0; k < n_resume; ++k) {
+            const nvp::SystemSnapshot &snap = snaps[order[k]];
+            ASSERT_TRUE(snap.valid());
+
+            // The wear counters themselves must survive the disk
+            // encoding byte-exactly.
+            nvp::SystemSnapshot back;
+            ASSERT_TRUE(nvp::decodeSnapshot(
+                nvp::encodeSnapshot(snap), back));
+            EXPECT_EQ(back.state, snap.state);
+
+            nvp::RunOptions rr;
+            rr.resume = &snap;
+            const nvp::RunResult resumed =
+                nvp::runExperimentEx(spec, rr);
+            EXPECT_EQ(resultJson(resumed), cold_json)
+                << "resume at cycle " << snap.cycle;
+            EXPECT_EQ(resumed.final_state_digest,
+                      cold.final_state_digest);
+            EXPECT_EQ(resumed.nvm_wear_max, cold.nvm_wear_max);
+            ++total_points;
+        }
+    }
+    EXPECT_GE(total_points, 25u);
 }
 
 TEST(SnapshotResume, RoundTripsThroughDiskEncoding)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "energy/power_trace.hh"
+#include "mem/device/tech_profile.hh"
 #include "nvp/run_json.hh"
 #include "nvp/system.hh"
 #include "runner/runner.hh"
@@ -120,6 +121,20 @@ applyCliConfig(const util::ArgParser &args, nvp::SystemConfig &cfg)
     cfg.wl.eager_evict_cleanup = args.getFlag("eager-cleanup");
     cfg.validate_consistency = args.getFlag("validate");
     cfg.check_load_values = args.getFlag("validate");
+    const std::string tech = util::toLower(args.get("nvm-tech"));
+    if (!tech.empty()) {
+        const mem::NvmTechProfile *prof = mem::findTechProfile(tech);
+        if (!prof)
+            fatal("unknown --nvm-tech '%s' (reram|stt-ram|fram|flash)",
+                  tech.c_str());
+        mem::applyTechProfile(cfg.nvm, *prof);
+    }
+    const std::string nvm_model = util::toLower(args.get("nvm-model"));
+    if (!mem::nvmModelFromName(nvm_model, cfg.nvm.model))
+        fatal("unknown --nvm-model '%s' (legacy|banked)",
+              nvm_model.c_str());
+    if (args.getFlag("nvm-track-wear"))
+        cfg.nvm.track_wear = true;
     const std::string mode = util::toLower(args.get("step-mode"));
     if (!nvp::stepModeFromName(mode, cfg.step_mode))
         fatal("unknown --step-mode '%s' (percycle|skip_ahead)",
@@ -260,6 +275,14 @@ main(int argc, char **argv)
         .option("maxline", "6", "initial maxline (WL)")
         .option("dq-repl", "fifo", "DirtyQueue replacement: fifo|lru")
         .option("capacitor", "1e-6", "capacitance, farads")
+        .option("nvm-model", "legacy",
+                "NVM device timing core: legacy|banked "
+                "(mem/device/)")
+        .option("nvm-tech", "",
+                "apply an NVM technology profile: "
+                "reram|stt-ram|fram|flash")
+        .flag("nvm-track-wear",
+              "count per-line NVM writes (endurance tracking)")
         .option("step-mode", "skip_ahead",
                 "run-loop energy integration: skip_ahead|percycle "
                 "(bit-identical results; percycle is the slow "
@@ -362,6 +385,16 @@ main(int argc, char **argv)
               << util::fmtEnergy(r.meter.total())
               << "\nnvm writes:        " << r.nvm_writes << " ("
               << r.nvm_bytes_written << " bytes)"
+              << (cfg.nvm.track_wear
+                      ? "\nnvm wear:          max " +
+                            std::to_string(r.nvm_wear_max) +
+                            " writes/line, headroom " +
+                            std::to_string(r.nvm_lifetime_headroom) +
+                            ", write p99 " +
+                            util::fmtDouble(r.nvm_write_p99_latency,
+                                            0) +
+                            " cycles"
+                      : "")
               << "\nload hit rate:     "
               << util::fmtDouble(100.0 * r.dcache_load_hit_rate, 2)
               << "%"

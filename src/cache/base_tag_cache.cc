@@ -76,14 +76,15 @@ BaseTagCache::fillLine(Addr addr, Cycle now)
         }
         tags_.invalidate(victim);
     }
-    // Fetch the line image from NVM.
+    // Fetch the newest persisted line image (home NVM, or the
+    // journal for log-structured designs).
     std::uint8_t buf[256];
     wlc_assert(tags_.lineBytes() <= sizeof(buf));
-    const auto res = nvm_.read(laddr, tags_.lineBytes(), t, buf);
+    t = readLineImage(laddr, buf, tags_.lineBytes(), t);
     tags_.install(victim, laddr, buf);
     chargeLineFill();
     ++stats_.fills;
-    return { victim, res.ready };
+    return { victim, t };
 }
 
 Cycle
@@ -91,10 +92,10 @@ BaseTagCache::writeBackLine(LineRef ref, Cycle now)
 {
     wlc_assert(tags_.valid(ref));
     chargeLineRead();
-    const auto res = nvm_.writeLine(tags_.lineAddr(ref), tags_.data(ref),
+    const Cycle ready = persistLine(tags_.lineAddr(ref), tags_.data(ref),
                                     tags_.lineBytes(), now);
     ++stats_.writebacks;
-    return res.ready;
+    return ready;
 }
 
 void

@@ -73,6 +73,29 @@ class BaseTagCache : public DataCache
     /** Write a full line image to NVM; returns ack cycle. */
     Cycle writeBackLine(LineRef ref, Cycle now);
 
+    /**
+     * Persist one line image. The default writes @p line_addr in
+     * place; log-structured designs redirect it into a journal
+     * append. Every dirty-line persist (write-back, async clean,
+     * checkpoint flush) funnels through here. @return ack cycle.
+     */
+    virtual Cycle persistLine(Addr line_addr, const std::uint8_t *data,
+                              unsigned bytes, Cycle now)
+    {
+        return nvm_.writeLine(line_addr, data, bytes, now).ready;
+    }
+
+    /**
+     * Fetch the newest persisted image of @p line_addr. The default
+     * reads the home address; log-structured designs serve mapped
+     * lines from the journal instead. @return data-ready cycle.
+     */
+    virtual Cycle readLineImage(Addr line_addr, std::uint8_t *out,
+                                unsigned bytes, Cycle now)
+    {
+        return nvm_.read(line_addr, bytes, now, out).ready;
+    }
+
     /** Copy @p bytes of @p value into the line at @p addr. */
     void writeLineData(LineRef ref, Addr addr, unsigned bytes,
                        std::uint64_t value);

@@ -12,7 +12,14 @@ namespace core {
 
 WLCache::WLCache(const cache::CacheParams &params, const WlParams &wl,
                  mem::NvmMemory &nvm, energy::EnergyMeter *meter)
-    : BaseTagCache("wl_cache", params, nvm, meter), wl_(wl),
+    : WLCache("wl_cache", params, wl, nvm, meter)
+{
+}
+
+WLCache::WLCache(const std::string &name,
+                 const cache::CacheParams &params, const WlParams &wl,
+                 mem::NvmMemory &nvm, energy::EnergyMeter *meter)
+    : BaseTagCache(name, params, nvm, meter), wl_(wl),
       dq_(wl.dq_size, wl.dq_repl), wl_stats_(stat_group_)
 {
     wlc_assert(wl_.maxline >= 1 && wl_.maxline <= wl_.dq_size,
@@ -60,7 +67,7 @@ WLCache::cleanOne(Cycle now)
     tags_.setDirty(*ref, false);
     // Step 2: asynchronous write-back; the line stays in the cache.
     chargeLineRead();
-    const auto res = nvm_.writeLine(laddr, tags_.data(*ref),
+    const Cycle ready = persistLine(laddr, tags_.data(*ref),
                                     tags_.lineBytes(), now);
     ++stats_.writebacks;
     ++wl_stats_.cleanings;
@@ -68,11 +75,11 @@ WLCache::cleanOne(Cycle now)
                 "clean 0x%llx (dirty=%u/%u, ack@%llu)",
                 static_cast<unsigned long long>(laddr),
                 tags_.dirtyCount(), wl_.maxline,
-                static_cast<unsigned long long>(res.ready));
+                static_cast<unsigned long long>(ready));
     WLC_TIMELINE(tl_, DqClean, now, "wl_cache", laddr,
                  tags_.dirtyCount());
     // Steps 3-4 complete via tick()/completeInFlight at the ACK.
-    dq_.markInFlight(*slot, res.ready);
+    dq_.markInFlight(*slot, ready);
     return true;
 }
 
@@ -244,10 +251,8 @@ WLCache::checkpoint(Cycle now)
             const auto ref = tags_.lookup(e.line_addr);
             if (ref && tags_.dirty(*ref)) {
                 chargeLineRead();
-                const auto res =
-                    nvm_.writeLine(e.line_addr, tags_.data(*ref),
-                                   tags_.lineBytes(), t);
-                t = res.ready;
+                t = persistLine(e.line_addr, tags_.data(*ref),
+                                tags_.lineBytes(), t);
                 tags_.setDirty(*ref, false);
                 ++persisted;
             } else {

@@ -95,6 +95,14 @@ class WLCache : public cache::BaseTagCache
     WLCache(const cache::CacheParams &params, const WlParams &wl,
             mem::NvmMemory &nvm, energy::EnergyMeter *meter);
 
+  protected:
+    /** For derived designs (WL-Log) wanting their own stats name. */
+    WLCache(const std::string &name, const cache::CacheParams &params,
+            const WlParams &wl, mem::NvmMemory &nvm,
+            energy::EnergyMeter *meter);
+
+  public:
+
     cache::CacheAccessResult access(MemOp op, Addr addr, unsigned bytes,
                                     std::uint64_t value,
                                     std::uint64_t *load_out,
@@ -125,8 +133,12 @@ class WLCache : public cache::BaseTagCache
     unsigned dirtyLineCount() const { return tags_.dirtyCount(); }
     const WlStats &wlStats() const { return wl_stats_; }
 
-    /** Checkpoint-reserve energy for one additional dirty line. */
-    double lineCheckpointEnergy() const;
+    /**
+     * Checkpoint-reserve energy for one additional dirty line.
+     * Virtual: log-structured persists cost a slot-sized (header +
+     * payload) NVM write instead of a bare line write.
+     */
+    virtual double lineCheckpointEnergy() const;
 
     /** Enable opportunistic dynamic maxline adaptation (§4). */
     void enableDynamicAdaptation(TryReserveFn fn)

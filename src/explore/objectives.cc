@@ -35,7 +35,7 @@ checkpointReserveJ(const nvp::SystemConfig &cfg)
 {
     const auto &p = cfg.platform;
     double vbackup = p.vbackup;
-    if (cfg.design == nvp::DesignKind::WL) {
+    if (nvp::isWlFamily(cfg.design)) {
         // Mirror SystemSim::wlVbackup at the configured maxline.
         const unsigned ml = cfg.wl.maxline;
         vbackup = p.wl_vbackup_base +
@@ -70,7 +70,7 @@ hardwareAreaMm2(const nvp::SystemConfig &cfg)
                                 cfg.icache.assoc)
                     .area_mm2;
     }
-    if (cfg.design == nvp::DesignKind::WL)
+    if (nvp::isWlFamily(cfg.design))
         area += model.dirtyQueue(cfg.wl.dq_size).area_mm2;
     return area;
 }

@@ -93,10 +93,17 @@ parseDesignShort(const std::string &name, nvp::DesignKind &out)
         out = nvp::DesignKind::WtBuffered;
     else if (n == "wl")
         out = nvp::DesignKind::WL;
+    else if (n == "wllog" || n == "wl-log")
+        out = nvp::DesignKind::WLLog;
     else
         return false;
     return true;
 }
+
+/** Every parseDesignShort() primary name, for error messages. */
+const char *kDesignShortNames =
+    "nocache|wt|wtbuf|nvcache|nvsram|nvsram-full|nvsram-practical|"
+    "replay|wl|wllog";
 
 bool
 parseTraceShort(const std::string &name, energy::TraceKind &out,
@@ -167,7 +174,7 @@ paramDefs()
     static const std::vector<ParamDef> defs = {
         { "design",
           "cache design: nocache|wt|wtbuf|nvcache|nvsram|nvsram-full|"
-          "nvsram-practical|replay|wl",
+          "nvsram-practical|replay|wl|wllog",
           PV::Kind::String, false, 0.0,
           [](Spec &s, const PV &v) {
               const bool ok = parseDesignShort(v.text, s.design);
@@ -178,7 +185,8 @@ paramDefs()
               nvp::DesignKind k;
               if (parseDesignShort(v.text, k))
                   return true;
-              why = "unknown design '" + v.text + "'";
+              why = "unknown design '" + v.text + "' (valid: " +
+                    kDesignShortNames + ")";
               return false;
           } },
         { "workload", "benchmark kernel name (e.g. sha, qsort, FFT)",
@@ -443,6 +451,32 @@ paramDefs()
                   static_cast<unsigned>(v.num);
           },
           nullptr },
+        { "log.region_lines",
+          "WL-Log journal region size in record slots",
+          PV::Kind::Number, true, 8.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.log.region_lines = static_cast<unsigned>(v.num);
+          },
+          nullptr },
+        { "log.segment_bytes",
+          "WL-Log compaction-segment size in bytes",
+          PV::Kind::Number, true, 1.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.log.segment_bytes = static_cast<unsigned>(v.num);
+          },
+          nullptr },
+        { "log.compaction_watermark",
+          "mapped-line fraction that triggers WL-Log compaction",
+          PV::Kind::Number, false, 0.0, nullptr,
+          [](Cfg &c, const PV &v) {
+              c.log.compaction_watermark = v.num;
+          },
+          [](const PV &v, std::string &why) {
+              if (v.num > 0.0 && v.num < 1.0)
+                  return true;
+              why = "compaction_watermark must be in (0, 1)";
+              return false;
+          } },
     };
     return defs;
 }

@@ -333,6 +333,18 @@ NvmMemory::turnaroundStallCycles() const
 }
 
 std::uint64_t
+NvmMemory::rowHits() const
+{
+    return static_cast<std::uint64_t>(stat_row_hits_.value());
+}
+
+std::uint64_t
+NvmMemory::rowMisses() const
+{
+    return static_cast<std::uint64_t>(stat_row_misses_.value());
+}
+
+std::uint64_t
 NvmMemory::wearMax() const
 {
     return wear_ ? wear_->maxWear() : 0;

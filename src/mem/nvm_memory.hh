@@ -134,6 +134,11 @@ class NvmMemory
     /** Cycles reads spent waiting out write-to-read turnaround. */
     std::uint64_t turnaroundStallCycles() const;
 
+    /** Row-buffer hits (banked model; 0 under the legacy model). */
+    std::uint64_t rowHits() const;
+    /** Row-buffer misses (banked model; 0 under the legacy model). */
+    std::uint64_t rowMisses() const;
+
     /** Highest per-line write count (0 when wear is untracked). */
     std::uint64_t wearMax() const;
     /** Distinct wear lines written (0 when wear is untracked). */

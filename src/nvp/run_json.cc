@@ -78,7 +78,23 @@ writeRunResultJson(std::ostream &os, const RunResult &r)
     os << "    \"lifetime_headroom\": " << r.nvm_lifetime_headroom
        << ",\n";
     os << "    \"write_p99_latency\": "
-       << num(r.nvm_write_p99_latency) << "\n  },\n";
+       << num(r.nvm_write_p99_latency) << ",\n";
+    os << "    \"row_hits\": " << r.nvm_row_hits << ",\n";
+    os << "    \"row_misses\": " << r.nvm_row_misses << "\n  },\n";
+    os << "  \"nvm_log\": {\n";
+    os << "    \"appended_records\": " << r.log_appended_records
+       << ",\n";
+    os << "    \"appended_bytes\": " << r.log_appended_bytes << ",\n";
+    os << "    \"replays\": " << r.log_replays << ",\n";
+    os << "    \"replayed_records\": " << r.log_replayed_records
+       << ",\n";
+    os << "    \"replayed_bytes\": " << r.log_replayed_bytes << ",\n";
+    os << "    \"compactions\": " << r.log_compactions << ",\n";
+    os << "    \"compacted_lines\": " << r.log_compacted_lines
+       << ",\n";
+    os << "    \"compacted_bytes\": " << r.log_compacted_bytes
+       << ",\n";
+    os << "    \"live_lines\": " << r.log_live_lines << "\n  },\n";
     os << "  \"dcache_load_hit_rate\": " << num(r.dcache_load_hit_rate)
        << ",\n";
     os << "  \"dcache_store_hit_rate\": "
@@ -273,8 +289,10 @@ readRunResultJson(std::istream &is, RunResult &out, std::string *err)
         rd.want(root, "design", util::JsonValue::Kind::String);
     if (!dv)
         return rd.fail("missing string 'design'");
-    if (!designKindFromName(dv->asString(), r.design))
-        return rd.fail("unknown design '" + dv->asString() + "'");
+    if (!designKindFromName(dv->asString(), r.design)) {
+        return rd.fail("unknown design '" + dv->asString() +
+                       "' (valid: " + designKindNameList() + ")");
+    }
 
     if (!rd.getBool(root, "completed", r.completed) ||
         !rd.getU64(root, "on_cycles", r.on_cycles) ||
@@ -311,7 +329,26 @@ readRunResultJson(std::istream &is, RunResult &out, std::string *err)
         !rd.getU64(*dev, "lifetime_headroom",
                    r.nvm_lifetime_headroom) ||
         !rd.getDouble(*dev, "write_p99_latency",
-                      r.nvm_write_p99_latency))
+                      r.nvm_write_p99_latency) ||
+        !rd.getU64(*dev, "row_hits", r.nvm_row_hits) ||
+        !rd.getU64(*dev, "row_misses", r.nvm_row_misses))
+        return false;
+
+    const util::JsonValue *nlog =
+        rd.want(root, "nvm_log", util::JsonValue::Kind::Object);
+    if (!nlog)
+        return rd.fail("missing object 'nvm_log'");
+    if (!rd.getU64(*nlog, "appended_records",
+                   r.log_appended_records) ||
+        !rd.getU64(*nlog, "appended_bytes", r.log_appended_bytes) ||
+        !rd.getU64(*nlog, "replays", r.log_replays) ||
+        !rd.getU64(*nlog, "replayed_records",
+                   r.log_replayed_records) ||
+        !rd.getU64(*nlog, "replayed_bytes", r.log_replayed_bytes) ||
+        !rd.getU64(*nlog, "compactions", r.log_compactions) ||
+        !rd.getU64(*nlog, "compacted_lines", r.log_compacted_lines) ||
+        !rd.getU64(*nlog, "compacted_bytes", r.log_compacted_bytes) ||
+        !rd.getU64(*nlog, "live_lines", r.log_live_lines))
         return false;
 
     const util::JsonValue *wl =

@@ -28,9 +28,11 @@ namespace nvp {
  *
  * History: 1 = PR-1 runner cache; 2 = verification-campaign fields
  * (forced outages, divergence record, final-state digest); 3 =
- * telemetry fields (embedded stats tree, per-power-interval rollups).
+ * telemetry fields (embedded stats tree, per-power-interval rollups);
+ * 4 = banked-device fields; 5 = row-buffer counters and the
+ * "nvm_log" journal block (WL-Log write path).
  */
-inline constexpr std::uint64_t kRunRecordVersion = 4;
+inline constexpr std::uint64_t kRunRecordVersion = 5;
 
 /**
  * Write @p r as a single JSON object (pretty-printed, stable key

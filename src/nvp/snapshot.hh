@@ -34,8 +34,10 @@ struct SystemSnapshot
      * 2 = integer-attojoule energy state (meter/capacitor/harvester
      * sections became u64, harvester cursor moved to the cycle grid,
      * SYS2 carries the quantized backup level).
+     * 4 = NVM row-buffer and log-journal counters in the RES section;
+     * WL-Log designs append an NLOG journal section.
      */
-    static constexpr std::uint32_t kFormatVersion = 3;
+    static constexpr std::uint32_t kFormatVersion = 4;
 
     /**
      * Resume-compatibility key: hash of every configuration and trace

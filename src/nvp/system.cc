@@ -10,6 +10,7 @@
 #include "cache/replay_cache.hh"
 #include "cache/vcache_wt.hh"
 #include "cache/wt_buffered_cache.hh"
+#include "core/wl_log_cache.hh"
 #include "cpu/register_file.hh"
 #include "sim/logging.hh"
 #include "sim/snapshot.hh"
@@ -54,7 +55,7 @@ SystemSim::SystemSim(const SystemConfig &cfg,
                                                *dcache_, stream,
                                                &meter_);
 
-    if (cfg_.design == DesignKind::WL) {
+    if (isWlFamily(cfg_.design)) {
         runtime_ = std::make_unique<core::AdaptiveRuntime>(
             cfg_.adaptive, cfg_.wl.maxline);
         if (cfg_.wl_dynamic) {
@@ -86,7 +87,7 @@ SystemSim::SystemSim(const SystemConfig &cfg,
                                trace_.initial_image.size()));
 
     unsigned nvff_bytes = cpu::RegisterFile::sizeBytes();
-    if (cfg_.design == DesignKind::WL)
+    if (isWlFamily(cfg_.design))
         nvff_bytes += core::AdaptiveRuntime::kNvffBytes;
     nvff_ = std::make_unique<NvffStore>(
         nvff_bytes, cfg_.platform.nvff_energy_per_byte,
@@ -139,6 +140,8 @@ SystemSim::attachTimeline()
     dcache_->setTimeline(tl_);
     icache_->setTimeline(tl_);
     core_->setTimeline(tl_);
+    if (wllog_)
+        wllog_->journal().setTimeline(tl_);
 }
 
 SystemSim::~SystemSim() = default;
@@ -215,6 +218,31 @@ SystemSim::buildCaches()
             cfg_.icache, ICacheKind::Volatile, *nvm_, &meter_);
         break;
       }
+      case DesignKind::WLLog: {
+        auto wl = std::make_unique<core::WlLogCache>(
+            cfg_.dcache, cfg_.wl, cfg_.log, *nvm_, &meter_);
+        wllog_ = wl.get();
+        wl_ = wl.get();
+        // The journal region is carved from the top of NVM: the
+        // workload image must fit entirely below it.
+        const Addr region_start = wllog_->journal().regionStart();
+        const std::size_t image_size =
+            std::max(trace_.initial_image.size(),
+                     trace_.final_image.size());
+        if (trace_.image_base + image_size > region_start) {
+            fatal("WL-Log journal region [0x%llx..) overlaps the "
+                  "workload image [0x%llx, 0x%llx): shrink "
+                  "log.region_lines or grow nvm.size_bytes",
+                  static_cast<unsigned long long>(region_start),
+                  static_cast<unsigned long long>(trace_.image_base),
+                  static_cast<unsigned long long>(trace_.image_base +
+                                                  image_size));
+        }
+        dcache_ = std::move(wl);
+        icache_ = std::make_unique<cache::InstrCache>(
+            cfg_.icache, ICacheKind::Volatile, *nvm_, &meter_);
+        break;
+      }
     }
 }
 
@@ -222,7 +250,7 @@ double
 SystemSim::reserveNeededJ() const
 {
     unsigned nvff_bytes = cpu::RegisterFile::sizeBytes();
-    if (cfg_.design == DesignKind::WL)
+    if (isWlFamily(cfg_.design))
         nvff_bytes += core::AdaptiveRuntime::kNvffBytes;
     return dcache_->checkpointEnergyBound() +
         nvff_bytes * cfg_.platform.nvff_energy_per_byte;
@@ -255,7 +283,7 @@ SystemSim::wlVon(unsigned maxline) const
 void
 SystemSim::recomputeThresholds()
 {
-    if (cfg_.design == DesignKind::WL) {
+    if (isWlFamily(cfg_.design)) {
         vbackup_now_ = wlVbackup(wl_->maxline());
         von_now_ = wlVon(wl_->maxline());
     } else if (cfg_.design == DesignKind::NvsramWB ||
@@ -435,7 +463,7 @@ SystemSim::powerFail()
     if (!cfg_.inject_register_skip)
         ckpt_done += nvff_->checkpoint(
             regs.data(), cpu::RegisterFile::sizeBytes());
-    if (cfg_.design == DesignKind::WL && runtime_) {
+    if (isWlFamily(cfg_.design) && runtime_) {
         const std::uint8_t thresholds[2] = {
             static_cast<std::uint8_t>(wl_->maxline()),
             static_cast<std::uint8_t>(wl_->waterline()),
@@ -480,7 +508,7 @@ SystemSim::powerFail()
     // The adaptive runtime decides the next interval's thresholds
     // from the NVFF-resident watchdog history before the system
     // sleeps, so the comparator charges toward the right Von (§4).
-    if (cfg_.design == DesignKind::WL && runtime_) {
+    if (isWlFamily(cfg_.design) && runtime_) {
         const unsigned before = wl_->maxline();
         const unsigned m = runtime_->onBoot(t_on);
         if (m != before)
@@ -629,6 +657,17 @@ saveRunResult(SnapshotWriter &w, const RunResult &res)
     w.u64(res.nvm_wear_lines_touched);
     w.u64(res.nvm_lifetime_headroom);
     w.f64(res.nvm_write_p99_latency);
+    w.u64(res.nvm_row_hits);
+    w.u64(res.nvm_row_misses);
+    w.u64(res.log_appended_records);
+    w.u64(res.log_appended_bytes);
+    w.u64(res.log_replays);
+    w.u64(res.log_replayed_records);
+    w.u64(res.log_replayed_bytes);
+    w.u64(res.log_compactions);
+    w.u64(res.log_compacted_lines);
+    w.u64(res.log_compacted_bytes);
+    w.u64(res.log_live_lines);
     w.f64(res.dcache_load_hit_rate);
     w.f64(res.dcache_store_hit_rate);
     w.u64(res.store_stall_cycles);
@@ -695,6 +734,17 @@ restoreRunResult(SnapshotReader &r, RunResult &res)
     res.nvm_wear_lines_touched = r.u64();
     res.nvm_lifetime_headroom = r.u64();
     res.nvm_write_p99_latency = r.f64();
+    res.nvm_row_hits = r.u64();
+    res.nvm_row_misses = r.u64();
+    res.log_appended_records = r.u64();
+    res.log_appended_bytes = r.u64();
+    res.log_replays = r.u64();
+    res.log_replayed_records = r.u64();
+    res.log_replayed_bytes = r.u64();
+    res.log_compactions = r.u64();
+    res.log_compacted_lines = r.u64();
+    res.log_compacted_bytes = r.u64();
+    res.log_live_lines = r.u64();
     res.dcache_load_hit_rate = r.f64();
     res.dcache_store_hit_rate = r.f64();
     res.store_stall_cycles = r.u64();
@@ -1045,6 +1095,20 @@ SystemSim::run(const RunOptions &opts)
     res_.nvm_wear_lines_touched = nvm_->wearLinesTouched();
     res_.nvm_lifetime_headroom = nvm_->lifetimeHeadroom();
     res_.nvm_write_p99_latency = nvm_->writeLatencyP99();
+    res_.nvm_row_hits = nvm_->rowHits();
+    res_.nvm_row_misses = nvm_->rowMisses();
+    if (wllog_) {
+        const mem::NvmJournalStats &js = wllog_->journal().stats();
+        res_.log_appended_records = js.appends;
+        res_.log_appended_bytes = js.append_bytes;
+        res_.log_replays = js.replays;
+        res_.log_replayed_records = js.replay_records;
+        res_.log_replayed_bytes = js.replay_bytes;
+        res_.log_compactions = js.compactions;
+        res_.log_compacted_lines = js.compacted_lines;
+        res_.log_compacted_bytes = js.compacted_bytes;
+        res_.log_live_lines = wllog_->journal().liveLines();
+    }
     collectStatsJson();
 
     // Derived ratios must stay finite: a dead trace or a zero-outage

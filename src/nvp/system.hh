@@ -37,6 +37,9 @@
 #include "workloads/workloads.hh"
 
 namespace wlcache {
+
+namespace core { class WlLogCache; }
+
 namespace nvp {
 
 /** Everything a run reports (feeds every figure in the paper). */
@@ -83,6 +86,22 @@ struct RunResult
     std::uint64_t nvm_lifetime_headroom = 0;
     /** p99 write latency in cycles from the log2 histogram. */
     double nvm_write_p99_latency = 0.0;
+    /** Row-buffer hits (banked model; 0 under the legacy model). */
+    std::uint64_t nvm_row_hits = 0;
+    /** Row-buffer misses (activations) under the banked model. */
+    std::uint64_t nvm_row_misses = 0;
+
+    // --- NVM journal (mem/log/, WL-Log only; all 0 otherwise) ---
+    std::uint64_t log_appended_records = 0;
+    std::uint64_t log_appended_bytes = 0;
+    std::uint64_t log_replays = 0;          //!< Boot replay scans.
+    std::uint64_t log_replayed_records = 0;
+    std::uint64_t log_replayed_bytes = 0;
+    std::uint64_t log_compactions = 0;      //!< Segments reclaimed.
+    std::uint64_t log_compacted_lines = 0;
+    std::uint64_t log_compacted_bytes = 0;
+    /** Lines still journal-resident at end of run. */
+    std::uint64_t log_live_lines = 0;
 
     // --- Cache behaviour ---
     double dcache_load_hit_rate = 0.0;
@@ -239,8 +258,11 @@ class SystemSim
     /** Access the core (tests: register-file comparison). */
     const cpu::InOrderCore &core() const { return *core_; }
 
-    /** Access the WL cache when the design is WL (else null). */
+    /** Access the WL cache when the design is WL-family (else null). */
     core::WLCache *wlCache() { return wl_; }
+
+    /** Access the WL-Log cache when the design is WLLog (else null). */
+    core::WlLogCache *wlLogCache() { return wllog_; }
 
     /** The backing NVM (tests). */
     mem::NvmMemory &nvm() { return *nvm_; }
@@ -280,6 +302,7 @@ class SystemSim
     std::unique_ptr<cache::InstrCache> icache_;
     std::unique_ptr<cpu::InOrderCore> core_;
     core::WLCache *wl_ = nullptr;          //!< Non-owning view.
+    core::WlLogCache *wllog_ = nullptr;    //!< Non-owning (WLLog only).
     cache::ReplayCacheModel *replay_ = nullptr;
     std::unique_ptr<core::AdaptiveRuntime> runtime_;
     std::unique_ptr<NvffStore> nvff_;

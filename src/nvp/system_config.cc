@@ -21,27 +21,45 @@ designKindName(DesignKind kind)
       case DesignKind::Replay:    return "ReplayCache";
       case DesignKind::WtBuffered: return "WT+Buffer";
       case DesignKind::WL:        return "WL-Cache";
+      case DesignKind::WLLog:     return "WL-Log";
     }
     panic("unknown DesignKind %d", static_cast<int>(kind));
 }
 
+namespace {
+
+constexpr DesignKind kAllDesignKinds[] = {
+    DesignKind::NoCache,         DesignKind::VCacheWT,
+    DesignKind::NVCacheWB,       DesignKind::NvsramWB,
+    DesignKind::NvsramFull,      DesignKind::NvsramPractical,
+    DesignKind::Replay,          DesignKind::WtBuffered,
+    DesignKind::WL,              DesignKind::WLLog,
+};
+
+} // anonymous namespace
+
 bool
 designKindFromName(const std::string &name, DesignKind &out)
 {
-    static constexpr DesignKind kinds[] = {
-        DesignKind::NoCache,         DesignKind::VCacheWT,
-        DesignKind::NVCacheWB,       DesignKind::NvsramWB,
-        DesignKind::NvsramFull,      DesignKind::NvsramPractical,
-        DesignKind::Replay,          DesignKind::WtBuffered,
-        DesignKind::WL,
-    };
-    for (const DesignKind k : kinds) {
+    for (const DesignKind k : kAllDesignKinds) {
         if (name == designKindName(k)) {
             out = k;
             return true;
         }
     }
     return false;
+}
+
+std::string
+designKindNameList()
+{
+    std::string list;
+    for (const DesignKind k : kAllDesignKinds) {
+        if (!list.empty())
+            list += ", ";
+        list += designKindName(k);
+    }
+    return list;
 }
 
 const char *
@@ -119,8 +137,12 @@ SystemConfig::forDesign(DesignKind kind)
         cfg.platform.vbackup = 2.95;
         break;
       case DesignKind::WL:
+      case DesignKind::WLLog:
         // Table 2: WL 2.95~3.1 / 3.3~3.5, tracked per maxline via
-        // the wl_* threshold schedule.
+        // the wl_* threshold schedule. WL-Log keeps the same platform
+        // preset: its checkpoint appends cost slightly more per line
+        // (header bytes), which the threshold schedule absorbs via
+        // the design's own checkpointEnergyBound().
         cfg.platform.von = 3.3;
         cfg.platform.vbackup = 2.95;
         cfg.adaptive.enabled = true;
@@ -267,6 +289,11 @@ dumpConfigKey(std::ostream &os, const SystemConfig &cfg)
        << keyNum(cfg.nvm.hybrid_read_energy_per_byte) << '\n'
        << "nvm.hybrid_write_energy_per_byte="
        << keyNum(cfg.nvm.hybrid_write_energy_per_byte) << '\n';
+
+    os << "log.region_lines=" << cfg.log.region_lines << '\n'
+       << "log.segment_bytes=" << cfg.log.segment_bytes << '\n'
+       << "log.compaction_watermark="
+       << keyNum(cfg.log.compaction_watermark) << '\n';
 
     os << "core.compute_energy_per_insn="
        << keyNum(cfg.core.compute_energy_per_insn) << '\n'

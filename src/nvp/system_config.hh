@@ -21,6 +21,7 @@
 #include "core/adaptive_runtime.hh"
 #include "core/wl_cache.hh"
 #include "cpu/inorder_core.hh"
+#include "mem/log/nvm_journal.hh"
 #include "mem/nvm_params.hh"
 #include "sim/types.hh"
 
@@ -42,6 +43,7 @@ enum class DesignKind
     Replay,       //!< ReplayCache (volatile WB + region persistence).
     WtBuffered,   //!< WT + CAM write-back buffer (§3.3 alternative).
     WL,           //!< WL-Cache (Fig. 1e) — the contribution.
+    WLLog,        //!< WL-Cache over a log-structured NVM write path.
 };
 
 /** Human-readable design name matching the paper's figures. */
@@ -52,6 +54,22 @@ const char *designKindName(DesignKind kind);
  * @return true and set @p out on a match; false on an unknown name.
  */
 bool designKindFromName(const std::string &name, DesignKind &out);
+
+/**
+ * Every valid designKindName(), comma-separated — for error messages
+ * and diagnostics wherever a design name fails to parse.
+ */
+std::string designKindNameList();
+
+/**
+ * WL-Cache family: designs built on the DirtyQueue/maxline machinery
+ * (adaptive runtime, threshold schedule, maxline NVFF state).
+ */
+inline bool
+isWlFamily(DesignKind kind)
+{
+    return kind == DesignKind::WL || kind == DesignKind::WLLog;
+}
 
 /** Step-mode name: "percycle" or "skip_ahead". */
 const char *stepModeName(StepMode mode);
@@ -130,6 +148,8 @@ struct SystemConfig
     bool wl_dynamic = false;
 
     mem::NvmParams nvm;
+    /** WL-Log journal geometry/policy (ignored by other designs). */
+    mem::NvmLogParams log;
     cpu::CoreParams core;
     PlatformParams platform;
 

@@ -174,8 +174,13 @@ parseSpecText(const std::string &text, nvp::ExperimentSpec &out,
     // --- Resolved configuration (dumpConfigKey order) ---
     set["design"] = [&](const std::string &v) {
         nvp::DesignKind kind;
-        if (!nvp::designKindFromName(v, kind))
+        if (!nvp::designKindFromName(v, kind)) {
+            if (err) {
+                *err = "unknown design '" + v + "' (valid: " +
+                       nvp::designKindNameList() + ")";
+            }
             return false;
+        }
         // Start from the design preset so any field a future schema
         // stops dumping keeps its preset default (the round-trip
         // check still rejects genuine skew via the schema line).
@@ -266,6 +271,10 @@ parseSpecText(const std::string &text, nvp::ExperimentSpec &out,
         cfg.nvm.hybrid_read_energy_per_byte);
     dbl("nvm.hybrid_write_energy_per_byte",
         cfg.nvm.hybrid_write_energy_per_byte);
+
+    uns("log.region_lines", cfg.log.region_lines);
+    uns("log.segment_bytes", cfg.log.segment_bytes);
+    dbl("log.compaction_watermark", cfg.log.compaction_watermark);
 
     dbl("core.compute_energy_per_insn",
         cfg.core.compute_energy_per_insn);

@@ -34,9 +34,11 @@ namespace runner {
  * (harvester phase rebase, capacitor rail clamping) changed every
  * numeric result, plus deterministic snapshots; 5 = integer-attojoule
  * energy arithmetic (every accumulated joule quantized) plus the
- * step_mode config key line.
+ * step_mode config key line; 6 = banked NVM device model (timing
+ * model, wear, hybrid region config keys); 7 = WL-Log design and
+ * the log.* journal config keys plus run-record v5 fields.
  */
-constexpr unsigned kResultSchemaVersion = 6;
+constexpr unsigned kResultSchemaVersion = 7;
 
 /**
  * Canonical text describing everything that determines a run's

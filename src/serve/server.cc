@@ -435,7 +435,8 @@ Session::handleCampaign(const util::JsonValue &msg, bool progress)
     const std::string design = getStr(msg, "design");
     if (!nvp::designKindFromName(design, cc.base.design)) {
         sendError(errc::kBadRequest,
-                  "unknown design '" + design + "'");
+                  "unknown design '" + design +
+                  "' (valid: " + nvp::designKindNameList() + ")");
         return;
     }
     const std::string workload = getStr(msg, "workload");

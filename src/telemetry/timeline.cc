@@ -28,6 +28,9 @@ eventTypeName(EventType t)
       case EventType::SnapshotResume: return "snapshot_resume";
       case EventType::BankConflict:   return "bank_conflict";
       case EventType::QueueStall:     return "queue_stall";
+      case EventType::LogAppend:      return "log_append";
+      case EventType::LogReplay:      return "log_replay";
+      case EventType::LogCompact:     return "log_compact";
     }
     panic("unknown EventType %d", static_cast<int>(t));
 }
@@ -54,6 +57,9 @@ eventTrack(EventType t)
       case EventType::NvmWrite:
       case EventType::BankConflict:
       case EventType::QueueStall:
+      case EventType::LogAppend:
+      case EventType::LogReplay:
+      case EventType::LogCompact:
         return Track::Nvm;
       case EventType::AdaptDecision:
         return Track::Adapt;

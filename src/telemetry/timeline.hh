@@ -34,7 +34,7 @@ namespace telemetry {
  * meaning of a payload field changes, so downstream tooling (and the
  * CI schema gate) rejects traces it would misread.
  */
-inline constexpr std::uint64_t kTimelineSchemaVersion = 3;
+inline constexpr std::uint64_t kTimelineSchemaVersion = 4;
 
 /** Typed timeline records (the event taxonomy, DESIGN.md §11). */
 enum class EventType : std::uint8_t
@@ -56,11 +56,14 @@ enum class EventType : std::uint8_t
     SnapshotResume, //!< Run resumed from a system snapshot.
     BankConflict,   //!< NVM access gated by pending bank work.
     QueueStall,     //!< NVM access stalled on a full bank queue.
+    LogAppend,      //!< Journal record appended (mem/log/).
+    LogReplay,      //!< Boot-time journal replay scan completed.
+    LogCompact,     //!< Journal segment compacted (lines migrated).
 };
 
 /** Number of distinct event types (drop-counter array size). */
 inline constexpr std::size_t kNumEventTypes =
-    static_cast<std::size_t>(EventType::QueueStall) + 1;
+    static_cast<std::size_t>(EventType::LogCompact) + 1;
 
 /** Stable lowercase name ("outage_begin", "dq_clean", ...). */
 const char *eventTypeName(EventType t);

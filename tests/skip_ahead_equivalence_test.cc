@@ -129,7 +129,7 @@ const nvp::DesignKind kAllDesigns[] = {
     nvp::DesignKind::NVCacheWB,       nvp::DesignKind::NvsramWB,
     nvp::DesignKind::NvsramFull,      nvp::DesignKind::NvsramPractical,
     nvp::DesignKind::Replay,          nvp::DesignKind::WtBuffered,
-    nvp::DesignKind::WL,
+    nvp::DesignKind::WL,              nvp::DesignKind::WLLog,
 };
 
 /** Small-footprint workloads: the matrix runs each of them 54 times. */
@@ -347,8 +347,17 @@ TEST(SkipAheadFuzz, RandomConfigsBitIdentical)
             0.5 + 0.45 * rng.nextDouble();
         cfg.max_interval_rollups =
             rng.nextBelow(4) == 0 ? 4u : 256u;
-        if (design == nvp::DesignKind::WL && rng.nextBelow(2) == 0)
+        if (nvp::isWlFamily(design) && rng.nextBelow(2) == 0)
             cfg.wl_dynamic = true;
+
+        // WL-Log journal geometry: exercise wrap frequency (small
+        // regions), segment granularity, and both watermark regimes.
+        if (design == nvp::DesignKind::WLLog) {
+            cfg.log.region_lines = 32 + rng.nextBelow(256);
+            cfg.log.segment_bytes = 512u << rng.nextBelow(3);
+            cfg.log.compaction_watermark =
+                0.3 + 0.6 * rng.nextDouble();
+        }
 
         // Device-model knobs: banked queues, wear tracking, and
         // rotation all have to hold the bit-identity invariant too.

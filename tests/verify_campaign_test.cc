@@ -210,6 +210,51 @@ TEST(VerifyCampaign, ReportJsonCarriesVerdicts)
     EXPECT_NE(json.find("\"verdict\": \"clean\""), std::string::npos);
 }
 
+// --- WL-Log crash consistency -------------------------------------
+
+/** The log-structured write path must replay to a clean state from a
+ *  forced outage at every probed cycle — appends, compactions, and
+ *  boot replays all land somewhere in this spread. */
+TEST(VerifyCampaign, WlLogCleanAcrossForcedOutages)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WLLog);
+    // Tight journal: frequent wrap-around and compaction, so forced
+    // outages land mid-append, mid-compaction, and during replay.
+    cc.base.tweak = [](nvp::SystemConfig &cfg) {
+        cfg.log.region_lines = 32;
+        cfg.log.segment_bytes = 512;
+        cfg.log.compaction_watermark = 0.4;
+    };
+    cc.points = { 500, 1000, 5000, 20000, 50000, 80000 };
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    ASSERT_TRUE(rep.golden_clean);
+    EXPECT_EQ(rep.num_divergent, 0u);
+    EXPECT_EQ(rep.num_clean, rep.points.size());
+    for (const auto &p : rep.points) {
+        EXPECT_EQ(p.verdict, verify::Verdict::Clean) << p.point;
+        EXPECT_EQ(p.final_state_digest,
+                  rep.golden.final_state_digest);
+    }
+}
+
+/** WL-Log's persistence depends on the JIT checkpoint exactly like
+ *  WL's: dropping it must be flagged, proving the oracle re-derives
+ *  journal winners from NVM bytes instead of trusting the volatile
+ *  mapping. */
+TEST(VerifyCampaign, WlLogCheckpointSkipDetected)
+{
+    verify::CampaignConfig cc = baseCampaign(nvp::DesignKind::WLLog);
+    cc.points = { 20000, 80000 };
+    cc.inject_checkpoint_skip = true;
+    const verify::CampaignReport rep = verify::runCampaign(cc);
+
+    ASSERT_TRUE(rep.golden_clean);
+    EXPECT_EQ(rep.num_divergent, rep.points.size());
+    for (const auto &p : rep.points)
+        EXPECT_EQ(p.verdict, verify::Verdict::Divergent) << p.point;
+}
+
 // --- Run-record versioning (cache invalidation) -------------------
 
 /** The verification fields survive a serialize/parse round trip. */

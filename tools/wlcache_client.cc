@@ -76,10 +76,17 @@ parseDesign(const std::string &name, nvp::DesignKind &out)
         out = nvp::DesignKind::WtBuffered;
     else if (n == "wl")
         out = nvp::DesignKind::WL;
+    else if (n == "wllog" || n == "wl-log")
+        out = nvp::DesignKind::WLLog;
     else
         return false;
     return true;
 }
+
+/** Every parseDesign() primary name, for unknown-design errors. */
+constexpr const char *kDesignNames =
+    "nocache|wt|wtbuf|nvcache|nvsram|nvsram-full|nvsram-practical|"
+    "replay|wl|wllog";
 
 /** CLI trace shorthand (same vocabulary as wlcache_verify). */
 bool
@@ -197,7 +204,8 @@ cmdCampaign(serve::Client &client, const util::ArgParser &args)
     for (const auto &design_name : designs) {
         nvp::DesignKind design;
         if (!parseDesign(design_name, design))
-            fatal("unknown design '%s'", design_name.c_str());
+            fatal("unknown design '%s' (valid: %s)",
+                  design_name.c_str(), kDesignNames);
         for (const auto &app : apps) {
             serve::CampaignRequest req;
             req.design = nvp::designKindName(design);
@@ -284,7 +292,8 @@ cmdRun(serve::Client &client, const util::ArgParser &args)
 {
     nvp::DesignKind design;
     if (!parseDesign(args.get("design"), design))
-        fatal("unknown design '%s'", args.get("design").c_str());
+        fatal("unknown design '%s' (valid: %s)",
+              args.get("design").c_str(), kDesignNames);
     if (!workloads::findWorkload(args.get("workload")))
         fatal("unknown workload '%s'",
               args.get("workload").c_str());

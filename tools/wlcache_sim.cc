@@ -65,10 +65,17 @@ parseDesign(const std::string &name, nvp::DesignKind &out)
         out = nvp::DesignKind::WtBuffered;
     else if (n == "wl")
         out = nvp::DesignKind::WL;
+    else if (n == "wllog" || n == "wl-log")
+        out = nvp::DesignKind::WLLog;
     else
         return false;
     return true;
 }
+
+/** Every parseDesign() primary name, for unknown-design errors. */
+constexpr const char *kDesignNames =
+    "nocache|wt|wtbuf|nvcache|nvsram|nvsram-full|nvsram-practical|"
+    "replay|wl|wllog";
 
 bool
 parseTrace(const std::string &name, energy::TraceKind &out,
@@ -188,7 +195,8 @@ runBatch(const util::ArgParser &args)
         for (const auto &design_name : designs) {
             nvp::DesignKind design;
             if (!parseDesign(design_name, design))
-                fatal("unknown design '%s'", design_name.c_str());
+                fatal("unknown design '%s' (valid: %s)",
+                  design_name.c_str(), kDesignNames);
             for (const auto &app : apps) {
                 if (!workloads::findWorkload(app))
                     fatal("unknown workload '%s'", app.c_str());
@@ -329,7 +337,8 @@ main(int argc, char **argv)
 
     nvp::DesignKind design;
     if (!parseDesign(args.get("design"), design))
-        fatal("unknown design '%s'", args.get("design").c_str());
+        fatal("unknown design '%s' (valid: %s)",
+              args.get("design").c_str(), kDesignNames);
     energy::TraceKind kind;
     bool no_failure = false;
     if (!parseTrace(args.get("trace"), kind, no_failure))

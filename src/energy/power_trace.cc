@@ -1,6 +1,7 @@
 #include "energy/power_trace.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <istream>
 #include <ostream>
 
@@ -24,20 +25,37 @@ traceKindName(TraceKind kind)
     panic("unknown TraceKind %d", static_cast<int>(kind));
 }
 
+namespace {
+
+constexpr TraceKind kAllTraceKinds[] = {
+    TraceKind::RfHome, TraceKind::RfOffice, TraceKind::RfMementos,
+    TraceKind::Solar,  TraceKind::Thermal,  TraceKind::Constant,
+};
+
+} // anonymous namespace
+
 bool
 traceKindFromName(const std::string &name, TraceKind &out)
 {
-    static constexpr TraceKind kinds[] = {
-        TraceKind::RfHome, TraceKind::RfOffice, TraceKind::RfMementos,
-        TraceKind::Solar,  TraceKind::Thermal,  TraceKind::Constant,
-    };
-    for (const TraceKind k : kinds) {
+    for (const TraceKind k : kAllTraceKinds) {
         if (name == traceKindName(k)) {
             out = k;
             return true;
         }
     }
     return false;
+}
+
+std::string
+traceKindNameList()
+{
+    std::string list;
+    for (const TraceKind k : kAllTraceKinds) {
+        if (!list.empty())
+            list += ", ";
+        list += traceKindName(k);
+    }
+    return list;
 }
 
 PowerTrace::PowerTrace(double sample_period_s,
@@ -94,12 +112,30 @@ PowerTrace::variationCoefficient() const
     return sd / m;
 }
 
+namespace {
+
+/**
+ * Shortest-exact double rendering for save(): %.17g survives a
+ * strtod round trip bit-for-bit, so save → load → save is
+ * byte-identical (the default 6-significant-digit stream precision
+ * silently truncated derived traces).
+ */
+inline void
+writeExactDouble(std::ostream &os, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf << '\n';
+}
+
+} // anonymous namespace
+
 void
 PowerTrace::save(std::ostream &os) const
 {
-    os << sample_period_s_ << '\n';
+    writeExactDouble(os, sample_period_s_);
     for (double w : samples_w_)
-        os << w << '\n';
+        writeExactDouble(os, w);
 }
 
 PowerTrace
@@ -257,6 +293,36 @@ makeTrace(TraceKind kind, const TraceGenConfig &cfg, double constant_w)
       }
     }
     panic("unknown TraceKind %d", static_cast<int>(kind));
+}
+
+PowerTrace
+deriveNodeTrace(const PowerTrace &base, std::uint64_t node_id,
+                double jitter)
+{
+    if (jitter <= 0.0 || base.numSamples() == 0)
+        return base;
+    // Seed purely from the node id, mixed through the golden-ratio
+    // multiplier so consecutive ids land far apart in seed space (the
+    // Rng's SplitMix init then scrambles further).
+    Rng rng(0xf1ee7000dull ^
+            (node_id * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull));
+    // Stationary AR(1) gain: var(g) = jitter^2 regardless of rho, so
+    // `jitter` reads directly as the relative power spread. rho is
+    // chosen so the gain decorrelates over ~1 ms (50 samples at the
+    // 20 us grid) — slow against bursts, fast against the recording.
+    const double rho = 0.98;
+    const double sigma = jitter * std::sqrt(1.0 - rho * rho);
+    double g = jitter * rng.nextGaussian();
+    std::vector<double> samples;
+    samples.reserve(base.numSamples());
+    for (const double w : base.samples()) {
+        double f = 1.0 + g;
+        if (f < 0.05)
+            f = 0.05; // keep power strictly positive
+        samples.push_back(w * f);
+        g = rho * g + sigma * rng.nextGaussian();
+    }
+    return PowerTrace(base.samplePeriod(), std::move(samples));
 }
 
 } // namespace energy

@@ -44,6 +44,12 @@ const char *traceKindName(TraceKind kind);
 bool traceKindFromName(const std::string &name, TraceKind &out);
 
 /**
+ * Comma-separated list of every valid trace-kind name, for error
+ * messages ("trace1, trace2, trace3, solar, thermal, constant").
+ */
+std::string traceKindNameList();
+
+/**
  * A piecewise-constant ambient power waveform. Sampled at a fixed
  * period; reads past the end wrap around, so a finite recording models
  * an arbitrarily long environment.
@@ -104,6 +110,29 @@ struct TraceGenConfig
  */
 PowerTrace makeTrace(TraceKind kind, const TraceGenConfig &cfg = {},
                      double constant_w = 5.0e-3);
+
+/**
+ * Derive a per-node trace from a shared environment envelope.
+ *
+ * Fleet scenarios model N sensors in one ambient environment: every
+ * node sees the same burst/idle structure (the base trace), modulated
+ * by a slowly varying multiplicative gain that is unique to the node —
+ * antenna orientation, shadowing, and placement differ per device but
+ * drift slowly relative to the 20 us sample grid. The gain is an AR(1)
+ * process seeded purely by @p node_id, so derivation is deterministic
+ * (same inputs ⇒ identical samples, bit for bit) and different node
+ * ids decorrelate. The base trace is never mutated; each call returns
+ * an independent PowerTrace so no cursor/phase state can leak between
+ * nodes sharing one base.
+ *
+ * @param base Shared environment trace (returned unchanged when
+ *             @p jitter <= 0).
+ * @param node_id Fleet node index; sole seed of the jitter stream.
+ * @param jitter Relative gain amplitude (stddev of the stationary
+ *               AR(1) gain). 0 disables derivation.
+ */
+PowerTrace deriveNodeTrace(const PowerTrace &base,
+                           std::uint64_t node_id, double jitter);
 
 } // namespace energy
 } // namespace wlcache

@@ -144,7 +144,8 @@ runExploration(const ExploreConfig &cfg, ExploreReport &out,
             : std::vector<std::string>{ "time", "nvm_writes" };
     for (const auto &name : objectives)
         if (!findObjective(name))
-            return fail("unknown objective '" + name + "'");
+            return fail("unknown objective '" + name + "' (valid: " +
+                        objectiveNameList() + ")");
 
     std::vector<DesignPoint> points;
     if (!expandPoints(cfg.sweep, points, err))

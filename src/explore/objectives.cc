@@ -148,6 +148,18 @@ findObjective(const std::string &name)
     return nullptr;
 }
 
+std::string
+objectiveNameList()
+{
+    std::string list;
+    for (const auto &d : allObjectives()) {
+        if (!list.empty())
+            list += ", ";
+        list += d.name;
+    }
+    return list;
+}
+
 std::vector<double>
 evalObjectives(const std::vector<std::string> &names,
                const nvp::RunResult &r, const nvp::SystemConfig &cfg,

@@ -41,6 +41,12 @@ const std::vector<ObjectiveDef> &allObjectives();
 const ObjectiveDef *findObjective(const std::string &name);
 
 /**
+ * Comma-separated list of every registered objective name, for
+ * "unknown objective" error messages.
+ */
+std::string objectiveNameList();
+
+/**
  * Evaluate @p names for one run, in order. Every registered
  * objective minimizes, so smaller is better across the board.
  * Asserts each name is registered (validate with findObjective

@@ -105,6 +105,10 @@ const char *kDesignShortNames =
     "nocache|wt|wtbuf|nvcache|nvsram|nvsram-full|nvsram-practical|"
     "replay|wl|wllog";
 
+/** Every parseTraceShort() primary name, for error messages. */
+const char *kTraceShortNames =
+    "trace1|trace2|trace3|solar|thermal|none";
+
 bool
 parseTraceShort(const std::string &name, energy::TraceKind &out,
                 bool &no_failure)
@@ -214,7 +218,8 @@ paramDefs()
               bool nf;
               if (parseTraceShort(v.text, k, nf))
                   return true;
-              why = "unknown power trace '" + v.text + "'";
+              why = "unknown power trace '" + v.text + "' (valid: " +
+                    kTraceShortNames + ")";
               return false;
           } },
         { "scale", "workload input scale factor (>= 1)",
@@ -235,6 +240,25 @@ paramDefs()
               s.power_seed = static_cast<std::uint64_t>(v.num);
           },
           nullptr, nullptr },
+        { "power_node",
+          "fleet node id: derives a node-local power trace when "
+          "power_jitter > 0",
+          PV::Kind::Number, true, 0.0,
+          [](Spec &s, const PV &v) {
+              s.power_node = static_cast<std::uint64_t>(v.num);
+          },
+          nullptr, nullptr },
+        { "power_jitter",
+          "per-node power gain spread (0 disables trace derivation)",
+          PV::Kind::Number, false, 0.0,
+          [](Spec &s, const PV &v) { s.power_jitter = v.num; },
+          nullptr,
+          [](const PV &v, std::string &why) {
+              if (v.num <= 2.0)
+                  return true;
+              why = "power_jitter must be in [0, 2]";
+              return false;
+          } },
         { "dcache.size_bytes", "L1 D-cache size in bytes",
           PV::Kind::Number, true, 1.0, nullptr,
           [](Cfg &c, const PV &v) {

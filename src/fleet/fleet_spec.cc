@@ -1,0 +1,183 @@
+#include "fleet/fleet_spec.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "fleet/fleet.hh"
+#include "util/json.hh"
+#include "workloads/workloads.hh"
+
+namespace wlcache {
+namespace fleet {
+
+std::vector<std::string>
+FleetSpec::workloadPattern() const
+{
+    std::vector<std::string> pattern;
+    for (const MixEntry &e : mix)
+        for (unsigned i = 0; i < e.weight; ++i)
+            pattern.push_back(e.workload);
+    return pattern;
+}
+
+namespace {
+
+bool
+failAt(std::string *err, const std::string &path,
+       const std::string &what)
+{
+    if (err)
+        *err = path + ": " + what;
+    return false;
+}
+
+/** Integral JSON number >= @p min, or a diagnostic. */
+bool
+wantCount(const util::JsonValue &v, const std::string &path,
+          double min, std::uint64_t &out, std::string *err)
+{
+    if (!v.isNumber())
+        return failAt(err, path, "wants a number");
+    const double d = v.asDouble();
+    if (d != std::floor(d) || d < min)
+        return failAt(err, path,
+                      "wants an integer >= " +
+                          std::to_string(static_cast<long long>(min)));
+    out = v.asU64();
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+parseFleetSpec(const std::string &json_text, FleetSpec &out,
+               std::string *err)
+{
+    util::JsonValue root;
+    if (!util::parseJson(json_text, root, err))
+        return false;
+    if (!root.isObject())
+        return failAt(err, "$", "fleet spec must be a JSON object");
+
+    FleetSpec spec;
+    bool saw_nodes = false, saw_sweep = false;
+
+    for (const auto &[key, value] : root.members()) {
+        const std::string path = "$." + key;
+        if (key == "name") {
+            if (!value.isString() || value.asString().empty())
+                return failAt(err, path,
+                              "wants a non-empty string");
+            spec.name = value.asString();
+        } else if (key == "nodes") {
+            std::uint64_t n = 0;
+            if (!wantCount(value, path, 1.0, n, err))
+                return false;
+            if (n > 4096)
+                return failAt(err, path,
+                              "wants at most 4096 nodes");
+            spec.nodes = static_cast<unsigned>(n);
+            saw_nodes = true;
+        } else if (key == "jitter") {
+            if (!value.isNumber())
+                return failAt(err, path, "wants a number");
+            const double j = value.asDouble();
+            if (j < 0.0 || j > 2.0)
+                return failAt(err, path,
+                              "jitter must be in [0, 2]");
+            spec.jitter = j;
+        } else if (key == "deadline_cycles") {
+            if (!wantCount(value, path, 0.0, spec.deadline_cycles,
+                           err))
+                return false;
+        } else if (key == "mix") {
+            if (!value.isArray() || value.items().empty())
+                return failAt(err, path,
+                              "wants a non-empty array");
+            std::size_t i = 0;
+            for (const util::JsonValue &e : value.items()) {
+                const std::string epath =
+                    path + "[" + std::to_string(i++) + "]";
+                if (!e.isObject())
+                    return failAt(err, epath,
+                                  "wants {\"workload\", \"weight\"}");
+                MixEntry entry;
+                for (const auto &[ek, ev] : e.members()) {
+                    if (ek == "workload") {
+                        if (!ev.isString() ||
+                            !workloads::findWorkload(ev.asString()))
+                            return failAt(
+                                err, epath + ".workload",
+                                "unknown workload" +
+                                    (ev.isString()
+                                         ? " '" + ev.asString() + "'"
+                                         : std::string()));
+                        entry.workload = ev.asString();
+                    } else if (ek == "weight") {
+                        std::uint64_t w = 0;
+                        if (!wantCount(ev, epath + ".weight", 1.0, w,
+                                       err))
+                            return false;
+                        if (w > 1024)
+                            return failAt(err, epath + ".weight",
+                                          "wants at most 1024");
+                        entry.weight = static_cast<unsigned>(w);
+                    } else {
+                        return failAt(err, epath + "." + ek,
+                                      "unknown key");
+                    }
+                }
+                if (entry.workload.empty())
+                    return failAt(err, epath,
+                                  "missing \"workload\"");
+                spec.mix.push_back(std::move(entry));
+            }
+        } else if (key == "objectives") {
+            if (!value.isArray())
+                return failAt(err, path,
+                              "wants an array of names");
+            std::size_t i = 0;
+            for (const util::JsonValue &o : value.items()) {
+                const std::string opath =
+                    path + "[" + std::to_string(i++) + "]";
+                if (!o.isString() ||
+                    !findFleetObjective(o.asString()))
+                    return failAt(
+                        err, opath,
+                        "unknown fleet objective" +
+                            (o.isString()
+                                 ? " '" + o.asString() + "'"
+                                 : std::string()) +
+                            " (valid: " + fleetObjectiveNameList() +
+                            ")");
+                spec.objectives.push_back(o.asString());
+            }
+        } else if (key == "sweep") {
+            if (!value.isObject())
+                return failAt(err, path,
+                              "wants a sweep-spec object");
+            // Reuse the sweep parser verbatim so fleet documents get
+            // exactly the sweep registry's validation and defaults.
+            std::ostringstream sub;
+            util::writeJsonCompact(sub, value);
+            std::string suberr;
+            if (!explore::parseSweepSpec(sub.str(), spec.sweep,
+                                         &suberr))
+                return failAt(err, path, suberr);
+            saw_sweep = true;
+        } else {
+            return failAt(err, path, "unknown key");
+        }
+    }
+
+    if (!saw_nodes)
+        return failAt(err, "$", "missing \"nodes\"");
+    if (!saw_sweep)
+        return failAt(err, "$", "missing \"sweep\"");
+
+    out = std::move(spec);
+    return true;
+}
+
+} // namespace fleet
+} // namespace wlcache

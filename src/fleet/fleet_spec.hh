@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Declarative fleet scenarios: N intermittently-powered nodes sharing
+ * one ambient environment. A FleetSpec wraps an ordinary design-space
+ * sweep (the candidate configurations) with the fleet dimensions the
+ * paper's single-node evaluation cannot express — node count, the
+ * per-node power-gain spread (see energy::deriveNodeTrace), a cycle
+ * deadline, and a declarative workload mix assigned to nodes
+ * round-robin. Every per-node run is a plain single-node experiment
+ * with `power_node`/`power_jitter` set, so fleet evaluations are
+ * content-addressed and bit-reproducible like everything else.
+ */
+
+#ifndef WLCACHE_FLEET_FLEET_SPEC_HH
+#define WLCACHE_FLEET_FLEET_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/sweep_spec.hh"
+
+namespace wlcache {
+namespace fleet {
+
+/** One workload-mix entry: @c weight nodes out of every cycle of the
+ *  mix run @c workload. */
+struct MixEntry
+{
+    std::string workload;
+    unsigned weight = 1;
+};
+
+/** A full declarative fleet scenario. */
+struct FleetSpec
+{
+    std::string name = "fleet";
+
+    /** Node count (>= 1). */
+    unsigned nodes = 1;
+
+    /**
+     * Per-node power-gain spread handed to deriveNodeTrace(); 0 makes
+     * every node see the identical base trace.
+     */
+    double jitter = 0.25;
+
+    /**
+     * Cycle budget for the fleet_deadline_miss objective: a node
+     * meets the deadline when it completes within this many on-cycles
+     * worth of wall-clock (0 = completion alone is the deadline).
+     */
+    std::uint64_t deadline_cycles = 0;
+
+    /**
+     * Workload mix, expanded to a node→workload pattern: entries
+     * repeat by weight, node i runs pattern[i % len]. Empty keeps the
+     * sweep's own workload on every node.
+     */
+    std::vector<MixEntry> mix;
+
+    /** Candidate design points (ordinary sweep document). */
+    explore::SweepSpec sweep;
+
+    /** Fleet objective names (see fleet.hh); may be empty. */
+    std::vector<std::string> objectives;
+
+    /** The expanded node→workload pattern (empty when mix is). */
+    std::vector<std::string> workloadPattern() const;
+};
+
+/**
+ * Parse a JSON fleet-spec document:
+ *
+ *   { "name": ..., "nodes": N, "jitter": J, "deadline_cycles": D,
+ *     "mix": [{"workload": "sha", "weight": 3}, ...],
+ *     "objectives": ["fleet_p99_progress", ...],
+ *     "sweep": { ...ordinary sweep document... } }
+ *
+ * Strict like parseSweepSpec: unknown keys, bad types, unknown
+ * workload/objective names are all rejected with a diagnostic naming
+ * the offending JSON path.
+ *
+ * @return true on success; false leaves @p out untouched and fills
+ *         @p err (when given).
+ */
+bool parseFleetSpec(const std::string &json_text, FleetSpec &out,
+                    std::string *err = nullptr);
+
+} // namespace fleet
+} // namespace wlcache
+
+#endif // WLCACHE_FLEET_FLEET_SPEC_HH

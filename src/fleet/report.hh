@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fleet report writers, mirroring explore/report.hh: a CSV of every
+ * design point with its fleet objectives and per-point fleet totals,
+ * a Markdown report with the frontier and a per-node breakdown of
+ * the winning point, and the CLI summary block. CSV and Markdown are
+ * deterministic (no timestamps, no cache economics), so cold and
+ * warm runs — local or served — render byte-identically; run
+ * economics appear only in the summary.
+ */
+
+#ifndef WLCACHE_FLEET_REPORT_HH
+#define WLCACHE_FLEET_REPORT_HH
+
+#include <iosfwd>
+
+#include "fleet/fleet.hh"
+
+namespace wlcache {
+namespace fleet {
+
+/**
+ * Write every point as CSV: point id, one column per swept parameter
+ * (union across points; '-' where unbound), objective values, the
+ * frontier flag, completed-node count, and fleet totals.
+ */
+void writeFleetCsv(std::ostream &os, const FleetReport &report);
+
+/**
+ * Write the Markdown fleet report: scenario header (nodes, jitter,
+ * objectives), the frontier table, and a per-node table for the
+ * first frontier point.
+ */
+void writeFleetMarkdown(std::ostream &os, const FleetReport &report);
+
+/** Write the CLI summary block (frontier table + run economics). */
+void writeFleetSummaryText(std::ostream &os,
+                           const FleetReport &report);
+
+} // namespace fleet
+} // namespace wlcache
+
+#endif // WLCACHE_FLEET_REPORT_HH

@@ -166,9 +166,18 @@ parseSpecText(const std::string &text, nvp::ExperimentSpec &out,
     uns("scale", spec.scale);
     u64("workload_seed", spec.workload_seed);
     set["power"] = [&](const std::string &v) {
-        return energy::traceKindFromName(v, spec.power);
+        if (!energy::traceKindFromName(v, spec.power)) {
+            if (err) {
+                *err = "unknown power trace '" + v + "' (valid: " +
+                       energy::traceKindNameList() + ")";
+            }
+            return false;
+        }
+        return true;
     };
     u64("power_seed", spec.power_seed);
+    u64("power_node", spec.power_node);
+    dbl("power_jitter", spec.power_jitter);
     bol("no_failure", spec.no_failure);
 
     // --- Resolved configuration (dumpConfigKey order) ---

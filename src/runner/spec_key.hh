@@ -36,9 +36,11 @@ namespace runner {
  * energy arithmetic (every accumulated joule quantized) plus the
  * step_mode config key line; 6 = banked NVM device model (timing
  * model, wear, hybrid region config keys); 7 = WL-Log design and
- * the log.* journal config keys plus run-record v5 fields.
+ * the log.* journal config keys plus run-record v5 fields; 8 = fleet
+ * scenarios (power_node/power_jitter spec lines for per-node derived
+ * traces).
  */
-constexpr unsigned kResultSchemaVersion = 7;
+constexpr unsigned kResultSchemaVersion = 8;
 
 /**
  * Canonical text describing everything that determines a run's

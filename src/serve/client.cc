@@ -203,6 +203,28 @@ submitSweep(Client &c, const SweepRequest &req, SweepReply &out,
 }
 
 bool
+submitFleet(Client &c, const FleetRequest &req, FleetReply &out,
+            std::string *err, const Client::ProgressFn &on_progress)
+{
+    JObj msg;
+    msg.str("type", "submit")
+        .str("kind", "fleet")
+        .str("spec", req.spec_json)
+        .num("jobs", req.jobs)
+        .boolean("progress", req.progress);
+
+    util::JsonValue reply;
+    if (!callChecked(c, msg.text(), reply, err, on_progress))
+        return false;
+    out.summary = getStr(reply, "summary");
+    out.csv = getStr(reply, "csv");
+    out.report_md = getStr(reply, "report_md");
+    out.executed = getU64(reply, "executed");
+    out.cache_hits = getU64(reply, "cache_hits");
+    return true;
+}
+
+bool
 submitCampaign(Client &c, const CampaignRequest &req,
                CampaignReply &out, std::string *err,
                const Client::ProgressFn &on_progress)

@@ -90,6 +90,26 @@ bool submitSweep(Client &c, const SweepRequest &req, SweepReply &out,
                  std::string *err,
                  const Client::ProgressFn &on_progress = nullptr);
 
+struct FleetRequest
+{
+    std::string spec_json; //!< Raw fleet-spec file text.
+    unsigned jobs = 0;
+    bool progress = false;
+};
+
+struct FleetReply
+{
+    std::string summary;   //!< writeFleetSummaryText() bytes.
+    std::string csv;       //!< writeFleetCsv() bytes.
+    std::string report_md; //!< writeFleetMarkdown() bytes.
+    std::uint64_t executed = 0;
+    std::uint64_t cache_hits = 0;
+};
+
+bool submitFleet(Client &c, const FleetRequest &req, FleetReply &out,
+                 std::string *err,
+                 const Client::ProgressFn &on_progress = nullptr);
+
 struct CampaignRequest
 {
     std::string design;    //!< Canonical nvp::designKindName().

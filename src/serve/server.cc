@@ -19,6 +19,9 @@
 #include "explore/objectives.hh"
 #include "explore/report.hh"
 #include "explore/sweep_spec.hh"
+#include "fleet/fleet.hh"
+#include "fleet/fleet_spec.hh"
+#include "fleet/report.hh"
 #include "nvp/run_json.hh"
 #include "nvp/system_config.hh"
 #include "runner/spec_codec.hh"
@@ -329,14 +332,16 @@ Session::handleSubmit(const util::JsonValue &msg)
     const bool progress = getBool(msg, "progress");
     if (kind == "sweep")
         handleSweep(msg, progress);
+    else if (kind == "fleet")
+        handleFleet(msg, progress);
     else if (kind == "campaign")
         handleCampaign(msg, progress);
     else if (kind == "run")
         handleRun(msg);
     else
         sendError(errc::kBadRequest,
-                  "submit kind must be sweep|campaign|run, got '" +
-                      kind + "'");
+                  "submit kind must be sweep|fleet|campaign|run, "
+                  "got '" + kind + "'");
 }
 
 void
@@ -381,7 +386,9 @@ Session::handleSweep(const util::JsonValue &msg, bool progress)
                 sendError(errc::kBadRequest,
                           "unknown objective" +
                               (o.isString() ? " '" + o.asString() + "'"
-                                            : std::string()));
+                                            : std::string()) +
+                              " (valid: " +
+                              explore::objectiveNameList() + ")");
                 return;
             }
             cfg.objectives.push_back(o.asString());
@@ -428,6 +435,63 @@ Session::handleSweep(const util::JsonValue &msg, bool progress)
 }
 
 void
+Session::handleFleet(const util::JsonValue &msg, bool progress)
+{
+    const util::JsonValue *spec = msg.get("spec");
+    if (!spec || !spec->isString()) {
+        sendError(errc::kBadRequest,
+                  "fleet submit needs a string 'spec' (the fleet-spec "
+                  "JSON text)");
+        return;
+    }
+
+    fleet::FleetConfig cfg;
+    std::string err;
+    if (!fleet::parseFleetSpec(spec->asString(), cfg.spec, &err)) {
+        sendError(errc::kBadSpec, err);
+        return;
+    }
+
+    cfg.jobs = static_cast<unsigned>(getU64(msg, "jobs"));
+    cfg.cache_dir = ctx_.cache_dir;
+    cfg.snapshot_dir = ctx_.snapshot_dir;
+
+    std::vector<Span> spans;
+    std::mutex spans_m;
+    const auto start = std::chrono::steady_clock::now();
+    cfg.executor = queueExecutor(ctx_, spans, spans_m, start);
+
+    LineFrameBuf pbuf(send_);
+    std::ostream pout(&pbuf);
+    if (progress) {
+        cfg.progress = true;
+        cfg.progress_out = &pout;
+    }
+
+    fleet::FleetReport report;
+    if (!fleet::runFleet(cfg, report, &err)) {
+        sendError(errc::kBadSpec, err);
+        return;
+    }
+
+    std::ostringstream summary, csv, md;
+    fleet::writeFleetSummaryText(summary, report);
+    fleet::writeFleetCsv(csv, report);
+    fleet::writeFleetMarkdown(md, report);
+
+    send(JObj()
+             .str("type", "result")
+             .str("kind", "fleet")
+             .str("summary", summary.str())
+             .str("csv", csv.str())
+             .str("report_md", md.str())
+             .num("executed", report.executed)
+             .num("cache_hits", report.cache_hits)
+             .add("spans", spansJson(spans))
+             .text());
+}
+
+void
 Session::handleCampaign(const util::JsonValue &msg, bool progress)
 {
     verify::CampaignConfig cc;
@@ -449,7 +513,9 @@ Session::handleCampaign(const util::JsonValue &msg, bool progress)
 
     const std::string trace = getStr(msg, "trace_kind", "constant");
     if (!energy::traceKindFromName(trace, cc.base.power)) {
-        sendError(errc::kBadRequest, "unknown trace '" + trace + "'");
+        sendError(errc::kBadRequest,
+                  "unknown trace '" + trace + "' (valid: " +
+                  energy::traceKindNameList() + ")");
         return;
     }
     cc.ambient = getBool(msg, "ambient");

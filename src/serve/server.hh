@@ -103,6 +103,7 @@ class Session
     void handleStats();
     void handleSubmit(const util::JsonValue &msg);
     void handleSweep(const util::JsonValue &msg, bool progress);
+    void handleFleet(const util::JsonValue &msg, bool progress);
     void handleCampaign(const util::JsonValue &msg, bool progress);
     void handleRun(const util::JsonValue &msg);
     bool send(const std::string &payload);

@@ -114,6 +114,10 @@ parseTrace(const std::string &name, energy::TraceKind &out,
     return true;
 }
 
+/** Every parseTrace() name, for error messages. */
+const char *kTraceNames =
+    "none|infinite|trace1|trace2|trace3|solar|thermal";
+
 std::vector<std::string>
 expandList(const std::string &arg)
 {
@@ -175,7 +179,8 @@ cmdCampaign(serve::Client &client, const util::ArgParser &args)
     energy::TraceKind kind = energy::TraceKind::Constant;
     bool ambient = false;
     if (!parseTrace(args.get("trace"), kind, ambient))
-        fatal("unknown trace '%s'", args.get("trace").c_str());
+        fatal("unknown trace '%s' (valid: %s)",
+              args.get("trace").c_str(), kTraceNames);
 
     bool inject_ckpt = false, inject_regs = false;
     for (const auto &f :
@@ -300,7 +305,8 @@ cmdRun(serve::Client &client, const util::ArgParser &args)
     energy::TraceKind kind = energy::TraceKind::Constant;
     bool ambient = false;
     if (!parseTrace(args.get("trace"), kind, ambient))
-        fatal("unknown trace '%s'", args.get("trace").c_str());
+        fatal("unknown trace '%s' (valid: %s)",
+              args.get("trace").c_str(), kTraceNames);
 
     nvp::ExperimentSpec spec;
     spec.design = design;

@@ -1,25 +1,22 @@
 /**
  * @file
- * Design-space exploration driver: expand a declarative JSON sweep
- * spec into concrete experiments, evaluate them through the parallel
- * runner (content-addressed caching makes explorations resumable),
- * and report the Pareto frontier over the chosen objectives.
+ * Fleet scenario driver: evaluate a declarative N-node fleet spec —
+ * every node runs a single-node experiment with a correlated-but-
+ * jittered power trace and a mix-assigned workload — and report the
+ * Pareto frontier over fleet objectives (forward-progress
+ * percentiles, fleet-total/worst-line NVM wear, deadline misses).
  *
  * Examples:
- *   # Exhaustive 2-axis sweep, frontier on time vs NVM writes:
- *   wlcache_explore --spec sweep.json --jobs 8 \
- *                   --cache-dir ~/.wlcache-cache \
- *                   --csv points.csv --report frontier.md
+ *   # Local evaluation with a warm result cache:
+ *   wlcache_fleet --spec fleet.json --jobs 8 \
+ *                 --cache-dir ~/.wlcache-cache \
+ *                 --csv points.csv --report fleet.md
  *
- *   # Same spec, three objectives, budgeted successive halving:
- *   wlcache_explore --spec sweep.json --mode halving \
- *                   --objective time --objective nvm_writes \
- *                   --objective hw_area
+ *   # Served through a running wlcached (byte-identical reports):
+ *   wlcache_fleet --spec fleet.json --server unix:/tmp/wlcached.sock
  *
- *   # CI warm-cache check: fail unless everything is served from
- *   # the result cache:
- *   wlcache_explore --spec sweep.json --cache-dir cache \
- *                   --require-warm
+ *   # CI warm-cache check:
+ *   wlcache_fleet --spec fleet.json --cache-dir cache --require-warm
  */
 
 #include <fstream>
@@ -27,14 +24,13 @@
 #include <sstream>
 #include <string>
 
-#include "explore/explorer.hh"
-#include "explore/objectives.hh"
-#include "explore/report.hh"
+#include "fleet/fleet.hh"
+#include "fleet/fleet_spec.hh"
+#include "fleet/report.hh"
 #include "serve/client.hh"
 #include "sim/logging.hh"
 #include "util/arg_parser.hh"
 #include "util/strings.hh"
-#include "util/table.hh"
 
 using namespace wlcache;
 
@@ -45,7 +41,7 @@ readFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot read sweep spec '%s'", path.c_str());
+        fatal("cannot read fleet spec '%s'", path.c_str());
     std::ostringstream ss;
     ss << in.rdbuf();
     return ss.str();
@@ -66,26 +62,18 @@ int
 main(int argc, char **argv)
 {
     util::ArgParser args(
-        "wlcache_explore",
-        "declarative design-space exploration with Pareto-frontier "
-        "extraction and budgeted adaptive search");
-    args.option("spec", "", "sweep-spec JSON file (required)")
-        .listOption("objective",
-                    "objective name(s); overrides the spec's list "
-                    "(see --list-objectives)")
-        .option("mode", "",
-                "override the spec's search mode: "
-                "exhaustive|halving")
+        "wlcache_fleet",
+        "N-node intermittent-computing fleet scenarios over the "
+        "content-addressed runner");
+    args.option("spec", "", "fleet-spec JSON file (required)")
         .option("jobs", "0",
                 "worker threads; 0 = WLCACHE_JOBS env or all cores")
         .option("cache-dir", "",
                 "result-cache directory (empty = no cache)")
         .option("snapshot-dir", "",
-                "snapshot-store directory for snapshot_extend "
-                "halving rung cuts (empty = in-memory only)")
-        .option("csv", "", "write all evaluated points as CSV here")
-        .option("report", "",
-                "write the Markdown frontier report here")
+                "snapshot-store directory (empty = disabled)")
+        .option("csv", "", "write every point as CSV here")
+        .option("report", "", "write the Markdown fleet report here")
         .option("server", "",
                 "submit to a running wlcached at this address "
                 "(unix:PATH / tcp:HOST:PORT) instead of executing "
@@ -94,19 +82,13 @@ main(int argc, char **argv)
         .flag("require-warm",
               "fail unless every run was served from the result "
               "cache (CI determinism check)")
-        .flag("list-params", "list sweepable parameters and exit")
-        .flag("list-objectives", "list objectives and exit");
+        .flag("list-objectives", "list fleet objectives and exit");
     if (!args.parse(argc, argv))
         return 1;
 
-    if (args.getFlag("list-params")) {
-        for (const auto &[name, help] : explore::listParams())
-            std::cout << util::padRight(name, 26) << help << "\n";
-        return 0;
-    }
     if (args.getFlag("list-objectives")) {
-        for (const auto &d : explore::allObjectives())
-            std::cout << util::padRight(d.name, 14) << d.help
+        for (const auto &d : fleet::allFleetObjectives())
+            std::cout << util::padRight(d.name, 22) << d.help
                       << "\n";
         return 0;
     }
@@ -115,55 +97,39 @@ main(int argc, char **argv)
     if (spec_path.empty() && args.positional().size() == 1)
         spec_path = args.positional()[0];
     if (spec_path.empty())
-        fatal("need a sweep spec: --spec <file.json>");
+        fatal("need a fleet spec: --spec <file.json>");
 
     const std::string spec_text = readFile(spec_path);
 
-    explore::ExploreConfig cfg;
+    fleet::FleetConfig cfg;
     std::string err;
-    if (!explore::parseSweepSpec(spec_text, cfg.sweep, &err))
+    if (!fleet::parseFleetSpec(spec_text, cfg.spec, &err))
         fatal("%s: %s", spec_path.c_str(), err.c_str());
 
-    const std::string mode = util::toLower(args.get("mode"));
-    if (mode == "exhaustive")
-        cfg.sweep.mode = explore::SearchMode::Exhaustive;
-    else if (mode == "halving")
-        cfg.sweep.mode = explore::SearchMode::Halving;
-    else if (!mode.empty())
-        fatal("unknown --mode '%s' (exhaustive|halving)",
-              mode.c_str());
-
-    cfg.objectives = args.getList("objective");
-    for (const auto &name : cfg.objectives)
-        if (!explore::findObjective(name))
-            fatal("unknown objective '%s' (valid: %s)", name.c_str(),
-                  explore::objectiveNameList().c_str());
     cfg.jobs = static_cast<unsigned>(args.getInt("jobs"));
     cfg.cache_dir = args.get("cache-dir");
     cfg.snapshot_dir = args.get("snapshot-dir");
     cfg.progress = args.getFlag("progress");
 
     // Served submission: the daemon runs the same engine with the
-    // same renderers, so summary/csv/report come back byte-identical
-    // to local execution (its cache/snapshot dirs apply, not ours).
+    // same renderers (its cache/snapshot dirs apply, not ours), so
+    // summary/csv/report come back byte-identical to local runs.
     if (!args.get("server").empty()) {
         serve::Client client;
         if (!client.connect(args.get("server"), &err))
             fatal("cannot reach daemon at %s: %s",
                   args.get("server").c_str(), err.c_str());
-        serve::SweepRequest req;
+        serve::FleetRequest req;
         req.spec_json = spec_text;
-        req.objectives = cfg.objectives;
-        req.mode = mode;
         req.jobs = cfg.jobs;
         req.progress = cfg.progress;
-        serve::SweepReply reply;
+        serve::FleetReply reply;
         serve::Client::ProgressFn on_progress;
         if (req.progress)
             on_progress = [](const std::string &line) {
                 std::cerr << line << "\n";
             };
-        if (!serve::submitSweep(client, req, reply, &err,
+        if (!serve::submitFleet(client, req, reply, &err,
                                 on_progress))
             fatal("%s: %s", spec_path.c_str(), err.c_str());
 
@@ -182,22 +148,20 @@ main(int argc, char **argv)
         return 0;
     }
 
-    explore::ExploreReport report;
-    if (!explore::runExploration(cfg, report, &err))
+    fleet::FleetReport report;
+    if (!fleet::runFleet(cfg, report, &err))
         fatal("%s: %s", spec_path.c_str(), err.c_str());
 
-    // Frontier summary on stdout (shared with the wlcached sweep
-    // handler, so served explorations render byte-identically).
-    explore::writeSummaryText(std::cout, report);
+    fleet::writeFleetSummaryText(std::cout, report);
 
     if (!args.get("csv").empty()) {
         std::ostringstream ss;
-        explore::writeCsv(ss, report);
+        fleet::writeFleetCsv(ss, report);
         writeFileOrDie(args.get("csv"), ss.str());
     }
     if (!args.get("report").empty()) {
         std::ostringstream ss;
-        explore::writeFrontierMarkdown(ss, report, cfg.cache_dir);
+        fleet::writeFleetMarkdown(ss, report);
         writeFileOrDie(args.get("report"), ss.str());
     }
 

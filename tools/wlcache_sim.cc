@@ -102,6 +102,10 @@ parseTrace(const std::string &name, energy::TraceKind &out,
     return true;
 }
 
+/** Every parseTrace() name, for error messages. */
+const char *kTraceNames =
+    "none|infinite|trace1|trace2|trace3|solar|thermal";
+
 /** Apply every CLI configuration override to @p cfg. Shared between
  *  the single-run path and batch mode so both resolve a spec the
  *  same way. */
@@ -191,7 +195,8 @@ runBatch(const util::ArgParser &args)
         energy::TraceKind kind;
         bool no_failure = false;
         if (!parseTrace(trace_name, kind, no_failure))
-            fatal("unknown trace '%s'", trace_name.c_str());
+            fatal("unknown trace '%s' (valid: %s)",
+                  trace_name.c_str(), kTraceNames);
         for (const auto &design_name : designs) {
             nvp::DesignKind design;
             if (!parseDesign(design_name, design))
@@ -342,7 +347,8 @@ main(int argc, char **argv)
     energy::TraceKind kind;
     bool no_failure = false;
     if (!parseTrace(args.get("trace"), kind, no_failure))
-        fatal("unknown trace '%s'", args.get("trace").c_str());
+        fatal("unknown trace '%s' (valid: %s)",
+              args.get("trace").c_str(), kTraceNames);
     if (!workloads::findWorkload(args.get("workload")))
         fatal("unknown workload '%s' (see workloads/workloads.cc)",
               args.get("workload").c_str());

@@ -98,6 +98,10 @@ parseTrace(const std::string &name, energy::TraceKind &out,
     return true;
 }
 
+/** Every parseTrace() name, for error messages. */
+const char *kTraceNames =
+    "none|infinite|trace1|trace2|trace3|solar|thermal";
+
 std::vector<std::uint64_t>
 parsePoints(const std::string &arg)
 {
@@ -196,7 +200,8 @@ main(int argc, char **argv)
     energy::TraceKind kind = energy::TraceKind::Constant;
     bool ambient = false;
     if (!parseTrace(args.get("trace"), kind, ambient))
-        fatal("unknown trace '%s'", args.get("trace").c_str());
+        fatal("unknown trace '%s' (valid: %s)",
+              args.get("trace").c_str(), kTraceNames);
 
     bool inject_ckpt = false, inject_regs = false;
     for (const auto &f : expandList(util::toLower(args.get("inject")))) {
